@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benchmarks.
+ *
+ * Every bench binary first prints the qualitative table or series the
+ * corresponding paper figure reports (the reproduction artifact that
+ * EXPERIMENTS.md records), then runs its google-benchmark timings.
+ */
+
+#ifndef MIXEDPROXY_BENCH_COMMON_HH
+#define MIXEDPROXY_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "litmus/expr.hh"
+#include "litmus/test.hh"
+#include "model/checker.hh"
+
+namespace mixedproxy::bench {
+
+/** Check @p test and report whether @p condition is admitted. */
+inline bool
+admitted(const litmus::LitmusTest &test, const std::string &condition,
+         model::ProxyMode mode = model::ProxyMode::Ptx75)
+{
+    model::CheckOptions opts;
+    opts.mode = mode;
+    opts.collectWitnesses = false;
+    auto result = model::Checker(opts).check(test);
+    return result.admits(litmus::parseCondition(condition));
+}
+
+/** "allowed"/"forbidden" for table cells. */
+inline const char *
+verdict(bool allowed)
+{
+    return allowed ? "allowed" : "forbidden";
+}
+
+/** A horizontal rule sized for 76-column tables. */
+inline void
+rule()
+{
+    std::printf("%s\n", std::string(76, '-').c_str());
+}
+
+/** Print the standard reproduction banner. */
+inline void
+banner(const char *experiment, const char *claim)
+{
+    rule();
+    std::printf("%s\n", experiment);
+    std::printf("paper claim: %s\n", claim);
+    rule();
+}
+
+} // namespace mixedproxy::bench
+
+#endif // MIXEDPROXY_BENCH_COMMON_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Experiment E10 (paper §6): checker and tooling performance.
+ *
+ * Measures the exhaustive checker's cost as a function of test size and
+ * model variant, substituting for the paper's observations about the
+ * cost of Alloy-based analysis. The interesting shape: candidate
+ * executions (and hence wall time) grow combinatorially with the number
+ * of loads and stores, which is why six-instruction tests bound the
+ * synthesis flow (§6.3).
+ */
+
+#include <chrono>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "litmus/registry.hh"
+#include "litmus/test.hh"
+#include "model/checker.hh"
+
+using namespace mixedproxy;
+using namespace mixedproxy::bench;
+
+namespace {
+
+/** n writer/reader thread pairs hammering one location. */
+litmus::LitmusTest
+scalingTest(std::size_t pairs)
+{
+    litmus::LitmusBuilder b("scaling_" + std::to_string(pairs));
+    for (std::size_t i = 0; i < pairs; i++) {
+        std::string w = "w" + std::to_string(i);
+        std::string r = "r" + std::to_string(i);
+        b.thread(w, static_cast<int>(2 * i), 0,
+                 {"st.relaxed.gpu.u32 [x], " + std::to_string(i + 1)});
+        b.thread(r, static_cast<int>(2 * i + 1), 0,
+                 {"ld.relaxed.gpu.u32 r1, [x]"});
+    }
+    b.permit("r0.r1 == 0 || r0.r1 == 1");
+    return b.build();
+}
+
+void
+printTable()
+{
+    banner("E10 / Section 6: model checking cost vs. test size",
+           "candidate-execution enumeration is combinatorial in the "
+           "number of memory operations");
+
+    std::printf("%-22s %-8s %-14s %-14s %-10s\n", "test", "instrs",
+                "candidates", "consistent", "ms");
+    rule();
+    model::CheckOptions opts;
+    opts.collectWitnesses = false;
+    model::Checker checker(opts);
+
+    auto row = [&](const litmus::LitmusTest &test) {
+        auto begin = std::chrono::steady_clock::now();
+        auto result = checker.check(test);
+        auto end = std::chrono::steady_clock::now();
+        double ms =
+            std::chrono::duration<double, std::milli>(end - begin)
+                .count();
+        std::printf("%-22s %-8zu %-14llu %-14llu %-10.2f\n",
+                    test.name().c_str(), test.instructionCount(),
+                    static_cast<unsigned long long>(
+                        result.stats.candidateExecutions),
+                    static_cast<unsigned long long>(
+                        result.stats.consistentExecutions),
+                    ms);
+    };
+    row(litmus::testByName("fig8a_alias_fence"));
+    row(litmus::testByName("fig9_message_passing"));
+    row(litmus::testByName("fig2_iriw_weak"));
+    row(litmus::testByName("fig2_iriw_fence_sc"));
+    for (std::size_t pairs = 1; pairs <= 4; pairs++)
+        row(scalingTest(pairs));
+    rule();
+    std::printf("\n");
+}
+
+void
+BM_CheckByFigure(benchmark::State &state, const char *name)
+{
+    const auto &test = litmus::testByName(name);
+    model::CheckOptions opts;
+    opts.collectWitnesses = false;
+    model::Checker checker(opts);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(checker.check(test).outcomes.size());
+}
+BENCHMARK_CAPTURE(BM_CheckByFigure, mp, "fig9_message_passing");
+BENCHMARK_CAPTURE(BM_CheckByFigure, iriw, "fig2_iriw_weak");
+BENCHMARK_CAPTURE(BM_CheckByFigure, fig8f, "fig8f_double_fence_ordered");
+BENCHMARK_CAPTURE(BM_CheckByFigure, composability,
+                  "composability_two_hop");
+
+void
+BM_CheckScaling(benchmark::State &state)
+{
+    auto test = scalingTest(static_cast<std::size_t>(state.range(0)));
+    model::CheckOptions opts;
+    opts.collectWitnesses = false;
+    model::Checker checker(opts);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(checker.check(test).outcomes.size());
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CheckScaling)->DenseRange(1, 4)->Complexity();
+
+void
+BM_Ptx60VsPtx75(benchmark::State &state)
+{
+    const auto &test = litmus::testByName("fig8c_two_thread_constant");
+    model::CheckOptions opts;
+    opts.collectWitnesses = false;
+    opts.mode = state.range(0) == 0 ? model::ProxyMode::Ptx60
+                                    : model::ProxyMode::Ptx75;
+    model::Checker checker(opts);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(checker.check(test).outcomes.size());
+}
+BENCHMARK(BM_Ptx60VsPtx75)->Arg(0)->Arg(1);
+
+void
+BM_ProgramExpansion(benchmark::State &state)
+{
+    const auto &test = litmus::testByName("fig2_iriw_fence_sc");
+    for (auto _ : state) {
+        model::Program program(test, model::ProxyMode::Ptx75);
+        benchmark::DoNotOptimize(program.size());
+    }
+}
+BENCHMARK(BM_ProgramExpansion);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Experiments E12/E13: the forward-looking proxy extensions the paper
+ * sketches.
+ *
+ * E12 (§3.1.4): asynchronous copies as an "async" proxy — the copy
+ * engine's reads and writes travel a non-coherent path; joins and
+ * async proxy fences restore ordering.
+ *
+ * E13 (§7.2): scoped mixed-proxy synchronization — "if accelerators or
+ * special caches were added at layers of the memory hierarchy outside
+ * the SM, then the proxy model could potentially be extended to permit
+ * scoped mixed-proxy synchronization." Scoped proxy fences fix the
+ * Fig. 8e wrong-CTA placement at the cost of remote flush/invalidate
+ * traffic.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "litmus/registry.hh"
+#include "microarch/simulator.hh"
+#include "model/checker.hh"
+
+using namespace mixedproxy;
+using namespace mixedproxy::bench;
+
+namespace {
+
+void
+printAsyncTable()
+{
+    banner("E12 / Section 3.1.4 extension: asynchronous copies",
+           "cp.async forks through a non-coherent path; wait_all joins "
+           "and bridges it to the generic proxy");
+    struct Row
+    {
+        const char *name;
+        const char *stale;
+        bool expect_allowed;
+    };
+    const Row rows[] = {
+        {"async_copy_no_wait", "t0.r1 == 0", true},
+        {"async_copy_wait", "t0.r1 == 0", false},
+        {"async_copy_stale_source", "t0.r1 == 0", true},
+        {"async_copy_fenced_source", "t0.r1 == 0", false},
+        {"async_copy_publish_no_wait", "t1.r1 == 1 && t1.r2 == 0",
+         true},
+        {"async_copy_publish", "t1.r1 == 1 && t1.r2 == 0", false},
+    };
+    std::printf("%-32s %-12s %s\n", "test", "stale read", "matches");
+    rule();
+    for (const auto &row : rows) {
+        bool allowed = admitted(litmus::testByName(row.name), row.stale);
+        std::printf("%-32s %-12s %s\n", row.name, verdict(allowed),
+                    allowed == row.expect_allowed ? "yes" : "NO");
+    }
+    rule();
+    std::printf("\n");
+}
+
+void
+printScopedTable()
+{
+    banner("E13 / Section 7.2 extension: scoped proxy fences",
+           "a wider-scope proxy fence substitutes for per-CTA fences, "
+           "paying remote invalidation traffic");
+    struct Row
+    {
+        const char *name;
+        const char *stale;
+        bool expect_allowed;
+    };
+    const Row rows[] = {
+        {"fig8e_cross_cta_wrong_side", "t1.r5 == 1 && t1.r3 == 0",
+         true},
+        {"scoped_constant_fence_gpu", "t1.r5 == 1 && t1.r3 == 0",
+         false},
+        {"scoped_constant_fence_wrong_gpu",
+         "t1.r5 == 1 && t1.r3 == 0", true},
+        {"scoped_constant_fence_sys", "t1.r5 == 1 && t1.r3 == 0",
+         false},
+        {"fig6_surface_cross_cta_writer_only",
+         "t1.r1 == 1 && t1.r2 == 0", true},
+        {"scoped_surface_fence_single", "t1.r1 == 1 && t1.r2 == 0",
+         false},
+    };
+    std::printf("%-36s %-12s %s\n", "test", "stale read", "matches");
+    rule();
+    for (const auto &row : rows) {
+        bool allowed = admitted(litmus::testByName(row.name), row.stale);
+        std::printf("%-36s %-12s %s\n", row.name, verdict(allowed),
+                    allowed == row.expect_allowed ? "yes" : "NO");
+    }
+    rule();
+
+    // Cost side: the scoped fence's remote reach is not free.
+    microarch::SimOptions opts;
+    opts.iterations = 2000;
+    auto narrow = microarch::Simulator(opts).run(
+        litmus::testByName("fig8e_cross_cta_wrong_side"));
+    auto wide = microarch::Simulator(opts).run(
+        litmus::testByName("scoped_constant_fence_gpu"));
+    std::printf("mean cycles, CTA-scope fence (broken): %.0f; "
+                "gpu-scope fence (correct): %.0f (+%.0f%%)\n\n",
+                narrow.meanLatency(), wide.meanLatency(),
+                100.0 * (wide.meanLatency() - narrow.meanLatency()) /
+                    narrow.meanLatency());
+}
+
+void
+BM_CheckAsyncPipeline(benchmark::State &state)
+{
+    const auto &test = litmus::testByName("async_copy_publish");
+    model::CheckOptions opts;
+    opts.collectWitnesses = false;
+    model::Checker checker(opts);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(checker.check(test).outcomes.size());
+}
+BENCHMARK(BM_CheckAsyncPipeline);
+
+void
+BM_SimulateAsync(benchmark::State &state)
+{
+    const auto &test = litmus::testByName("async_copy_stale_source");
+    microarch::SimOptions opts;
+    opts.iterations = 1;
+    microarch::Simulator sim(opts);
+    std::uint64_t seed = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.runOnce(test, seed++));
+}
+BENCHMARK(BM_SimulateAsync);
+
+void
+BM_ScopedFence(benchmark::State &state)
+{
+    const auto &test = litmus::testByName("scoped_constant_fence_gpu");
+    microarch::SimOptions opts;
+    opts.iterations = 1;
+    microarch::Simulator sim(opts);
+    std::uint64_t seed = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.runOnce(test, seed++));
+}
+BENCHMARK(BM_ScopedFence);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printAsyncTable();
+    printScopedTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

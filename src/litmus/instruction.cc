@@ -1,0 +1,660 @@
+#include "instruction.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "relation/error.hh"
+
+namespace mixedproxy::litmus {
+
+Operand
+Operand::ofReg(std::string name)
+{
+    Operand op;
+    op.kind = Kind::Reg;
+    op.reg = std::move(name);
+    return op;
+}
+
+Operand
+Operand::ofImm(std::uint64_t value)
+{
+    Operand op;
+    op.kind = Kind::Imm;
+    op.imm = value;
+    return op;
+}
+
+std::string
+Operand::toString() const
+{
+    switch (kind) {
+      case Kind::None:
+        return "<none>";
+      case Kind::Reg:
+        return reg;
+      case Kind::Imm:
+        return std::to_string(imm);
+    }
+    panic("unknown Operand kind");
+}
+
+bool
+Instruction::isMemoryOp() const
+{
+    switch (opcode) {
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::Atom:
+      case Opcode::Tex:
+      case Opcode::Suld:
+      case Opcode::Sust:
+      case Opcode::CpAsync:
+        return true;
+      case Opcode::Fence:
+      case Opcode::FenceProxy:
+      case Opcode::CpAsyncWait:
+      case Opcode::Barrier:
+        return false;
+    }
+    panic("unknown Opcode");
+}
+
+bool
+Instruction::isLoad() const
+{
+    return opcode == Opcode::Ld || opcode == Opcode::Tex ||
+           opcode == Opcode::Suld || opcode == Opcode::Atom ||
+           opcode == Opcode::CpAsync;
+}
+
+bool
+Instruction::isStore() const
+{
+    return opcode == Opcode::St || opcode == Opcode::Sust ||
+           opcode == Opcode::Atom || opcode == Opcode::CpAsync;
+}
+
+bool
+Instruction::isFence() const
+{
+    return opcode == Opcode::Fence || opcode == Opcode::FenceProxy ||
+           opcode == Opcode::CpAsyncWait;
+}
+
+std::vector<std::string>
+Instruction::sourceRegs() const
+{
+    std::vector<std::string> regs;
+    if (value.isReg())
+        regs.push_back(value.reg);
+    if (expected.isReg())
+        regs.push_back(expected.reg);
+    for (const auto &coord : addressCoordRegs)
+        regs.push_back(coord);
+    return regs;
+}
+
+std::string
+Instruction::toString() const
+{
+    if (!text.empty())
+        return text;
+
+    std::ostringstream os;
+    os << litmus::toString(opcode);
+    if (opcode == Opcode::FenceProxy) {
+        os << "." << litmus::toString(proxyFence);
+        return os.str();
+    }
+    if (opcode == Opcode::Fence) {
+        os << "." << litmus::toString(sem) << "."
+           << litmus::toString(scope);
+        return os.str();
+    }
+    if (opcode == Opcode::Ld &&
+        proxy == ProxyKind::Constant) {
+        os << ".const";
+    } else if (opcode == Opcode::Ld || opcode == Opcode::St) {
+        os << ".global";
+    }
+    if (sem != Semantics::Weak) {
+        os << "." << litmus::toString(sem);
+        if (scope != Scope::None)
+            os << "." << litmus::toString(scope);
+    }
+    if (opcode == Opcode::Atom)
+        os << "." << litmus::toString(atomOp);
+    os << ".u" << accessSize * 8;
+    if (isLoad() && !isStore()) {
+        os << " " << destReg << ", [" << address << "]";
+    } else if (isStore() && !isLoad()) {
+        os << " [" << address << "], " << value.toString();
+    } else {
+        os << " " << destReg << ", [" << address << "], ";
+        if (atomOp == AtomOp::Cas)
+            os << expected.toString() << ", ";
+        os << value.toString();
+    }
+    return os.str();
+}
+
+namespace {
+
+/** Split "st.global.sys.u32" into {"st","global","sys","u32"}. */
+std::vector<std::string>
+splitDots(const std::string &word)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : word) {
+        if (c == '.') {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    parts.push_back(cur);
+    return parts;
+}
+
+bool
+isRegisterName(const std::string &token)
+{
+    // Registers are r<digits> or rd<digits>, PTX style.
+    if (token.size() < 2 || token[0] != 'r')
+        return false;
+    std::size_t digits_at = 1;
+    if (token[1] == 'd') {
+        if (token.size() < 3)
+            return false;
+        digits_at = 2;
+    }
+    return std::all_of(token.begin() +
+                           static_cast<std::ptrdiff_t>(digits_at),
+                       token.end(),
+                       [](unsigned char c) { return std::isdigit(c); });
+}
+
+bool
+parseImmediate(const std::string &token, std::uint64_t &out)
+{
+    if (token.empty())
+        return false;
+    std::size_t pos = 0;
+    std::string body = token;
+    bool negate = false;
+    if (body[0] == '-') {
+        negate = true;
+        body = body.substr(1);
+        if (body.empty())
+            return false;
+    }
+    try {
+        out = std::stoull(body, &pos, 0);
+    } catch (const std::exception &) {
+        return false;
+    }
+    if (pos != body.size())
+        return false;
+    if (negate)
+        out = static_cast<std::uint64_t>(-static_cast<std::int64_t>(out));
+    return true;
+}
+
+Operand
+parseOperand(const std::string &token, const std::string &text)
+{
+    if (isRegisterName(token))
+        return Operand::ofReg(token);
+    std::uint64_t imm = 0;
+    if (parseImmediate(token, imm))
+        return Operand::ofImm(imm);
+    fatal("cannot parse operand '", token, "' in '", text, "'");
+}
+
+/** Access size in bytes for a PTX type token, or 0 if not a type. */
+unsigned
+typeSize(const std::string &token)
+{
+    if (token.size() < 2)
+        return 0;
+    char c = token[0];
+    if (c != 'u' && c != 's' && c != 'b' && c != 'f')
+        return 0;
+    const std::string bits = token.substr(1);
+    if (bits == "8")
+        return 1;
+    if (bits == "16")
+        return 2;
+    if (bits == "32")
+        return 4;
+    if (bits == "64")
+        return 8;
+    return 0;
+}
+
+/** Tokens on tex/suld/sust that carry no memory-model meaning. */
+bool
+isGeometryToken(const std::string &token)
+{
+    return token == "1d" || token == "2d" || token == "3d" ||
+           token == "a1d" || token == "a2d" || token == "vec" ||
+           token == "v2" || token == "v4" || token == "clamp" ||
+           token == "trap" || token == "zero" || token == "b";
+}
+
+struct OperandText
+{
+    std::vector<std::string> addresses;
+    std::vector<std::string> coords;
+    std::vector<std::string> scalars;
+};
+
+/**
+ * Split the operand text of a memory instruction: registers/immediates
+ * and bracketed addresses "[sym{, coord...}]" (two for cp.async).
+ */
+OperandText
+splitOperands(const std::string &operands, const std::string &text)
+{
+    OperandText out;
+    std::size_t i = 0;
+    auto skip_ws = [&]() {
+        while (i < operands.size() &&
+               std::isspace(static_cast<unsigned char>(operands[i]))) {
+            i++;
+        }
+    };
+    bool expect_operand = true;
+    while (true) {
+        skip_ws();
+        if (i >= operands.size())
+            break;
+        if (!expect_operand) {
+            if (operands[i] != ',')
+                fatal("expected ',' in operands of '", text, "'");
+            i++;
+            expect_operand = true;
+            continue;
+        }
+        if (operands[i] == '[') {
+            std::size_t close = operands.find(']', i);
+            if (close == std::string::npos)
+                fatal("unterminated '[' in '", text, "'");
+            std::string inner = operands.substr(i + 1, close - i - 1);
+            i = close + 1;
+            // Split the inner text on commas.
+            std::istringstream ss(inner);
+            std::string part;
+            bool first = true;
+            while (std::getline(ss, part, ',')) {
+                // Trim.
+                auto b = part.find_first_not_of(" \t");
+                auto e = part.find_last_not_of(" \t");
+                if (b == std::string::npos)
+                    fatal("empty address component in '", text, "'");
+                part = part.substr(b, e - b + 1);
+                if (first) {
+                    out.addresses.push_back(part);
+                    first = false;
+                } else {
+                    if (!isRegisterName(part)) {
+                        fatal("address coordinate '", part,
+                              "' is not a register in '", text, "'");
+                    }
+                    out.coords.push_back(part);
+                }
+            }
+            if (first)
+                fatal("empty address in '", text, "'");
+        } else {
+            std::size_t start = i;
+            while (i < operands.size() && operands[i] != ',' &&
+                   !std::isspace(static_cast<unsigned char>(operands[i]))) {
+                i++;
+            }
+            out.scalars.push_back(operands.substr(start, i - start));
+        }
+        expect_operand = false;
+    }
+    return out;
+}
+
+} // namespace
+
+Instruction
+decode(const std::string &text)
+{
+    // Separate the dotted opcode word from the operand text.
+    std::string trimmed = text;
+    auto begin = trimmed.find_first_not_of(" \t");
+    auto end = trimmed.find_last_not_of(" \t;");
+    if (begin == std::string::npos)
+        fatal("empty instruction");
+    trimmed = trimmed.substr(begin, end - begin + 1);
+
+    std::size_t space = trimmed.find_first_of(" \t");
+    std::string opcode_word = trimmed.substr(0, space);
+    std::string operand_text =
+        space == std::string::npos ? "" : trimmed.substr(space + 1);
+
+    auto parts = splitDots(opcode_word);
+    const std::string &mnemonic = parts[0];
+
+    Instruction instr;
+    instr.text = trimmed;
+
+    // ---- Fences -------------------------------------------------------
+    if (mnemonic == "membar") {
+        if (parts.size() != 2)
+            fatal("membar needs exactly one scope in '", text, "'");
+        instr.opcode = Opcode::Fence;
+        instr.sem = Semantics::Sc;
+        if (parts[1] == "cta") {
+            instr.scope = Scope::Cta;
+        } else if (parts[1] == "gl") {
+            instr.scope = Scope::Gpu;
+        } else if (parts[1] == "sys") {
+            instr.scope = Scope::Sys;
+        } else {
+            fatal("unknown membar scope '", parts[1], "' in '", text, "'");
+        }
+        return instr;
+    }
+
+    if (mnemonic == "bar" || mnemonic == "barrier") {
+        if (parts.size() != 2 || parts[1] != "sync")
+            fatal("only bar.sync is supported in '", text, "'");
+        instr.opcode = Opcode::Barrier;
+        auto ops = splitOperands(operand_text, text);
+        if (!ops.addresses.empty() || ops.scalars.size() != 1)
+            fatal("bar.sync takes one barrier id in '", text, "'");
+        std::uint64_t id = 0;
+        if (!parseImmediate(ops.scalars[0], id) || id > 15)
+            fatal("bad barrier id '", ops.scalars[0], "' in '", text,
+                  "'");
+        instr.barrierId = static_cast<unsigned>(id);
+        return instr;
+    }
+
+    if (mnemonic == "cp") {
+        // cp.async [dst], [src]  /  cp.async.wait_all (extension).
+        if (parts.size() < 2 || parts[1] != "async")
+            fatal("only cp.async is supported in '", text, "'");
+        if (parts.size() >= 3 &&
+            (parts[2] == "wait_all" || parts[2] == "wait_group")) {
+            if (parts.size() != 3)
+                fatal("malformed cp.async wait in '", text, "'");
+            instr.opcode = Opcode::CpAsyncWait;
+            return instr;
+        }
+        instr.opcode = Opcode::CpAsync;
+        instr.proxy = ProxyKind::Async;
+        for (std::size_t i = 2; i < parts.size(); i++) {
+            const std::string &tok = parts[i];
+            if (tok == "ca" || tok == "cg" || tok == "shared" ||
+                tok == "global") {
+                continue; // cache/space hints; no model meaning here
+            }
+            if (unsigned size = typeSize(tok)) {
+                instr.accessSize = size;
+                continue;
+            }
+            fatal("unknown cp.async modifier '.", tok, "' in '", text,
+                  "'");
+        }
+        auto ops = splitOperands(operand_text, text);
+        if (ops.addresses.size() != 2)
+            fatal("cp.async needs [dst], [src] in '", text, "'");
+        if (!ops.scalars.empty())
+            fatal("cp.async takes no scalar operands in '", text, "'");
+        instr.address = ops.addresses[0];
+        instr.srcAddress = ops.addresses[1];
+        instr.addressCoordRegs = ops.coords;
+        return instr;
+    }
+
+    if (mnemonic == "fence") {
+        if (parts.size() >= 2 && parts[1] == "proxy") {
+            if (parts.size() != 3 && parts.size() != 4)
+                fatal("fence.proxy needs a proxykind in '", text, "'");
+            auto kind = proxyFenceKindFromToken(parts[2]);
+            if (!kind)
+                fatal("unknown proxykind '", parts[2], "' in '", text, "'");
+            instr.opcode = Opcode::FenceProxy;
+            instr.proxyFence = *kind;
+            // Optional scope: the §7.2 scoped-mixed-proxy extension.
+            // PTX 7.5's unscoped form means "this CTA".
+            instr.scope = Scope::Cta;
+            if (parts.size() == 4) {
+                auto scope = scopeFromToken(parts[3]);
+                if (!scope) {
+                    fatal("unknown proxy fence scope '", parts[3],
+                          "' in '", text, "'");
+                }
+                instr.scope = *scope;
+            }
+            return instr;
+        }
+        instr.opcode = Opcode::Fence;
+        instr.sem = Semantics::Sc; // PTX default when .sem is absent
+        bool have_scope = false;
+        for (std::size_t i = 1; i < parts.size(); i++) {
+            if (auto sem = semanticsFromToken(parts[i])) {
+                if (*sem != Semantics::Sc && *sem != Semantics::AcqRel) {
+                    fatal("fence semantics must be .sc or .acq_rel in '",
+                          text, "'");
+                }
+                instr.sem = *sem;
+            } else if (auto scope = scopeFromToken(parts[i])) {
+                instr.scope = *scope;
+                have_scope = true;
+            } else {
+                fatal("unknown fence modifier '", parts[i], "' in '",
+                      text, "'");
+            }
+        }
+        if (!have_scope)
+            fatal("fence requires a scope in '", text, "'");
+        return instr;
+    }
+
+    // ---- Memory operations --------------------------------------------
+    bool is_ld = mnemonic == "ld";
+    bool is_st = mnemonic == "st";
+    bool is_atom = mnemonic == "atom" || mnemonic == "red";
+    const bool is_red = mnemonic == "red";
+    bool is_tex = mnemonic == "tex";
+    bool is_suld = mnemonic == "suld";
+    bool is_sust = mnemonic == "sust";
+    if (!is_ld && !is_st && !is_atom && !is_tex && !is_suld && !is_sust)
+        fatal("unknown opcode '", mnemonic, "' in '", text, "'");
+
+    if (is_ld)
+        instr.opcode = Opcode::Ld;
+    if (is_st)
+        instr.opcode = Opcode::St;
+    if (is_atom)
+        instr.opcode = Opcode::Atom;
+    if (is_tex)
+        instr.opcode = Opcode::Tex;
+    if (is_suld)
+        instr.opcode = Opcode::Suld;
+    if (is_sust)
+        instr.opcode = Opcode::Sust;
+
+    instr.proxy = ProxyKind::Generic;
+    if (is_tex)
+        instr.proxy = ProxyKind::Texture;
+    if (is_suld || is_sust)
+        instr.proxy = ProxyKind::Surface;
+
+    bool have_sem = false;
+    bool have_atom_op = false;
+    for (std::size_t i = 1; i < parts.size(); i++) {
+        const std::string &tok = parts[i];
+        if (tok == "global" || tok == "generic") {
+            continue; // generic proxy, already the default
+        }
+        if (tok == "const") {
+            if (!is_ld)
+                fatal("only loads may use .const in '", text, "'");
+            instr.proxy = ProxyKind::Constant;
+            continue;
+        }
+        if (tok == "nc") {
+            // ld.global.nc: non-coherent load through the read-only
+            // (texture) data path.
+            if (!is_ld)
+                fatal("only loads may use .nc in '", text, "'");
+            instr.proxy = ProxyKind::Texture;
+            continue;
+        }
+        if (tok == "volatile") {
+            // PTX: .volatile behaves as .relaxed.sys for ordering.
+            instr.sem = Semantics::Relaxed;
+            instr.scope = Scope::Sys;
+            have_sem = true;
+            continue;
+        }
+        if (auto sem = semanticsFromToken(tok)) {
+            instr.sem = *sem;
+            have_sem = true;
+            continue;
+        }
+        if (auto scope = scopeFromToken(tok)) {
+            instr.scope = *scope;
+            continue;
+        }
+        if (is_atom) {
+            if (tok == "add") {
+                instr.atomOp = AtomOp::Add;
+                have_atom_op = true;
+                continue;
+            }
+            if (tok == "exch") {
+                instr.atomOp = AtomOp::Exch;
+                have_atom_op = true;
+                continue;
+            }
+            if (tok == "cas") {
+                instr.atomOp = AtomOp::Cas;
+                have_atom_op = true;
+                continue;
+            }
+        }
+        if (unsigned size = typeSize(tok)) {
+            instr.accessSize = size;
+            continue;
+        }
+        if ((is_tex || is_suld || is_sust) && isGeometryToken(tok))
+            continue;
+        fatal("unknown modifier '.", tok, "' in '", text, "'");
+    }
+
+    // A scope with no explicit semantics implies a relaxed strong
+    // operation (paper Fig. 5: "st.global.sys.u32" has Sys scope).
+    if ((is_ld || is_st) && !have_sem && instr.scope != Scope::None) {
+        instr.sem = Semantics::Relaxed;
+        have_sem = true;
+    }
+
+    // Semantics/scope validation per opcode.
+    if (is_atom) {
+        if (!have_atom_op)
+            fatal("atom requires an operation (.add/.exch/.cas) in '",
+                  text, "'");
+        if (!have_sem)
+            instr.sem = Semantics::Relaxed; // PTX default
+        if (instr.sem == Semantics::Weak || instr.sem == Semantics::Sc)
+            fatal("atom semantics must be relaxed/acquire/release/acq_rel"
+                  " in '", text, "'");
+        if (instr.scope == Scope::None)
+            instr.scope = Scope::Gpu; // PTX default
+    } else if (is_ld) {
+        if (instr.sem == Semantics::Release ||
+            instr.sem == Semantics::AcqRel || instr.sem == Semantics::Sc) {
+            fatal("loads cannot be ", toString(instr.sem), " in '", text,
+                  "'");
+        }
+        if (instr.proxy == ProxyKind::Constant &&
+            instr.sem != Semantics::Weak) {
+            fatal("ld.const must be weak in '", text, "'");
+        }
+        if (instr.proxy == ProxyKind::Texture &&
+            instr.sem != Semantics::Weak) {
+            fatal("ld.global.nc must be weak in '", text, "'");
+        }
+    } else if (is_st) {
+        if (instr.sem == Semantics::Acquire ||
+            instr.sem == Semantics::AcqRel || instr.sem == Semantics::Sc) {
+            fatal("stores cannot be ", toString(instr.sem), " in '", text,
+                  "'");
+        }
+    } else {
+        // tex/suld/sust are weak-only accesses through their proxies.
+        if (instr.sem != Semantics::Weak)
+            fatal("texture/surface accesses must be weak in '", text, "'");
+    }
+
+    if (isStrong(instr.sem) && !is_atom && instr.scope == Scope::None)
+        fatal("strong operations require a scope in '", text, "'");
+    if (!isStrong(instr.sem) && instr.scope != Scope::None)
+        fatal("weak operations cannot specify a scope in '", text, "'");
+
+    // Operands.
+    auto ops = splitOperands(operand_text, text);
+    if (ops.addresses.size() != 1)
+        fatal("memory operation needs one [address] in '", text, "'");
+    instr.address = ops.addresses[0];
+    instr.addressCoordRegs = ops.coords;
+
+    auto expect_scalars = [&](std::size_t n) {
+        if (ops.scalars.size() != n) {
+            fatal("expected ", n, " scalar operand(s), got ",
+                  ops.scalars.size(), " in '", text, "'");
+        }
+    };
+
+    if (is_ld || is_tex || is_suld) {
+        expect_scalars(1);
+        if (!isRegisterName(ops.scalars[0]))
+            fatal("load destination must be a register in '", text, "'");
+        instr.destReg = ops.scalars[0];
+    } else if (is_st || is_sust) {
+        expect_scalars(1);
+        instr.value = parseOperand(ops.scalars[0], text);
+    } else if (is_red) {
+        // Reductions return nothing: red.op [addr], operand.
+        if (instr.atomOp == AtomOp::Cas)
+            fatal("red does not support cas in '", text, "'");
+        expect_scalars(1);
+        instr.value = parseOperand(ops.scalars[0], text);
+    } else { // atom
+        if (instr.atomOp == AtomOp::Cas) {
+            expect_scalars(3);
+            if (!isRegisterName(ops.scalars[0])) {
+                fatal("atom destination must be a register in '", text,
+                      "'");
+            }
+            instr.destReg = ops.scalars[0];
+            instr.expected = parseOperand(ops.scalars[1], text);
+            instr.value = parseOperand(ops.scalars[2], text);
+        } else {
+            expect_scalars(2);
+            if (!isRegisterName(ops.scalars[0])) {
+                fatal("atom destination must be a register in '", text,
+                      "'");
+            }
+            instr.destReg = ops.scalars[0];
+            instr.value = parseOperand(ops.scalars[1], text);
+        }
+    }
+
+    return instr;
+}
+
+} // namespace mixedproxy::litmus

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Litmus instructions and the PTX-surface instruction decoder.
+ *
+ * The decoder reproduces the mapping demonstrated by Fig. 5 of the paper:
+ * a PTX-flavored instruction string is decoded into an operation class,
+ * memory-order semantics, scope, and proxy kind. Only the memory-model-
+ * relevant PTX surface is supported (see DESIGN.md §5).
+ */
+
+#ifndef MIXEDPROXY_LITMUS_INSTRUCTION_HH
+#define MIXEDPROXY_LITMUS_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "litmus/types.hh"
+
+namespace mixedproxy::litmus {
+
+/** A source operand: absent, a register name, or an immediate. */
+struct Operand
+{
+    enum class Kind { None, Reg, Imm };
+
+    Kind kind = Kind::None;
+    std::string reg;         ///< valid when kind == Reg
+    std::uint64_t imm = 0;   ///< valid when kind == Imm
+
+    /** An absent operand. */
+    static Operand none() { return Operand{}; }
+
+    /** A register operand. */
+    static Operand ofReg(std::string name);
+
+    /** An immediate operand. */
+    static Operand ofImm(std::uint64_t value);
+
+    bool isReg() const { return kind == Kind::Reg; }
+    bool isImm() const { return kind == Kind::Imm; }
+
+    bool operator==(const Operand &other) const = default;
+
+    std::string toString() const;
+};
+
+/**
+ * One decoded litmus instruction.
+ *
+ * Memory operations carry a symbolic virtual address (the name inside the
+ * brackets); the litmus test's address map resolves it to a physical
+ * location and determines aliasing.
+ */
+struct Instruction
+{
+    Opcode opcode = Opcode::Ld;
+    Semantics sem = Semantics::Weak;
+    Scope scope = Scope::None;
+
+    /** Proxy through which a memory operation is performed. */
+    ProxyKind proxy = ProxyKind::Generic;
+
+    /** Kind of a `fence.proxy` instruction (opcode == FenceProxy). */
+    ProxyFenceKind proxyFence = ProxyFenceKind::Alias;
+
+    /** Symbolic virtual address of a memory operation (cp.async: dst). */
+    std::string address;
+
+    /** Copy source of a cp.async ("" otherwise). */
+    std::string srcAddress;
+
+    /** Coordinate/index registers inside the bracket, e.g. surfaces. */
+    std::vector<std::string> addressCoordRegs;
+
+    /** Destination register of a load or atomic. */
+    std::string destReg;
+
+    /** Store data / atomic operand / CAS desired value. */
+    Operand value;
+
+    /** CAS expected value. */
+    Operand expected;
+
+    /** Operation of an atomic read-modify-write. */
+    AtomOp atomOp = AtomOp::Add;
+
+    /** Access size in bytes (from the type suffix; default 4). */
+    unsigned accessSize = 4;
+
+    /** Barrier resource id of a bar.sync. */
+    unsigned barrierId = 0;
+
+    /** Original text, when decoded from text. */
+    std::string text;
+
+    /** True for loads, stores, and atomics (not fences). */
+    bool isMemoryOp() const;
+
+    /** True if the instruction reads memory (ld/tex/suld/atom). */
+    bool isLoad() const;
+
+    /** True if the instruction writes memory (st/sust/atom). */
+    bool isStore() const;
+
+    /** True for atom (both a read and a write). */
+    bool isAtomic() const { return opcode == Opcode::Atom; }
+
+    /** True for Fence and FenceProxy. */
+    bool isFence() const;
+
+    /** Registers this instruction reads (data + coordinate registers). */
+    std::vector<std::string> sourceRegs() const;
+
+    /** Canonical PTX-style rendering. */
+    std::string toString() const;
+};
+
+/**
+ * Decode one PTX-flavored instruction string.
+ *
+ * Supported forms (modifier order follows PTX):
+ *  - `ld{.global|.const}{.sem.scope}{.type} rD, [addr]`
+ *  - `st{.global}{.sem.scope}{.type} [addr], (reg|imm)`
+ *  - `atom{.sem}{.scope}.{add|exch|cas}{.type} rD, [addr], ops...`
+ *  - `tex{...}{.type} rD, [addr{, coords}]`
+ *  - `suld.b{...}{.type} rD, [addr{, coords}]`
+ *  - `sust.b{...}{.type} [addr{, coords}], (reg|imm)`
+ *  - `fence{.sc|.acq_rel}.{cta|gpu|sys}` (default `.sc`)
+ *  - `membar.{cta|gl|sys}` (legacy aliases of `fence.sc.*`)
+ *  - `fence.proxy.{alias|texture|constant|surface|async}{.scope}`
+ *    (the optional scope is the §7.2 scoped-mixed-proxy extension;
+ *    PTX 7.5 proper has no scope, which this surface spells `.cta`)
+ *  - `cp.async{.ca|.cg}{.shared}{.global}{.type} [dst], [src]`
+ *    (extension, §3.1.4: forks an asynchronous copy via the async
+ *    proxy)
+ *  - `cp.async.wait_all` (joins the thread's outstanding copies and
+ *    acts as this CTA's async proxy fence)
+ *  - `bar.sync N` / `barrier.sync N` (CTA execution barrier)
+ *
+ * Geometry/clamp tokens on tex/suld/sust (`.1d`, `.vec`, `.clamp`, ...)
+ * are accepted and ignored, as they do not affect the memory model.
+ *
+ * @throws FatalError on malformed input.
+ */
+Instruction decode(const std::string &text);
+
+} // namespace mixedproxy::litmus
+
+#endif // MIXEDPROXY_LITMUS_INSTRUCTION_HH

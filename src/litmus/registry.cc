@@ -1,0 +1,1154 @@
+#include "registry.hh"
+
+#include <map>
+
+#include "relation/error.hh"
+
+namespace mixedproxy::litmus {
+
+namespace {
+
+/**
+ * Build the full corpus. Comments cite the paper figure or the classic
+ * litmus-test name each entry reproduces.
+ */
+std::vector<LitmusTest>
+buildTests()
+{
+    std::vector<LitmusTest> tests;
+
+    // ---- Fig. 2: IRIW (independent reads of independent writes) -------
+    // With weak operations the proposed outcome is architecturally
+    // allowed on PTX.
+    tests.push_back(
+        LitmusBuilder("fig2_iriw_weak")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 1"})
+            .thread("t1", 1, 0, {"ld.global.u32 r1, [x]",
+                                 "ld.global.u32 r2, [y]"})
+            .thread("t2", 2, 0, {"ld.global.u32 r3, [y]",
+                                 "ld.global.u32 r4, [x]"})
+            .thread("t3", 3, 0, {"st.global.u32 [y], 1"})
+            .permit("t1.r1 == 1 && t1.r2 == 0 && "
+                    "t2.r3 == 1 && t2.r4 == 0")
+            .build());
+
+    // Relaxed scoped operations alone still allow IRIW (PTX is not
+    // multi-copy atomic for relaxed accesses).
+    tests.push_back(
+        LitmusBuilder("fig2_iriw_relaxed")
+            .thread("t0", 0, 0, {"st.relaxed.sys.u32 [x], 1"})
+            .thread("t1", 1, 0, {"ld.relaxed.sys.u32 r1, [x]",
+                                 "ld.relaxed.sys.u32 r2, [y]"})
+            .thread("t2", 2, 0, {"ld.relaxed.sys.u32 r3, [y]",
+                                 "ld.relaxed.sys.u32 r4, [x]"})
+            .thread("t3", 3, 0, {"st.relaxed.sys.u32 [y], 1"})
+            .permit("t1.r1 == 1 && t1.r2 == 0 && "
+                    "t2.r3 == 1 && t2.r4 == 0")
+            .build());
+
+    // fence.sc between the reader pairs restores the SC answer: the two
+    // readers can no longer observe the writes in different orders.
+    tests.push_back(
+        LitmusBuilder("fig2_iriw_fence_sc")
+            .thread("t0", 0, 0, {"st.relaxed.sys.u32 [x], 1"})
+            .thread("t1", 1, 0, {"ld.relaxed.sys.u32 r1, [x]",
+                                 "fence.sc.sys",
+                                 "ld.relaxed.sys.u32 r2, [y]"})
+            .thread("t2", 2, 0, {"ld.relaxed.sys.u32 r3, [y]",
+                                 "fence.sc.sys",
+                                 "ld.relaxed.sys.u32 r4, [x]"})
+            .thread("t3", 3, 0, {"st.relaxed.sys.u32 [y], 1"})
+            .forbid("t1.r1 == 1 && t1.r2 == 0 && "
+                    "t2.r3 == 1 && t2.r4 == 0")
+            .build());
+
+    // ---- Fig. 4: intra-thread mixed-proxy same-address reordering ------
+    // A store to global memory followed by a constant-proxy load of an
+    // alias of the same location. The generic fence (__threadfence, i.e.
+    // fence.acq_rel.gpu) "serves no purpose here": the stale value 0
+    // remains observable.
+    tests.push_back(
+        LitmusBuilder("fig4_const_alias_generic_fence")
+            .alias("const_array", "global_ptr")
+            .thread("t0", 0, 0, {"st.global.u32 [global_ptr], 42",
+                                 "fence.acq_rel.gpu",
+                                 "ld.const.u32 r1, [const_array]"})
+            .permit("t0.r1 == 0")
+            .permit("t0.r1 == 42")
+            .build());
+
+    // No fence at all: same behavior.
+    tests.push_back(
+        LitmusBuilder("fig4_const_alias_nofence")
+            .alias("const_array", "global_ptr")
+            .thread("t0", 0, 0, {"st.global.u32 [global_ptr], 42",
+                                 "ld.const.u32 r1, [const_array]"})
+            .permit("t0.r1 == 0")
+            .build());
+
+    // Warmed variant: a prior constant load caches the line, so the
+    // later constant load can hit the stale entry no matter how much
+    // time passes — the paper's Fig. 4 path (3a).
+    tests.push_back(
+        LitmusBuilder("fig4_warmed_stale_hit")
+            .alias("const_array", "global_ptr")
+            .thread("t0", 0, 0, {"ld.const.u32 r0, [const_array]",
+                                 "st.global.u32 [global_ptr], 42",
+                                 "fence.acq_rel.gpu",
+                                 "ld.const.u32 r1, [const_array]"})
+            .permit("t0.r0 == 0 && t0.r1 == 0")
+            .build());
+
+    // The constant proxy fence resolves the intra-thread data race.
+    tests.push_back(
+        LitmusBuilder("fig4_const_alias_proxy_fence")
+            .alias("const_array", "global_ptr")
+            .thread("t0", 0, 0, {"st.global.u32 [global_ptr], 42",
+                                 "fence.proxy.constant",
+                                 "ld.const.u32 r1, [const_array]"})
+            .require("t0.r1 == 42")
+            .build());
+
+    // ---- Fig. 8(a): single-thread alias proxy fence --------------------
+    tests.push_back(
+        LitmusBuilder("fig8a_alias_fence")
+            .alias("rd2", "rd1")
+            .thread("t0", 0, 0, {"st.global.u32 [rd1], 42",
+                                 "fence.proxy.alias",
+                                 "ld.global.u32 r3, [rd2]"})
+            .require("t0.r3 == 42")
+            .build());
+
+    tests.push_back(
+        LitmusBuilder("fig8a_alias_nofence")
+            .alias("rd2", "rd1")
+            .thread("t0", 0, 0, {"st.global.u32 [rd1], 42",
+                                 "ld.global.u32 r3, [rd2]"})
+            .permit("t0.r3 == 0")
+            .build());
+
+    // A generic fence is NOT a substitute for the alias proxy fence.
+    tests.push_back(
+        LitmusBuilder("fig8a_alias_generic_fence")
+            .alias("rd2", "rd1")
+            .thread("t0", 0, 0, {"st.global.u32 [rd1], 42",
+                                 "fence.sc.sys",
+                                 "ld.global.u32 r3, [rd2]"})
+            .permit("t0.r3 == 0")
+            .build());
+
+    // Same virtual address needs no fence at all (plain coherence).
+    tests.push_back(
+        LitmusBuilder("fig8a_same_va_nofence")
+            .thread("t0", 0, 0, {"st.global.u32 [rd1], 42",
+                                 "ld.global.u32 r3, [rd1]"})
+            .require("t0.r3 == 42")
+            .build());
+
+    // ---- Fig. 8(b): single-thread constant proxy fence ------------------
+    tests.push_back(
+        LitmusBuilder("fig8b_constant_fence")
+            .alias("rd2", "rd1")
+            .thread("t0", 0, 0, {"st.global.u32 [rd1], 42",
+                                 "fence.proxy.constant",
+                                 "ld.const.u32 r3, [rd2]"})
+            .require("t0.r3 == 42")
+            .build());
+
+    tests.push_back(
+        LitmusBuilder("fig8b_constant_nofence")
+            .alias("rd2", "rd1")
+            .thread("t0", 0, 0, {"st.global.u32 [rd1], 42",
+                                 "ld.const.u32 r3, [rd2]"})
+            .permit("t0.r3 == 0")
+            .build());
+
+    // The alias fence alone does not synchronize the constant proxy.
+    tests.push_back(
+        LitmusBuilder("fig8b_constant_wrong_fence")
+            .alias("rd2", "rd1")
+            .thread("t0", 0, 0, {"st.global.u32 [rd1], 42",
+                                 "fence.proxy.alias",
+                                 "ld.const.u32 r3, [rd2]"})
+            .permit("t0.r3 == 0")
+            .build());
+
+    // ---- Fig. 8(c): two threads, same CTA, fence after the acquire -----
+    tests.push_back(
+        LitmusBuilder("fig8c_two_thread_constant")
+            .alias("rd2", "rd1")
+            .thread("t0", 0, 0, {"st.global.u32 [rd1], 42",
+                                 "st.release.cta.u32 [rd4], 1"})
+            .thread("t1", 0, 0, {"ld.acquire.cta.u32 r5, [rd4]",
+                                 "fence.proxy.constant",
+                                 "ld.const.u32 r3, [rd2]"})
+            .require("!(t1.r5 == 1) || t1.r3 == 42")
+            .build());
+
+    // Without the proxy fence the stale value is observable even though
+    // the release/acquire succeeded.
+    tests.push_back(
+        LitmusBuilder("fig8c_two_thread_constant_nofence")
+            .alias("rd2", "rd1")
+            .thread("t0", 0, 0, {"st.global.u32 [rd1], 42",
+                                 "st.release.cta.u32 [rd4], 1"})
+            .thread("t1", 0, 0, {"ld.acquire.cta.u32 r5, [rd4]",
+                                 "ld.const.u32 r3, [rd2]"})
+            .permit("t1.r5 == 1 && t1.r3 == 0")
+            .build());
+
+    // ---- Fig. 8(d): same CTA, fence before the release instead ---------
+    tests.push_back(
+        LitmusBuilder("fig8d_fence_at_release")
+            .alias("rd2", "rd1")
+            .thread("t0", 0, 0, {"st.global.u32 [rd1], 42",
+                                 "fence.proxy.constant",
+                                 "st.release.cta.u32 [rd4], 1"})
+            .thread("t1", 0, 0, {"ld.acquire.cta.u32 r5, [rd4]",
+                                 "ld.const.u32 r3, [rd2]"})
+            .require("!(t1.r5 == 1) || t1.r3 == 42")
+            .build());
+
+    // ---- Fig. 8(e): different CTAs, fence in the WRONG CTA --------------
+    // "A CTA cannot synchronize a different SM's special-purpose caching":
+    // the fence must be in the CTA containing the non-generic access.
+    tests.push_back(
+        LitmusBuilder("fig8e_cross_cta_wrong_side")
+            .alias("rd2", "rd1")
+            .thread("t0", 0, 0, {"st.global.u32 [rd1], 42",
+                                 "fence.proxy.constant",
+                                 "st.release.gpu.u32 [rd4], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.gpu.u32 r5, [rd4]",
+                                 "ld.const.u32 r3, [rd2]"})
+            .permit("t1.r5 == 1 && t1.r3 == 0")
+            .build());
+
+    // Warmed variant of the wrong-side placement: the reader's SM has
+    // the constant line cached, so the stale value survives the
+    // release/acquire chain (microarchitecturally: T0's fence cannot
+    // invalidate T1's SM's constant cache).
+    tests.push_back(
+        LitmusBuilder("fig8e_warmed_wrong_side")
+            .alias("rd2", "rd1")
+            .thread("t0", 0, 0, {"st.global.u32 [rd1], 42",
+                                 "fence.proxy.constant",
+                                 "st.release.gpu.u32 [rd4], 1"})
+            .thread("t1", 1, 0, {"ld.const.u32 r0, [rd2]",
+                                 "ld.acquire.gpu.u32 r5, [rd4]",
+                                 "ld.const.u32 r3, [rd2]"})
+            .permit("t1.r5 == 1 && t1.r3 == 0")
+            .build());
+
+    // The corrected placement: fence after the acquire, in the CTA that
+    // performs the constant-proxy load.
+    tests.push_back(
+        LitmusBuilder("fig8e_cross_cta_right_side")
+            .alias("rd2", "rd1")
+            .thread("t0", 0, 0, {"st.global.u32 [rd1], 42",
+                                 "st.release.gpu.u32 [rd4], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.gpu.u32 r5, [rd4]",
+                                 "fence.proxy.constant",
+                                 "ld.const.u32 r3, [rd2]"})
+            .require("!(t1.r5 == 1) || t1.r3 == 42")
+            .build());
+
+    // ---- Fig. 8(f): two non-generic proxies, fences in order ------------
+    // Surface store then constant load of an alias: synchronize surface
+    // with generic first, then generic with constant.
+    tests.push_back(
+        LitmusBuilder("fig8f_double_fence_ordered")
+            .alias("rd2", "surf")
+            .thread("t0", 0, 0, {"sust.b.u32 [surf], 42",
+                                 "fence.proxy.surface",
+                                 "fence.proxy.constant",
+                                 "ld.const.u32 r3, [rd2]"})
+            .require("t0.r3 == 42")
+            .build());
+
+    // Misordered fences do not compose.
+    tests.push_back(
+        LitmusBuilder("fig8f_double_fence_misordered")
+            .alias("rd2", "surf")
+            .thread("t0", 0, 0, {"sust.b.u32 [surf], 42",
+                                 "fence.proxy.constant",
+                                 "fence.proxy.surface",
+                                 "ld.const.u32 r3, [rd2]"})
+            .permit("t0.r3 == 0")
+            .build());
+
+    // A single fence is not enough.
+    tests.push_back(
+        LitmusBuilder("fig8f_single_fence")
+            .alias("rd2", "surf")
+            .thread("t0", 0, 0, {"sust.b.u32 [surf], 42",
+                                 "fence.proxy.surface",
+                                 "ld.const.u32 r3, [rd2]"})
+            .permit("t0.r3 == 0")
+            .build());
+
+    // ---- Fig. 9: message passing (the causality example) ---------------
+    tests.push_back(
+        LitmusBuilder("fig9_message_passing")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 42",
+                                 "st.release.cta.u32 [y], 1"})
+            .thread("t1", 0, 0, {"ld.acquire.cta.u32 r1, [y]",
+                                 "ld.global.u32 r2, [x]"})
+            .require("!(t1.r1 == 1) || t1.r2 == 42")
+            .permit("t1.r1 == 1 && t1.r2 == 42")
+            .permit("t1.r1 == 0")
+            .build());
+
+    // Scope too narrow: cta-scoped sync across different CTAs does not
+    // synchronize.
+    tests.push_back(
+        LitmusBuilder("mp_cta_scope_cross_cta")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 42",
+                                 "st.release.cta.u32 [y], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.cta.u32 r1, [y]",
+                                 "ld.global.u32 r2, [x]"})
+            .permit("t1.r1 == 1 && t1.r2 == 0")
+            .build());
+
+    // Same test with gpu scope: synchronization is restored.
+    tests.push_back(
+        LitmusBuilder("mp_gpu_scope_cross_cta")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 42",
+                                 "st.release.gpu.u32 [y], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.gpu.u32 r1, [y]",
+                                 "ld.global.u32 r2, [x]"})
+            .forbid("t1.r1 == 1 && t1.r2 == 0")
+            .build());
+
+    // Cross-GPU with gpu scope is again too narrow; sys scope fixes it.
+    tests.push_back(
+        LitmusBuilder("mp_gpu_scope_cross_gpu")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 42",
+                                 "st.release.gpu.u32 [y], 1"})
+            .thread("t1", 1, 1, {"ld.acquire.gpu.u32 r1, [y]",
+                                 "ld.global.u32 r2, [x]"})
+            .permit("t1.r1 == 1 && t1.r2 == 0")
+            .build());
+
+    tests.push_back(
+        LitmusBuilder("mp_sys_scope_cross_gpu")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 42",
+                                 "st.release.sys.u32 [y], 1"})
+            .thread("t1", 1, 1, {"ld.acquire.sys.u32 r1, [y]",
+                                 "ld.global.u32 r2, [x]"})
+            .forbid("t1.r1 == 1 && t1.r2 == 0")
+            .build());
+
+    // Weak flag writes never synchronize, whatever the scope placement.
+    tests.push_back(
+        LitmusBuilder("mp_weak_flag")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 42",
+                                 "st.global.u32 [y], 1"})
+            .thread("t1", 0, 0, {"ld.global.u32 r1, [y]",
+                                 "ld.global.u32 r2, [x]"})
+            .permit("t1.r1 == 1 && t1.r2 == 0")
+            .build());
+
+    // Fence-based release/acquire patterns (fence.acq_rel + relaxed).
+    tests.push_back(
+        LitmusBuilder("mp_fence_acq_rel")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 42",
+                                 "fence.acq_rel.gpu",
+                                 "st.relaxed.gpu.u32 [y], 1"})
+            .thread("t1", 1, 0, {"ld.relaxed.gpu.u32 r1, [y]",
+                                 "fence.acq_rel.gpu",
+                                 "ld.global.u32 r2, [x]"})
+            .forbid("t1.r1 == 1 && t1.r2 == 0")
+            .build());
+
+    // ---- Store buffering (Dekker) ---------------------------------------
+    tests.push_back(
+        LitmusBuilder("sb_relaxed")
+            .thread("t0", 0, 0, {"st.relaxed.gpu.u32 [x], 1",
+                                 "ld.relaxed.gpu.u32 r1, [y]"})
+            .thread("t1", 1, 0, {"st.relaxed.gpu.u32 [y], 1",
+                                 "ld.relaxed.gpu.u32 r2, [x]"})
+            .permit("t0.r1 == 0 && t1.r2 == 0")
+            .build());
+
+    tests.push_back(
+        LitmusBuilder("sb_fence_sc")
+            .thread("t0", 0, 0, {"st.relaxed.gpu.u32 [x], 1",
+                                 "fence.sc.gpu",
+                                 "ld.relaxed.gpu.u32 r1, [y]"})
+            .thread("t1", 1, 0, {"st.relaxed.gpu.u32 [y], 1",
+                                 "fence.sc.gpu",
+                                 "ld.relaxed.gpu.u32 r2, [x]"})
+            .forbid("t0.r1 == 0 && t1.r2 == 0")
+            .build());
+
+    // An acq_rel fence is NOT enough to forbid store buffering.
+    tests.push_back(
+        LitmusBuilder("sb_fence_acq_rel")
+            .thread("t0", 0, 0, {"st.relaxed.gpu.u32 [x], 1",
+                                 "fence.acq_rel.gpu",
+                                 "ld.relaxed.gpu.u32 r1, [y]"})
+            .thread("t1", 1, 0, {"st.relaxed.gpu.u32 [y], 1",
+                                 "fence.acq_rel.gpu",
+                                 "ld.relaxed.gpu.u32 r2, [x]"})
+            .permit("t0.r1 == 0 && t1.r2 == 0")
+            .build());
+
+    // Mismatched-scope sc fences do not restore SC across GPUs.
+    tests.push_back(
+        LitmusBuilder("sb_fence_sc_scope_mismatch")
+            .thread("t0", 0, 0, {"st.relaxed.sys.u32 [x], 1",
+                                 "fence.sc.gpu",
+                                 "ld.relaxed.sys.u32 r1, [y]"})
+            .thread("t1", 1, 1, {"st.relaxed.sys.u32 [y], 1",
+                                 "fence.sc.gpu",
+                                 "ld.relaxed.sys.u32 r2, [x]"})
+            .permit("t0.r1 == 0 && t1.r2 == 0")
+            .build());
+
+    // ---- Load buffering and thin air ------------------------------------
+    tests.push_back(
+        LitmusBuilder("lb_relaxed")
+            .thread("t0", 0, 0, {"ld.relaxed.gpu.u32 r1, [x]",
+                                 "st.relaxed.gpu.u32 [y], 1"})
+            .thread("t1", 1, 0, {"ld.relaxed.gpu.u32 r2, [y]",
+                                 "st.relaxed.gpu.u32 [x], 1"})
+            .permit("t0.r1 == 1 && t1.r2 == 1")
+            .build());
+
+    // With data dependencies (store value comes from the load), the
+    // out-of-thin-air outcome is forbidden.
+    tests.push_back(
+        LitmusBuilder("lb_data_dependency")
+            .thread("t0", 0, 0, {"ld.relaxed.gpu.u32 r1, [x]",
+                                 "st.relaxed.gpu.u32 [y], r1"})
+            .thread("t1", 1, 0, {"ld.relaxed.gpu.u32 r2, [y]",
+                                 "st.relaxed.gpu.u32 [x], r2"})
+            .forbid("t0.r1 == 1 && t1.r2 == 1")
+            .permit("t0.r1 == 0 && t1.r2 == 0")
+            .build());
+
+    // ---- Same-address coherence (morally strong) -------------------------
+    tests.push_back(
+        LitmusBuilder("corr_same_thread")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 1",
+                                 "ld.global.u32 r1, [x]"})
+            .require("t0.r1 == 1")
+            .build());
+
+    tests.push_back(
+        LitmusBuilder("corr_cross_thread_relaxed")
+            .thread("t0", 0, 0, {"st.relaxed.gpu.u32 [x], 1"})
+            .thread("t1", 1, 0, {"ld.relaxed.gpu.u32 r1, [x]",
+                                 "ld.relaxed.gpu.u32 r2, [x]"})
+            .forbid("t1.r1 == 1 && t1.r2 == 0")
+            .build());
+
+    // With weak accesses the cross-thread pairs are not morally strong,
+    // so the "coherence violation" is actually allowed on PTX.
+    tests.push_back(
+        LitmusBuilder("corr_cross_thread_weak")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 1"})
+            .thread("t1", 1, 0, {"ld.global.u32 r1, [x]",
+                                 "ld.global.u32 r2, [x]"})
+            .permit("t1.r1 == 1 && t1.r2 == 0")
+            .build());
+
+    tests.push_back(
+        LitmusBuilder("coww_same_thread")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 1",
+                                 "st.global.u32 [x], 2"})
+            .require("[x] == 2")
+            .build());
+
+    tests.push_back(
+        LitmusBuilder("cowr_same_thread")
+            .thread("t0", 0, 0, {"ld.global.u32 r1, [x]",
+                                 "st.global.u32 [x], 1"})
+            .require("t0.r1 == 0")
+            .build());
+
+    // ---- Atomics ---------------------------------------------------------
+    tests.push_back(
+        LitmusBuilder("atom_add_both")
+            .thread("t0", 0, 0, {"atom.add.u32 r1, [x], 1"})
+            .thread("t1", 1, 0, {"atom.add.u32 r2, [x], 1"})
+            .forbid("t0.r1 == 0 && t1.r2 == 0")
+            .require("[x] == 2")
+            .build());
+
+    tests.push_back(
+        LitmusBuilder("atom_exch_single_winner")
+            .thread("t0", 0, 0, {"atom.exch.u32 r1, [x], 1"})
+            .thread("t1", 1, 0, {"atom.exch.u32 r2, [x], 2"})
+            .forbid("t0.r1 != 0 && t1.r2 != 0")
+            .build());
+
+    tests.push_back(
+        LitmusBuilder("atom_cas_mutex")
+            .thread("t0", 0, 0, {"atom.cas.u32 r1, [x], 0, 1"})
+            .thread("t1", 1, 0, {"atom.cas.u32 r2, [x], 0, 2"})
+            .forbid("t0.r1 == 0 && t1.r2 == 0")
+            .permit("t0.r1 == 0 && t1.r2 == 1")
+            .permit("t0.r1 == 2 && t1.r2 == 0")
+            .build());
+
+    // Release sequence through an RMW: t0 releases, t1's atomic
+    // intervenes, t2 acquires from the RMW's write and still observes
+    // t0's payload.
+    tests.push_back(
+        LitmusBuilder("release_sequence_rmw")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 42",
+                                 "st.release.gpu.u32 [y], 1"})
+            .thread("t1", 1, 0, {"atom.relaxed.gpu.add.u32 r1, [y], 1"})
+            .thread("t2", 2, 0, {"ld.acquire.gpu.u32 r2, [y]",
+                                 "ld.global.u32 r3, [x]"})
+            .forbid("t2.r2 == 2 && t2.r3 == 0")
+            .build());
+
+    // ---- Classic shapes beyond the paper figures -------------------------
+    // S: the release/acquire chain also orders writes (coherence via
+    // causality).
+    tests.push_back(
+        LitmusBuilder("s_release_acquire")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 2",
+                                 "st.release.gpu.u32 [y], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.gpu.u32 r1, [y]",
+                                 "st.global.u32 [x], 1"})
+            .forbid("t1.r1 == 1 && [x] == 2")
+            .permit("t1.r1 == 1 && [x] == 1")
+            .build());
+
+    // R: sc fences order a write/write race against a read.
+    tests.push_back(
+        LitmusBuilder("r_fence_sc")
+            .thread("t0", 0, 0, {"st.relaxed.gpu.u32 [x], 1",
+                                 "fence.sc.gpu",
+                                 "st.relaxed.gpu.u32 [y], 1"})
+            .thread("t1", 1, 0, {"st.relaxed.gpu.u32 [y], 2",
+                                 "fence.sc.gpu",
+                                 "ld.relaxed.gpu.u32 r1, [x]"})
+            .forbid("t1.r1 == 0 && [y] == 2")
+            .build());
+
+    // 2+2W: write/write reordering across two locations.
+    tests.push_back(
+        LitmusBuilder("2plus2w_relaxed")
+            .thread("t0", 0, 0, {"st.relaxed.gpu.u32 [x], 1",
+                                 "st.relaxed.gpu.u32 [y], 2"})
+            .thread("t1", 1, 0, {"st.relaxed.gpu.u32 [y], 1",
+                                 "st.relaxed.gpu.u32 [x], 2"})
+            .permit("[x] == 1 && [y] == 1")
+            .build());
+
+    tests.push_back(
+        LitmusBuilder("2plus2w_fence_sc")
+            .thread("t0", 0, 0, {"st.relaxed.gpu.u32 [x], 1",
+                                 "fence.sc.gpu",
+                                 "st.relaxed.gpu.u32 [y], 2"})
+            .thread("t1", 1, 0, {"st.relaxed.gpu.u32 [y], 1",
+                                 "fence.sc.gpu",
+                                 "st.relaxed.gpu.u32 [x], 2"})
+            .forbid("[x] == 1 && [y] == 1")
+            .build());
+
+    // WRC: write-to-read causality. With a weak first hop nothing is
+    // transferred; with a morally strong hop, observation order plus
+    // proxy-preserved base causality forbids the stale read.
+    tests.push_back(
+        LitmusBuilder("wrc_weak_first_hop")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 1"})
+            .thread("t1", 1, 0, {"ld.global.u32 r1, [x]",
+                                 "st.release.gpu.u32 [y], 1"})
+            .thread("t2", 2, 0, {"ld.acquire.gpu.u32 r2, [y]",
+                                 "ld.global.u32 r3, [x]"})
+            .permit("t1.r1 == 1 && t2.r2 == 1 && t2.r3 == 0")
+            .build());
+
+    tests.push_back(
+        LitmusBuilder("wrc_strong_first_hop")
+            .thread("t0", 0, 0, {"st.relaxed.gpu.u32 [x], 1"})
+            .thread("t1", 1, 0, {"ld.relaxed.gpu.u32 r1, [x]",
+                                 "st.release.gpu.u32 [y], 1"})
+            .thread("t2", 2, 0, {"ld.acquire.gpu.u32 r2, [y]",
+                                 "ld.relaxed.gpu.u32 r3, [x]"})
+            .forbid("t1.r1 == 1 && t2.r2 == 1 && t2.r3 == 0")
+            .build());
+
+    // ISA2: transitivity across two release/acquire hops.
+    tests.push_back(
+        LitmusBuilder("isa2_release_acquire")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 42",
+                                 "st.release.gpu.u32 [y], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.gpu.u32 r1, [y]",
+                                 "st.release.gpu.u32 [z], 1"})
+            .thread("t2", 2, 0, {"ld.acquire.gpu.u32 r2, [z]",
+                                 "ld.global.u32 r3, [x]"})
+            .forbid("t1.r1 == 1 && t2.r2 == 1 && t2.r3 == 0")
+            .build());
+
+    // Release/acquire accesses alone do not forbid store buffering.
+    tests.push_back(
+        LitmusBuilder("sb_release_acquire")
+            .thread("t0", 0, 0, {"st.release.gpu.u32 [x], 1",
+                                 "ld.acquire.gpu.u32 r1, [y]"})
+            .thread("t1", 1, 0, {"st.release.gpu.u32 [y], 1",
+                                 "ld.acquire.gpu.u32 r2, [x]"})
+            .permit("t0.r1 == 0 && t1.r2 == 0")
+            .build());
+
+    // Message passing with sc fences standing in for release/acquire.
+    tests.push_back(
+        LitmusBuilder("mp_fence_sc")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 42",
+                                 "fence.sc.gpu",
+                                 "st.relaxed.gpu.u32 [y], 1"})
+            .thread("t1", 1, 0, {"ld.relaxed.gpu.u32 r1, [y]",
+                                 "fence.sc.gpu",
+                                 "ld.global.u32 r2, [x]"})
+            .forbid("t1.r1 == 1 && t1.r2 == 0")
+            .build());
+
+    // Mismatched release/acquire scopes: each side's scope must include
+    // the other thread.
+    tests.push_back(
+        LitmusBuilder("mp_mismatched_scopes")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 42",
+                                 "st.release.cta.u32 [y], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.sys.u32 r1, [y]",
+                                 "ld.global.u32 r2, [x]"})
+            .permit("t1.r1 == 1 && t1.r2 == 0")
+            .build());
+
+    // Atomic exchange as the release; atomic add as the acquire.
+    tests.push_back(
+        LitmusBuilder("mp_atomic_flag")
+            .thread("t0", 0, 0,
+                    {"st.global.u32 [x], 42",
+                     "atom.release.gpu.exch.u32 r0, [y], 1"})
+            .thread("t1", 1, 0,
+                    {"atom.acquire.gpu.add.u32 r1, [y], 0",
+                     "ld.global.u32 r2, [x]"})
+            .forbid("t1.r1 == 1 && t1.r2 == 0")
+            .build());
+
+    // ---- More proxy-specific patterns ------------------------------------
+    // Cross-thread aliasing: a single alias proxy fence anywhere along
+    // the causality path suffices (ppbc rule 3 has no CTA constraint
+    // for .alias).
+    tests.push_back(
+        LitmusBuilder("alias_mp_writer_fence")
+            .alias("a2", "a1")
+            .thread("t0", 0, 0, {"st.global.u32 [a1], 42",
+                                 "fence.proxy.alias",
+                                 "st.release.gpu.u32 [f], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.gpu.u32 r1, [f]",
+                                 "ld.global.u32 r2, [a2]"})
+            .require("!(t1.r1 == 1) || t1.r2 == 42")
+            .build());
+
+    tests.push_back(
+        LitmusBuilder("alias_mp_reader_fence")
+            .alias("a2", "a1")
+            .thread("t0", 0, 0, {"st.global.u32 [a1], 42",
+                                 "st.release.gpu.u32 [f], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.gpu.u32 r1, [f]",
+                                 "fence.proxy.alias",
+                                 "ld.global.u32 r2, [a2]"})
+            .require("!(t1.r1 == 1) || t1.r2 == 42")
+            .build());
+
+    tests.push_back(
+        LitmusBuilder("alias_mp_nofence")
+            .alias("a2", "a1")
+            .thread("t0", 0, 0, {"st.global.u32 [a1], 42",
+                                 "st.release.gpu.u32 [f], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.gpu.u32 r1, [f]",
+                                 "ld.global.u32 r2, [a2]"})
+            .permit("t1.r1 == 1 && t1.r2 == 0")
+            .build());
+
+    // Reading through the alias in the other direction: the reader uses
+    // the canonical address, the writer the alias.
+    tests.push_back(
+        LitmusBuilder("alias_write_side")
+            .alias("a2", "a1")
+            .thread("t0", 0, 0, {"st.global.u32 [a2], 42",
+                                 "fence.proxy.alias",
+                                 "ld.global.u32 r1, [a1]"})
+            .require("t0.r1 == 42")
+            .build());
+
+    // Three-way aliasing: synchronizing a1 with a2 says nothing about
+    // a3.
+    tests.push_back(
+        LitmusBuilder("alias_three_way")
+            .alias("a2", "a1")
+            .alias("a3", "a1")
+            .thread("t0", 0, 0, {"st.global.u32 [a1], 42",
+                                 "fence.proxy.alias",
+                                 "ld.global.u32 r1, [a2]",
+                                 "ld.global.u32 r2, [a3]"})
+            .require("t0.r1 == 42")
+            .require("t0.r2 == 42")
+            .build());
+
+    // The surface proxy write must not be visible to a constant load of
+    // the same location even in the same CTA without BOTH fences in
+    // order (a same-CTA variant of fig8f with the read first to warm).
+    tests.push_back(
+        LitmusBuilder("surface_to_constant_warmed")
+            .alias("c", "s")
+            .thread("t0", 0, 0, {"ld.const.u32 r0, [c]",
+                                 "sust.b.u32 [s], 42",
+                                 "fence.proxy.surface",
+                                 "fence.proxy.constant",
+                                 "ld.const.u32 r1, [c]"})
+            .require("t0.r1 == 42")
+            .build());
+
+    // A constant proxy fence placed BEFORE the store cannot help.
+    tests.push_back(
+        LitmusBuilder("fig8b_fence_too_early")
+            .alias("rd2", "rd1")
+            .thread("t0", 0, 0, {"fence.proxy.constant",
+                                 "st.global.u32 [rd1], 42",
+                                 "ld.const.u32 r3, [rd2]"})
+            .permit("t0.r3 == 0")
+            .build());
+
+    // Intra-thread texture read after generic write: rule 3 requires
+    // the texture fence in the SAME CTA (trivially true here), and it
+    // works intra-thread just as it does across threads.
+    tests.push_back(
+        LitmusBuilder("texture_intra_thread")
+            .alias("t", "x")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 7",
+                                 "fence.proxy.texture",
+                                 "tex.1d.u32 r1, [t]"})
+            .require("t0.r1 == 7")
+            .build());
+
+    tests.push_back(
+        LitmusBuilder("texture_intra_thread_nofence")
+            .alias("t", "x")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 7",
+                                 "tex.1d.u32 r1, [t]"})
+            .permit("t0.r1 == 0")
+            .build());
+
+    // Proxy fence does not create inter-thread synchronization by
+    // itself: without the release/acquire chain the stale value stays
+    // legal even with fences everywhere.
+    tests.push_back(
+        LitmusBuilder("proxy_fence_is_not_sync")
+            .alias("c", "x")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 42",
+                                 "fence.proxy.constant"})
+            .thread("t1", 1, 0, {"fence.proxy.constant",
+                                 "ld.const.u32 r1, [c]"})
+            .permit("t1.r1 == 0")
+            .permit("t1.r1 == 42")
+            .build());
+
+    // Fig. 6 / cross-CTA texture proxy --------------------------------
+    // Two texture-path reads of the same location from different CTAs go
+    // through different SMs' texture caches: without proxy fences even a
+    // release/acquire chain does not make a prior generic write visible
+    // to the other CTA's texture path.
+    tests.push_back(
+        LitmusBuilder("fig6_texture_cross_cta")
+            .alias("t", "x")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 7",
+                                 "st.release.gpu.u32 [f], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.gpu.u32 r1, [f]",
+                                 "tex.1d.u32 r2, [t]"})
+            .permit("t1.r1 == 1 && t1.r2 == 0")
+            .build());
+
+    tests.push_back(
+        LitmusBuilder("fig6_texture_cross_cta_fenced")
+            .alias("t", "x")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 7",
+                                 "st.release.gpu.u32 [f], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.gpu.u32 r1, [f]",
+                                 "fence.proxy.texture",
+                                 "tex.1d.u32 r2, [t]"})
+            .require("!(t1.r1 == 1) || t1.r2 == 7")
+            .build());
+
+    // Same CTA, same proxy: texture reads after a texture-path write...
+    // there are no texture stores in PTX; use surface (read/write) for
+    // the same-proxy same-CTA bullet of §5.2.
+    tests.push_back(
+        LitmusBuilder("fig6_surface_same_cta")
+            .thread("t0", 0, 0, {"sust.b.u32 [s], 9",
+                                 "suld.b.u32 r1, [s]"})
+            .require("t0.r1 == 9")
+            .build());
+
+    // Cross-CTA same proxy (surface): each CTA has its own surface path
+    // through its SM's texture cache, so even release/acquire plus a
+    // fence on only one side is insufficient; fences on both sides (the
+    // writer's exit and the reader's entry) are required.
+    tests.push_back(
+        LitmusBuilder("fig6_surface_cross_cta_unfenced")
+            .thread("t0", 0, 0, {"sust.b.u32 [s], 9",
+                                 "st.release.gpu.u32 [f], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.gpu.u32 r1, [f]",
+                                 "suld.b.u32 r2, [s]"})
+            .permit("t1.r1 == 1 && t1.r2 == 0")
+            .build());
+
+    tests.push_back(
+        LitmusBuilder("fig6_surface_cross_cta_fenced")
+            .thread("t0", 0, 0, {"sust.b.u32 [s], 9",
+                                 "fence.proxy.surface",
+                                 "st.release.gpu.u32 [f], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.gpu.u32 r1, [f]",
+                                 "fence.proxy.surface",
+                                 "suld.b.u32 r2, [s]"})
+            .require("!(t1.r1 == 1) || t1.r2 == 9")
+            .build());
+
+    tests.push_back(
+        LitmusBuilder("fig6_surface_cross_cta_writer_only")
+            .thread("t0", 0, 0, {"sust.b.u32 [s], 9",
+                                 "fence.proxy.surface",
+                                 "st.release.gpu.u32 [f], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.gpu.u32 r1, [f]",
+                                 "suld.b.u32 r2, [s]"})
+            .permit("t1.r1 == 1 && t1.r2 == 0")
+            .build());
+
+    // ld.global.nc: the non-coherent (read-only texture path) load.
+    // Same-thread generic store + nc load of the same address race
+    // without a texture proxy fence — even though the ADDRESS is
+    // identical (the path, not the alias, is what differs).
+    tests.push_back(
+        LitmusBuilder("nc_load_races_with_store")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 42",
+                                 "ld.global.nc.u32 r1, [x]"})
+            .permit("t0.r1 == 0")
+            .permit("t0.r1 == 42")
+            .build());
+
+    tests.push_back(
+        LitmusBuilder("nc_load_with_texture_fence")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 42",
+                                 "fence.proxy.texture",
+                                 "ld.global.nc.u32 r1, [x]"})
+            .require("t0.r1 == 42")
+            .build());
+
+    // red: a reduction is an RMW with no return value; it still
+    // serializes with other morally strong atomics.
+    tests.push_back(
+        LitmusBuilder("red_add_serializes")
+            .thread("t0", 0, 0, {"red.relaxed.gpu.add.u32 [x], 1"})
+            .thread("t1", 1, 0, {"red.relaxed.gpu.add.u32 [x], 1"})
+            .require("[x] == 2")
+            .build());
+
+    tests.push_back(
+        LitmusBuilder("red_release_publishes")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 42",
+                                 "red.release.gpu.add.u32 [f], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.gpu.u32 r1, [f]",
+                                 "ld.global.u32 r2, [x]"})
+            .forbid("t1.r1 == 1 && t1.r2 == 0")
+            .build());
+
+    // System-scope atomics serialize across GPUs; gpu-scope ones only
+    // within a GPU.
+    tests.push_back(
+        LitmusBuilder("atom_add_sys_cross_gpu")
+            .thread("t0", 0, 0, {"atom.relaxed.sys.add.u32 r1, [x], 1"})
+            .thread("t1", 1, 1, {"atom.relaxed.sys.add.u32 r2, [x], 1"})
+            .forbid("t0.r1 == 0 && t1.r2 == 0")
+            .require("[x] == 2")
+            .build());
+
+    tests.push_back(
+        LitmusBuilder("atom_add_gpu_cross_gpu")
+            .thread("t0", 0, 0, {"atom.relaxed.gpu.add.u32 r1, [x], 1"})
+            .thread("t1", 1, 1, {"atom.relaxed.gpu.add.u32 r2, [x], 1"})
+            .permit("t0.r1 == 0 && t1.r2 == 0")
+            .build());
+
+    // ---- CTA execution barriers (bar.sync) --------------------------------
+    // __syncthreads-style message passing: the barrier rendezvous
+    // creates base causality between the CTA's threads.
+    tests.push_back(
+        LitmusBuilder("barrier_mp")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 42",
+                                 "bar.sync 0"})
+            .thread("t1", 0, 0, {"bar.sync 0",
+                                 "ld.global.u32 r1, [x]"})
+            .require("t1.r1 == 42")
+            .build());
+
+    // Write-after-barrier in the other direction is equally ordered.
+    tests.push_back(
+        LitmusBuilder("barrier_ww_coherence")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 1",
+                                 "bar.sync 0"})
+            .thread("t1", 0, 0, {"bar.sync 0",
+                                 "st.global.u32 [x], 2"})
+            .require("[x] == 2")
+            .build());
+
+    // Two barrier phases: values written between the barriers are seen
+    // after the second.
+    tests.push_back(
+        LitmusBuilder("barrier_two_phase")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 1",
+                                 "bar.sync 0",
+                                 "st.global.u32 [y], 2",
+                                 "bar.sync 0"})
+            .thread("t1", 0, 0, {"bar.sync 0",
+                                 "ld.global.u32 r1, [x]",
+                                 "bar.sync 0",
+                                 "ld.global.u32 r2, [y]"})
+            .require("t1.r1 == 1")
+            .require("t1.r2 == 2")
+            .build());
+
+    // The paper's kernel-fusion idiom (§4.1): the barrier alone does
+    // NOT synchronize the constant proxy ...
+    tests.push_back(
+        LitmusBuilder("barrier_constant_no_fence")
+            .alias("c", "g")
+            .thread("t0", 0, 0, {"st.global.u32 [g], 7",
+                                 "bar.sync 0"})
+            .thread("t1", 0, 0, {"ld.const.u32 r0, [c]",
+                                 "bar.sync 0",
+                                 "ld.const.u32 r1, [c]"})
+            .permit("t1.r1 == 0")
+            .build());
+
+    // ... each CTA must also issue the proxy fence after the barrier.
+    tests.push_back(
+        LitmusBuilder("barrier_constant_with_fence")
+            .alias("c", "g")
+            .thread("t0", 0, 0, {"st.global.u32 [g], 7",
+                                 "bar.sync 0"})
+            .thread("t1", 0, 0, {"ld.const.u32 r0, [c]",
+                                 "bar.sync 0",
+                                 "fence.proxy.constant",
+                                 "ld.const.u32 r1, [c]"})
+            .require("t1.r1 == 7")
+            .build());
+
+    // Barriers are CTA-local: separate CTAs' barriers do not
+    // synchronize with each other.
+    tests.push_back(
+        LitmusBuilder("barrier_cross_cta_useless")
+            .thread("t0", 0, 0, {"st.global.u32 [x], 42",
+                                 "bar.sync 0"})
+            .thread("t1", 1, 0, {"bar.sync 0",
+                                 "ld.global.u32 r1, [x]"})
+            .permit("t1.r1 == 0")
+            .build());
+
+    // ---- Extension: asynchronous copies (§3.1.4) --------------------------
+    // cp.async forks the copy through the async proxy; without a join
+    // the destination read races the copy.
+    tests.push_back(
+        LitmusBuilder("async_copy_no_wait")
+            .init("s", 7)
+            .thread("t0", 0, 0, {"cp.async.ca.u32 [d], [s]",
+                                 "ld.global.u32 r1, [d]"})
+            .permit("t0.r1 == 0")
+            .permit("t0.r1 == 7")
+            .build());
+
+    // cp.async.wait_all joins the copy and bridges async to generic.
+    tests.push_back(
+        LitmusBuilder("async_copy_wait")
+            .init("s", 7)
+            .thread("t0", 0, 0, {"cp.async.ca.u32 [d], [s]",
+                                 "cp.async.wait_all",
+                                 "ld.global.u32 r1, [d]"})
+            .require("t0.r1 == 7")
+            .build());
+
+    // The copy engine's read travels its own non-coherent path: a prior
+    // generic store to the source is not necessarily observed ...
+    tests.push_back(
+        LitmusBuilder("async_copy_stale_source")
+            .thread("t0", 0, 0, {"st.global.u32 [s], 7",
+                                 "cp.async.ca.u32 [d], [s]",
+                                 "cp.async.wait_all",
+                                 "ld.global.u32 r1, [d]"})
+            .permit("t0.r1 == 0")
+            .permit("t0.r1 == 7")
+            .build());
+
+    // ... unless an async proxy fence orders generic-before-async.
+    tests.push_back(
+        LitmusBuilder("async_copy_fenced_source")
+            .thread("t0", 0, 0, {"st.global.u32 [s], 7",
+                                 "fence.proxy.async",
+                                 "cp.async.ca.u32 [d], [s]",
+                                 "cp.async.wait_all",
+                                 "ld.global.u32 r1, [d]"})
+            .require("t0.r1 == 7")
+            .build());
+
+    // The forked copy is unordered with instructions between issue and
+    // join: a racing generic store to the destination leaves the final
+    // value nondeterministic.
+    tests.push_back(
+        LitmusBuilder("async_copy_racing_store")
+            .init("s", 7)
+            .thread("t0", 0, 0, {"cp.async.ca.u32 [d], [s]",
+                                 "st.global.u32 [d], 9",
+                                 "cp.async.wait_all"})
+            .permit("[d] == 7")
+            .permit("[d] == 9")
+            .build());
+
+    // Join + release publishes the copied data across CTAs (§7.1
+    // cumulativity applies to the async proxy too).
+    tests.push_back(
+        LitmusBuilder("async_copy_publish")
+            .init("s", 5)
+            .thread("t0", 0, 0, {"cp.async.ca.u32 [d], [s]",
+                                 "cp.async.wait_all",
+                                 "st.release.gpu.u32 [f], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.gpu.u32 r1, [f]",
+                                 "ld.global.u32 r2, [d]"})
+            .require("!(t1.r1 == 1) || t1.r2 == 5")
+            .build());
+
+    // Without the join, the release publishes nothing about the copy.
+    tests.push_back(
+        LitmusBuilder("async_copy_publish_no_wait")
+            .init("s", 5)
+            .thread("t0", 0, 0, {"cp.async.ca.u32 [d], [s]",
+                                 "st.release.gpu.u32 [f], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.gpu.u32 r1, [f]",
+                                 "ld.global.u32 r2, [d]"})
+            .permit("t1.r1 == 1 && t1.r2 == 0")
+            .build());
+
+    // ---- Extension: scoped proxy fences (§7.2) ----------------------------
+    // The Fig. 8e failure, repaired by widening the writer-side fence's
+    // scope so it reaches the reader's SM.
+    tests.push_back(
+        LitmusBuilder("scoped_constant_fence_gpu")
+            .alias("rd2", "rd1")
+            .thread("t0", 0, 0, {"st.global.u32 [rd1], 42",
+                                 "fence.proxy.constant.gpu",
+                                 "st.release.gpu.u32 [rd4], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.gpu.u32 r5, [rd4]",
+                                 "ld.const.u32 r3, [rd2]"})
+            .require("!(t1.r5 == 1) || t1.r3 == 42")
+            .build());
+
+    // A gpu-scoped fence still does not reach a reader on another GPU.
+    tests.push_back(
+        LitmusBuilder("scoped_constant_fence_wrong_gpu")
+            .alias("rd2", "rd1")
+            .thread("t0", 0, 0, {"st.global.u32 [rd1], 42",
+                                 "fence.proxy.constant.gpu",
+                                 "st.release.sys.u32 [rd4], 1"})
+            .thread("t1", 1, 1, {"ld.acquire.sys.u32 r5, [rd4]",
+                                 "ld.const.u32 r3, [rd2]"})
+            .permit("t1.r5 == 1 && t1.r3 == 0")
+            .build());
+
+    // A sys-scoped fence does.
+    tests.push_back(
+        LitmusBuilder("scoped_constant_fence_sys")
+            .alias("rd2", "rd1")
+            .thread("t0", 0, 0, {"st.global.u32 [rd1], 42",
+                                 "fence.proxy.constant.sys",
+                                 "st.release.sys.u32 [rd4], 1"})
+            .thread("t1", 1, 1, {"ld.acquire.sys.u32 r5, [rd4]",
+                                 "ld.const.u32 r3, [rd2]"})
+            .require("!(t1.r5 == 1) || t1.r3 == 42")
+            .build());
+
+    // One wide fence can serve as both the exit and the entry for a
+    // cross-CTA same-proxy pair (contrast fig6_surface_cross_cta_*,
+    // which needs two CTA-scoped fences).
+    tests.push_back(
+        LitmusBuilder("scoped_surface_fence_single")
+            .thread("t0", 0, 0, {"sust.b.u32 [s], 9",
+                                 "fence.proxy.surface.gpu",
+                                 "st.release.gpu.u32 [f], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.gpu.u32 r1, [f]",
+                                 "suld.b.u32 r2, [s]"})
+            .require("!(t1.r1 == 1) || t1.r2 == 9")
+            .build());
+
+    // ---- §7.1: composability / cumulativity ------------------------------
+    // Once the proxy fence restored ordering within CTA 0, a subsequent
+    // inter-CTA synchronization chain publishes the value transitively.
+    tests.push_back(
+        LitmusBuilder("composability_two_hop")
+            .alias("rd2", "rd1")
+            .thread("t0", 0, 0, {"sust.b.u32 [rd1], 42",
+                                 "fence.proxy.surface",
+                                 "st.release.gpu.u32 [f1], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.gpu.u32 r1, [f1]",
+                                 "st.release.gpu.u32 [f2], 1"})
+            .thread("t2", 2, 0, {"ld.acquire.gpu.u32 r2, [f2]",
+                                 "ld.global.u32 r3, [rd2]"})
+            .require("!(t1.r1 == 1) || !(t2.r2 == 1) || t2.r3 == 42")
+            .build());
+
+    return tests;
+}
+
+} // namespace
+
+const std::vector<LitmusTest> &
+allTests()
+{
+    static const std::vector<LitmusTest> tests = buildTests();
+    return tests;
+}
+
+const LitmusTest &
+testByName(const std::string &name)
+{
+    for (const auto &test : allTests()) {
+        if (test.name() == name)
+            return test;
+    }
+    fatal("no built-in litmus test named '", name, "'");
+}
+
+bool
+hasTest(const std::string &name)
+{
+    for (const auto &test : allTests()) {
+        if (test.name() == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+testNames()
+{
+    std::vector<std::string> names;
+    for (const auto &test : allTests())
+        names.push_back(test.name());
+    return names;
+}
+
+std::vector<LitmusTest>
+testsForFigure(const std::string &prefix)
+{
+    std::vector<LitmusTest> out;
+    for (const auto &test : allTests()) {
+        if (test.name().compare(0, prefix.size(), prefix) == 0)
+            out.push_back(test);
+    }
+    return out;
+}
+
+} // namespace mixedproxy::litmus

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Registry of built-in litmus tests.
+ *
+ * Contains every litmus test that appears in the paper (Figs. 2, 4, 8, 9),
+ * negative/mutated variants of each (fence removed, fence misplaced,
+ * fences misordered), and a suite of classic memory-model tests (MP, SB,
+ * LB, CoRR, ...) in PTX-with-proxies form. Benches and the verification
+ * suites iterate over this corpus.
+ */
+
+#ifndef MIXEDPROXY_LITMUS_REGISTRY_HH
+#define MIXEDPROXY_LITMUS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "litmus/test.hh"
+
+namespace mixedproxy::litmus {
+
+/** All built-in tests, in a stable order. */
+const std::vector<LitmusTest> &allTests();
+
+/** Look up a built-in test by name; throws FatalError if unknown. */
+const LitmusTest &testByName(const std::string &name);
+
+/** True if a built-in test with this name exists. */
+bool hasTest(const std::string &name);
+
+/** Names of all built-in tests, in registry order. */
+std::vector<std::string> testNames();
+
+/** The subset of tests reproducing a given paper figure ("fig8", ...). */
+std::vector<LitmusTest> testsForFigure(const std::string &prefix);
+
+} // namespace mixedproxy::litmus
+
+#endif // MIXEDPROXY_LITMUS_REGISTRY_HH

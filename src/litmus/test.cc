@@ -1,0 +1,322 @@
+#include "test.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "relation/error.hh"
+
+namespace mixedproxy::litmus {
+
+std::string
+toString(AssertKind kind)
+{
+    switch (kind) {
+      case AssertKind::Require: return "require";
+      case AssertKind::Permit: return "permit";
+      case AssertKind::Forbid: return "forbid";
+    }
+    panic("unknown AssertKind");
+}
+
+LitmusTest::LitmusTest(std::string name)
+    : _name(std::move(name))
+{}
+
+std::size_t
+LitmusTest::addThread(Thread thread)
+{
+    _threads.push_back(std::move(thread));
+    return _threads.size() - 1;
+}
+
+std::size_t
+LitmusTest::threadIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < _threads.size(); i++) {
+        if (_threads[i].name == name)
+            return i;
+    }
+    fatal("no thread named '", name, "' in test '", _name, "'");
+}
+
+void
+LitmusTest::addAlias(const std::string &va, const std::string &canonical)
+{
+    if (va == canonical)
+        fatal("address '", va, "' cannot alias itself");
+    // Union the two alias classes; the canonical representative is the
+    // root of the chain.
+    std::string root = locationOf(canonical);
+    if (locationOf(va) == root)
+        return; // already aliased
+    if (aliasTo.count(va) || locationOf(va) != va) {
+        fatal("address '", va, "' is already aliased to '", locationOf(va),
+              "'");
+    }
+    aliasTo[va] = root;
+}
+
+std::string
+LitmusTest::locationOf(const std::string &va) const
+{
+    std::string cur = va;
+    std::size_t hops = 0;
+    while (true) {
+        auto it = aliasTo.find(cur);
+        if (it == aliasTo.end())
+            return cur;
+        cur = it->second;
+        if (++hops > aliasTo.size())
+            panic("alias cycle involving '", va, "'");
+    }
+}
+
+std::vector<std::string>
+LitmusTest::locations() const
+{
+    std::set<std::string> locs;
+    for (const auto &thread : _threads) {
+        for (const auto &instr : thread.instructions) {
+            if (instr.isMemoryOp()) {
+                locs.insert(locationOf(instr.address));
+                if (!instr.srcAddress.empty())
+                    locs.insert(locationOf(instr.srcAddress));
+            }
+        }
+    }
+    for (const auto &[loc, value] : initValues)
+        locs.insert(loc);
+    return {locs.begin(), locs.end()};
+}
+
+std::vector<std::string>
+LitmusTest::addressesOf(const std::string &location) const
+{
+    std::set<std::string> vas;
+    for (const auto &thread : _threads) {
+        for (const auto &instr : thread.instructions) {
+            if (!instr.isMemoryOp())
+                continue;
+            if (locationOf(instr.address) == location)
+                vas.insert(instr.address);
+            if (!instr.srcAddress.empty() &&
+                locationOf(instr.srcAddress) == location) {
+                vas.insert(instr.srcAddress);
+            }
+        }
+    }
+    if (locationOf(location) == location)
+        vas.insert(location);
+    return {vas.begin(), vas.end()};
+}
+
+void
+LitmusTest::setInit(const std::string &va, std::uint64_t value)
+{
+    initValues[locationOf(va)] = value;
+}
+
+std::uint64_t
+LitmusTest::initOf(const std::string &location) const
+{
+    auto it = initValues.find(locationOf(location));
+    return it == initValues.end() ? 0 : it->second;
+}
+
+void
+LitmusTest::addAssertion(AssertKind kind, const std::string &condition)
+{
+    Assertion a;
+    a.kind = kind;
+    a.condition = parseCondition(condition);
+    a.text = condition;
+    _assertions.push_back(std::move(a));
+}
+
+void
+LitmusTest::addAssertion(Assertion assertion)
+{
+    if (!assertion.condition)
+        fatal("assertion without a condition in test '", _name, "'");
+    _assertions.push_back(std::move(assertion));
+}
+
+void
+LitmusTest::validate() const
+{
+    if (_threads.empty())
+        fatal("test '", _name, "' has no threads");
+
+    std::set<std::string> names;
+    std::map<int, int> cta_gpu;
+    for (const auto &thread : _threads) {
+        if (!names.insert(thread.name).second)
+            fatal("duplicate thread name '", thread.name, "'");
+        auto [it, inserted] = cta_gpu.emplace(thread.cta, thread.gpu);
+        if (!inserted && it->second != thread.gpu) {
+            fatal("CTA ", thread.cta, " placed on two GPUs (",
+                  it->second, " and ", thread.gpu, ")");
+        }
+        if (thread.instructions.empty())
+            fatal("thread '", thread.name, "' has no instructions");
+
+        std::set<std::string> defined;
+        for (const auto &instr : thread.instructions) {
+            for (const auto &src : instr.sourceRegs()) {
+                if (!defined.count(src)) {
+                    fatal("thread '", thread.name, "' reads register '",
+                          src, "' before any definition");
+                }
+            }
+            if (!instr.destReg.empty()) {
+                if (!defined.insert(instr.destReg).second) {
+                    fatal("thread '", thread.name,
+                          "' writes register '", instr.destReg,
+                          "' more than once");
+                }
+            }
+        }
+    }
+
+    // Execution barriers: every thread of a CTA must execute the same
+    // sequence of bar.sync ids, or the rendezvous deadlocks.
+    std::map<std::pair<int, int>, std::vector<unsigned>> barrier_seq;
+    std::map<std::pair<int, int>, std::string> barrier_rep;
+    for (const auto &thread : _threads) {
+        bool any_barrier = false;
+        std::vector<unsigned> seq;
+        for (const auto &instr : thread.instructions) {
+            if (instr.opcode == Opcode::Barrier) {
+                seq.push_back(instr.barrierId);
+                any_barrier = true;
+            }
+        }
+        auto key = std::make_pair(thread.gpu, thread.cta);
+        auto [it, inserted] = barrier_seq.emplace(key, seq);
+        if (inserted) {
+            barrier_rep[key] = thread.name;
+        } else if (it->second != seq) {
+            fatal("threads '", barrier_rep[key], "' and '", thread.name,
+                  "' in CTA ", thread.cta,
+                  " execute different bar.sync sequences");
+        }
+        (void)any_barrier;
+    }
+
+    // Access-size consistency per location (mixed-size is unsupported).
+    std::map<std::string, unsigned> size_of;
+    for (const auto &thread : _threads) {
+        for (const auto &instr : thread.instructions) {
+            if (!instr.isMemoryOp())
+                continue;
+            std::vector<std::string> accessed{instr.address};
+            if (!instr.srcAddress.empty())
+                accessed.push_back(instr.srcAddress);
+            for (const auto &va : accessed) {
+                std::string loc = locationOf(va);
+                auto [it, inserted] =
+                    size_of.emplace(loc, instr.accessSize);
+                if (!inserted && it->second != instr.accessSize) {
+                    fatal("mixed access sizes on location '", loc,
+                          "' are not supported");
+                }
+            }
+        }
+    }
+}
+
+std::size_t
+LitmusTest::instructionCount() const
+{
+    std::size_t n = 0;
+    for (const auto &thread : _threads)
+        n += thread.instructions.size();
+    return n;
+}
+
+std::string
+LitmusTest::toString() const
+{
+    std::ostringstream os;
+    os << "name: " << _name << "\n";
+    for (const auto &[va, canonical] : aliasTo)
+        os << "alias " << va << " " << canonical << "\n";
+    for (const auto &[loc, value] : initValues)
+        os << "init " << loc << " " << value << "\n";
+    for (const auto &thread : _threads) {
+        os << "\nthread " << thread.name << " cta " << thread.cta
+           << " gpu " << thread.gpu << ":\n";
+        for (const auto &instr : thread.instructions)
+            os << "  " << instr.toString() << "\n";
+    }
+    for (const auto &assertion : _assertions) {
+        os << "\n" << litmus::toString(assertion.kind) << ": "
+           << (assertion.text.empty() ? assertion.condition->toString()
+                                      : assertion.text)
+           << "\n";
+    }
+    return os.str();
+}
+
+LitmusBuilder::LitmusBuilder(std::string name)
+    : test(std::move(name))
+{}
+
+LitmusBuilder &
+LitmusBuilder::alias(const std::string &va, const std::string &canonical)
+{
+    test.addAlias(va, canonical);
+    return *this;
+}
+
+LitmusBuilder &
+LitmusBuilder::init(const std::string &va, std::uint64_t value)
+{
+    test.setInit(va, value);
+    return *this;
+}
+
+LitmusBuilder &
+LitmusBuilder::thread(const std::string &name, int cta, int gpu,
+                      const std::vector<std::string> &instructions)
+{
+    Thread t;
+    t.name = name;
+    t.cta = cta;
+    t.gpu = gpu;
+    for (const auto &text : instructions)
+        t.instructions.push_back(decode(text));
+    test.addThread(std::move(t));
+    return *this;
+}
+
+LitmusBuilder &
+LitmusBuilder::require(const std::string &condition)
+{
+    test.addAssertion(AssertKind::Require, condition);
+    return *this;
+}
+
+LitmusBuilder &
+LitmusBuilder::permit(const std::string &condition)
+{
+    test.addAssertion(AssertKind::Permit, condition);
+    return *this;
+}
+
+LitmusBuilder &
+LitmusBuilder::forbid(const std::string &condition)
+{
+    test.addAssertion(AssertKind::Forbid, condition);
+    return *this;
+}
+
+LitmusTest
+LitmusBuilder::build() const
+{
+    test.validate();
+    return test;
+}
+
+} // namespace mixedproxy::litmus

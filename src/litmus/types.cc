@@ -1,0 +1,174 @@
+#include "types.hh"
+
+#include "relation/error.hh"
+
+namespace mixedproxy::litmus {
+
+std::string
+toString(Semantics sem)
+{
+    switch (sem) {
+      case Semantics::Weak: return "weak";
+      case Semantics::Relaxed: return "relaxed";
+      case Semantics::Acquire: return "acquire";
+      case Semantics::Release: return "release";
+      case Semantics::AcqRel: return "acq_rel";
+      case Semantics::Sc: return "sc";
+    }
+    panic("unknown Semantics");
+}
+
+std::string
+toString(Scope scope)
+{
+    switch (scope) {
+      case Scope::None: return "none";
+      case Scope::Cta: return "cta";
+      case Scope::Gpu: return "gpu";
+      case Scope::Sys: return "sys";
+    }
+    panic("unknown Scope");
+}
+
+std::string
+toString(ProxyKind proxy)
+{
+    switch (proxy) {
+      case ProxyKind::Generic: return "generic";
+      case ProxyKind::Texture: return "texture";
+      case ProxyKind::Constant: return "constant";
+      case ProxyKind::Surface: return "surface";
+      case ProxyKind::Async: return "async";
+    }
+    panic("unknown ProxyKind");
+}
+
+std::string
+toString(ProxyFenceKind kind)
+{
+    switch (kind) {
+      case ProxyFenceKind::Alias: return "alias";
+      case ProxyFenceKind::Texture: return "texture";
+      case ProxyFenceKind::Constant: return "constant";
+      case ProxyFenceKind::Surface: return "surface";
+      case ProxyFenceKind::Async: return "async";
+    }
+    panic("unknown ProxyFenceKind");
+}
+
+std::string
+toString(Opcode opcode)
+{
+    switch (opcode) {
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::Atom: return "atom";
+      case Opcode::Tex: return "tex";
+      case Opcode::Suld: return "suld";
+      case Opcode::Sust: return "sust";
+      case Opcode::Fence: return "fence";
+      case Opcode::FenceProxy: return "fence.proxy";
+      case Opcode::CpAsync: return "cp.async";
+      case Opcode::CpAsyncWait: return "cp.async.wait_all";
+      case Opcode::Barrier: return "bar.sync";
+    }
+    panic("unknown Opcode");
+}
+
+std::string
+toString(AtomOp op)
+{
+    switch (op) {
+      case AtomOp::Add: return "add";
+      case AtomOp::Exch: return "exch";
+      case AtomOp::Cas: return "cas";
+    }
+    panic("unknown AtomOp");
+}
+
+std::optional<Semantics>
+semanticsFromToken(const std::string &token)
+{
+    if (token == "weak")
+        return Semantics::Weak;
+    if (token == "relaxed")
+        return Semantics::Relaxed;
+    if (token == "acquire")
+        return Semantics::Acquire;
+    if (token == "release")
+        return Semantics::Release;
+    if (token == "acq_rel")
+        return Semantics::AcqRel;
+    if (token == "sc")
+        return Semantics::Sc;
+    return std::nullopt;
+}
+
+std::optional<Scope>
+scopeFromToken(const std::string &token)
+{
+    if (token == "cta")
+        return Scope::Cta;
+    if (token == "gpu")
+        return Scope::Gpu;
+    if (token == "sys")
+        return Scope::Sys;
+    return std::nullopt;
+}
+
+std::optional<ProxyFenceKind>
+proxyFenceKindFromToken(const std::string &token)
+{
+    if (token == "alias")
+        return ProxyFenceKind::Alias;
+    if (token == "texture")
+        return ProxyFenceKind::Texture;
+    if (token == "constant")
+        return ProxyFenceKind::Constant;
+    if (token == "surface")
+        return ProxyFenceKind::Surface;
+    if (token == "async")
+        return ProxyFenceKind::Async;
+    return std::nullopt;
+}
+
+ProxyKind
+proxyKindForFence(ProxyFenceKind kind)
+{
+    switch (kind) {
+      case ProxyFenceKind::Alias:
+        // The alias fence synchronizes generic-proxy aliases.
+        return ProxyKind::Generic;
+      case ProxyFenceKind::Texture:
+        return ProxyKind::Texture;
+      case ProxyFenceKind::Constant:
+        return ProxyKind::Constant;
+      case ProxyFenceKind::Surface:
+        return ProxyKind::Surface;
+      case ProxyFenceKind::Async:
+        return ProxyKind::Async;
+    }
+    panic("unknown ProxyFenceKind");
+}
+
+bool
+isStrong(Semantics sem)
+{
+    return sem != Semantics::Weak;
+}
+
+bool
+hasRelease(Semantics sem)
+{
+    return sem == Semantics::Release || sem == Semantics::AcqRel ||
+           sem == Semantics::Sc;
+}
+
+bool
+hasAcquire(Semantics sem)
+{
+    return sem == Semantics::Acquire || sem == Semantics::AcqRel ||
+           sem == Semantics::Sc;
+}
+
+} // namespace mixedproxy::litmus

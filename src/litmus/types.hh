@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Core vocabulary types of the PTX-with-proxies litmus language.
+ *
+ * These enums mirror the modifier sets of the PTX 7.5 ISA surface that is
+ * relevant to the memory consistency model (Fig. 5 and Fig. 7 of the
+ * paper): memory-order semantics, scopes, proxies, and proxy-fence kinds.
+ */
+
+#ifndef MIXEDPROXY_LITMUS_TYPES_HH
+#define MIXEDPROXY_LITMUS_TYPES_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mixedproxy::litmus {
+
+/** Memory-order semantics of an operation, per PTX `.sem` modifiers. */
+enum class Semantics {
+    Weak,    ///< no ordering semantics; not a "strong" operation
+    Relaxed, ///< strong, no acquire/release semantics
+    Acquire, ///< strong, acquire semantics (loads, atomics)
+    Release, ///< strong, release semantics (stores, atomics)
+    AcqRel,  ///< strong, both (atomics, fences)
+    Sc,      ///< sequentially consistent (fences only)
+};
+
+/** Synchronization scope, per PTX `.scope` modifiers. */
+enum class Scope {
+    None, ///< weak operation: no scope
+    Cta,  ///< all threads in the same CTA (thread block)
+    Gpu,  ///< all threads on the same GPU
+    Sys,  ///< all threads in the system
+};
+
+/**
+ * The kind of proxy a memory operation is performed through (§5.2).
+ *
+ * The full proxy identity also includes the virtual address (for the
+ * generic proxy) or the executing CTA (for the non-generic proxies), per
+ * the paper's Fig. 5; see model::ProxyId.
+ */
+enum class ProxyKind {
+    Generic,  ///< the L1/generic path; the proxy of ordinary ld/st/atom
+    Texture,  ///< the texture-cache path (tex instructions)
+    Constant, ///< the constant-cache path (ld.const)
+    Surface,  ///< the surface path through the texture cache (suld/sust)
+    Async,    ///< the asynchronous copy engine's path (cp.async, §3.1.4)
+};
+
+/** The `.proxykind` operand of a `fence.proxy` instruction (Fig. 7). */
+enum class ProxyFenceKind {
+    Alias,    ///< synchronizes two generic-proxy virtual aliases
+    Texture,  ///< synchronizes the CTA's texture proxy with generic
+    Constant, ///< synchronizes the CTA's constant proxy with generic
+    Surface,  ///< synchronizes the CTA's surface proxy with generic
+    Async,    ///< synchronizes the CTA's async-copy proxy with generic
+};
+
+/** The opcode class of a litmus instruction. */
+enum class Opcode {
+    Ld,          ///< generic or constant load
+    St,          ///< generic store
+    Atom,        ///< generic atomic read-modify-write
+    Tex,         ///< texture-proxy load
+    Suld,        ///< surface-proxy load
+    Sust,        ///< surface-proxy store
+    Fence,       ///< scoped memory fence (fence.sc / fence.acq_rel)
+    FenceProxy,  ///< proxy fence (fence.proxy.*)
+    CpAsync,     ///< asynchronous copy: forks a read+write via the
+                 ///< async proxy (extension, paper §3.1.4)
+    CpAsyncWait, ///< joins the thread's outstanding async copies and
+                 ///< bridges the async proxy to generic
+    Barrier,     ///< CTA execution barrier (bar.sync): rendezvous plus
+                 ///< intra-CTA base causality
+};
+
+/** The operation an atomic read-modify-write performs. */
+enum class AtomOp {
+    Add,  ///< fetch-and-add
+    Exch, ///< exchange
+    Cas,  ///< compare-and-swap (write is conditional)
+};
+
+/** Human-readable name for each enum value. */
+std::string toString(Semantics sem);
+std::string toString(Scope scope);
+std::string toString(ProxyKind proxy);
+std::string toString(ProxyFenceKind kind);
+std::string toString(Opcode opcode);
+std::string toString(AtomOp op);
+
+/** Parse helpers; nullopt when @p token names no value of the enum. */
+std::optional<Semantics> semanticsFromToken(const std::string &token);
+std::optional<Scope> scopeFromToken(const std::string &token);
+std::optional<ProxyFenceKind>
+proxyFenceKindFromToken(const std::string &token);
+
+/** The proxy kind a given proxy fence kind synchronizes with generic. */
+ProxyKind proxyKindForFence(ProxyFenceKind kind);
+
+/** True for Relaxed/Acquire/Release/AcqRel/Sc: the op is "strong". */
+bool isStrong(Semantics sem);
+
+/** True if @p sem includes release semantics (Release, AcqRel, Sc). */
+bool hasRelease(Semantics sem);
+
+/** True if @p sem includes acquire semantics (Acquire, AcqRel, Sc). */
+bool hasAcquire(Semantics sem);
+
+} // namespace mixedproxy::litmus
+
+#endif // MIXEDPROXY_LITMUS_TYPES_HH

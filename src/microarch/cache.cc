@@ -1,0 +1,135 @@
+#include "cache.hh"
+
+#include <algorithm>
+
+#include "relation/error.hh"
+
+namespace mixedproxy::microarch {
+
+std::optional<CacheLine>
+Cache::lookup(VirtualTag tag) const
+{
+    auto it = lines.find(tag);
+    if (it == lines.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+Cache::fill(VirtualTag tag, std::uint64_t value, PhysicalTag location,
+            bool dirty)
+{
+    lines[tag] = CacheLine{value, location, dirty};
+}
+
+std::size_t
+Cache::invalidateAll()
+{
+    std::size_t n = lines.size();
+    lines.clear();
+    return n;
+}
+
+std::size_t
+Cache::invalidateLocation(PhysicalTag location)
+{
+    std::size_t n = 0;
+    for (auto it = lines.begin(); it != lines.end();) {
+        if (it->second.location == location) {
+            it = lines.erase(it);
+            n++;
+        } else {
+            ++it;
+        }
+    }
+    return n;
+}
+
+void
+Cache::markClean(VirtualTag tag)
+{
+    auto it = lines.find(tag);
+    if (it != lines.end())
+        it->second.dirty = false;
+}
+
+void
+StoreQueue::push(VirtualTag tag, PhysicalTag location,
+                 std::uint64_t value)
+{
+    entries.push_back(PendingStore{tag, location, value, next_sequence++});
+}
+
+std::vector<VirtualTag>
+StoreQueue::drainableTags() const
+{
+    std::vector<VirtualTag> tags;
+    for (const auto &entry : entries) {
+        if (std::find(tags.begin(), tags.end(), entry.tag) == tags.end())
+            tags.push_back(entry.tag);
+    }
+    return tags;
+}
+
+PendingStore
+StoreQueue::drainTag(VirtualTag tag)
+{
+    auto oldest = entries.end();
+    for (auto it = entries.begin(); it != entries.end(); ++it) {
+        if (it->tag == tag &&
+            (oldest == entries.end() || it->sequence < oldest->sequence)) {
+            oldest = it;
+        }
+    }
+    if (oldest == entries.end())
+        panic("StoreQueue::drainTag: no entry for tag ", tag);
+    PendingStore out = *oldest;
+    entries.erase(oldest);
+    return out;
+}
+
+std::vector<PendingStore>
+StoreQueue::drainAll()
+{
+    std::vector<PendingStore> out = std::move(entries);
+    entries.clear();
+    std::sort(out.begin(), out.end(),
+              [](const PendingStore &a, const PendingStore &b) {
+                  return a.sequence < b.sequence;
+              });
+    return out;
+}
+
+std::vector<PendingStore>
+StoreQueue::drainAllForTag(VirtualTag tag)
+{
+    std::vector<PendingStore> out;
+    for (auto it = entries.begin(); it != entries.end();) {
+        if (it->tag == tag) {
+            out.push_back(*it);
+            it = entries.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const PendingStore &a, const PendingStore &b) {
+                  return a.sequence < b.sequence;
+              });
+    return out;
+}
+
+std::optional<PendingStore>
+StoreQueue::forward(VirtualTag tag) const
+{
+    std::optional<PendingStore> youngest;
+    for (const auto &entry : entries) {
+        if (entry.tag == tag &&
+            (!youngest || entry.sequence > youngest->sequence)) {
+            youngest = entry;
+        }
+    }
+    return youngest;
+}
+
+} // namespace mixedproxy::microarch

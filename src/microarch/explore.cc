@@ -1,0 +1,42 @@
+#include "explore.hh"
+
+#include "relation/error.hh"
+
+namespace mixedproxy::microarch {
+
+namespace {
+
+void
+dfs(const Machine &machine, ExploreResult &result,
+    std::uint64_t max_schedules)
+{
+    auto actions = machine.actions();
+    if (actions.empty()) {
+        if (!machine.finished())
+            panic("exploration reached a deadlocked state");
+        if (++result.schedules > max_schedules)
+            fatal("exploreAllSchedules: more than ", max_schedules,
+                  " schedules");
+        result.outcomes.insert(machine.outcome());
+        return;
+    }
+    for (const auto &action : actions) {
+        Machine child(machine);
+        child.execute(action);
+        dfs(child, result, max_schedules);
+    }
+}
+
+} // namespace
+
+ExploreResult
+exploreAllSchedules(const litmus::LitmusTest &test, CoherenceMode mode,
+                    std::uint64_t max_schedules)
+{
+    Machine root(test, mode);
+    ExploreResult result;
+    dfs(root, result, max_schedules);
+    return result;
+}
+
+} // namespace mixedproxy::microarch

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Exhaustive schedule exploration of the operational machine.
+ *
+ * The randomized simulator samples schedules; for litmus-scale tests the
+ * whole schedule tree can instead be walked exhaustively, giving the
+ * machine's *exact* outcome set. That enables two strong properties the
+ * test suite checks:
+ *
+ *  - the proxy machine's exact outcome set is a subset of the PTX 7.5
+ *    model's allowed set (operational soundness, with no sampling gap);
+ *  - the fully coherent machine's exact outcome set equals the SC
+ *    reference executor's outcome set (three independently implemented
+ *    components agreeing on sequential consistency).
+ */
+
+#ifndef MIXEDPROXY_MICROARCH_EXPLORE_HH
+#define MIXEDPROXY_MICROARCH_EXPLORE_HH
+
+#include <cstdint>
+#include <set>
+
+#include "litmus/outcome.hh"
+#include "litmus/test.hh"
+#include "microarch/machine.hh"
+
+namespace mixedproxy::microarch {
+
+/** Result of an exhaustive exploration. */
+struct ExploreResult
+{
+    /** Every outcome some schedule produces. */
+    std::set<litmus::Outcome> outcomes;
+
+    /** Number of complete schedules walked. */
+    std::uint64_t schedules = 0;
+};
+
+/**
+ * Walk every schedule of @p test on the machine in @p mode.
+ *
+ * Exploration re-executes action prefixes (the machine is rebuilt per
+ * path), so cost grows with the schedule-tree size times depth; litmus
+ * tests up to ~8 instructions are comfortable.
+ *
+ * @param max_schedules Abort (FatalError) beyond this many complete
+ *        schedules — the guard against accidentally exponential input.
+ */
+ExploreResult exploreAllSchedules(const litmus::LitmusTest &test,
+                                  CoherenceMode mode = CoherenceMode::Proxy,
+                                  std::uint64_t max_schedules = 2'000'000);
+
+} // namespace mixedproxy::microarch
+
+#endif // MIXEDPROXY_MICROARCH_EXPLORE_HH

@@ -1,0 +1,838 @@
+#include "checker.hh"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "relation/error.hh"
+
+namespace mixedproxy::model {
+
+using relation::EventSet;
+using relation::Relation;
+
+std::string
+Witness::toString() const
+{
+    std::ostringstream os;
+    os << "events:\n";
+    for (const auto &e : events)
+        os << "  " << e << "\n";
+    auto dump = [&os](const char *name,
+                      const std::vector<std::string> &edges) {
+        os << name << ":";
+        if (edges.empty()) {
+            os << " (none)\n";
+            return;
+        }
+        os << "\n";
+        for (const auto &edge : edges)
+            os << "  " << edge << "\n";
+    };
+    dump("rf", rf);
+    dump("co", co);
+    dump("sw", sw);
+    dump("cause", cause);
+    return os.str();
+}
+
+std::string
+Witness::toDot(const std::string &name) const
+{
+    std::ostringstream os;
+    os << "digraph \"" << name << "\" {\n"
+       << "  rankdir=TB;\n"
+       << "  node [shape=box, fontname=\"monospace\", fontsize=10];\n";
+
+    // Group events into per-thread clusters.
+    std::map<std::string, std::vector<EventId>> by_thread;
+    for (const auto &[id, thread] : threadOf)
+        by_thread[thread].push_back(id);
+    std::size_t cluster = 0;
+    for (const auto &[thread, ids] : by_thread) {
+        os << "  subgraph cluster_" << cluster++ << " {\n"
+           << "    label=\"" << thread << "\";\n"
+           << "    style=rounded;\n";
+        for (EventId id : ids) {
+            os << "    e" << id << " [label=\"" << labels.at(id)
+               << "\"];\n";
+        }
+        os << "  }\n";
+    }
+
+    auto edges = [&os](const std::vector<std::pair<EventId, EventId>> &es,
+                       const char *attrs) {
+        for (const auto &[a, b] : es) {
+            os << "  e" << a << " -> e" << b << " [" << attrs << "];\n";
+        }
+    };
+    edges(poEdges, "color=black");
+    edges(rfEdges, "color=red, label=\"rf\", fontcolor=red");
+    edges(coEdges, "color=blue, label=\"co\", fontcolor=blue");
+    edges(swEdges,
+          "color=darkgreen, label=\"sw\", fontcolor=darkgreen, "
+          "style=bold");
+    os << "}\n";
+    return os.str();
+}
+
+bool
+CheckResult::allPassed() const
+{
+    return std::all_of(assertions.begin(), assertions.end(),
+                       [](const AssertionCheck &a) { return a.passed; });
+}
+
+bool
+CheckResult::admits(const litmus::ExprPtr &condition) const
+{
+    return std::any_of(outcomes.begin(), outcomes.end(),
+                       [&](const litmus::Outcome &o) {
+                           return condition->evalBool(o);
+                       });
+}
+
+std::string
+CheckResult::summary() const
+{
+    std::ostringstream os;
+    os << "test " << testName << " [" << model::toString(mode) << "]: "
+       << outcomes.size() << " outcome(s), "
+       << stats.consistentExecutions << "/" << stats.candidateExecutions
+       << " consistent executions\n";
+    for (const auto &outcome : outcomes)
+        os << "  allowed: " << outcome.toString() << "\n";
+    for (const auto &check : assertions) {
+        os << "  " << litmus::toString(check.assertion.kind) << " "
+           << check.assertion.text << ": "
+           << (check.passed ? "PASS" : "FAIL");
+        if (!check.detail.empty())
+            os << " (" << check.detail << ")";
+        os << "\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+/** Per-candidate value/liveness assignment. */
+struct Valuation
+{
+    std::vector<std::uint64_t> value;
+    std::vector<char> live;
+    bool feasible = true;
+};
+
+std::uint64_t
+operandValue(const Program &program, const Valuation &vals,
+             const Event &event, const litmus::Operand &op)
+{
+    if (op.isImm())
+        return op.imm;
+    if (op.isReg()) {
+        EventId def = program.regDef(event.thread, op.reg);
+        return vals.value[def];
+    }
+    panic("operand of ", event.toString(), " has no value");
+}
+
+/**
+ * Compute event values and CAS-write liveness for one rf assignment.
+ * Requires rf|dep to be acyclic (No-Thin-Air, checked by the caller).
+ */
+Valuation
+evaluate(const Program &program, const Relation &rf,
+         const std::vector<EventId> &sourceOf)
+{
+    const auto &events = program.events();
+    Valuation vals;
+    vals.value.assign(events.size(), 0);
+    vals.live.assign(events.size(), 1);
+
+    Relation order = rf | program.dep();
+    auto topo = order.topologicalOrder(EventSet::full(events.size()));
+    if (!topo)
+        panic("evaluate called with cyclic rf|dep");
+
+    for (EventId id : *topo) {
+        const Event &e = events[id];
+        if (e.isInit) {
+            vals.value[id] =
+                program.test().initOf(program.locationName(e.location));
+            continue;
+        }
+        if (e.isRead()) {
+            EventId src = sourceOf[id];
+            if (!vals.live[src]) {
+                vals.feasible = false; // reads from a dead CAS write
+                return vals;
+            }
+            vals.value[id] = vals.value[src];
+            continue;
+        }
+        if (e.isWrite()) {
+            const auto *instr = e.instr;
+            if (e.isAsyncCopy()) {
+                // The copy writes exactly what it read.
+                vals.value[id] = vals.value[e.asyncCopyPartner];
+                continue;
+            }
+            if (!e.isAtomic()) {
+                vals.value[id] =
+                    operandValue(program, vals, e, instr->value);
+                continue;
+            }
+            std::uint64_t read_value = vals.value[e.rmwPartner];
+            switch (instr->atomOp) {
+              case litmus::AtomOp::Add:
+                vals.value[id] =
+                    read_value +
+                    operandValue(program, vals, e, instr->value);
+                break;
+              case litmus::AtomOp::Exch:
+                vals.value[id] =
+                    operandValue(program, vals, e, instr->value);
+                break;
+              case litmus::AtomOp::Cas: {
+                std::uint64_t expected =
+                    operandValue(program, vals, e, instr->expected);
+                if (read_value == expected) {
+                    vals.value[id] =
+                        operandValue(program, vals, e, instr->value);
+                } else {
+                    vals.live[id] = 0; // failed CAS writes nothing
+                }
+                break;
+              }
+            }
+        }
+    }
+    return vals;
+}
+
+/**
+ * True when a chain of proxy fences along the base-causality path
+ * bridges X's proxy to Y's proxy (ppbc rule 3, generalized per
+ * DESIGN.md §3).
+ */
+bool
+bridgedByProxyFences(const Program &program, const Relation &bcause,
+                     const Event &x, const Event &y)
+{
+    const auto &events = program.events();
+    const bool need_exit =
+        x.proxy.kind != litmus::ProxyKind::Generic;
+    const bool need_entry =
+        y.proxy.kind != litmus::ProxyKind::Generic;
+
+    // PTX 7.5 proxy fences act on the executing CTA's caches; the §7.2
+    // scoped extension lets a wider-scope fence stand in for fences in
+    // every CTA the scope covers.
+    auto fence_matches = [&](const Event &f, const Event &op) {
+        if (litmus::proxyKindForFence(f.proxyFence) != op.proxy.kind)
+            return false;
+        switch (f.scope) {
+          case litmus::Scope::Sys:
+            return true;
+          case litmus::Scope::Gpu:
+            return f.gpu == op.gpu;
+          default:
+            return f.cta == op.cta && f.gpu == op.gpu;
+        }
+    };
+
+    if (!need_exit && !need_entry) {
+        // Both generic. Same virtual address needs no fence (rule 1,
+        // handled by the caller); different aliases need an alias fence
+        // along the path (rule 3, no CTA constraint in the paper).
+        for (EventId fid : program.proxyFences()) {
+            const Event &f = events[fid];
+            if (f.proxyFence == litmus::ProxyFenceKind::Alias &&
+                bcause.contains(x.id, fid) && bcause.contains(fid, y.id)) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    if (need_exit && need_entry) {
+        // Exit fence in X's CTA, then entry fence in Y's CTA, in base
+        // causality order (Fig. 8f). One wide-scope fence matching both
+        // endpoints (§7.2 extension) may serve as exit and entry at
+        // once.
+        for (EventId f1 : program.proxyFences()) {
+            const Event &exit = events[f1];
+            if (!fence_matches(exit, x) || !bcause.contains(x.id, f1))
+                continue;
+            if (fence_matches(exit, y) && bcause.contains(f1, y.id))
+                return true;
+            for (EventId f2 : program.proxyFences()) {
+                if (f1 == f2)
+                    continue;
+                const Event &entry = events[f2];
+                if (fence_matches(entry, y) &&
+                    bcause.contains(f1, f2) &&
+                    bcause.contains(f2, y.id)) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    // One non-generic endpoint: a single fence of its kind, in its CTA,
+    // along the path.
+    const Event &nongeneric = need_exit ? x : y;
+    for (EventId fid : program.proxyFences()) {
+        const Event &f = events[fid];
+        if (fence_matches(f, nongeneric) &&
+            bcause.contains(x.id, fid) && bcause.contains(fid, y.id)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+DerivedRelations
+computeDerived(const Program &program, const Relation &rf,
+               const std::vector<char> &live)
+{
+    const auto &events = program.events();
+    const std::size_t n = events.size();
+    DerivedRelations d{Relation(n), Relation(n), Relation(n),
+                       Relation(n), Relation(n), Relation(n)};
+
+    // Morally strong reads-from (init sources excluded: initialization
+    // needs no synchronization to be visible).
+    rf.forEach([&](EventId w, EventId r) {
+        if (!events[w].isInit && live[w] &&
+            program.morallyStrong().contains(w, r)) {
+            d.msRf.insert(w, r);
+        }
+    });
+
+    // Observation order: morally strong reads-from, extended through
+    // chains of atomic RMWs (release-sequence treatment).
+    d.obs = d.msRf;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        d.obs.forEach([&](EventId w, EventId r) {
+            const Event &read = events[r];
+            if (!read.isAtomic())
+                return;
+            EventId w2 = read.rmwPartner;
+            if (!live[w2])
+                return;
+            d.msRf.forEach([&](EventId src, EventId r2) {
+                if (src == w2 && !d.obs.contains(w, r2)) {
+                    d.obs.insert(w, r2);
+                    changed = true;
+                }
+            });
+        });
+    }
+
+    // Synchronizes-with: release pattern to acquire pattern when the
+    // pattern write reaches the pattern read in observation order and
+    // the patterns' scopes mutually include each other's thread.
+    for (const auto &rel : program.releasePatterns()) {
+        if (!live[rel.write])
+            continue;
+        const Event &first = events[rel.first];
+        for (const auto &acq : program.acquirePatterns()) {
+            const Event &last = events[acq.last];
+            if (d.obs.contains(rel.write, acq.read) &&
+                program.scopeIncludes(first, last.thread) &&
+                program.scopeIncludes(last, first.thread)) {
+                d.sw.insert(rel.first, acq.last);
+            }
+        }
+    }
+
+    // Base causality order: transitive closure of program order,
+    // synchronizes-with (§6.2.3: program order is now included), and
+    // CTA execution-barrier rendezvous edges.
+    d.bcause =
+        (program.po() | d.sw | program.barrierSync()).transitiveClosure();
+
+    // Proxy-preserved base causality order (§6.2.4).
+    for (const Event &x : events) {
+        if (!x.isMemory() || x.isInit || !live[x.id])
+            continue;
+        for (const Event &y : events) {
+            if (!y.isMemory() || y.isInit || !live[y.id])
+                continue;
+            if (!d.bcause.contains(x.id, y.id))
+                continue;
+            if (!program.overlaps(x, y))
+                continue;
+            const bool x_generic =
+                x.proxy.kind == litmus::ProxyKind::Generic;
+            const bool y_generic =
+                y.proxy.kind == litmus::ProxyKind::Generic;
+            bool ordered = false;
+            // (1) same address, generic proxy
+            if (x_generic && y_generic && x.address == y.address)
+                ordered = true;
+            // (2) same address, same proxy, same thread block
+            if (!ordered && x.proxy == y.proxy &&
+                x.address == y.address && x.cta == y.cta &&
+                x.gpu == y.gpu) {
+                ordered = true;
+            }
+            // (3) proxy fences along the base causality path
+            if (!ordered && bridgedByProxyFences(program, d.bcause, x, y))
+                ordered = true;
+            if (ordered)
+                d.ppbc.insert(x.id, y.id);
+        }
+    }
+
+    // Causality order (§6.2.5): ppbc, plus observation then ppbc.
+    d.cause = d.ppbc | d.obs.compose(d.ppbc);
+
+    return d;
+}
+
+Checker::Checker(CheckOptions options)
+    : opts(std::move(options))
+{}
+
+CheckResult
+Checker::check(const litmus::LitmusTest &test) const
+{
+    Program program(test, opts.mode);
+    return check(program);
+}
+
+namespace {
+
+/** Odometer over per-read candidate source lists. */
+class RfEnumerator
+{
+  public:
+    explicit RfEnumerator(const Program &program)
+        : program(program), reads(program.reads()),
+          index(reads.size(), 0), done(reads.empty() ? false : false)
+    {}
+
+    bool
+    valid() const
+    {
+        return !done;
+    }
+
+    void
+    advance()
+    {
+        for (std::size_t i = 0; i < reads.size(); i++) {
+            index[i]++;
+            if (index[i] < program.readSources(reads[i]).size())
+                return;
+            index[i] = 0;
+        }
+        done = true;
+    }
+
+    /** Current source assignment, indexed by event id. */
+    std::vector<EventId>
+    sources() const
+    {
+        std::vector<EventId> out(program.size(),
+                                 static_cast<EventId>(-1));
+        for (std::size_t i = 0; i < reads.size(); i++)
+            out[reads[i]] = program.readSources(reads[i])[index[i]];
+        return out;
+    }
+
+  private:
+    const Program &program;
+    const std::vector<EventId> &reads;
+    std::vector<std::size_t> index;
+    bool done;
+};
+
+Relation
+rfRelation(const Program &program, const std::vector<EventId> &source_of)
+{
+    Relation rf(program.size());
+    for (EventId r : program.reads())
+        rf.insert(source_of[r], r);
+    return rf;
+}
+
+/** Build the coherence relation from per-location total orders. */
+Relation
+coRelation(const Program &program,
+           const std::vector<std::vector<EventId>> &orders,
+           const std::vector<char> &live)
+{
+    Relation co(program.size());
+    for (LocationId loc = 0;
+         loc < static_cast<LocationId>(program.locationCount()); loc++) {
+        EventId init = program.initWrite(loc);
+        const auto &order = orders[static_cast<std::size_t>(loc)];
+        for (std::size_t i = 0; i < order.size(); i++) {
+            co.insert(init, order[i]);
+            for (std::size_t j = i + 1; j < order.size(); j++)
+                co.insert(order[i], order[j]);
+        }
+        (void)live;
+    }
+    return co;
+}
+
+/** fr = rf^-1 ; co, computed from sources. */
+Relation
+frRelation(const Program &program, const std::vector<EventId> &source_of,
+           const Relation &co)
+{
+    Relation fr(program.size());
+    for (EventId r : program.reads()) {
+        EventId src = source_of[r];
+        for (EventId w = 0; w < program.size(); w++) {
+            if (co.contains(src, w))
+                fr.insert(r, w);
+        }
+    }
+    return fr;
+}
+
+} // namespace
+
+CheckResult
+Checker::check(const Program &program) const
+{
+    const auto &events = program.events();
+    const auto &test = program.test();
+    const std::size_t n = events.size();
+
+    CheckResult result;
+    result.testName = test.name();
+    result.mode = opts.mode;
+
+    for (RfEnumerator rfe(program); rfe.valid(); rfe.advance()) {
+        result.stats.rfAssignments++;
+        std::vector<EventId> source_of = rfe.sources();
+        Relation rf = rfRelation(program, source_of);
+
+        // ---- Axiom: No-Thin-Air --------------------------------------
+        if (!(rf | program.dep()).acyclic())
+            continue;
+
+        Valuation vals = evaluate(program, rf, source_of);
+        if (!vals.feasible)
+            continue;
+
+        DerivedRelations derived = computeDerived(program, rf, vals.live);
+
+        // ---- Axiom: Causality, part (a) -------------------------------
+        // A read cannot observe a write that it causally precedes.
+        bool ok = true;
+        for (EventId r : program.reads()) {
+            if (derived.cause.contains(r, source_of[r])) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok)
+            continue;
+
+        // ---- Axiom: Coherence ------------------------------------------
+        // Enumerate only coherence orders that embed causality between
+        // overlapping live writes; if causality is cyclic on writes, no
+        // order exists and the candidate dies here.
+        std::vector<std::vector<std::vector<EventId>>> per_loc_orders(
+            program.locationCount());
+        bool some_loc_empty = false;
+        for (LocationId loc = 0;
+             loc < static_cast<LocationId>(program.locationCount());
+             loc++) {
+            EventSet live_writes(n);
+            for (EventId w : program.writesAt(loc)) {
+                if (vals.live[w])
+                    live_writes.insert(w);
+            }
+            Relation partial = derived.cause.restrict(live_writes);
+            auto &bucket =
+                per_loc_orders[static_cast<std::size_t>(loc)];
+            relation::forEachTotalOrder(
+                live_writes, partial,
+                [&bucket](const std::vector<EventId> &order) {
+                    bucket.push_back(order);
+                    return true;
+                });
+            if (bucket.empty() && live_writes.count() > 0)
+                some_loc_empty = true;
+        }
+        if (some_loc_empty)
+            continue;
+
+        // Odometer over per-location coherence orders.
+        std::vector<std::size_t> co_index(program.locationCount(), 0);
+        bool co_done = false;
+        while (!co_done) {
+            result.stats.candidateExecutions++;
+            if (result.stats.candidateExecutions > opts.maxExecutions) {
+                fatal("exceeded maxExecutions (", opts.maxExecutions,
+                      ") checking '", test.name(), "'");
+            }
+
+            std::vector<std::vector<EventId>> orders(
+                program.locationCount());
+            for (std::size_t loc = 0; loc < orders.size(); loc++) {
+                const auto &bucket = per_loc_orders[loc];
+                orders[loc] = bucket.empty() ? std::vector<EventId>{}
+                                             : bucket[co_index[loc]];
+            }
+            Relation co = coRelation(program, orders, vals.live);
+            Relation fr = frRelation(program, source_of, co);
+
+            bool consistent = true;
+
+            // ---- Axiom: Causality, part (b) ---------------------------
+            // A read must not observe a write coherence-older than a
+            // write that causally precedes the read.
+            for (EventId r : program.reads()) {
+                EventId src = source_of[r];
+                for (EventId w = 0; w < n && consistent; w++) {
+                    if (w == src || !events[w].isWrite() || !vals.live[w])
+                        continue;
+                    if (events[w].location != events[r].location)
+                        continue;
+                    if (derived.cause.contains(w, r) &&
+                        co.contains(src, w)) {
+                        consistent = false;
+                    }
+                }
+                if (!consistent)
+                    break;
+            }
+
+            // ---- Axiom: SC-per-Location -------------------------------
+            // Within each maximal clique of morally strong overlapping
+            // operations, program order and communication order are
+            // acyclic.
+            if (consistent) {
+                Relation comm = rf | co | fr | program.po();
+                for (const auto &clique : program.msCliques()) {
+                    EventSet live_clique = clique.filter(
+                        [&](EventId id) { return vals.live[id]; });
+                    if (!comm.restrict(live_clique).acyclic()) {
+                        consistent = false;
+                        break;
+                    }
+                }
+            }
+
+            // ---- Axiom: Atomicity -------------------------------------
+            // No morally strong write intervenes in coherence order
+            // between an RMW's source and its write.
+            if (consistent) {
+                for (EventId r : program.reads()) {
+                    const Event &read = events[r];
+                    if (!read.isAtomic() || !vals.live[read.rmwPartner])
+                        continue;
+                    EventId w = read.rmwPartner;
+                    EventId src = source_of[r];
+                    for (EventId w2 = 0; w2 < n; w2++) {
+                        if (w2 == src || w2 == w ||
+                            !events[w2].isWrite() || !vals.live[w2]) {
+                            continue;
+                        }
+                        if (events[w2].location != read.location)
+                            continue;
+                        if (co.contains(src, w2) && co.contains(w2, w) &&
+                            program.morallyStrong().contains(w2, w)) {
+                            consistent = false;
+                            break;
+                        }
+                    }
+                    if (!consistent)
+                        break;
+                }
+            }
+
+            // ---- Axiom: Fence-SC ---------------------------------------
+            // Some total order of the sc fences must agree with base
+            // causality and with communication routed through program
+            // order, for every morally strong fence pair. Equivalently:
+            // the forced edges between morally strong sc-fence pairs are
+            // acyclic.
+            if (consistent && program.scFences().size() >= 2) {
+                Relation eco_ms(n);
+                auto add_ms_edges = [&](const Relation &rel) {
+                    rel.forEach([&](EventId a, EventId b) {
+                        if (program.morallyStrong().contains(a, b))
+                            eco_ms.insert(a, b);
+                    });
+                };
+                add_ms_edges(rf);
+                add_ms_edges(co);
+                add_ms_edges(fr);
+                eco_ms = eco_ms.transitiveClosure();
+                Relation bad =
+                    derived.bcause |
+                    program.po().compose(eco_ms).compose(program.po());
+                Relation forced(n);
+                for (EventId f1 : program.scFences()) {
+                    for (EventId f2 : program.scFences()) {
+                        if (f1 != f2 &&
+                            program.morallyStrong().contains(f1, f2) &&
+                            bad.contains(f1, f2)) {
+                            forced.insert(f1, f2);
+                        }
+                    }
+                }
+                if (!forced.acyclic())
+                    consistent = false;
+            }
+
+            if (consistent) {
+                result.stats.consistentExecutions++;
+                // Extract the outcome.
+                litmus::Outcome outcome;
+                for (EventId r : program.reads()) {
+                    const Event &read = events[r];
+                    if (read.destReg.empty())
+                        continue;
+                    outcome.registers[read.threadName + "." +
+                                      read.destReg] = vals.value[r];
+                }
+                for (LocationId loc = 0;
+                     loc <
+                     static_cast<LocationId>(program.locationCount());
+                     loc++) {
+                    const auto &order =
+                        orders[static_cast<std::size_t>(loc)];
+                    EventId final_write = order.empty()
+                                              ? program.initWrite(loc)
+                                              : order.back();
+                    outcome.memory[program.locationName(loc)] =
+                        vals.value[final_write];
+                }
+
+                auto [it, inserted] = result.outcomes.insert(outcome);
+                if (inserted && opts.collectWitnesses) {
+                    Witness w;
+                    for (const Event &e : events) {
+                        if (!vals.live[e.id])
+                            continue;
+                        w.events.push_back(e.toString());
+                        w.labels[e.id] = e.toString();
+                        w.threadOf[e.id] =
+                            e.isInit ? "init" : e.threadName;
+                    }
+                    // Reduced program order for the diagram.
+                    program.po().forEach([&](EventId a, EventId b) {
+                        if (!vals.live[a] || !vals.live[b])
+                            return;
+                        for (EventId c = 0; c < n; c++) {
+                            if (c != a && c != b && vals.live[c] &&
+                                program.po().contains(a, c) &&
+                                program.po().contains(c, b)) {
+                                return;
+                            }
+                        }
+                        w.poEdges.emplace_back(a, b);
+                    });
+                    program.barrierSync().forEach(
+                        [&](EventId a, EventId b) {
+                            if (a < b)
+                                w.swEdges.emplace_back(a, b);
+                        });
+                    rf.forEach([&](EventId a, EventId b) {
+                        w.rf.push_back(events[a].toString() + " -> " +
+                                       events[b].toString());
+                        w.rfEdges.emplace_back(a, b);
+                    });
+                    for (LocationId loc = 0;
+                         loc <
+                         static_cast<LocationId>(program.locationCount());
+                         loc++) {
+                        std::ostringstream chain;
+                        chain << program.locationName(loc) << ": init";
+                        EventId prev = program.initWrite(loc);
+                        for (EventId id :
+                             orders[static_cast<std::size_t>(loc)]) {
+                            chain << " -> " << events[id].toString();
+                            w.coEdges.emplace_back(prev, id);
+                            prev = id;
+                        }
+                        w.co.push_back(chain.str());
+                    }
+                    derived.sw.forEach([&](EventId a, EventId b) {
+                        w.sw.push_back(events[a].toString() + " -> " +
+                                       events[b].toString());
+                        w.swEdges.emplace_back(a, b);
+                    });
+                    derived.cause.forEach([&](EventId a, EventId b) {
+                        w.cause.push_back(events[a].toString() + " -> " +
+                                          events[b].toString());
+                    });
+                    result.witnesses.emplace(outcome, std::move(w));
+                }
+            }
+
+            // Advance the coherence odometer.
+            co_done = true;
+            for (std::size_t loc = 0; loc < co_index.size(); loc++) {
+                if (per_loc_orders[loc].empty())
+                    continue;
+                co_index[loc]++;
+                if (co_index[loc] < per_loc_orders[loc].size()) {
+                    co_done = false;
+                    break;
+                }
+                co_index[loc] = 0;
+            }
+        }
+    }
+
+    // Evaluate assertions against the outcome set.
+    for (const auto &assertion : test.assertions()) {
+        AssertionCheck check;
+        check.assertion = assertion;
+        switch (assertion.kind) {
+          case litmus::AssertKind::Require: {
+            check.passed = !result.outcomes.empty();
+            if (!check.passed)
+                check.detail = "no consistent execution";
+            for (const auto &outcome : result.outcomes) {
+                if (!assertion.condition->evalBool(outcome)) {
+                    check.passed = false;
+                    check.detail =
+                        "counterexample: " + outcome.toString();
+                    break;
+                }
+            }
+            break;
+          }
+          case litmus::AssertKind::Permit: {
+            check.passed = result.admits(assertion.condition);
+            if (!check.passed)
+                check.detail = "no allowed outcome satisfies it";
+            break;
+          }
+          case litmus::AssertKind::Forbid: {
+            check.passed = true;
+            for (const auto &outcome : result.outcomes) {
+                if (assertion.condition->evalBool(outcome)) {
+                    check.passed = false;
+                    check.detail = "observed: " + outcome.toString();
+                    break;
+                }
+            }
+            break;
+          }
+        }
+        result.assertions.push_back(std::move(check));
+    }
+
+    return result;
+}
+
+} // namespace mixedproxy::model

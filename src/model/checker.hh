@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The axiomatic PTX-with-proxies model checker.
+ *
+ * The checker enumerates candidate executions of a litmus test
+ * exhaustively: every reads-from assignment, every per-location coherence
+ * order consistent with causality, with Fence-SC order checked
+ * analytically. A candidate is consistent when it satisfies the six PTX
+ * axioms (Coherence, SC-per-Location, Causality, Fence-SC, Atomicity,
+ * No-Thin-Air) as extended by the proxy rules of the paper's §6.2. The
+ * set of outcomes of consistent executions is exact for litmus-scale
+ * programs; this replaces the paper's Alloy/SAT flow (DESIGN.md §5).
+ */
+
+#ifndef MIXEDPROXY_MODEL_CHECKER_HH
+#define MIXEDPROXY_MODEL_CHECKER_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "litmus/outcome.hh"
+#include "litmus/test.hh"
+#include "model/program.hh"
+#include "relation/relation.hh"
+
+namespace mixedproxy::model {
+
+/** Options controlling a model-checking run. */
+struct CheckOptions
+{
+    /** Model variant: proxy-aware PTX 7.5 or proxy-oblivious PTX 6.0. */
+    ProxyMode mode = ProxyMode::Ptx75;
+
+    /** Record one witness execution per distinct outcome. */
+    bool collectWitnesses = true;
+
+    /** Abort (FatalError) past this many candidate executions. */
+    std::uint64_t maxExecutions = 100'000'000;
+};
+
+/** One consistent execution, rendered for diagnostics (Fig. 9 style). */
+struct Witness
+{
+    std::vector<std::string> events;
+    std::vector<std::string> rf;    ///< "e1 -> e4" reads-from edges
+    std::vector<std::string> co;    ///< per-location coherence chains
+    std::vector<std::string> sw;    ///< synchronizes-with edges
+    std::vector<std::string> cause; ///< causality edges (memory ops)
+
+    /** Structured form, for graph rendering. */
+    std::map<EventId, std::string> labels;       ///< live events
+    std::map<EventId, std::string> threadOf;     ///< grouping key
+    std::vector<std::pair<EventId, EventId>> poEdges; ///< reduced po
+    std::vector<std::pair<EventId, EventId>> rfEdges;
+    std::vector<std::pair<EventId, EventId>> coEdges; ///< reduced co
+    std::vector<std::pair<EventId, EventId>> swEdges;
+
+    std::string toString() const;
+
+    /**
+     * Render as a graphviz digraph (the herd/NVLitmus-style execution
+     * diagram): one cluster per thread, program order in black,
+     * reads-from in red, coherence in blue, synchronizes-with in green.
+     */
+    std::string toDot(const std::string &name) const;
+};
+
+/** The verdict on one litmus-test assertion. */
+struct AssertionCheck
+{
+    litmus::Assertion assertion;
+    bool passed = false;
+    std::string detail; ///< counterexample or confirmation note
+};
+
+/** Enumeration statistics. */
+struct CheckStats
+{
+    std::uint64_t rfAssignments = 0;
+    std::uint64_t candidateExecutions = 0;
+    std::uint64_t consistentExecutions = 0;
+};
+
+/** The result of checking one litmus test. */
+struct CheckResult
+{
+    std::string testName;
+    ProxyMode mode = ProxyMode::Ptx75;
+
+    /** Every outcome some consistent execution produces. */
+    std::set<litmus::Outcome> outcomes;
+
+    /** One witness per outcome (when collectWitnesses). */
+    std::map<litmus::Outcome, Witness> witnesses;
+
+    std::vector<AssertionCheck> assertions;
+    CheckStats stats;
+
+    /** True when every assertion passed. */
+    bool allPassed() const;
+
+    /** True when some consistent execution satisfies @p condition. */
+    bool admits(const litmus::ExprPtr &condition) const;
+
+    /** Multi-line human-readable report. */
+    std::string summary() const;
+};
+
+/**
+ * Derived relations of one candidate execution, exposed for testing and
+ * for the Fig. 9 relation dumps.
+ */
+struct DerivedRelations
+{
+    relation::Relation msRf;   ///< morally strong reads-from
+    relation::Relation obs;    ///< observation order
+    relation::Relation sw;     ///< synchronizes-with
+    relation::Relation bcause; ///< base causality order (§6.2.3)
+    relation::Relation ppbc;   ///< proxy-preserved base causality (§6.2.4)
+    relation::Relation cause;  ///< causality order (§6.2.5)
+};
+
+/**
+ * Compute the rf-dependent derived relations for a candidate execution.
+ *
+ * @param program The static expansion.
+ * @param rf Reads-from edges, write -> read.
+ * @param live Liveness per event (failed-CAS writes are dead).
+ */
+DerivedRelations computeDerived(const Program &program,
+                                const relation::Relation &rf,
+                                const std::vector<char> &live);
+
+/** The exhaustive axiomatic checker. */
+class Checker
+{
+  public:
+    explicit Checker(CheckOptions options = {});
+
+    /** Expand and check a litmus test. */
+    CheckResult check(const litmus::LitmusTest &test) const;
+
+    /** Check a pre-expanded program (reuse across calls). */
+    CheckResult check(const Program &program) const;
+
+    const CheckOptions &options() const { return opts; }
+
+  private:
+    CheckOptions opts;
+};
+
+} // namespace mixedproxy::model
+
+#endif // MIXEDPROXY_MODEL_CHECKER_HH

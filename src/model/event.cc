@@ -1,0 +1,58 @@
+#include "event.hh"
+
+#include <sstream>
+
+namespace mixedproxy::model {
+
+std::string
+ProxyId::toString() const
+{
+    std::ostringstream os;
+    os << litmus::toString(kind);
+    if (kind == litmus::ProxyKind::Generic) {
+        os << "(va" << address << ")";
+    } else {
+        os << "(cta" << cta << ")";
+    }
+    return os.str();
+}
+
+std::string
+Event::toString() const
+{
+    std::ostringstream os;
+    os << "e" << id << ":";
+    if (isInit) {
+        os << "init.W(loc" << location << ")";
+        return os.str();
+    }
+    os << threadName << ".";
+    switch (kind) {
+      case Kind::Read:
+        os << "R";
+        break;
+      case Kind::Write:
+        os << "W";
+        break;
+      case Kind::Fence:
+        os << "F." << litmus::toString(sem) << "."
+           << litmus::toString(scope);
+        return os.str();
+      case Kind::ProxyFence:
+        os << "F.proxy." << litmus::toString(proxyFence);
+        return os.str();
+      case Kind::Barrier:
+        os << "bar.sync";
+        if (instr)
+            os << " " << instr->barrierId;
+        return os.str();
+    }
+    os << "(loc" << location << ")@" << proxy.toString();
+    if (sem != litmus::Semantics::Weak) {
+        os << "." << litmus::toString(sem) << "."
+           << litmus::toString(scope);
+    }
+    return os.str();
+}
+
+} // namespace mixedproxy::model

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Memory-model events: the primitives the axiomatic PTX model operates on.
+ *
+ * A litmus program is expanded into a vector of events: one Read event per
+ * load, one Write event per store, a Read+Write pair per atomic RMW, one
+ * Fence event per scoped fence, one ProxyFence event per proxy fence, and
+ * one initial Write event per physical location.
+ */
+
+#ifndef MIXEDPROXY_MODEL_EVENT_HH
+#define MIXEDPROXY_MODEL_EVENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "litmus/instruction.hh"
+#include "litmus/types.hh"
+#include "relation/event_set.hh"
+
+namespace mixedproxy::model {
+
+using relation::EventId;
+
+/** Dense identifier of a physical memory location within one test. */
+using LocationId = int;
+
+/** Dense identifier of a virtual address within one test. */
+using AddressId = int;
+
+/** LocationId/AddressId value meaning "not a memory access". */
+constexpr int kNoLocation = -1;
+
+/**
+ * The proxy identity of a memory operation (paper Fig. 5).
+ *
+ * The generic proxy is specialized by virtual address (two aliases of the
+ * same location are different proxies); non-generic proxies are
+ * specialized by the executing CTA (each SM has its own special-purpose
+ * caches).
+ */
+struct ProxyId
+{
+    litmus::ProxyKind kind = litmus::ProxyKind::Generic;
+    AddressId address = kNoLocation; ///< generic only
+    int cta = -1;                    ///< non-generic only
+
+    bool operator==(const ProxyId &other) const = default;
+
+    std::string toString() const;
+};
+
+/** One memory-model event. */
+struct Event
+{
+    enum class Kind { Read, Write, Fence, ProxyFence, Barrier };
+
+    EventId id = 0;
+    Kind kind = Kind::Read;
+
+    /** Index of the owning thread in the litmus test; -1 for init. */
+    int thread = -1;
+    std::string threadName;
+    int cta = -1;
+    int gpu = -1;
+
+    /** Index of the originating instruction within its thread. */
+    int instrIndex = -1;
+
+    litmus::Semantics sem = litmus::Semantics::Weak;
+    litmus::Scope scope = litmus::Scope::None;
+
+    /** Memory operations only. */
+    LocationId location = kNoLocation;
+    AddressId address = kNoLocation;
+    ProxyId proxy;
+    unsigned accessSize = 4;
+
+    /** Proxy fences only. */
+    litmus::ProxyFenceKind proxyFence = litmus::ProxyFenceKind::Alias;
+
+    /** Partner event of an atomic RMW (write for the read, and v.v.). */
+    EventId rmwPartner = kNoPartner;
+
+    /**
+     * Partner event of an asynchronous copy (extension, §3.1.4): the
+     * copy's write for its read, and vice versa. The write's value is
+     * whatever the read observed.
+     */
+    EventId asyncCopyPartner = kNoPartner;
+
+    /** Destination register of a read ("" if none). */
+    std::string destReg;
+
+    /** True for the per-location initialization writes. */
+    bool isInit = false;
+
+    /** Original instruction, null for init events. */
+    const litmus::Instruction *instr = nullptr;
+
+    static constexpr EventId kNoPartner = static_cast<EventId>(-1);
+
+    bool isRead() const { return kind == Kind::Read; }
+    bool isWrite() const { return kind == Kind::Write; }
+    bool isMemory() const { return isRead() || isWrite(); }
+    bool isFence() const { return kind == Kind::Fence; }
+    bool isProxyFence() const { return kind == Kind::ProxyFence; }
+    bool isBarrier() const { return kind == Kind::Barrier; }
+    bool isAtomic() const { return rmwPartner != kNoPartner; }
+    bool isAsyncCopy() const { return asyncCopyPartner != kNoPartner; }
+    bool isStrong() const { return litmus::isStrong(sem); }
+
+    /** Short diagnostic label, e.g. "e3:t1.W(x)@generic". */
+    std::string toString() const;
+};
+
+} // namespace mixedproxy::model
+
+#endif // MIXEDPROXY_MODEL_EVENT_HH

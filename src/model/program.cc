@@ -1,0 +1,564 @@
+#include "program.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "relation/error.hh"
+
+namespace mixedproxy::model {
+
+std::string
+toString(ProxyMode mode)
+{
+    switch (mode) {
+      case ProxyMode::Ptx60: return "ptx60";
+      case ProxyMode::Ptx75: return "ptx75";
+    }
+    panic("unknown ProxyMode");
+}
+
+Program::Program(const litmus::LitmusTest &test, ProxyMode mode)
+    : _test(&test), _mode(mode)
+{
+    test.validate();
+    buildEvents();
+    buildPoAndDep();
+    buildPatterns();
+    buildBarrierSync();
+    buildMorallyStrong();
+    buildCliques();
+    buildReadSources();
+}
+
+void
+Program::buildEvents()
+{
+    // Intern locations and addresses.
+    for (const auto &loc : _test->locations()) {
+        locationIds[loc] = static_cast<LocationId>(locationNames.size());
+        locationNames.push_back(loc);
+    }
+    auto address_id = [&](const std::string &va) {
+        auto it = addressIds.find(va);
+        if (it != addressIds.end())
+            return it->second;
+        AddressId id = static_cast<AddressId>(addressNames.size());
+        addressIds[va] = id;
+        addressNames.push_back(va);
+        return id;
+    };
+
+    // Init writes, one per location, ids 0..L-1.
+    locationWrites.resize(locationNames.size());
+    for (LocationId loc = 0;
+         loc < static_cast<LocationId>(locationNames.size()); loc++) {
+        Event e;
+        e.id = _events.size();
+        e.kind = Event::Kind::Write;
+        e.thread = -1;
+        e.threadName = "init";
+        e.isInit = true;
+        e.location = loc;
+        e.address = address_id(locationNames[loc]);
+        e.proxy = ProxyId{litmus::ProxyKind::Generic, e.address, -1};
+        e.sem = litmus::Semantics::Relaxed;
+        e.scope = litmus::Scope::Sys;
+        initWrites.push_back(e.id);
+        _events.push_back(e);
+    }
+
+    const auto &threads = _test->threads();
+    threadCta.resize(threads.size());
+    threadGpu.resize(threads.size());
+
+    for (std::size_t ti = 0; ti < threads.size(); ti++) {
+        const auto &thread = threads[ti];
+        threadCta[ti] = thread.cta;
+        threadGpu[ti] = thread.gpu;
+        for (std::size_t ii = 0; ii < thread.instructions.size(); ii++) {
+            const auto &instr = thread.instructions[ii];
+
+            Event base;
+            base.thread = static_cast<int>(ti);
+            base.threadName = thread.name;
+            base.cta = thread.cta;
+            base.gpu = thread.gpu;
+            base.instrIndex = static_cast<int>(ii);
+            base.sem = instr.sem;
+            base.scope = instr.scope;
+            base.instr = &instr;
+
+            if (instr.opcode == litmus::Opcode::Fence) {
+                base.id = _events.size();
+                base.kind = Event::Kind::Fence;
+                // Fences travel the generic path; no address.
+                base.proxy =
+                    ProxyId{litmus::ProxyKind::Generic, kNoLocation, -1};
+                _events.push_back(base);
+                continue;
+            }
+            if (instr.opcode == litmus::Opcode::FenceProxy) {
+                base.id = _events.size();
+                base.kind = Event::Kind::ProxyFence;
+                base.proxyFence = instr.proxyFence;
+                _events.push_back(base);
+                continue;
+            }
+            if (instr.opcode == litmus::Opcode::Barrier) {
+                base.id = _events.size();
+                base.kind = Event::Kind::Barrier;
+                _events.push_back(base);
+                continue;
+            }
+            if (instr.opcode == litmus::Opcode::CpAsyncWait) {
+                // The join doubles as this CTA's async proxy fence.
+                base.id = _events.size();
+                base.kind = Event::Kind::ProxyFence;
+                base.proxyFence = litmus::ProxyFenceKind::Async;
+                base.scope = litmus::Scope::Cta;
+                _events.push_back(base);
+                continue;
+            }
+            if (instr.opcode == litmus::Opcode::CpAsync) {
+                // Forked copy: a read of the source and a write of the
+                // destination, both via the async proxy (or generic
+                // under the PTX 6.0 erasure).
+                auto resolve = [&](const std::string &va, Event &e) {
+                    const std::string loc = _test->locationOf(va);
+                    e.location = locationIds.at(loc);
+                    if (_mode == ProxyMode::Ptx60) {
+                        e.address = address_id(loc);
+                        e.proxy = ProxyId{litmus::ProxyKind::Generic,
+                                          e.address, -1};
+                    } else {
+                        e.address = address_id(va);
+                        e.proxy = ProxyId{litmus::ProxyKind::Async,
+                                          kNoLocation, thread.cta};
+                    }
+                };
+                Event read = base;
+                read.id = _events.size();
+                read.kind = Event::Kind::Read;
+                read.accessSize = instr.accessSize;
+                resolve(instr.srcAddress, read);
+                Event write = base;
+                write.id = read.id + 1;
+                write.kind = Event::Kind::Write;
+                write.accessSize = instr.accessSize;
+                resolve(instr.address, write);
+                read.asyncCopyPartner = write.id;
+                write.asyncCopyPartner = read.id;
+                _reads.push_back(read.id);
+                locationWrites[write.location].push_back(write.id);
+                _events.push_back(read);
+                _events.push_back(write);
+                continue;
+            }
+
+            // Memory operation.
+            const std::string location_name =
+                _test->locationOf(instr.address);
+            base.location = locationIds.at(location_name);
+            base.accessSize = instr.accessSize;
+            if (_mode == ProxyMode::Ptx60) {
+                // Proxy-oblivious baseline: every access is a generic
+                // access to the canonical location.
+                base.address = address_id(location_name);
+                base.proxy = ProxyId{litmus::ProxyKind::Generic,
+                                     base.address, -1};
+            } else {
+                base.address = address_id(instr.address);
+                if (instr.proxy == litmus::ProxyKind::Generic) {
+                    base.proxy = ProxyId{litmus::ProxyKind::Generic,
+                                         base.address, -1};
+                } else {
+                    base.proxy =
+                        ProxyId{instr.proxy, kNoLocation, thread.cta};
+                }
+            }
+
+            if (instr.isAtomic()) {
+                Event read = base;
+                read.id = _events.size();
+                read.kind = Event::Kind::Read;
+                read.destReg = instr.destReg;
+                Event write = base;
+                write.id = read.id + 1;
+                write.kind = Event::Kind::Write;
+                read.rmwPartner = write.id;
+                write.rmwPartner = read.id;
+                _reads.push_back(read.id);
+                locationWrites[base.location].push_back(write.id);
+                _events.push_back(read);
+                _events.push_back(write);
+            } else if (instr.isLoad()) {
+                base.id = _events.size();
+                base.kind = Event::Kind::Read;
+                base.destReg = instr.destReg;
+                _reads.push_back(base.id);
+                _events.push_back(base);
+            } else {
+                base.id = _events.size();
+                base.kind = Event::Kind::Write;
+                locationWrites[base.location].push_back(base.id);
+                _events.push_back(base);
+            }
+        }
+    }
+
+    // Collect fence lists.
+    for (const auto &e : _events) {
+        if (e.isFence() && e.sem == litmus::Semantics::Sc)
+            _scFences.push_back(e.id);
+        if (e.isProxyFence())
+            _proxyFences.push_back(e.id);
+    }
+}
+
+void
+Program::buildPoAndDep()
+{
+    const std::size_t n = _events.size();
+    _po = relation::Relation(n);
+    _dep = relation::Relation(n);
+
+    // Group events by thread, in id order (construction order).
+    std::map<int, std::vector<EventId>> by_thread;
+    for (const auto &e : _events) {
+        if (e.thread >= 0)
+            by_thread[e.thread].push_back(e.id);
+    }
+
+    // Program order per thread. Ordinary events form a total chain.
+    // Asynchronous copies (extension, §3.1.4) "behave as if they fork a
+    // new thread": the copy's events are ordered after every earlier
+    // ordinary event, internally read-before-write, and before later
+    // events only once a cp.async.wait_all joins them. The edges are
+    // inserted exhaustively, so _po is transitive by construction.
+    for (const auto &[thread, ids] : by_thread) {
+        std::vector<EventId> ordered;
+        std::vector<EventId> pending;
+        for (EventId id : ids) {
+            const Event &e = _events[id];
+            const bool is_join =
+                e.instr &&
+                e.instr->opcode == litmus::Opcode::CpAsyncWait;
+            for (EventId prev : ordered)
+                _po.insert(prev, id);
+            if (e.isAsyncCopy()) {
+                if (e.isWrite())
+                    _po.insert(e.asyncCopyPartner, id);
+                pending.push_back(id);
+            } else if (is_join) {
+                for (EventId p : pending) {
+                    _po.insert(p, id);
+                    ordered.push_back(p);
+                }
+                pending.clear();
+                ordered.push_back(id);
+            } else {
+                ordered.push_back(id);
+            }
+        }
+    }
+
+    // Register def-use dependencies. Registers are written exactly once
+    // (validated), by a read event.
+    for (const auto &e : _events) {
+        if (e.isRead() && !e.destReg.empty())
+            regDefs[e.thread][e.destReg] = e.id;
+    }
+    const auto &def_of = regDefs;
+    for (const auto &e : _events) {
+        if (!e.instr || !e.isMemory())
+            continue;
+        // An RMW's operand dependencies land on its write (the value
+        // consumer) and its read (address formation is shared).
+        for (const auto &reg : e.instr->sourceRegs()) {
+            EventId def = def_of.at(e.thread).at(reg);
+            if (def != e.id)
+                _dep.insert(def, e.id);
+        }
+    }
+    // Internal RMW dependency: add and cas write values depend on the
+    // value read; exch does not. An async copy's write always depends
+    // on its read (it writes what it read).
+    for (const auto &e : _events) {
+        if (e.isWrite() && e.isAtomic() && e.instr &&
+            (e.instr->atomOp == litmus::AtomOp::Add ||
+             e.instr->atomOp == litmus::AtomOp::Cas)) {
+            _dep.insert(e.rmwPartner, e.id);
+        }
+        if (e.isWrite() && e.isAsyncCopy())
+            _dep.insert(e.asyncCopyPartner, e.id);
+    }
+}
+
+void
+Program::buildPatterns()
+{
+    for (const auto &e : _events) {
+        if (e.isWrite() && !e.isInit && e.isStrong() &&
+            litmus::hasRelease(e.sem)) {
+            _releasePatterns.push_back({e.id, e.id});
+        }
+        if (e.isRead() && e.isStrong() && litmus::hasAcquire(e.sem))
+            _acquirePatterns.push_back({e.id, e.id});
+        if (e.isFence() && litmus::hasRelease(e.sem)) {
+            // fence ; po ; strong write
+            for (const auto &w : _events) {
+                if (w.isWrite() && w.isStrong() &&
+                    _po.contains(e.id, w.id)) {
+                    _releasePatterns.push_back({e.id, w.id});
+                }
+            }
+        }
+        if (e.isFence() && litmus::hasAcquire(e.sem)) {
+            // strong read ; po ; fence
+            for (const auto &r : _events) {
+                if (r.isRead() && r.isStrong() &&
+                    _po.contains(r.id, e.id)) {
+                    _acquirePatterns.push_back({r.id, e.id});
+                }
+            }
+        }
+    }
+}
+
+bool
+Program::scopeIncludes(const Event &event, int thread) const
+{
+    if (thread < 0)
+        return true; // the init pseudo-thread is visible at any scope
+    switch (event.scope) {
+      case litmus::Scope::Sys:
+        return true;
+      case litmus::Scope::Gpu:
+        return event.gpu == threadGpu[static_cast<std::size_t>(thread)];
+      case litmus::Scope::Cta:
+        return event.gpu == threadGpu[static_cast<std::size_t>(thread)] &&
+               event.cta == threadCta[static_cast<std::size_t>(thread)];
+      case litmus::Scope::None:
+        return false;
+    }
+    panic("unknown Scope");
+}
+
+bool
+Program::overlaps(const Event &a, const Event &b) const
+{
+    return a.isMemory() && b.isMemory() && a.location == b.location &&
+           a.accessSize == b.accessSize;
+}
+
+void
+Program::buildBarrierSync()
+{
+    _barrierSync = relation::Relation(_events.size());
+    // Group barrier events by (gpu, cta), per thread, in program order;
+    // the i-th barriers of a CTA's threads rendezvous with each other.
+    std::map<std::pair<int, int>, std::map<int, std::vector<EventId>>>
+        by_cta;
+    for (const auto &e : _events) {
+        if (e.isBarrier())
+            by_cta[{e.gpu, e.cta}][e.thread].push_back(e.id);
+    }
+    for (const auto &[cta, threads] : by_cta) {
+        std::size_t instances = 0;
+        for (const auto &[thread, ids] : threads)
+            instances = std::max(instances, ids.size());
+        for (std::size_t i = 0; i < instances; i++) {
+            std::vector<EventId> instance;
+            for (const auto &[thread, ids] : threads) {
+                if (i < ids.size())
+                    instance.push_back(ids[i]);
+            }
+            for (EventId a : instance) {
+                for (EventId b : instance) {
+                    if (a != b)
+                        _barrierSync.insert(a, b);
+                }
+            }
+        }
+    }
+}
+
+bool
+Program::sameProxy(const Event &a, const Event &b) const
+{
+    // Fences execute on the generic path and carry no address: a fence
+    // matches another fence or any generic-proxy memory operation.
+    if (a.isFence() && b.isFence())
+        return true;
+    if (a.isFence())
+        return b.proxy.kind == litmus::ProxyKind::Generic;
+    if (b.isFence())
+        return a.proxy.kind == litmus::ProxyKind::Generic;
+    return a.proxy == b.proxy;
+}
+
+bool
+Program::morallyStrongPair(const Event &a, const Event &b) const
+{
+    if (a.id == b.id)
+        return false;
+    if (a.isProxyFence() || b.isProxyFence())
+        return false;
+    if (a.isBarrier() || b.isBarrier())
+        return false;
+    // Initialization writes behave as if performed before the program by
+    // a system-scope thread: morally strong with any overlapping access.
+    if (a.isInit || b.isInit)
+        return overlaps(a, b);
+    // (1) related in program order, or mutually-inclusive strong
+    // scopes. Program order matters (not mere thread identity): a
+    // forked async copy is unordered with the instructions between its
+    // issue and its join, and hence not morally strong with them.
+    const bool po_related =
+        _po.contains(a.id, b.id) || _po.contains(b.id, a.id);
+    const bool strong_pair = a.isStrong() && b.isStrong() &&
+                             scopeIncludes(a, b.thread) &&
+                             scopeIncludes(b, a.thread);
+    if (!po_related && !strong_pair)
+        return false;
+    // (2) performed via the same proxy
+    if (!sameProxy(a, b))
+        return false;
+    // (3) memory operations must overlap completely
+    if (a.isMemory() && b.isMemory() && !overlaps(a, b))
+        return false;
+    // A memory operation and a fence cannot be "morally strong" in any
+    // useful sense; restrict to memory/memory and fence/fence pairs.
+    if (a.isMemory() != b.isMemory())
+        return false;
+    return true;
+}
+
+void
+Program::buildMorallyStrong()
+{
+    const std::size_t n = _events.size();
+    _ms = relation::Relation(n);
+    for (const auto &a : _events) {
+        for (const auto &b : _events) {
+            if (morallyStrongPair(a, b))
+                _ms.insert(a.id, b.id);
+        }
+    }
+}
+
+void
+Program::buildCliques()
+{
+    // Per location, find the maximal cliques of the morally strong graph
+    // over that location's memory events (Bron-Kerbosch without
+    // pivoting; litmus-scale inputs keep this tiny).
+    for (LocationId loc = 0;
+         loc < static_cast<LocationId>(locationNames.size()); loc++) {
+        std::vector<EventId> nodes;
+        for (const auto &e : _events) {
+            if (e.isMemory() && e.location == loc)
+                nodes.push_back(e.id);
+        }
+
+        auto adjacent = [this](EventId a, EventId b) {
+            return _ms.contains(a, b);
+        };
+
+        std::function<void(std::vector<EventId>, std::vector<EventId>,
+                           std::vector<EventId>)>
+            bron_kerbosch = [&](std::vector<EventId> r,
+                                std::vector<EventId> p,
+                                std::vector<EventId> x) {
+                if (p.empty() && x.empty()) {
+                    if (r.size() >= 2) {
+                        relation::EventSet clique(_events.size());
+                        for (EventId id : r)
+                            clique.insert(id);
+                        cliques.push_back(clique);
+                    }
+                    return;
+                }
+                std::vector<EventId> p_iter = p;
+                for (EventId v : p_iter) {
+                    std::vector<EventId> r2 = r;
+                    r2.push_back(v);
+                    std::vector<EventId> p2;
+                    for (EventId u : p) {
+                        if (u != v && adjacent(v, u))
+                            p2.push_back(u);
+                    }
+                    std::vector<EventId> x2;
+                    for (EventId u : x) {
+                        if (adjacent(v, u))
+                            x2.push_back(u);
+                    }
+                    bron_kerbosch(std::move(r2), std::move(p2),
+                                  std::move(x2));
+                    p.erase(std::find(p.begin(), p.end(), v));
+                    x.push_back(v);
+                }
+            };
+        bron_kerbosch({}, nodes, {});
+    }
+}
+
+void
+Program::buildReadSources()
+{
+    for (EventId r : _reads) {
+        const Event &read = _events[r];
+        std::vector<EventId> sources;
+        sources.push_back(initWrites[static_cast<std::size_t>(
+            read.location)]);
+        for (EventId w : locationWrites[static_cast<std::size_t>(
+                 read.location)]) {
+            if (w == read.rmwPartner || w == read.asyncCopyPartner)
+                continue; // cannot read one's own paired write
+            // A thread cannot observe its own program-order-later store:
+            // reordering paths do not travel backwards in time.
+            if (_po.contains(r, w))
+                continue;
+            sources.push_back(w);
+        }
+        _readSources[r] = std::move(sources);
+    }
+}
+
+EventId
+Program::regDef(int thread, const std::string &reg) const
+{
+    auto t = regDefs.find(thread);
+    if (t == regDefs.end() || !t->second.count(reg))
+        panic("no definition of register ", reg, " in thread ", thread);
+    return t->second.at(reg);
+}
+
+const std::vector<EventId> &
+Program::readSources(EventId read) const
+{
+    auto it = _readSources.find(read);
+    if (it == _readSources.end())
+        panic("event ", read, " is not a read");
+    return it->second;
+}
+
+const std::vector<EventId> &
+Program::writesAt(LocationId loc) const
+{
+    return locationWrites[static_cast<std::size_t>(loc)];
+}
+
+EventId
+Program::initWrite(LocationId loc) const
+{
+    return initWrites[static_cast<std::size_t>(loc)];
+}
+
+const std::string &
+Program::locationName(LocationId loc) const
+{
+    return locationNames[static_cast<std::size_t>(loc)];
+}
+
+} // namespace mixedproxy::model

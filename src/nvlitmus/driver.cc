@@ -1,0 +1,348 @@
+#include "driver.hh"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "litmus/parser.hh"
+#include "litmus/registry.hh"
+#include "relation/error.hh"
+#include "synth/generator.hh"
+#include "synth/shrink.hh"
+
+namespace mixedproxy::nvlitmus {
+
+std::string
+usage()
+{
+    return R"(nvlitmus - PTX mixed-proxy memory model litmus checker
+
+usage: nvlitmus [options] <input>...
+
+inputs:
+  <path>           a litmus file in the plain-text format
+  <name>           the name of a built-in test (see --list)
+  -                read a litmus test from stdin
+
+options:
+  --model MODEL    ptx75 (default, proxy-aware) or ptx60 (baseline)
+  --compare        check under both models and show the difference
+  --witness        print one witness execution per allowed outcome
+  --dot            emit a graphviz digraph per allowed outcome (pipe
+                   through `dot -Tsvg` for the NVLitmus-style diagram)
+  --simulate[=N]   also run N randomized schedules on the operational
+                   GPU machine (default 2000)
+  --sim-mode MODE  proxy (default), coherent, or fence-reuse
+  --list           list the built-in litmus tests
+  --all            check every built-in test and print a verdict table
+  --synth=N        synthesize and classify all N-instruction litmus
+                   tests (paper Section 6.3); prints the report and a
+                   sample of the proxy-sensitive tests found
+  --synth-out=DIR  with --synth: also write every interesting test as a
+                   .litmus file under DIR (the comprehensive-suite
+                   artifact)
+  --shrink COND    instead of checking, minimize each input while the
+                   PTX 7.5 model still admits an outcome satisfying
+                   COND, and print the minimized test
+  --help           show this text
+
+exit status: 0 all assertions passed, 1 some assertion failed,
+             2 bad usage or unreadable input
+)";
+}
+
+DriverOptions
+parseArgs(const std::vector<std::string> &args)
+{
+    DriverOptions opts;
+    for (std::size_t i = 0; i < args.size(); i++) {
+        const std::string &arg = args[i];
+        auto value_of = [&](const std::string &flag) -> std::string {
+            if (arg.size() > flag.size() && arg[flag.size()] == '=')
+                return arg.substr(flag.size() + 1);
+            if (++i >= args.size())
+                fatal(flag, " requires a value");
+            return args[i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            opts.help = true;
+        } else if (arg == "--list") {
+            opts.list = true;
+        } else if (arg == "--all") {
+            opts.all = true;
+        } else if (arg == "--compare") {
+            opts.compareModels = true;
+        } else if (arg == "--witness") {
+            opts.showWitnesses = true;
+        } else if (arg == "--dot") {
+            opts.dot = true;
+        } else if (arg.rfind("--model", 0) == 0) {
+            std::string value = value_of("--model");
+            if (value == "ptx75") {
+                opts.mode = model::ProxyMode::Ptx75;
+            } else if (value == "ptx60") {
+                opts.mode = model::ProxyMode::Ptx60;
+            } else {
+                fatal("unknown model '", value, "'");
+            }
+        } else if (arg.rfind("--synth-out", 0) == 0) {
+            opts.synthOut = value_of("--synth-out");
+        } else if (arg.rfind("--shrink", 0) == 0) {
+            opts.shrinkCondition = value_of("--shrink");
+        } else if (arg.rfind("--synth", 0) == 0) {
+            if (arg.size() <= 7 || arg[7] != '=')
+                fatal("--synth requires =N");
+            std::string value = arg.substr(8);
+            try {
+                opts.synthInstructions = std::stoul(value);
+            } catch (const std::exception &) {
+                fatal("bad --synth count '", value, "'");
+            }
+            if (opts.synthInstructions < 1 ||
+                opts.synthInstructions > 6) {
+                fatal("--synth size must be 1..6");
+            }
+        } else if (arg.rfind("--simulate", 0) == 0) {
+            opts.simulate = true;
+            if (arg.size() > 10 && arg[10] == '=') {
+                std::string value = arg.substr(11);
+                try {
+                    opts.simIterations = std::stoul(value);
+                } catch (const std::exception &) {
+                    fatal("bad --simulate count '", value, "'");
+                }
+            }
+        } else if (arg.rfind("--sim-mode", 0) == 0) {
+            std::string value = value_of("--sim-mode");
+            if (value == "proxy") {
+                opts.simMode = microarch::CoherenceMode::Proxy;
+            } else if (value == "coherent") {
+                opts.simMode = microarch::CoherenceMode::FullyCoherent;
+            } else if (value == "fence-reuse") {
+                opts.simMode = microarch::CoherenceMode::FenceReuse;
+            } else {
+                fatal("unknown sim mode '", value, "'");
+            }
+        } else if (arg.rfind("--", 0) == 0) {
+            fatal("unknown option '", arg, "'");
+        } else {
+            opts.inputs.push_back(arg);
+        }
+    }
+    return opts;
+}
+
+namespace {
+
+litmus::LitmusTest
+loadInput(const std::string &input)
+{
+    if (input == "-") {
+        std::ostringstream contents;
+        contents << std::cin.rdbuf();
+        return litmus::parseTest(contents.str());
+    }
+    if (litmus::hasTest(input))
+        return litmus::testByName(input);
+    return litmus::parseTestFile(input);
+}
+
+} // namespace
+
+std::string
+report(const litmus::LitmusTest &test, const DriverOptions &options)
+{
+    std::ostringstream os;
+    os << "=== " << test.name() << " ===\n";
+    os << test.toString() << "\n";
+
+    model::CheckOptions copts;
+    copts.mode = options.mode;
+    copts.collectWitnesses = options.showWitnesses || options.dot;
+    auto result = model::Checker(copts).check(test);
+    os << result.summary();
+
+    if (options.showWitnesses) {
+        for (const auto &[outcome, witness] : result.witnesses) {
+            os << "\nwitness for " << outcome.toString() << ":\n"
+               << witness.toString();
+        }
+    }
+    if (options.dot) {
+        std::size_t index = 0;
+        for (const auto &[outcome, witness] : result.witnesses) {
+            os << "\n// " << outcome.toString() << "\n"
+               << witness.toDot(test.name() + "_" +
+                                std::to_string(index++));
+        }
+    }
+
+    if (options.compareModels) {
+        model::CheckOptions other = copts;
+        other.collectWitnesses = false;
+        other.mode = options.mode == model::ProxyMode::Ptx75
+                         ? model::ProxyMode::Ptx60
+                         : model::ProxyMode::Ptx75;
+        auto other_result = model::Checker(other).check(test);
+        os << "\ncomparison with " << model::toString(other.mode)
+           << ":\n";
+        bool any = false;
+        for (const auto &outcome : result.outcomes) {
+            if (!other_result.outcomes.count(outcome)) {
+                os << "  only " << model::toString(copts.mode) << ": "
+                   << outcome.toString() << "\n";
+                any = true;
+            }
+        }
+        for (const auto &outcome : other_result.outcomes) {
+            if (!result.outcomes.count(outcome)) {
+                os << "  only " << model::toString(other.mode) << ": "
+                   << outcome.toString() << "\n";
+                any = true;
+            }
+        }
+        if (!any)
+            os << "  identical outcome sets\n";
+    }
+
+    if (options.simulate) {
+        microarch::SimOptions sopts;
+        sopts.iterations = options.simIterations;
+        sopts.mode = options.simMode;
+        auto sim = microarch::Simulator(sopts).run(test);
+        os << "\n" << sim.summary();
+
+        // Cross-check: flag any simulated outcome the model forbids.
+        for (const auto &[outcome, count] : sim.histogram) {
+            if (!result.outcomes.count(outcome)) {
+                os << "  WARNING: observed outcome not allowed by "
+                   << model::toString(copts.mode) << ": "
+                   << outcome.toString() << "\n";
+            }
+        }
+    }
+    return os.str();
+}
+
+int
+runCli(const std::vector<std::string> &args, std::ostream &out,
+       std::ostream &err)
+{
+    DriverOptions opts;
+    try {
+        opts = parseArgs(args);
+    } catch (const FatalError &e) {
+        err << "nvlitmus: " << e.what() << "\n" << usage();
+        return 2;
+    }
+
+    if (opts.help) {
+        out << usage();
+        return 0;
+    }
+    if (opts.list) {
+        for (const auto &name : litmus::testNames())
+            out << name << "\n";
+        return 0;
+    }
+    if (opts.synthInstructions != 0) {
+        synth::SynthOptions sopts;
+        sopts.instructions = opts.synthInstructions;
+        sopts.classifyFenceMinimal = opts.synthInstructions <= 3;
+        auto report = synth::Synthesizer(sopts).run();
+        out << report.summary() << "\n";
+        if (!opts.synthOut.empty()) {
+            std::size_t written = report.writeSuite(opts.synthOut);
+            out << "wrote " << written << " tests to " << opts.synthOut
+                << "\n";
+        }
+        std::size_t shown = 0;
+        for (const auto &entry : report.interesting) {
+            if (!entry.proxySensitive)
+                continue;
+            out << "--- proxy-sensitive (" << entry.ptx60Outcomes
+                << " -> " << entry.ptx75Outcomes << " outcomes) ---\n"
+                << entry.test.toString() << "\n";
+            if (++shown == 3)
+                break;
+        }
+        return 0;
+    }
+
+    std::vector<litmus::LitmusTest> tests;
+    if (opts.all) {
+        tests = litmus::allTests();
+    } else {
+        if (opts.inputs.empty()) {
+            err << "nvlitmus: no inputs\n" << usage();
+            return 2;
+        }
+        for (const auto &input : opts.inputs) {
+            try {
+                tests.push_back(loadInput(input));
+            } catch (const FatalError &e) {
+                err << "nvlitmus: " << input << ": " << e.what() << "\n";
+                return 2;
+            }
+        }
+    }
+
+    if (!opts.shrinkCondition.empty()) {
+        for (const auto &test : tests) {
+            try {
+                synth::ShrinkStats stats;
+                auto minimal = synth::shrink(
+                    test,
+                    synth::admitsPredicate(opts.shrinkCondition),
+                    &stats);
+                out << "=== " << test.name() << " shrunk from "
+                    << test.instructionCount() << " to "
+                    << minimal.instructionCount()
+                    << " instructions (" << stats.candidatesTried
+                    << " candidates) ===\n"
+                    << minimal.toString() << "\n";
+            } catch (const FatalError &e) {
+                err << "nvlitmus: " << test.name() << ": " << e.what()
+                    << "\n";
+                return 2;
+            }
+        }
+        return 0;
+    }
+
+    bool all_passed = true;
+    if (opts.all) {
+        // Compact verdict table.
+        model::CheckOptions copts;
+        copts.mode = opts.mode;
+        copts.collectWitnesses = false;
+        model::Checker checker(copts);
+        for (const auto &test : tests) {
+            auto result = checker.check(test);
+            bool passed = result.allPassed();
+            all_passed &= passed;
+            out << (passed ? "PASS" : "FAIL") << "  " << test.name()
+                << "  (" << result.outcomes.size() << " outcomes)\n";
+            if (!passed)
+                out << result.summary();
+        }
+    } else {
+        for (const auto &test : tests) {
+            try {
+                model::CheckOptions copts;
+                copts.mode = opts.mode;
+                copts.collectWitnesses = false;
+                auto result = model::Checker(copts).check(test);
+                all_passed &= result.allPassed();
+                out << report(test, opts) << "\n";
+            } catch (const FatalError &e) {
+                err << "nvlitmus: " << test.name() << ": " << e.what()
+                    << "\n";
+                return 2;
+            }
+        }
+    }
+    return all_passed ? 0 : 1;
+}
+
+} // namespace mixedproxy::nvlitmus

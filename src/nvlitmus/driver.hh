@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The NVLitmus front end (paper §6.3, Fig. 10).
+ *
+ * The paper integrated its Alloy model into a locally hosted Compiler
+ * Explorer so that non-experts could write litmus tests in a stylized
+ * plain-text representation and get verdicts in the browser. This
+ * module provides the same experience as a library + CLI: parse a
+ * litmus file (or pick a built-in test), run the axiomatic checker
+ * and/or the operational simulator, and render a human-readable report.
+ */
+
+#ifndef MIXEDPROXY_NVLITMUS_DRIVER_HH
+#define MIXEDPROXY_NVLITMUS_DRIVER_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "litmus/test.hh"
+#include "microarch/simulator.hh"
+#include "model/checker.hh"
+
+namespace mixedproxy::nvlitmus {
+
+/** Parsed command line. */
+struct DriverOptions
+{
+    /** Litmus file paths, built-in test names, or "-" for stdin. */
+    std::vector<std::string> inputs;
+
+    /** Check under both PTX 7.5 and PTX 6.0 and show the delta. */
+    bool compareModels = false;
+
+    model::ProxyMode mode = model::ProxyMode::Ptx75;
+
+    /** Print one witness execution per outcome. */
+    bool showWitnesses = false;
+
+    /** Emit a graphviz digraph per allowed outcome. */
+    bool dot = false;
+
+    /** Also run the operational simulator. */
+    bool simulate = false;
+    std::size_t simIterations = 2000;
+    microarch::CoherenceMode simMode = microarch::CoherenceMode::Proxy;
+
+    /** Run the litmus-test synthesizer at this size (0 = off). */
+    std::size_t synthInstructions = 0;
+
+    /** Directory to write the synthesized suite into ("" = don't). */
+    std::string synthOut;
+
+    /** Shrink inputs while preserving admission of this condition. */
+    std::string shrinkCondition;
+
+    /** List built-in tests and exit. */
+    bool list = false;
+
+    /** Run every built-in test and print a verdict table. */
+    bool all = false;
+
+    /** Print this help text and exit. */
+    bool help = false;
+};
+
+/**
+ * Parse argv into options.
+ *
+ * @throws FatalError on unknown flags or malformed values.
+ */
+DriverOptions parseArgs(const std::vector<std::string> &args);
+
+/** The usage text. */
+std::string usage();
+
+/** Render one test's full report (check + optional simulation). */
+std::string report(const litmus::LitmusTest &test,
+                   const DriverOptions &options);
+
+/**
+ * Run the front end. Reads litmus files, writes reports to @p out and
+ * problems to @p err.
+ *
+ * @return process exit code: 0 if every assertion of every input
+ *         passed, 1 on assertion failure, 2 on usage/input errors.
+ */
+int runCli(const std::vector<std::string> &args, std::ostream &out,
+           std::ostream &err);
+
+} // namespace mixedproxy::nvlitmus
+
+#endif // MIXEDPROXY_NVLITMUS_DRIVER_HH

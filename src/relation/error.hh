@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Error-reporting primitives shared across the mixedproxy libraries.
+ *
+ * Follows the gem5 distinction between panic() (an internal invariant was
+ * violated: a library bug) and fatal() (the user supplied bad input).
+ * Both are implemented as exceptions rather than process termination so
+ * that library embedders can recover.
+ */
+
+#ifndef MIXEDPROXY_RELATION_ERROR_HH
+#define MIXEDPROXY_RELATION_ERROR_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace mixedproxy {
+
+/** Raised when an internal invariant is violated: a bug in this library. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what_arg)
+        : std::logic_error("panic: " + what_arg)
+    {}
+};
+
+/** Raised when user-supplied input (e.g., a litmus test) is invalid. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+namespace detail {
+
+inline void
+streamAll(std::ostringstream &)
+{}
+
+template <typename T, typename... Rest>
+void
+streamAll(std::ostringstream &os, T &&first, Rest &&...rest)
+{
+    os << std::forward<T>(first);
+    streamAll(os, std::forward<Rest>(rest)...);
+}
+
+/** Concatenate heterogeneous arguments into one message string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    streamAll(os, std::forward<Args>(args)...);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation.
+ *
+ * @param args Message fragments, streamed together.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Report invalid user input.
+ *
+ * @param args Message fragments, streamed together.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Panic unless a condition holds. */
+#define MP_ASSERT(cond, ...)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::mixedproxy::panic("assertion failed: ", #cond, " ",         \
+                                ##__VA_ARGS__);                           \
+        }                                                                 \
+    } while (0)
+
+} // namespace mixedproxy
+
+#endif // MIXEDPROXY_RELATION_ERROR_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * A dense set of event identifiers.
+ *
+ * Events in a candidate execution are numbered 0..size-1; an EventSet is a
+ * bitset over that universe. This is the "set" half of the relational
+ * algebra used to transliterate the Alloy-style memory model definitions.
+ */
+
+#ifndef MIXEDPROXY_RELATION_EVENT_SET_HH
+#define MIXEDPROXY_RELATION_EVENT_SET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace mixedproxy::relation {
+
+/** Identifier of an event within one candidate execution. */
+using EventId = std::size_t;
+
+/**
+ * A subset of the event universe {0, ..., size()-1}, stored as a bitset.
+ */
+class EventSet
+{
+  public:
+    /** Construct the empty set over a universe of @p universe_size ids. */
+    explicit EventSet(std::size_t universe_size = 0);
+
+    /** Construct from an explicit list of members. */
+    EventSet(std::size_t universe_size,
+             std::initializer_list<EventId> members);
+
+    /** The full set over a universe of @p universe_size ids. */
+    static EventSet full(std::size_t universe_size);
+
+    /** Number of ids in the universe (not the cardinality). */
+    std::size_t universeSize() const { return _universeSize; }
+
+    /** Number of members. */
+    std::size_t count() const;
+
+    /** True if the set has no members. */
+    bool empty() const { return count() == 0; }
+
+    /** Add @p id to the set. */
+    void insert(EventId id);
+
+    /** Remove @p id from the set. */
+    void erase(EventId id);
+
+    /** True if @p id is a member. */
+    bool contains(EventId id) const;
+
+    /** Set union. */
+    EventSet operator|(const EventSet &other) const;
+
+    /** Set intersection. */
+    EventSet operator&(const EventSet &other) const;
+
+    /** Set difference. */
+    EventSet operator-(const EventSet &other) const;
+
+    EventSet &operator|=(const EventSet &other);
+    EventSet &operator&=(const EventSet &other);
+    EventSet &operator-=(const EventSet &other);
+
+    bool operator==(const EventSet &other) const;
+    bool operator!=(const EventSet &other) const = default;
+
+    /** True if this set is a subset of @p other. */
+    bool subsetOf(const EventSet &other) const;
+
+    /** Members in ascending order. */
+    std::vector<EventId> members() const;
+
+    /** Invoke @p fn for each member in ascending order. */
+    void forEach(const std::function<void(EventId)> &fn) const;
+
+    /** Keep only members satisfying @p pred. */
+    EventSet filter(const std::function<bool(EventId)> &pred) const;
+
+    /** Render as "{0, 3, 5}" for diagnostics. */
+    std::string toString() const;
+
+  private:
+    static constexpr std::size_t bitsPerWord = 64;
+
+    static std::size_t wordsFor(std::size_t universe_size);
+
+    void checkUniverse(const EventSet &other, const char *op) const;
+    void checkId(EventId id) const;
+
+    std::size_t _universeSize;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace mixedproxy::relation
+
+#endif // MIXEDPROXY_RELATION_EVENT_SET_HH

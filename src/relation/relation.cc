@@ -1,0 +1,548 @@
+#include "relation.hh"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "error.hh"
+
+namespace mixedproxy::relation {
+
+namespace {
+
+constexpr std::size_t bitsPerWord = 64;
+
+std::size_t
+wordsFor(std::size_t n)
+{
+    return (n + bitsPerWord - 1) / bitsPerWord;
+}
+
+} // namespace
+
+std::size_t
+Relation::wordsPerRow() const
+{
+    return wordsFor(n);
+}
+
+std::uint64_t *
+Relation::row(EventId a)
+{
+    return bits.data() + a * wordsPerRow();
+}
+
+const std::uint64_t *
+Relation::row(EventId a) const
+{
+    return bits.data() + a * wordsPerRow();
+}
+
+Relation::Relation(std::size_t n)
+    : n(n), bits(n * wordsFor(n), 0)
+{}
+
+Relation::Relation(std::size_t n, std::initializer_list<EventPair> pairs)
+    : Relation(n)
+{
+    for (const auto &[a, b] : pairs)
+        insert(a, b);
+}
+
+Relation
+Relation::identity(std::size_t n)
+{
+    Relation r(n);
+    for (EventId i = 0; i < n; i++)
+        r.insert(i, i);
+    return r;
+}
+
+Relation
+Relation::full(std::size_t n)
+{
+    return product(EventSet::full(n), EventSet::full(n));
+}
+
+Relation
+Relation::product(const EventSet &from, const EventSet &to)
+{
+    if (from.universeSize() != to.universeSize())
+        panic("Relation::product: universe mismatch");
+    Relation r(from.universeSize());
+    from.forEach([&](EventId a) {
+        to.forEach([&](EventId b) { r.insert(a, b); });
+    });
+    return r;
+}
+
+Relation
+Relation::fromPredicate(std::size_t n,
+                        const std::function<bool(EventId, EventId)> &pred)
+{
+    Relation r(n);
+    for (EventId a = 0; a < n; a++) {
+        for (EventId b = 0; b < n; b++) {
+            if (pred(a, b))
+                r.insert(a, b);
+        }
+    }
+    return r;
+}
+
+std::size_t
+Relation::pairCount() const
+{
+    std::size_t count = 0;
+    for (auto w : bits)
+        count += static_cast<std::size_t>(std::popcount(w));
+    return count;
+}
+
+void
+Relation::checkId(EventId id) const
+{
+    if (id >= n)
+        panic("Relation id ", id, " out of universe ", n);
+}
+
+void
+Relation::checkUniverse(const Relation &other, const char *op) const
+{
+    if (other.n != n)
+        panic("Relation ", op, ": universe mismatch ", n, " vs ", other.n);
+}
+
+void
+Relation::insert(EventId a, EventId b)
+{
+    checkId(a);
+    checkId(b);
+    row(a)[b / bitsPerWord] |= std::uint64_t{1} << (b % bitsPerWord);
+}
+
+void
+Relation::erase(EventId a, EventId b)
+{
+    checkId(a);
+    checkId(b);
+    row(a)[b / bitsPerWord] &= ~(std::uint64_t{1} << (b % bitsPerWord));
+}
+
+bool
+Relation::contains(EventId a, EventId b) const
+{
+    if (a >= n || b >= n)
+        return false;
+    return (row(a)[b / bitsPerWord] >> (b % bitsPerWord)) & 1;
+}
+
+Relation
+Relation::operator|(const Relation &other) const
+{
+    Relation r(*this);
+    r |= other;
+    return r;
+}
+
+Relation
+Relation::operator&(const Relation &other) const
+{
+    Relation r(*this);
+    r &= other;
+    return r;
+}
+
+Relation
+Relation::operator-(const Relation &other) const
+{
+    Relation r(*this);
+    r -= other;
+    return r;
+}
+
+Relation &
+Relation::operator|=(const Relation &other)
+{
+    checkUniverse(other, "union");
+    for (std::size_t i = 0; i < bits.size(); i++)
+        bits[i] |= other.bits[i];
+    return *this;
+}
+
+Relation &
+Relation::operator&=(const Relation &other)
+{
+    checkUniverse(other, "intersection");
+    for (std::size_t i = 0; i < bits.size(); i++)
+        bits[i] &= other.bits[i];
+    return *this;
+}
+
+Relation &
+Relation::operator-=(const Relation &other)
+{
+    checkUniverse(other, "difference");
+    for (std::size_t i = 0; i < bits.size(); i++)
+        bits[i] &= ~other.bits[i];
+    return *this;
+}
+
+bool
+Relation::operator==(const Relation &other) const
+{
+    return n == other.n && bits == other.bits;
+}
+
+Relation
+Relation::compose(const Relation &other) const
+{
+    checkUniverse(other, "compose");
+    Relation r(n);
+    const std::size_t words = wordsPerRow();
+    for (EventId a = 0; a < n; a++) {
+        const std::uint64_t *arow = row(a);
+        std::uint64_t *out = r.row(a);
+        for (std::size_t wi = 0; wi < words; wi++) {
+            std::uint64_t w = arow[wi];
+            while (w != 0) {
+                int bit = std::countr_zero(w);
+                w &= w - 1;
+                EventId mid = wi * bitsPerWord +
+                    static_cast<std::size_t>(bit);
+                const std::uint64_t *mrow = other.row(mid);
+                for (std::size_t wj = 0; wj < words; wj++)
+                    out[wj] |= mrow[wj];
+            }
+        }
+    }
+    return r;
+}
+
+Relation
+Relation::inverse() const
+{
+    Relation r(n);
+    forEach([&r](EventId a, EventId b) { r.insert(b, a); });
+    return r;
+}
+
+Relation
+Relation::transitiveClosure() const
+{
+    // Floyd-Warshall on the bit-matrix: O(n^2 * n/64) words.
+    Relation r(*this);
+    const std::size_t words = wordsPerRow();
+    for (EventId mid = 0; mid < n; mid++) {
+        const std::uint64_t *mrow = r.row(mid);
+        // Copy in case a == mid (self-extension is still correct, but
+        // keep the read side stable for clarity).
+        std::vector<std::uint64_t> mcopy(mrow, mrow + words);
+        for (EventId a = 0; a < n; a++) {
+            if (!r.contains(a, mid))
+                continue;
+            std::uint64_t *arow = r.row(a);
+            for (std::size_t wi = 0; wi < words; wi++)
+                arow[wi] |= mcopy[wi];
+        }
+    }
+    return r;
+}
+
+Relation
+Relation::reflexiveTransitiveClosure() const
+{
+    return transitiveClosure() | identity(n);
+}
+
+Relation
+Relation::restrict(const EventSet &s) const
+{
+    return restrictDomain(s).restrictRange(s);
+}
+
+Relation
+Relation::restrictDomain(const EventSet &s) const
+{
+    if (s.universeSize() != n)
+        panic("Relation::restrictDomain: universe mismatch");
+    Relation r(n);
+    s.forEach([&](EventId a) {
+        const std::uint64_t *src = row(a);
+        std::uint64_t *dst = r.row(a);
+        std::copy(src, src + wordsPerRow(), dst);
+    });
+    return r;
+}
+
+Relation
+Relation::restrictRange(const EventSet &s) const
+{
+    if (s.universeSize() != n)
+        panic("Relation::restrictRange: universe mismatch");
+    Relation r(*this);
+    EventSet excluded = EventSet::full(n) - s;
+    excluded.forEach([&](EventId b) {
+        for (EventId a = 0; a < n; a++)
+            r.erase(a, b);
+    });
+    return r;
+}
+
+Relation
+Relation::filter(const std::function<bool(EventId, EventId)> &pred) const
+{
+    Relation r(n);
+    forEach([&](EventId a, EventId b) {
+        if (pred(a, b))
+            r.insert(a, b);
+    });
+    return r;
+}
+
+EventSet
+Relation::domain() const
+{
+    EventSet s(n);
+    forEach([&s](EventId a, EventId) { s.insert(a); });
+    return s;
+}
+
+EventSet
+Relation::range() const
+{
+    EventSet s(n);
+    forEach([&s](EventId, EventId b) { s.insert(b); });
+    return s;
+}
+
+EventSet
+Relation::successors(EventId a) const
+{
+    checkId(a);
+    EventSet s(n);
+    for (EventId b = 0; b < n; b++) {
+        if (contains(a, b))
+            s.insert(b);
+    }
+    return s;
+}
+
+EventSet
+Relation::predecessors(EventId b) const
+{
+    checkId(b);
+    EventSet s(n);
+    for (EventId a = 0; a < n; a++) {
+        if (contains(a, b))
+            s.insert(a);
+    }
+    return s;
+}
+
+bool
+Relation::irreflexive() const
+{
+    for (EventId i = 0; i < n; i++) {
+        if (contains(i, i))
+            return false;
+    }
+    return true;
+}
+
+bool
+Relation::acyclic() const
+{
+    return transitiveClosure().irreflexive();
+}
+
+bool
+Relation::transitive() const
+{
+    return compose(*this).subsetOf(*this);
+}
+
+bool
+Relation::subsetOf(const Relation &other) const
+{
+    checkUniverse(other, "subsetOf");
+    for (std::size_t i = 0; i < bits.size(); i++) {
+        if (bits[i] & ~other.bits[i])
+            return false;
+    }
+    return true;
+}
+
+bool
+Relation::totalOn(const EventSet &s) const
+{
+    if (s.universeSize() != n)
+        panic("Relation::totalOn: universe mismatch");
+    auto ids = s.members();
+    for (std::size_t i = 0; i < ids.size(); i++) {
+        for (std::size_t j = i + 1; j < ids.size(); j++) {
+            if (!contains(ids[i], ids[j]) && !contains(ids[j], ids[i]))
+                return false;
+        }
+    }
+    return true;
+}
+
+std::vector<EventPair>
+Relation::pairs() const
+{
+    std::vector<EventPair> out;
+    forEach([&out](EventId a, EventId b) { out.emplace_back(a, b); });
+    return out;
+}
+
+void
+Relation::forEach(const std::function<void(EventId, EventId)> &fn) const
+{
+    const std::size_t words = wordsPerRow();
+    for (EventId a = 0; a < n; a++) {
+        const std::uint64_t *arow = row(a);
+        for (std::size_t wi = 0; wi < words; wi++) {
+            std::uint64_t w = arow[wi];
+            while (w != 0) {
+                int bit = std::countr_zero(w);
+                w &= w - 1;
+                fn(a, wi * bitsPerWord + static_cast<std::size_t>(bit));
+            }
+        }
+    }
+}
+
+std::optional<std::vector<EventId>>
+Relation::findPath(EventId a, EventId b) const
+{
+    checkId(a);
+    checkId(b);
+    // BFS, recording parents.
+    std::vector<EventId> parent(n, n);
+    std::vector<EventId> queue;
+    std::vector<bool> seen(n, false);
+    queue.push_back(a);
+    seen[a] = true;
+    for (std::size_t head = 0; head < queue.size(); head++) {
+        EventId cur = queue[head];
+        for (EventId next = 0; next < n; next++) {
+            if (!contains(cur, next) || seen[next])
+                continue;
+            parent[next] = cur;
+            if (next == b) {
+                std::vector<EventId> path;
+                for (EventId v = parent[b]; v != a && v != n;
+                     v = parent[v]) {
+                    path.push_back(v);
+                }
+                std::reverse(path.begin(), path.end());
+                return path;
+            }
+            seen[next] = true;
+            queue.push_back(next);
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::vector<EventId>>
+Relation::topologicalOrder(const EventSet &s) const
+{
+    if (s.universeSize() != n)
+        panic("Relation::topologicalOrder: universe mismatch");
+    auto ids = s.members();
+    std::vector<std::size_t> indegree(n, 0);
+    Relation sub = restrict(s);
+    sub.forEach([&](EventId, EventId b) { indegree[b]++; });
+    std::vector<EventId> ready;
+    for (EventId id : ids) {
+        if (indegree[id] == 0)
+            ready.push_back(id);
+    }
+    std::vector<EventId> order;
+    while (!ready.empty()) {
+        EventId cur = ready.back();
+        ready.pop_back();
+        order.push_back(cur);
+        sub.successors(cur).forEach([&](EventId next) {
+            if (--indegree[next] == 0)
+                ready.push_back(next);
+        });
+    }
+    if (order.size() != ids.size())
+        return std::nullopt;
+    return order;
+}
+
+std::string
+Relation::toString() const
+{
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    forEach([&](EventId a, EventId b) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "(" << a << "," << b << ")";
+    });
+    os << "}";
+    return os.str();
+}
+
+namespace {
+
+bool
+totalOrderRec(const std::vector<EventId> &ids, const Relation &partial,
+              std::vector<bool> &placed, std::vector<EventId> &prefix,
+              const std::function<bool(const std::vector<EventId> &)> &visit)
+{
+    if (prefix.size() == ids.size())
+        return visit(prefix);
+    for (std::size_t i = 0; i < ids.size(); i++) {
+        if (placed[i])
+            continue;
+        EventId candidate = ids[i];
+        // candidate may come next only if no unplaced id must precede it.
+        bool ok = true;
+        for (std::size_t j = 0; j < ids.size(); j++) {
+            if (j != i && !placed[j] &&
+                partial.contains(ids[j], candidate)) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok)
+            continue;
+        placed[i] = true;
+        prefix.push_back(candidate);
+        bool keep_going =
+            totalOrderRec(ids, partial, placed, prefix, visit);
+        prefix.pop_back();
+        placed[i] = false;
+        if (!keep_going)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+forEachTotalOrder(
+    const EventSet &subset, const Relation &partial,
+    const std::function<bool(const std::vector<EventId> &)> &visit)
+{
+    auto ids = subset.members();
+    // A cyclic constraint admits no total order; enumerate nothing. The
+    // caller distinguishes "no orders" from "aborted" by tracking its own
+    // visit count.
+    std::vector<bool> placed(ids.size(), false);
+    std::vector<EventId> prefix;
+    prefix.reserve(ids.size());
+    return totalOrderRec(ids, partial.transitiveClosure(), placed, prefix,
+                         visit);
+}
+
+} // namespace mixedproxy::relation

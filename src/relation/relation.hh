@@ -1,0 +1,204 @@
+/**
+ * @file
+ * A finite binary relation over the event universe.
+ *
+ * This class provides the relational-algebra operators that Alloy-style
+ * axiomatic memory model definitions are written in: union, intersection,
+ * difference, composition (join), inverse, restriction, and transitive
+ * closure, plus the acyclicity/irreflexivity checks the model axioms are
+ * phrased as. The representation is a dense adjacency bit-matrix, which is
+ * exact and fast for litmus-scale universes (tens of events).
+ */
+
+#ifndef MIXEDPROXY_RELATION_RELATION_HH
+#define MIXEDPROXY_RELATION_RELATION_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "event_set.hh"
+
+namespace mixedproxy::relation {
+
+/** An ordered pair within a relation. */
+using EventPair = std::pair<EventId, EventId>;
+
+/**
+ * A binary relation on the universe {0, ..., size()-1}, as a bit-matrix.
+ */
+class Relation
+{
+  public:
+    /** Construct the empty relation over a universe of @p n ids. */
+    explicit Relation(std::size_t n = 0);
+
+    /** Construct from an explicit pair list. */
+    Relation(std::size_t n, std::initializer_list<EventPair> pairs);
+
+    /** The identity relation over a universe of @p n ids. */
+    static Relation identity(std::size_t n);
+
+    /** The full (complete) relation over a universe of @p n ids. */
+    static Relation full(std::size_t n);
+
+    /** Cartesian product of two sets (must share a universe). */
+    static Relation product(const EventSet &from, const EventSet &to);
+
+    /**
+     * Build a relation by testing every ordered pair with a predicate.
+     *
+     * @param n Universe size.
+     * @param pred Returns true when (a, b) should be in the relation.
+     */
+    static Relation fromPredicate(
+        std::size_t n,
+        const std::function<bool(EventId, EventId)> &pred);
+
+    /** Number of ids in the universe. */
+    std::size_t universeSize() const { return n; }
+
+    /** Number of pairs in the relation. */
+    std::size_t pairCount() const;
+
+    /** True if the relation has no pairs. */
+    bool empty() const { return pairCount() == 0; }
+
+    /** Add the pair (a, b). */
+    void insert(EventId a, EventId b);
+
+    /** Remove the pair (a, b). */
+    void erase(EventId a, EventId b);
+
+    /** True if the pair (a, b) is present. */
+    bool contains(EventId a, EventId b) const;
+
+    /** Relation union. */
+    Relation operator|(const Relation &other) const;
+
+    /** Relation intersection. */
+    Relation operator&(const Relation &other) const;
+
+    /** Relation difference. */
+    Relation operator-(const Relation &other) const;
+
+    Relation &operator|=(const Relation &other);
+    Relation &operator&=(const Relation &other);
+    Relation &operator-=(const Relation &other);
+
+    bool operator==(const Relation &other) const;
+    bool operator!=(const Relation &other) const = default;
+
+    /** Relational composition: (a, c) iff exists b: (a,b) and (b,c). */
+    Relation compose(const Relation &other) const;
+
+    /** The inverse relation: (b, a) for every (a, b). */
+    Relation inverse() const;
+
+    /** Irreflexive transitive closure (Alloy ^r). */
+    Relation transitiveClosure() const;
+
+    /** Reflexive transitive closure (Alloy *r). */
+    Relation reflexiveTransitiveClosure() const;
+
+    /** Restrict both sides to @p s: s <: r :> s. */
+    Relation restrict(const EventSet &s) const;
+
+    /** Restrict the domain to @p s (Alloy s <: r). */
+    Relation restrictDomain(const EventSet &s) const;
+
+    /** Restrict the range to @p s (Alloy r :> s). */
+    Relation restrictRange(const EventSet &s) const;
+
+    /** Keep only pairs satisfying @p pred. */
+    Relation filter(
+        const std::function<bool(EventId, EventId)> &pred) const;
+
+    /** Set of ids appearing on the left of some pair. */
+    EventSet domain() const;
+
+    /** Set of ids appearing on the right of some pair. */
+    EventSet range() const;
+
+    /** Image of a single id: all b with (a, b). */
+    EventSet successors(EventId a) const;
+
+    /** Preimage of a single id: all a with (a, b). */
+    EventSet predecessors(EventId b) const;
+
+    /** True if no (a, a) pair is present. */
+    bool irreflexive() const;
+
+    /** True if the relation, viewed as a digraph, has no cycle. */
+    bool acyclic() const;
+
+    /** True if r;r is a subset of r. */
+    bool transitive() const;
+
+    /** True if this relation is a subset of @p other. */
+    bool subsetOf(const Relation &other) const;
+
+    /**
+     * True if every distinct pair of members of @p s is related one way
+     * or the other (a strict total order candidate on s).
+     */
+    bool totalOn(const EventSet &s) const;
+
+    /** All pairs in lexicographic order. */
+    std::vector<EventPair> pairs() const;
+
+    /** Invoke @p fn for every pair in lexicographic order. */
+    void forEach(const std::function<void(EventId, EventId)> &fn) const;
+
+    /**
+     * Find one a->...->b path and return its interior vertices, or
+     * nullopt if b is unreachable from a. Used for diagnostics (showing
+     * which causality path justified a verdict).
+     */
+    std::optional<std::vector<EventId>>
+    findPath(EventId a, EventId b) const;
+
+    /**
+     * One topological order of @p s consistent with this relation, or
+     * nullopt if the relation restricted to s is cyclic.
+     */
+    std::optional<std::vector<EventId>>
+    topologicalOrder(const EventSet &s) const;
+
+    /** Render as "{(0,1), (2,3)}" for diagnostics. */
+    std::string toString() const;
+
+  private:
+    void checkUniverse(const Relation &other, const char *op) const;
+    void checkId(EventId id) const;
+
+    std::size_t wordsPerRow() const;
+    std::uint64_t *row(EventId a);
+    const std::uint64_t *row(EventId a) const;
+
+    std::size_t n;
+    std::vector<std::uint64_t> bits;
+};
+
+/**
+ * Enumerate every strict total order of @p subset consistent with the
+ * partial constraint @p partial, invoking @p visit with each order (as a
+ * vector of ids, least first). Enumeration stops early if @p visit
+ * returns false.
+ *
+ * This drives the coherence-order and Fence-SC-order enumeration in the
+ * model checker.
+ *
+ * @return false if @p visit ever returned false (enumeration aborted).
+ */
+bool forEachTotalOrder(
+    const EventSet &subset, const Relation &partial,
+    const std::function<bool(const std::vector<EventId> &)> &visit);
+
+} // namespace mixedproxy::relation
+
+#endif // MIXEDPROXY_RELATION_RELATION_HH

@@ -1,0 +1,478 @@
+#include "generator.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <set>
+#include <sstream>
+
+#include "model/checker.hh"
+#include "relation/error.hh"
+#include "synth/mutate.hh"
+#include "synth/sc_reference.hh"
+
+namespace mixedproxy::synth {
+
+namespace {
+
+/** One entry of the instruction alphabet. */
+struct Template
+{
+    enum class Kind {
+        Store,
+        Load,
+        ReleaseStore,
+        AcquireLoad,
+        FenceAcqRel,
+        FenceSc,
+        ConstLoad,     ///< ld.const through the location's alias
+        AliasStore,    ///< generic store through the location's alias
+        AliasLoad,     ///< generic load through the location's alias
+        ProxyFenceConstant,
+        ProxyFenceAlias,
+        AtomAdd,
+        AsyncCopy,     ///< cp.async [L], [other location]
+        AsyncWait,
+        Barrier,
+    };
+
+    Kind kind;
+    bool usesLocation = true;
+    bool isLoad = false;
+    bool isStore = false;
+    bool isFence = false;
+    const char *name = "";
+};
+
+std::vector<Template>
+alphabet(const SynthOptions &opts)
+{
+    using K = Template::Kind;
+    std::vector<Template> out;
+    out.push_back({K::Store, true, false, true, false, "st"});
+    out.push_back({K::Load, true, true, false, false, "ld"});
+    if (opts.withReleaseAcquire) {
+        out.push_back({K::ReleaseStore, true, false, true, false,
+                       "st.rel"});
+        out.push_back({K::AcquireLoad, true, true, false, false,
+                       "ld.acq"});
+    }
+    if (opts.withFences) {
+        out.push_back({K::FenceAcqRel, false, false, false, true,
+                       "fence.acq_rel"});
+        out.push_back({K::FenceSc, false, false, false, true,
+                       "fence.sc"});
+    }
+    if (opts.withProxies) {
+        out.push_back({K::ConstLoad, true, true, false, false,
+                       "ld.const"});
+        out.push_back({K::AliasStore, true, false, true, false,
+                       "st.alias"});
+        out.push_back({K::AliasLoad, true, true, false, false,
+                       "ld.alias"});
+        out.push_back({K::ProxyFenceConstant, false, false, false, true,
+                       "fence.proxy.constant"});
+        out.push_back({K::ProxyFenceAlias, false, false, false, true,
+                       "fence.proxy.alias"});
+    }
+    if (opts.withAtomics)
+        out.push_back({K::AtomAdd, true, true, true, false, "atom.add"});
+    if (opts.withAsync) {
+        out.push_back({K::AsyncCopy, true, true, true, false,
+                       "cp.async"});
+        out.push_back({K::AsyncWait, false, false, false, true,
+                       "cp.async.wait_all"});
+    }
+    if (opts.withBarriers)
+        out.push_back({K::Barrier, false, false, false, false,
+                       "bar.sync"});
+    return out;
+}
+
+/** A program skeleton: per thread, a list of (template, location). */
+using Slot = std::pair<std::size_t, std::size_t>;
+using Skeleton = std::vector<std::vector<Slot>>;
+
+const char *kLocNames[2] = {"x", "y"};
+const char *kAliasNames[2] = {"ax", "ay"};
+
+/**
+ * Canonical key modulo thread permutation and location permutation.
+ * Thread and location identities are arbitrary labels; two programs
+ * related by relabeling have identical behavior.
+ */
+std::string
+canonicalKey(const Skeleton &program, std::size_t locations)
+{
+    std::string best;
+    std::vector<std::size_t> loc_perm(locations);
+    for (std::size_t i = 0; i < locations; i++)
+        loc_perm[i] = i;
+    do {
+        // Relabel locations, then sort threads for thread symmetry.
+        std::vector<std::string> thread_keys;
+        for (const auto &thread : program) {
+            std::string key;
+            for (const auto &[tmpl, loc] : thread) {
+                key += static_cast<char>('A' + tmpl);
+                key += static_cast<char>('0' + loc_perm[loc]);
+            }
+            thread_keys.push_back(key);
+        }
+        std::sort(thread_keys.begin(), thread_keys.end());
+        std::string whole;
+        for (const auto &key : thread_keys) {
+            whole += key;
+            whole += '|';
+        }
+        if (best.empty() || whole < best)
+            best = whole;
+    } while (std::next_permutation(loc_perm.begin(), loc_perm.end()));
+    return best;
+}
+
+/** Materialize a skeleton as a LitmusTest. */
+litmus::LitmusTest
+materialize(const Skeleton &program, const std::vector<Template> &alpha,
+            std::size_t locations, std::size_t index, bool same_cta)
+{
+    using K = Template::Kind;
+    // Declare aliases for every location that an alias template uses.
+    std::set<std::size_t> aliased;
+    for (const auto &thread : program) {
+        for (const auto &[tmpl, loc] : thread) {
+            K kind = alpha[tmpl].kind;
+            if (kind == K::ConstLoad || kind == K::AliasStore ||
+                kind == K::AliasLoad) {
+                aliased.insert(loc);
+            }
+        }
+    }
+    litmus::LitmusTest test("synth_" + std::to_string(index));
+    for (std::size_t loc : aliased)
+        test.addAlias(kAliasNames[loc], kLocNames[loc]);
+    (void)locations;
+
+    std::uint64_t next_value = 1;
+    for (std::size_t t = 0; t < program.size(); t++) {
+        litmus::Thread thread;
+        thread.name = "t" + std::to_string(t);
+        // Barriers only rendezvous within a CTA, so the barrier
+        // alphabet co-locates all threads.
+        thread.cta = same_cta ? 0 : static_cast<int>(t);
+        thread.gpu = 0;
+        std::size_t next_reg = 0;
+        for (const auto &[tmpl, loc] : program[t]) {
+            const char *l = kLocNames[loc];
+            const char *a = kAliasNames[loc];
+            std::ostringstream text;
+            switch (alpha[tmpl].kind) {
+              case K::Store:
+                text << "st.global.u32 [" << l << "], " << next_value++;
+                break;
+              case K::Load:
+                text << "ld.global.u32 r" << next_reg++ << ", [" << l
+                     << "]";
+                break;
+              case K::ReleaseStore:
+                text << "st.release.gpu.u32 [" << l << "], "
+                     << next_value++;
+                break;
+              case K::AcquireLoad:
+                text << "ld.acquire.gpu.u32 r" << next_reg++ << ", ["
+                     << l << "]";
+                break;
+              case K::FenceAcqRel:
+                text << "fence.acq_rel.gpu";
+                break;
+              case K::FenceSc:
+                text << "fence.sc.gpu";
+                break;
+              case K::ConstLoad:
+                text << "ld.const.u32 r" << next_reg++ << ", [" << a
+                     << "]";
+                break;
+              case K::AliasStore:
+                text << "st.global.u32 [" << a << "], " << next_value++;
+                break;
+              case K::AliasLoad:
+                text << "ld.global.u32 r" << next_reg++ << ", [" << a
+                     << "]";
+                break;
+              case K::ProxyFenceConstant:
+                text << "fence.proxy.constant";
+                break;
+              case K::ProxyFenceAlias:
+                text << "fence.proxy.alias";
+                break;
+              case K::AtomAdd:
+                text << "atom.add.u32 r" << next_reg++ << ", [" << l
+                     << "], 1";
+                break;
+              case K::AsyncCopy:
+                // Copy from the other location into this one (self-copy
+                // is a no-op and needs two locations to be interesting).
+                text << "cp.async.ca.u32 [" << l << "], ["
+                     << kLocNames[(loc + 1) % 2] << "]";
+                break;
+              case K::AsyncWait:
+                text << "cp.async.wait_all";
+                break;
+              case K::Barrier:
+                text << "bar.sync 0";
+                break;
+            }
+            thread.instructions.push_back(litmus::decode(text.str()));
+        }
+        test.addThread(std::move(thread));
+    }
+    test.validate();
+    return test;
+}
+
+/** Mild pruning: keep programs that can exhibit communication. */
+bool
+worthChecking(const Skeleton &program, const std::vector<Template> &alpha)
+{
+    bool has_load = false;
+    bool has_store = false;
+    // Location touched by >= 2 instructions (otherwise trivially boring)
+    std::size_t touches[2] = {0, 0};
+    for (const auto &thread : program) {
+        if (thread.empty())
+            return false;
+        for (const auto &[tmpl, loc] : thread) {
+            has_load |= alpha[tmpl].isLoad;
+            has_store |= alpha[tmpl].isStore;
+            if (alpha[tmpl].usesLocation)
+                touches[loc]++;
+        }
+    }
+    if (!has_load || !has_store)
+        return false;
+    if (touches[0] < 2 && touches[1] < 2)
+        return false;
+    return true;
+}
+
+} // namespace
+
+std::size_t
+SynthReport::writeSuite(const std::string &directory) const
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(directory, ec);
+    if (ec)
+        fatal("cannot create suite directory '", directory, "'");
+    std::size_t written = 0;
+    for (const auto &entry : interesting) {
+        fs::path path =
+            fs::path(directory) / (entry.test.name() + ".litmus");
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot write '", path.string(), "'");
+        out << "# synthesized litmus test\n"
+            << "#   weak (beyond SC):      "
+            << (entry.weak ? "yes" : "no") << "\n"
+            << "#   proxy-sensitive:       "
+            << (entry.proxySensitive ? "yes" : "no") << "\n"
+            << "#   fence-minimal:         "
+            << (entry.fenceMinimal ? "yes" : "no") << "\n"
+            << "#   ptx75/ptx60 outcomes:  " << entry.ptx75Outcomes
+            << "/" << entry.ptx60Outcomes << "\n"
+            << entry.test.toString();
+        written++;
+    }
+    return written;
+}
+
+std::string
+SynthReport::summary() const
+{
+    std::ostringstream os;
+    os << "enumerated " << stats.programsEnumerated << ", pruned to "
+       << stats.afterPruning << ", unique " << stats.uniquePrograms
+       << ", checked " << stats.checked << " (skipped "
+       << stats.skippedTooExpensive << "): weak " << stats.weak
+       << ", proxy-sensitive " << stats.proxySensitive
+       << ", fence-minimal " << stats.fenceMinimal << " in "
+       << stats.seconds << " s";
+    return os.str();
+}
+
+Synthesizer::Synthesizer(SynthOptions options)
+    : opts(std::move(options))
+{
+    if (opts.maxLocations < 1 || opts.maxLocations > 2)
+        fatal("maxLocations must be 1 or 2");
+    if (opts.instructions < 1)
+        fatal("instructions must be at least 1");
+    if (opts.maxThreads < 1)
+        fatal("maxThreads must be at least 1");
+}
+
+SynthReport
+Synthesizer::run() const
+{
+    auto start = std::chrono::steady_clock::now();
+    SynthReport report;
+    const auto alpha = alphabet(opts);
+    std::set<std::string> seen;
+
+    model::CheckOptions check75;
+    check75.collectWitnesses = false;
+    check75.maxExecutions = opts.maxExecutionsPerTest;
+    model::Checker checker75(check75);
+    model::CheckOptions check60 = check75;
+    check60.mode = model::ProxyMode::Ptx60;
+    model::Checker checker60(check60);
+
+    bool stop = false;
+
+    // Analyze one complete skeleton.
+    auto process = [&](const Skeleton &program) {
+        report.stats.programsEnumerated++;
+        if (!worthChecking(program, alpha))
+            return;
+        report.stats.afterPruning++;
+        std::string key = canonicalKey(program, opts.maxLocations);
+        if (!seen.insert(key).second)
+            return;
+        report.stats.uniquePrograms++;
+        if (opts.maxUniquePrograms != 0 &&
+            report.stats.uniquePrograms >= opts.maxUniquePrograms) {
+            stop = true;
+        }
+
+        litmus::LitmusTest test;
+        try {
+            test = materialize(program, alpha, opts.maxLocations,
+                               report.stats.uniquePrograms,
+                               opts.withBarriers);
+        } catch (const FatalError &) {
+            // E.g. mismatched barrier sequences within the CTA.
+            return;
+        }
+
+        SynthesizedTest entry;
+        entry.test = test;
+        try {
+            auto r75 = checker75.check(test);
+            entry.ptx75Outcomes = r75.outcomes.size();
+            report.stats.checked++;
+
+            if (opts.classifyAgainstSc) {
+                auto sc = scOutcomes(test);
+                entry.scOutcomeCount = sc.size();
+                for (const auto &outcome : r75.outcomes) {
+                    if (!sc.count(outcome)) {
+                        entry.weak = true;
+                        break;
+                    }
+                }
+            }
+            if (opts.classifyAgainstPtx60) {
+                auto r60 = checker60.check(test);
+                entry.ptx60Outcomes = r60.outcomes.size();
+                entry.proxySensitive = r60.outcomes != r75.outcomes;
+            }
+            if (opts.classifyFenceMinimal) {
+                bool has_fence = false;
+                bool all_load_bearing = true;
+                for (std::size_t t = 0;
+                     t < test.threads().size() && all_load_bearing;
+                     t++) {
+                    const auto &instrs = test.threads()[t].instructions;
+                    for (std::size_t i = 0; i < instrs.size(); i++) {
+                        if (!instrs[i].isFence())
+                            continue;
+                        has_fence = true;
+                        auto reduced = withoutInstruction(test, t, i);
+                        auto rr = checker75.check(reduced);
+                        if (rr.outcomes == r75.outcomes) {
+                            all_load_bearing = false;
+                            break;
+                        }
+                    }
+                }
+                entry.fenceMinimal = has_fence && all_load_bearing;
+            }
+        } catch (const FatalError &) {
+            report.stats.skippedTooExpensive++;
+            return;
+        }
+
+        if (entry.weak)
+            report.stats.weak++;
+        if (entry.proxySensitive)
+            report.stats.proxySensitive++;
+        if (entry.fenceMinimal)
+            report.stats.fenceMinimal++;
+        if (entry.weak || entry.proxySensitive || entry.fenceMinimal)
+            report.interesting.push_back(std::move(entry));
+    };
+
+    // Enumerate (template, location) assignments for a fixed thread
+    // shape, then hand each complete skeleton to `process`.
+    std::function<void(Skeleton &, std::size_t, std::size_t)> fill =
+        [&](Skeleton &program, std::size_t thread, std::size_t slot) {
+            if (stop)
+                return;
+            if (thread == program.size()) {
+                process(program);
+                return;
+            }
+            std::size_t next_thread = thread;
+            std::size_t next_slot = slot + 1;
+            if (next_slot == program[thread].size()) {
+                next_thread = thread + 1;
+                next_slot = 0;
+            }
+            for (std::size_t tmpl = 0; tmpl < alpha.size(); tmpl++) {
+                std::size_t loc_count =
+                    alpha[tmpl].usesLocation ? opts.maxLocations : 1;
+                for (std::size_t loc = 0; loc < loc_count; loc++) {
+                    program[thread][slot] = {tmpl, loc};
+                    fill(program, next_thread, next_slot);
+                    if (stop)
+                        return;
+                }
+            }
+        };
+
+    // Enumerate compositions of `instructions` into 1..maxThreads
+    // nonincreasing parts (thread order is a symmetry).
+    std::vector<std::size_t> parts;
+    std::function<void(std::size_t, std::size_t, std::size_t)> compose =
+        [&](std::size_t remaining, std::size_t threads_left,
+            std::size_t max_part) {
+            if (stop)
+                return;
+            if (remaining == 0) {
+                Skeleton program;
+                for (std::size_t part : parts)
+                    program.emplace_back(part, Slot{0, 0});
+                fill(program, 0, 0);
+                return;
+            }
+            if (threads_left == 0)
+                return;
+            for (std::size_t take = std::min(remaining, max_part);
+                 take >= 1; take--) {
+                parts.push_back(take);
+                compose(remaining - take, threads_left - 1, take);
+                parts.pop_back();
+            }
+        };
+    compose(opts.instructions, opts.maxThreads, opts.instructions);
+
+    auto end = std::chrono::steady_clock::now();
+    report.stats.seconds =
+        std::chrono::duration<double>(end - start).count();
+    return report;
+}
+
+} // namespace mixedproxy::synth

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Structural litmus-test mutations shared by the synthesizer's
+ * fence-minimality classifier and the shrinker.
+ */
+
+#ifndef MIXEDPROXY_SYNTH_MUTATE_HH
+#define MIXEDPROXY_SYNTH_MUTATE_HH
+
+#include <cstddef>
+
+#include "litmus/test.hh"
+
+namespace mixedproxy::synth {
+
+/**
+ * A copy of @p test with instruction @p index of thread @p thread
+ * removed; a thread left empty is dropped entirely. Aliases and init
+ * values are preserved; assertions are NOT copied (mutated tests get
+ * their verdicts from the caller, not from the original's assertions).
+ *
+ * The result may be structurally invalid (e.g. a removed load orphans a
+ * register use); callers should validate and treat failures as "this
+ * mutation is not applicable".
+ */
+litmus::LitmusTest withoutInstruction(const litmus::LitmusTest &test,
+                                      std::size_t thread,
+                                      std::size_t index);
+
+/** A copy of @p test with thread @p thread removed entirely. */
+litmus::LitmusTest withoutThread(const litmus::LitmusTest &test,
+                                 std::size_t thread);
+
+} // namespace mixedproxy::synth
+
+#endif // MIXEDPROXY_SYNTH_MUTATE_HH

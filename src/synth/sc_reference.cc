@@ -1,0 +1,157 @@
+#include "sc_reference.hh"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "relation/error.hh"
+
+namespace mixedproxy::synth {
+
+namespace {
+
+struct ScState
+{
+    std::map<std::string, std::uint64_t> memory; ///< by location
+    std::vector<std::size_t> pc;
+    std::vector<std::size_t> barriersPassed;
+    std::vector<std::map<std::string, std::uint64_t>> registers;
+};
+
+/** May thread @p t pass the barrier it is standing at? */
+bool
+barrierReady(const litmus::LitmusTest &test, const ScState &state,
+             std::size_t t)
+{
+    const auto &self = test.threads()[t];
+    for (std::size_t u = 0; u < test.threads().size(); u++) {
+        if (u == t)
+            continue;
+        const auto &other = test.threads()[u];
+        if (other.cta != self.cta || other.gpu != self.gpu)
+            continue;
+        if (state.barriersPassed[u] > state.barriersPassed[t])
+            continue;
+        if (state.barriersPassed[u] == state.barriersPassed[t] &&
+            state.pc[u] < other.instructions.size() &&
+            other.instructions[state.pc[u]].opcode ==
+                litmus::Opcode::Barrier) {
+            continue;
+        }
+        return false;
+    }
+    return true;
+}
+
+std::uint64_t
+operandValue(const ScState &state, std::size_t thread,
+             const litmus::Operand &op)
+{
+    if (op.isImm())
+        return op.imm;
+    if (op.isReg())
+        return state.registers[thread].at(op.reg);
+    panic("operand has no value");
+}
+
+void
+explore(const litmus::LitmusTest &test, ScState &state,
+        std::set<litmus::Outcome> &outcomes)
+{
+    bool any = false;
+    for (std::size_t t = 0; t < test.threads().size(); t++) {
+        const auto &instrs = test.threads()[t].instructions;
+        if (state.pc[t] >= instrs.size())
+            continue;
+        if (instrs[state.pc[t]].opcode == litmus::Opcode::Barrier &&
+            !barrierReady(test, state, t)) {
+            any = true; // someone else must move first
+            continue;
+        }
+        any = true;
+
+        // Execute instrs[pc] on a copy of the state, recurse, restore.
+        ScState saved = state;
+        const auto &instr = instrs[state.pc[t]];
+        state.pc[t]++;
+
+        const std::string loc = test.locationOf(instr.address);
+        switch (instr.opcode) {
+          case litmus::Opcode::Ld:
+          case litmus::Opcode::Tex:
+          case litmus::Opcode::Suld:
+            state.registers[t][instr.destReg] = state.memory.at(loc);
+            break;
+          case litmus::Opcode::St:
+          case litmus::Opcode::Sust:
+            state.memory[loc] = operandValue(state, t, instr.value);
+            break;
+          case litmus::Opcode::Atom: {
+            std::uint64_t old = state.memory.at(loc);
+            if (!instr.destReg.empty())
+                state.registers[t][instr.destReg] = old;
+            switch (instr.atomOp) {
+              case litmus::AtomOp::Add:
+                state.memory[loc] =
+                    old + operandValue(state, t, instr.value);
+                break;
+              case litmus::AtomOp::Exch:
+                state.memory[loc] = operandValue(state, t, instr.value);
+                break;
+              case litmus::AtomOp::Cas:
+                if (old == operandValue(state, t, instr.expected)) {
+                    state.memory[loc] =
+                        operandValue(state, t, instr.value);
+                }
+                break;
+            }
+            break;
+          }
+          case litmus::Opcode::CpAsync:
+            // SC machine: the copy happens synchronously at issue.
+            state.memory[loc] =
+                state.memory.at(test.locationOf(instr.srcAddress));
+            break;
+          case litmus::Opcode::Barrier:
+            state.barriersPassed[t]++;
+            break;
+          case litmus::Opcode::Fence:
+          case litmus::Opcode::FenceProxy:
+          case litmus::Opcode::CpAsyncWait:
+            break; // no-ops under SC
+        }
+
+        explore(test, state, outcomes);
+        state = std::move(saved);
+    }
+
+    if (!any) {
+        litmus::Outcome outcome;
+        for (std::size_t t = 0; t < test.threads().size(); t++) {
+            const auto &name = test.threads()[t].name;
+            for (const auto &[reg, value] : state.registers[t])
+                outcome.registers[name + "." + reg] = value;
+        }
+        outcome.memory = state.memory;
+        outcomes.insert(outcome);
+    }
+}
+
+} // namespace
+
+std::set<litmus::Outcome>
+scOutcomes(const litmus::LitmusTest &test)
+{
+    test.validate();
+    ScState state;
+    for (const auto &loc : test.locations())
+        state.memory[loc] = test.initOf(loc);
+    state.pc.assign(test.threads().size(), 0);
+    state.barriersPassed.assign(test.threads().size(), 0);
+    state.registers.resize(test.threads().size());
+    std::set<litmus::Outcome> outcomes;
+    explore(test, state, outcomes);
+    return outcomes;
+}
+
+} // namespace mixedproxy::synth

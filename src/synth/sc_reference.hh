@@ -1,0 +1,33 @@
+/**
+ * @file
+ * A sequentially consistent reference executor.
+ *
+ * Exhaustively enumerates all interleavings of a litmus test's
+ * instructions over a flat coherent memory, producing the set of
+ * outcomes a sequentially consistent machine could produce. Used by the
+ * synthesizer to classify tests as "weak" (the relaxed model admits
+ * non-SC outcomes) and by the test suite as an oracle: every SC outcome
+ * must be admitted by the PTX models (SC is a legal implementation).
+ */
+
+#ifndef MIXEDPROXY_SYNTH_SC_REFERENCE_HH
+#define MIXEDPROXY_SYNTH_SC_REFERENCE_HH
+
+#include <set>
+
+#include "litmus/outcome.hh"
+#include "litmus/test.hh"
+
+namespace mixedproxy::synth {
+
+/**
+ * All outcomes of @p test under sequential consistency.
+ *
+ * Fences are no-ops; proxies and aliasing are resolved to the physical
+ * location (an SC machine is coherent by definition).
+ */
+std::set<litmus::Outcome> scOutcomes(const litmus::LitmusTest &test);
+
+} // namespace mixedproxy::synth
+
+#endif // MIXEDPROXY_SYNTH_SC_REFERENCE_HH

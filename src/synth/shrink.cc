@@ -1,0 +1,111 @@
+#include "shrink.hh"
+
+#include "relation/error.hh"
+#include "synth/mutate.hh"
+
+namespace mixedproxy::synth {
+
+namespace {
+
+bool
+holdsOnValid(const TestPredicate &predicate,
+             const litmus::LitmusTest &candidate, ShrinkStats *stats)
+{
+    if (stats)
+        stats->candidatesTried++;
+    try {
+        candidate.validate();
+        return predicate(candidate);
+    } catch (const FatalError &) {
+        return false;
+    }
+}
+
+} // namespace
+
+litmus::LitmusTest
+shrink(const litmus::LitmusTest &test, const TestPredicate &predicate,
+       ShrinkStats *stats)
+{
+    test.validate();
+    if (!predicate(test)) {
+        fatal("shrink: the predicate does not hold on '", test.name(),
+              "' itself");
+    }
+
+    litmus::LitmusTest current = test;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+
+        // Whole threads first: the biggest cuts.
+        for (std::size_t t = 0;
+             !changed && current.threads().size() > 1 &&
+             t < current.threads().size();
+             t++) {
+            auto candidate = withoutThread(current, t);
+            if (holdsOnValid(predicate, candidate, stats)) {
+                current = std::move(candidate);
+                if (stats)
+                    stats->removalsAccepted++;
+                changed = true;
+            }
+        }
+
+        // Then single instructions, in every position.
+        for (std::size_t t = 0; !changed && t < current.threads().size();
+             t++) {
+            const auto &instrs = current.threads()[t].instructions;
+            for (std::size_t i = 0; !changed && i < instrs.size(); i++) {
+                auto candidate = withoutInstruction(current, t, i);
+                if (candidate.threads().empty())
+                    continue;
+                if (holdsOnValid(predicate, candidate, stats)) {
+                    current = std::move(candidate);
+                    if (stats)
+                        stats->removalsAccepted++;
+                    changed = true;
+                }
+            }
+        }
+    }
+    return current;
+}
+
+TestPredicate
+proxySensitivityPredicate(std::uint64_t max_executions_per_check)
+{
+    model::CheckOptions opts75;
+    opts75.collectWitnesses = false;
+    opts75.maxExecutions = max_executions_per_check;
+    model::CheckOptions opts60 = opts75;
+    opts60.mode = model::ProxyMode::Ptx60;
+    return [opts75, opts60](const litmus::LitmusTest &candidate) {
+        try {
+            auto a75 = model::Checker(opts75).check(candidate).outcomes;
+            auto a60 = model::Checker(opts60).check(candidate).outcomes;
+            return a75 != a60;
+        } catch (const FatalError &) {
+            return false; // too expensive counts as "does not preserve"
+        }
+    };
+}
+
+TestPredicate
+admitsPredicate(const std::string &condition,
+                std::uint64_t max_executions_per_check)
+{
+    auto expr = litmus::parseCondition(condition);
+    model::CheckOptions opts;
+    opts.collectWitnesses = false;
+    opts.maxExecutions = max_executions_per_check;
+    return [expr, opts](const litmus::LitmusTest &candidate) {
+        try {
+            return model::Checker(opts).check(candidate).admits(expr);
+        } catch (const FatalError &) {
+            return false;
+        }
+    };
+}
+
+} // namespace mixedproxy::synth

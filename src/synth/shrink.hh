@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Litmus-test shrinking: given a test exhibiting some property, find a
+ * smaller test that still exhibits it (delta debugging over the
+ * instruction list). Memory-model practice distills machine-found
+ * behaviors into minimal human-readable litmus tests; this is that
+ * distillation step for the synthesizer's output and for NVLitmus
+ * users.
+ */
+
+#ifndef MIXEDPROXY_SYNTH_SHRINK_HH
+#define MIXEDPROXY_SYNTH_SHRINK_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "litmus/test.hh"
+#include "model/checker.hh"
+
+namespace mixedproxy::synth {
+
+/** The property a shrunk test must preserve. */
+using TestPredicate = std::function<bool(const litmus::LitmusTest &)>;
+
+/** Counters describing one shrink run. */
+struct ShrinkStats
+{
+    std::uint64_t candidatesTried = 0;
+    std::uint64_t removalsAccepted = 0;
+};
+
+/**
+ * Greedily remove threads and instructions from @p test while
+ * @p predicate stays true, to a local fixpoint.
+ *
+ * The predicate is evaluated on structurally valid candidates only;
+ * candidates that fail validation (e.g. a register orphaned by a
+ * removal) are treated as not preserving the property. The original
+ * test's assertions are not part of the result — the predicate is the
+ * specification.
+ *
+ * @throws FatalError if @p predicate does not hold on @p test itself.
+ */
+litmus::LitmusTest shrink(const litmus::LitmusTest &test,
+                          const TestPredicate &predicate,
+                          ShrinkStats *stats = nullptr);
+
+/**
+ * Predicate: the proxy-aware and proxy-oblivious models admit
+ * different outcome sets (the test is proxy-sensitive).
+ */
+TestPredicate proxySensitivityPredicate(
+    std::uint64_t max_executions_per_check = 2'000'000);
+
+/**
+ * Predicate: the PTX 7.5 model admits an outcome satisfying
+ * @p condition.
+ */
+TestPredicate admitsPredicate(
+    const std::string &condition,
+    std::uint64_t max_executions_per_check = 2'000'000);
+
+} // namespace mixedproxy::synth
+
+#endif // MIXEDPROXY_SYNTH_SHRINK_HH

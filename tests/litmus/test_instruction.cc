@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Unit tests for the PTX-surface instruction decoder, including the
+ * paper's Fig. 5 decoding examples.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/instruction.hh"
+#include "relation/error.hh"
+
+namespace {
+
+using namespace mixedproxy::litmus;
+using mixedproxy::FatalError;
+
+TEST(Decode, WeakGlobalLoad)
+{
+    Instruction i = decode("ld.global.u32 r1, [rd6]");
+    EXPECT_EQ(i.opcode, Opcode::Ld);
+    EXPECT_EQ(i.sem, Semantics::Weak);
+    EXPECT_EQ(i.scope, Scope::None);
+    EXPECT_EQ(i.proxy, ProxyKind::Generic);
+    EXPECT_EQ(i.address, "rd6");
+    EXPECT_EQ(i.destReg, "r1");
+    EXPECT_EQ(i.accessSize, 4u);
+    EXPECT_TRUE(i.isLoad());
+    EXPECT_FALSE(i.isStore());
+}
+
+// Fig. 5 row 2: st.global.sys.u32 [rd6], r4 -> Store, Sys scope, generic
+// proxy. A bare scope implies a relaxed strong operation.
+TEST(Decode, StrongScopedStore)
+{
+    Instruction i = decode("st.global.sys.u32 [rd6], r4");
+    EXPECT_EQ(i.opcode, Opcode::St);
+    EXPECT_EQ(i.sem, Semantics::Relaxed);
+    EXPECT_EQ(i.scope, Scope::Sys);
+    EXPECT_EQ(i.proxy, ProxyKind::Generic);
+    EXPECT_TRUE(i.value.isReg());
+    EXPECT_EQ(i.value.reg, "r4");
+}
+
+TEST(Decode, WeakStoreImmediate)
+{
+    Instruction i = decode("st.global.u32 [rd8], 42");
+    EXPECT_EQ(i.sem, Semantics::Weak);
+    EXPECT_TRUE(i.value.isImm());
+    EXPECT_EQ(i.value.imm, 42u);
+}
+
+// Fig. 5 row 4: surface store via the surface proxy.
+TEST(Decode, SurfaceStoreWithGeometry)
+{
+    Instruction i = decode("sust.b.1d.vec.b32.clamp [surf, r1], r2");
+    EXPECT_EQ(i.opcode, Opcode::Sust);
+    EXPECT_EQ(i.proxy, ProxyKind::Surface);
+    EXPECT_EQ(i.sem, Semantics::Weak);
+    EXPECT_EQ(i.address, "surf");
+    ASSERT_EQ(i.addressCoordRegs.size(), 1u);
+    EXPECT_EQ(i.addressCoordRegs[0], "r1");
+    EXPECT_TRUE(i.value.isReg());
+}
+
+TEST(Decode, SurfaceLoad)
+{
+    Instruction i = decode("suld.b.u32 r1, [s]");
+    EXPECT_EQ(i.opcode, Opcode::Suld);
+    EXPECT_EQ(i.proxy, ProxyKind::Surface);
+    EXPECT_TRUE(i.isLoad());
+    EXPECT_FALSE(i.isStore());
+}
+
+TEST(Decode, TextureLoad)
+{
+    Instruction i = decode("tex.1d.u32 r2, [t]");
+    EXPECT_EQ(i.opcode, Opcode::Tex);
+    EXPECT_EQ(i.proxy, ProxyKind::Texture);
+    EXPECT_EQ(i.destReg, "r2");
+}
+
+TEST(Decode, ConstantLoad)
+{
+    Instruction i = decode("ld.const.u32 r3, [c]");
+    EXPECT_EQ(i.opcode, Opcode::Ld);
+    EXPECT_EQ(i.proxy, ProxyKind::Constant);
+    EXPECT_EQ(i.sem, Semantics::Weak);
+}
+
+TEST(Decode, AcquireLoadRequiresScope)
+{
+    Instruction i = decode("ld.acquire.gpu.u32 r5, [rd4]");
+    EXPECT_EQ(i.sem, Semantics::Acquire);
+    EXPECT_EQ(i.scope, Scope::Gpu);
+    EXPECT_THROW(decode("ld.acquire.u32 r5, [rd4]"), FatalError);
+}
+
+TEST(Decode, ReleaseStore)
+{
+    Instruction i = decode("st.release.cta.u32 [rd4], 1");
+    EXPECT_EQ(i.sem, Semantics::Release);
+    EXPECT_EQ(i.scope, Scope::Cta);
+}
+
+TEST(Decode, InvalidSemanticsRejected)
+{
+    EXPECT_THROW(decode("ld.release.gpu.u32 r1, [x]"), FatalError);
+    EXPECT_THROW(decode("st.acquire.gpu.u32 [x], 1"), FatalError);
+    EXPECT_THROW(decode("st.const.u32 [x], 1"), FatalError);
+    EXPECT_THROW(decode("ld.const.relaxed.gpu.u32 r1, [x]"), FatalError);
+    EXPECT_THROW(decode("tex.acquire.gpu.u32 r1, [x]"), FatalError);
+}
+
+TEST(Decode, WeakOpsCannotCarryScope)
+{
+    EXPECT_THROW(decode("ld.global.weak.gpu.u32 r1, [x]"), FatalError);
+}
+
+TEST(Decode, VolatileMapsToRelaxedSys)
+{
+    Instruction i = decode("ld.volatile.u32 r1, [x]");
+    EXPECT_EQ(i.sem, Semantics::Relaxed);
+    EXPECT_EQ(i.scope, Scope::Sys);
+}
+
+TEST(Decode, AtomDefaultsToRelaxedGpu)
+{
+    Instruction i = decode("atom.add.u32 r1, [x], 1");
+    EXPECT_EQ(i.opcode, Opcode::Atom);
+    EXPECT_EQ(i.sem, Semantics::Relaxed);
+    EXPECT_EQ(i.scope, Scope::Gpu);
+    EXPECT_EQ(i.atomOp, AtomOp::Add);
+    EXPECT_TRUE(i.isLoad());
+    EXPECT_TRUE(i.isStore());
+}
+
+TEST(Decode, AtomExplicitSemantics)
+{
+    Instruction i = decode("atom.acq_rel.sys.exch.u32 r1, [x], 5");
+    EXPECT_EQ(i.sem, Semantics::AcqRel);
+    EXPECT_EQ(i.scope, Scope::Sys);
+    EXPECT_EQ(i.atomOp, AtomOp::Exch);
+}
+
+TEST(Decode, AtomCasOperands)
+{
+    Instruction i = decode("atom.cas.u32 r1, [x], 0, 7");
+    EXPECT_EQ(i.atomOp, AtomOp::Cas);
+    EXPECT_TRUE(i.expected.isImm());
+    EXPECT_EQ(i.expected.imm, 0u);
+    EXPECT_TRUE(i.value.isImm());
+    EXPECT_EQ(i.value.imm, 7u);
+    EXPECT_THROW(decode("atom.cas.u32 r1, [x], 0"), FatalError);
+}
+
+TEST(Decode, AtomRejectsScAndWeak)
+{
+    EXPECT_THROW(decode("atom.sc.gpu.add.u32 r1, [x], 1"), FatalError);
+    EXPECT_THROW(decode("atom.weak.add.u32 r1, [x], 1"), FatalError);
+}
+
+TEST(Decode, NonCoherentLoad)
+{
+    auto i = decode("ld.global.nc.u32 r1, [x]");
+    EXPECT_EQ(i.opcode, Opcode::Ld);
+    EXPECT_EQ(i.proxy, ProxyKind::Texture);
+    EXPECT_EQ(i.sem, Semantics::Weak);
+    EXPECT_THROW(decode("st.global.nc.u32 [x], 1"), FatalError);
+    EXPECT_THROW(decode("ld.global.nc.acquire.gpu.u32 r1, [x]"),
+                 FatalError);
+}
+
+TEST(Decode, Reductions)
+{
+    auto i = decode("red.relaxed.gpu.add.u32 [x], 1");
+    EXPECT_EQ(i.opcode, Opcode::Atom);
+    EXPECT_TRUE(i.destReg.empty());
+    EXPECT_EQ(i.atomOp, AtomOp::Add);
+    EXPECT_TRUE(i.value.isImm());
+    // Defaults match atom: relaxed + gpu.
+    EXPECT_EQ(decode("red.add.u32 [x], 1").sem, Semantics::Relaxed);
+    EXPECT_EQ(decode("red.add.u32 [x], 1").scope, Scope::Gpu);
+    EXPECT_THROW(decode("red.cas.u32 [x], 0, 1"), FatalError);
+    EXPECT_THROW(decode("red.add.u32 r1, [x], 1"), FatalError);
+}
+
+TEST(Decode, FenceForms)
+{
+    Instruction sc = decode("fence.sc.gpu");
+    EXPECT_EQ(sc.opcode, Opcode::Fence);
+    EXPECT_EQ(sc.sem, Semantics::Sc);
+    EXPECT_EQ(sc.scope, Scope::Gpu);
+
+    Instruction ar = decode("fence.acq_rel.cta");
+    EXPECT_EQ(ar.sem, Semantics::AcqRel);
+    EXPECT_EQ(ar.scope, Scope::Cta);
+
+    // Bare fence.scope defaults to .sc, as in PTX.
+    Instruction bare = decode("fence.sys");
+    EXPECT_EQ(bare.sem, Semantics::Sc);
+    EXPECT_EQ(bare.scope, Scope::Sys);
+
+    EXPECT_THROW(decode("fence.sc"), FatalError);       // missing scope
+    EXPECT_THROW(decode("fence.release.gpu"), FatalError);
+}
+
+TEST(Decode, MembarLegacyAliases)
+{
+    EXPECT_EQ(decode("membar.cta").scope, Scope::Cta);
+    EXPECT_EQ(decode("membar.gl").scope, Scope::Gpu);
+    EXPECT_EQ(decode("membar.sys").scope, Scope::Sys);
+    EXPECT_EQ(decode("membar.gl").sem, Semantics::Sc);
+    EXPECT_THROW(decode("membar.gpu"), FatalError);
+}
+
+TEST(Decode, ProxyFences)
+{
+    for (auto [text, kind] :
+         {std::pair{"fence.proxy.alias", ProxyFenceKind::Alias},
+          std::pair{"fence.proxy.texture", ProxyFenceKind::Texture},
+          std::pair{"fence.proxy.constant", ProxyFenceKind::Constant},
+          std::pair{"fence.proxy.surface", ProxyFenceKind::Surface}}) {
+        Instruction i = decode(text);
+        EXPECT_EQ(i.opcode, Opcode::FenceProxy) << text;
+        EXPECT_EQ(i.proxyFence, kind) << text;
+        EXPECT_FALSE(i.isMemoryOp()) << text;
+    }
+    EXPECT_THROW(decode("fence.proxy"), FatalError);
+    EXPECT_THROW(decode("fence.proxy.bogus"), FatalError);
+}
+
+TEST(Decode, TypeSuffixSizes)
+{
+    EXPECT_EQ(decode("ld.global.u64 r1, [x]").accessSize, 8u);
+    EXPECT_EQ(decode("ld.global.u16 r1, [x]").accessSize, 2u);
+    EXPECT_EQ(decode("ld.global.u8 r1, [x]").accessSize, 1u);
+    EXPECT_EQ(decode("st.global.s32 [x], 1").accessSize, 4u);
+}
+
+TEST(Decode, MalformedInputs)
+{
+    EXPECT_THROW(decode(""), FatalError);
+    EXPECT_THROW(decode("bogus.u32 r1, [x]"), FatalError);
+    EXPECT_THROW(decode("ld.global.u32 r1"), FatalError);   // no address
+    EXPECT_THROW(decode("ld.global.u32 r1, [x"), FatalError);
+    EXPECT_THROW(decode("ld.global.u32 [x], [y]"), FatalError);
+    EXPECT_THROW(decode("st.global.u32 [x], r1, r2"), FatalError);
+    EXPECT_THROW(decode("ld.global.u32 5, [x]"), FatalError);
+    EXPECT_THROW(decode("ld.global.frob.u32 r1, [x]"), FatalError);
+}
+
+TEST(Decode, HexAndNegativeImmediates)
+{
+    EXPECT_EQ(decode("st.global.u32 [x], 0x10").value.imm, 16u);
+    EXPECT_EQ(decode("st.global.u32 [x], -1").value.imm,
+              ~std::uint64_t{0});
+}
+
+TEST(Decode, SourceRegsCollectsDataAndCoords)
+{
+    Instruction i = decode("sust.b.1d.u32 [s, r7], r9");
+    auto regs = i.sourceRegs();
+    ASSERT_EQ(regs.size(), 2u);
+    EXPECT_EQ(regs[0], "r9");
+    EXPECT_EQ(regs[1], "r7");
+}
+
+TEST(Decode, RoundTripKeepsText)
+{
+    const std::string text = "st.release.cta.u32 [rd4], 1";
+    EXPECT_EQ(decode(text).toString(), text);
+}
+
+// Round-trip property sweep: decoding an instruction, rendering it, and
+// decoding again yields the same decoded form.
+class DecodeRoundTrip : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(DecodeRoundTrip, StableUnderRendering)
+{
+    Instruction first = decode(GetParam());
+    Instruction second = decode(first.toString());
+    EXPECT_EQ(second.opcode, first.opcode);
+    EXPECT_EQ(second.sem, first.sem);
+    EXPECT_EQ(second.scope, first.scope);
+    EXPECT_EQ(second.proxy, first.proxy);
+    EXPECT_EQ(second.proxyFence, first.proxyFence);
+    EXPECT_EQ(second.address, first.address);
+    EXPECT_EQ(second.srcAddress, first.srcAddress);
+    EXPECT_EQ(second.destReg, first.destReg);
+    EXPECT_EQ(second.value, first.value);
+    EXPECT_EQ(second.expected, first.expected);
+    EXPECT_EQ(second.atomOp, first.atomOp);
+    EXPECT_EQ(second.accessSize, first.accessSize);
+    EXPECT_EQ(second.barrierId, first.barrierId);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Surface, DecodeRoundTrip,
+    ::testing::Values(
+        "ld.global.u32 r1, [x]", "ld.global.u64 r1, [x]",
+        "ld.global.relaxed.gpu.u32 r1, [x]",
+        "ld.acquire.sys.u32 r1, [x]", "ld.const.u32 r1, [c]",
+        "ld.global.nc.u32 r1, [x]", "ld.volatile.u32 r1, [x]",
+        "st.global.u32 [x], 42", "st.global.u32 [x], r1",
+        "st.relaxed.cta.u32 [x], 1", "st.release.sys.u32 [x], 1",
+        "atom.add.u32 r1, [x], 1", "atom.acq_rel.sys.exch.u32 r1, [x], 5",
+        "atom.cas.u32 r1, [x], 0, 7", "red.relaxed.gpu.add.u32 [x], 1",
+        "tex.1d.u32 r1, [t]", "suld.b.u32 r1, [s]",
+        "sust.b.2d.u32 [s], 9", "fence.sc.gpu", "fence.acq_rel.cta",
+        "membar.gl", "fence.proxy.alias", "fence.proxy.constant.gpu",
+        "fence.proxy.surface.sys", "fence.proxy.async",
+        "cp.async.ca.u32 [d], [s]", "cp.async.wait_all", "bar.sync 0",
+        "barrier.sync 7"));
+
+TEST(Operand, Factories)
+{
+    EXPECT_TRUE(Operand::ofReg("r1").isReg());
+    EXPECT_TRUE(Operand::ofImm(3).isImm());
+    EXPECT_EQ(Operand::none().kind, Operand::Kind::None);
+    EXPECT_EQ(Operand::ofImm(3).toString(), "3");
+    EXPECT_EQ(Operand::ofReg("r1").toString(), "r1");
+}
+
+} // namespace

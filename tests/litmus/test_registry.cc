@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the built-in litmus-test registry.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "litmus/parser.hh"
+#include "litmus/registry.hh"
+#include "relation/error.hh"
+
+namespace {
+
+using namespace mixedproxy::litmus;
+using mixedproxy::FatalError;
+
+TEST(Registry, NonEmptyAndUniqueNames)
+{
+    const auto &tests = allTests();
+    ASSERT_GE(tests.size(), 30u);
+    std::set<std::string> names;
+    for (const auto &test : tests)
+        EXPECT_TRUE(names.insert(test.name()).second)
+            << "duplicate test name " << test.name();
+}
+
+TEST(Registry, AllTestsValidate)
+{
+    for (const auto &test : allTests())
+        EXPECT_NO_THROW(test.validate()) << test.name();
+}
+
+TEST(Registry, EveryTestHasAssertions)
+{
+    for (const auto &test : allTests())
+        EXPECT_FALSE(test.assertions().empty()) << test.name();
+}
+
+TEST(Registry, LookupByName)
+{
+    const auto &test = testByName("fig8a_alias_fence");
+    EXPECT_EQ(test.name(), "fig8a_alias_fence");
+    EXPECT_TRUE(hasTest("fig2_iriw_weak"));
+    EXPECT_FALSE(hasTest("no_such_test"));
+    EXPECT_THROW(testByName("no_such_test"), FatalError);
+}
+
+TEST(Registry, PaperFiguresPresent)
+{
+    for (const char *name :
+         {"fig2_iriw_weak", "fig2_iriw_fence_sc",
+          "fig4_const_alias_generic_fence", "fig4_const_alias_proxy_fence",
+          "fig8a_alias_fence", "fig8b_constant_fence",
+          "fig8c_two_thread_constant", "fig8d_fence_at_release",
+          "fig8e_cross_cta_wrong_side", "fig8f_double_fence_ordered",
+          "fig9_message_passing"}) {
+        EXPECT_TRUE(hasTest(name)) << name;
+    }
+}
+
+TEST(Registry, FigurePrefixSelection)
+{
+    auto fig8 = testsForFigure("fig8");
+    EXPECT_GE(fig8.size(), 6u);
+    for (const auto &test : fig8)
+        EXPECT_EQ(test.name().substr(0, 4), "fig8");
+}
+
+TEST(Registry, NamesMatchOrder)
+{
+    auto names = testNames();
+    const auto &tests = allTests();
+    ASSERT_EQ(names.size(), tests.size());
+    for (std::size_t i = 0; i < names.size(); i++)
+        EXPECT_EQ(names[i], tests[i].name());
+}
+
+TEST(Registry, RegistryTestsRoundTripThroughText)
+{
+    // Every registry test should survive print-then-parse.
+    for (const auto &test : allTests()) {
+        LitmusTest again = mixedproxy::litmus::parseTest(test.toString());
+        EXPECT_EQ(again.name(), test.name());
+        EXPECT_EQ(again.instructionCount(), test.instructionCount())
+            << test.name();
+    }
+}
+
+} // namespace

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Deterministic machine tests for the asynchronous copy engine and
+ * scoped proxy fences.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/registry.hh"
+#include "litmus/test.hh"
+#include "microarch/machine.hh"
+
+namespace {
+
+using namespace mixedproxy;
+using namespace mixedproxy::microarch;
+using litmus::LitmusBuilder;
+
+void
+stepThread(Machine &machine, std::size_t t)
+{
+    for (const auto &a : machine.actions()) {
+        if (a.kind == Action::Kind::ThreadStep && a.thread == t) {
+            machine.execute(a);
+            return;
+        }
+    }
+    FAIL() << "thread " << t << " cannot step";
+}
+
+void
+runNonThreadActions(Machine &machine)
+{
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (const auto &a : machine.actions()) {
+            if (a.kind != Action::Kind::ThreadStep) {
+                machine.execute(a);
+                progressed = true;
+                break;
+            }
+        }
+    }
+}
+
+void
+runAll(Machine &machine)
+{
+    while (!machine.finished())
+        machine.execute(machine.actions().front());
+}
+
+TEST(AsyncMachine, WaitBlocksUntilCopyCompletes)
+{
+    auto test = LitmusBuilder("wait")
+                    .init("s", 7)
+                    .thread("t0", 0, 0, {"cp.async.ca.u32 [d], [s]",
+                                         "cp.async.wait_all",
+                                         "ld.global.u32 r1, [d]"})
+                    .permit("t0.r1 == 7")
+                    .build();
+    Machine machine(test);
+    stepThread(machine, 0); // issue the copy
+    // The wait is not offered while the copy engine is busy.
+    for (const auto &a : machine.actions())
+        EXPECT_NE(a.kind, Action::Kind::ThreadStep) << a.toString();
+    runNonThreadActions(machine); // the copy lands
+    stepThread(machine, 0);       // wait (now enabled)
+    stepThread(machine, 0);       // load
+    runNonThreadActions(machine);
+    ASSERT_TRUE(machine.finished());
+    EXPECT_EQ(machine.outcome().reg("t0", "r1"), 7u);
+}
+
+TEST(AsyncMachine, UnjoinedCopyCanLoseTheRace)
+{
+    auto test = LitmusBuilder("norace")
+                    .init("s", 7)
+                    .thread("t0", 0, 0, {"cp.async.ca.u32 [d], [s]",
+                                         "ld.global.u32 r1, [d]"})
+                    .permit("t0.r1 == 0")
+                    .build();
+    // Schedule the load before the copy performs: stale 0.
+    Machine machine(test);
+    stepThread(machine, 0); // issue
+    stepThread(machine, 0); // load races ahead of the copy
+    runNonThreadActions(machine);
+    EXPECT_EQ(machine.outcome().reg("t0", "r1"), 0u);
+    EXPECT_EQ(machine.outcome().mem("d"), 7u); // copy still landed
+}
+
+TEST(AsyncMachine, CopyEngineBypassesStoreQueue)
+{
+    // A queued generic store to the source is invisible to the engine.
+    auto test = LitmusBuilder("stale_src")
+                    .thread("t0", 0, 0, {"st.global.u32 [s], 7",
+                                         "cp.async.ca.u32 [d], [s]",
+                                         "cp.async.wait_all",
+                                         "ld.global.u32 r1, [d]"})
+                    .permit("t0.r1 == 0")
+                    .build();
+    Machine machine(test);
+    stepThread(machine, 0); // st -> queue (not drained!)
+    stepThread(machine, 0); // issue copy
+    // Perform the copy before the store drains.
+    for (const auto &a : machine.actions()) {
+        if (a.kind == Action::Kind::AsyncCopy) {
+            machine.execute(a);
+            break;
+        }
+    }
+    runAll(machine);
+    EXPECT_EQ(machine.outcome().reg("t0", "r1"), 0u);
+}
+
+TEST(AsyncMachine, AsyncFenceOrdersGenericBeforeCopy)
+{
+    const auto &test = litmus::testByName("async_copy_fenced_source");
+    for (int schedule = 0; schedule < 2; schedule++) {
+        Machine machine(test);
+        // Under any schedule the result must be 7: the fence drains the
+        // store before the copy can be issued.
+        if (schedule == 0) {
+            runAll(machine);
+        } else {
+            while (!machine.finished())
+                machine.execute(machine.actions().back());
+        }
+        EXPECT_EQ(machine.outcome().reg("t0", "r1"), 7u)
+            << "schedule " << schedule;
+    }
+}
+
+TEST(AsyncMachine, WaitInvalidatesStaleL1)
+{
+    // The destination was cached in L1 before the copy; the join must
+    // drop it.
+    auto test = LitmusBuilder("l1_stale")
+                    .init("s", 7)
+                    .thread("t0", 0, 0, {"ld.global.u32 r0, [d]",
+                                         "cp.async.ca.u32 [d], [s]",
+                                         "cp.async.wait_all",
+                                         "ld.global.u32 r1, [d]"})
+                    .permit("t0.r1 == 7")
+                    .build();
+    Machine machine(test);
+    runAll(machine);
+    EXPECT_EQ(machine.outcome().reg("t0", "r0"), 0u);
+    EXPECT_EQ(machine.outcome().reg("t0", "r1"), 7u);
+}
+
+TEST(ScopedFenceMachine, GpuScopeReachesRemoteSm)
+{
+    // Warmed remote constant cache; the writer's gpu-scoped fence
+    // invalidates it.
+    auto test = LitmusBuilder("scoped")
+                    .alias("c", "x")
+                    .thread("t0", 0, 0,
+                            {"st.global.u32 [x], 42",
+                             "fence.proxy.constant.gpu",
+                             "st.release.gpu.u32 [f], 1"})
+                    .thread("t1", 1, 0, {"ld.const.u32 r0, [c]",
+                                         "ld.acquire.gpu.u32 r1, [f]",
+                                         "ld.const.u32 r2, [c]"})
+                    .permit("t1.r1 == 0")
+                    .build();
+    Machine machine(test);
+    stepThread(machine, 1); // warm t1's constant cache (0)
+    stepThread(machine, 0); // st
+    stepThread(machine, 0); // scoped fence: drains + remote invalidate
+    stepThread(machine, 0); // release
+    stepThread(machine, 1); // acquire (reads 1)
+    stepThread(machine, 1); // constant load must miss and see 42
+    runNonThreadActions(machine);
+    auto outcome = machine.outcome();
+    EXPECT_EQ(outcome.reg("t1", "r1"), 1u);
+    EXPECT_EQ(outcome.reg("t1", "r2"), 42u);
+}
+
+TEST(ScopedFenceMachine, CtaScopeDoesNot)
+{
+    auto test = LitmusBuilder("unscoped")
+                    .alias("c", "x")
+                    .thread("t0", 0, 0, {"st.global.u32 [x], 42",
+                                         "fence.proxy.constant",
+                                         "st.release.gpu.u32 [f], 1"})
+                    .thread("t1", 1, 0, {"ld.const.u32 r0, [c]",
+                                         "ld.acquire.gpu.u32 r1, [f]",
+                                         "ld.const.u32 r2, [c]"})
+                    .permit("t1.r1 == 0")
+                    .build();
+    Machine machine(test);
+    stepThread(machine, 1);
+    stepThread(machine, 0);
+    stepThread(machine, 0);
+    stepThread(machine, 0);
+    stepThread(machine, 1);
+    stepThread(machine, 1); // stale hit in t1's constant cache
+    runNonThreadActions(machine);
+    auto outcome = machine.outcome();
+    EXPECT_EQ(outcome.reg("t1", "r1"), 1u);
+    EXPECT_EQ(outcome.reg("t1", "r2"), 0u);
+}
+
+TEST(AsyncMachine, FullyCoherentModeIsSynchronous)
+{
+    const auto &test = litmus::testByName("async_copy_stale_source");
+    Machine machine(test, CoherenceMode::FullyCoherent);
+    runAll(machine);
+    EXPECT_EQ(machine.outcome().reg("t0", "r1"), 7u);
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Multi-GPU hierarchy tests: per-GPU L2 caches over system memory make
+ * the gpu- vs sys-scope distinction architecturally visible.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/registry.hh"
+#include "litmus/test.hh"
+#include "microarch/explore.hh"
+#include "microarch/machine.hh"
+#include "microarch/simulator.hh"
+
+namespace {
+
+using namespace mixedproxy;
+using namespace mixedproxy::microarch;
+using litmus::LitmusBuilder;
+
+TEST(MultiGpu, GpuScopeStalenessIsObservable)
+{
+    // mp_gpu_scope_cross_gpu: the gpu-scope release only reaches the
+    // local L2; a reader on another GPU can see the flag through a
+    // sysmem writeback yet still read the stale payload.
+    const auto &test = litmus::testByName("mp_gpu_scope_cross_gpu");
+    auto result = exploreAllSchedules(test);
+    bool stale_seen = false;
+    for (const auto &outcome : result.outcomes) {
+        if (outcome.reg("t1", "r1") == 1 && outcome.reg("t1", "r2") == 0)
+            stale_seen = true;
+    }
+    EXPECT_TRUE(stale_seen)
+        << "expected the cross-GPU stale read to be reachable";
+}
+
+TEST(MultiGpu, SysScopeRestoresThePublication)
+{
+    const auto &test = litmus::testByName("mp_sys_scope_cross_gpu");
+    auto result = exploreAllSchedules(test);
+    for (const auto &outcome : result.outcomes) {
+        EXPECT_FALSE(outcome.reg("t1", "r1") == 1 &&
+                     outcome.reg("t1", "r2") == 0)
+            << outcome.toString();
+    }
+}
+
+TEST(MultiGpu, SysAtomicsSerializeAcrossGpus)
+{
+    const auto &test = litmus::testByName("atom_add_sys_cross_gpu");
+    auto result = exploreAllSchedules(test);
+    for (const auto &outcome : result.outcomes) {
+        EXPECT_FALSE(outcome.reg("t0", "r1") == 0 &&
+                     outcome.reg("t1", "r2") == 0)
+            << outcome.toString();
+        EXPECT_EQ(outcome.mem("x"), 2u) << outcome.toString();
+    }
+}
+
+TEST(MultiGpu, GpuAtomicsRaceAcrossGpus)
+{
+    const auto &test = litmus::testByName("atom_add_gpu_cross_gpu");
+    auto result = exploreAllSchedules(test);
+    bool both_zero = false;
+    for (const auto &outcome : result.outcomes) {
+        if (outcome.reg("t0", "r1") == 0 && outcome.reg("t1", "r2") == 0)
+            both_zero = true;
+    }
+    EXPECT_TRUE(both_zero)
+        << "gpu-scope RMWs on different GPUs should not serialize";
+}
+
+TEST(MultiGpu, FinalMemoryComesFromSysmem)
+{
+    // Two GPUs write the same location; the writeback order decides
+    // the final value, and both orders are reachable.
+    auto test = LitmusBuilder("wb_race")
+                    .thread("t0", 0, 0, {"st.relaxed.gpu.u32 [x], 1"})
+                    .thread("t1", 1, 1, {"st.relaxed.gpu.u32 [x], 2"})
+                    .permit("[x] == 1")
+                    .permit("[x] == 2")
+                    .build();
+    auto result = exploreAllSchedules(test);
+    std::set<std::uint64_t> finals;
+    for (const auto &outcome : result.outcomes)
+        finals.insert(outcome.mem("x"));
+    EXPECT_EQ(finals, (std::set<std::uint64_t>{1, 2}));
+}
+
+TEST(MultiGpu, ScFencesAtGpuScopeDoNotCrossGpus)
+{
+    // sb_fence_sc_scope_mismatch: the stale 0/0 outcome is reachable
+    // because gpu-scope sc fences do not write back to sysmem.
+    const auto &test =
+        litmus::testByName("sb_fence_sc_scope_mismatch");
+    auto result = exploreAllSchedules(test);
+    bool both_zero = false;
+    for (const auto &outcome : result.outcomes) {
+        if (outcome.reg("t0", "r1") == 0 && outcome.reg("t1", "r2") == 0)
+            both_zero = true;
+    }
+    EXPECT_TRUE(both_zero);
+}
+
+TEST(MultiGpu, SysScFencesForbidStoreBuffering)
+{
+    auto test = LitmusBuilder("sb_sys")
+                    .thread("t0", 0, 0, {"st.relaxed.sys.u32 [x], 1",
+                                         "fence.sc.sys",
+                                         "ld.relaxed.sys.u32 r1, [y]"})
+                    .thread("t1", 1, 1, {"st.relaxed.sys.u32 [y], 1",
+                                         "fence.sc.sys",
+                                         "ld.relaxed.sys.u32 r2, [x]"})
+                    .forbid("t0.r1 == 0 && t1.r2 == 0")
+                    .build();
+    auto result = exploreAllSchedules(test);
+    for (const auto &outcome : result.outcomes) {
+        EXPECT_FALSE(outcome.reg("t0", "r1") == 0 &&
+                     outcome.reg("t1", "r2") == 0)
+            << outcome.toString();
+    }
+}
+
+} // namespace

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Randomized simulator tests, including the central soundness property:
+ * every outcome the operational machine produces on the full litmus
+ * corpus is allowed by the PTX 7.5 axiomatic model. This is the
+ * repository's substitute for the paper's Alloy-based validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/registry.hh"
+#include "microarch/simulator.hh"
+#include "model/checker.hh"
+
+namespace {
+
+using namespace mixedproxy;
+using namespace mixedproxy::microarch;
+
+SimResult
+simulate(const litmus::LitmusTest &test,
+         CoherenceMode mode = CoherenceMode::Proxy,
+         std::size_t iterations = 300)
+{
+    SimOptions opts;
+    opts.iterations = iterations;
+    opts.mode = mode;
+    opts.seed = 12345;
+    return Simulator(opts).run(test);
+}
+
+TEST(Simulator, DeterministicGivenSeed)
+{
+    const auto &test = litmus::testByName("fig4_const_alias_nofence");
+    Simulator sim{SimOptions{}};
+    auto a = sim.runOnce(test, 7);
+    auto b = sim.runOnce(test, 7);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Simulator, Fig4BothOutcomesObserved)
+{
+    const auto &test = litmus::testByName("fig4_const_alias_nofence");
+    auto result = simulate(test);
+    litmus::Outcome stale;
+    stale.registers["t0.r1"] = 0;
+    stale.memory["global_ptr"] = 42;
+    litmus::Outcome fresh;
+    fresh.registers["t0.r1"] = 42;
+    fresh.memory["global_ptr"] = 42;
+    EXPECT_TRUE(result.histogram.count(stale)) << result.summary();
+    EXPECT_TRUE(result.histogram.count(fresh)) << result.summary();
+}
+
+TEST(Simulator, ProxyFenceEliminatesStaleOutcome)
+{
+    const auto &test = litmus::testByName("fig4_const_alias_proxy_fence");
+    auto result = simulate(test);
+    for (const auto &[outcome, count] : result.histogram)
+        EXPECT_EQ(outcome.reg("t0", "r1"), 42u) << outcome.toString();
+}
+
+TEST(Simulator, StoreBufferingObservedAndFencedAway)
+{
+    auto plain = simulate(litmus::testByName("sb_relaxed"),
+                          CoherenceMode::Proxy, 500);
+    bool saw_sb = false;
+    for (const auto &[outcome, count] : plain.histogram) {
+        if (outcome.reg("t0", "r1") == 0 && outcome.reg("t1", "r2") == 0)
+            saw_sb = true;
+    }
+    EXPECT_TRUE(saw_sb) << plain.summary();
+
+    auto fenced = simulate(litmus::testByName("sb_fence_sc"));
+    for (const auto &[outcome, count] : fenced.histogram) {
+        EXPECT_FALSE(outcome.reg("t0", "r1") == 0 &&
+                     outcome.reg("t1", "r2") == 0)
+            << outcome.toString();
+    }
+}
+
+TEST(Simulator, HistogramCountsSumToIterations)
+{
+    auto result = simulate(litmus::testByName("fig9_message_passing"));
+    std::size_t total = 0;
+    for (const auto &[outcome, count] : result.histogram)
+        total += count;
+    EXPECT_EQ(total, result.iterations);
+    EXPECT_GT(result.meanLatency(), 0.0);
+    EXPECT_NE(result.summary().find("schedules"), std::string::npos);
+}
+
+// ---- Soundness: operational outcomes are a subset of model outcomes ---
+
+class OperationalSoundness : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(OperationalSoundness, ObservedSubsetOfPtx75Allowed)
+{
+    const auto &test = litmus::testByName(GetParam());
+    model::CheckOptions mopts;
+    mopts.collectWitnesses = false;
+    auto allowed = model::Checker(mopts).check(test).outcomes;
+
+    auto result = simulate(test, CoherenceMode::Proxy, 200);
+    for (const auto &[outcome, count] : result.histogram) {
+        EXPECT_TRUE(allowed.count(outcome))
+            << test.name() << ": machine produced an outcome the model "
+            << "forbids: " << outcome.toString();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, OperationalSoundness,
+    ::testing::ValuesIn(litmus::testNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+// The fully coherent machine (§4.2 ablation) is stricter still: its
+// outcomes are allowed even by the proxy-oblivious PTX 6.0 model.
+class CoherentSoundness : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CoherentSoundness, CoherentSubsetOfPtx60Allowed)
+{
+    const auto &test = litmus::testByName(GetParam());
+    model::CheckOptions mopts;
+    mopts.collectWitnesses = false;
+    mopts.mode = model::ProxyMode::Ptx60;
+    auto allowed = model::Checker(mopts).check(test).outcomes;
+
+    auto result = simulate(test, CoherenceMode::FullyCoherent, 100);
+    for (const auto &[outcome, count] : result.histogram) {
+        EXPECT_TRUE(allowed.count(outcome))
+            << test.name() << ": coherent machine outcome not in PTX 6.0 "
+            << "model: " << outcome.toString();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, CoherentSoundness,
+    ::testing::ValuesIn(litmus::testNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+// Fence-reuse mode (§4.3 ablation) is also sound w.r.t. the proxy model
+// (it only adds flushes/invalidations).
+class FenceReuseSoundness : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(FenceReuseSoundness, FenceReuseSubsetOfPtx75Allowed)
+{
+    const auto &test = litmus::testByName(GetParam());
+    model::CheckOptions mopts;
+    mopts.collectWitnesses = false;
+    auto allowed = model::Checker(mopts).check(test).outcomes;
+
+    auto result = simulate(test, CoherenceMode::FenceReuse, 100);
+    for (const auto &[outcome, count] : result.histogram) {
+        EXPECT_TRUE(allowed.count(outcome))
+            << test.name() << ": fence-reuse outcome not allowed: "
+            << outcome.toString();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, FenceReuseSoundness,
+    ::testing::ValuesIn(litmus::testNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+// Every `require` assertion must hold on every simulated outcome under
+// all three machine modes (requirements are lower bounds on every
+// implementation).
+class RequireHolds : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(RequireHolds, RequiredOutcomesHoldOperationally)
+{
+    const auto &test = litmus::testByName(GetParam());
+    for (auto mode : {CoherenceMode::Proxy, CoherenceMode::FullyCoherent,
+                      CoherenceMode::FenceReuse}) {
+        auto result = simulate(test, mode, 100);
+        for (const auto &assertion : test.assertions()) {
+            if (assertion.kind != litmus::AssertKind::Require)
+                continue;
+            for (const auto &[outcome, count] : result.histogram) {
+                EXPECT_TRUE(assertion.condition->evalBool(outcome))
+                    << test.name() << " [" << toString(mode)
+                    << "]: " << assertion.text
+                    << " violated by " << outcome.toString();
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, RequireHolds,
+    ::testing::ValuesIn(litmus::testNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(Simulator, CoherentModeCostsMore)
+{
+    // The §4.2 trade-off: correctness without fences, but translation
+    // latency and invalidation traffic on the common path.
+    const auto &test = litmus::testByName("fig9_message_passing");
+    auto proxy = simulate(test, CoherenceMode::Proxy, 200);
+    auto coherent = simulate(test, CoherenceMode::FullyCoherent, 200);
+    EXPECT_EQ(proxy.stats.translations, 0u);
+    EXPECT_GT(coherent.stats.translations, 0u);
+}
+
+TEST(Simulator, FenceReuseInflatesFenceWork)
+{
+    const auto &test = litmus::testByName("fig4_warmed_stale_hit");
+    auto proxy = simulate(test, CoherenceMode::Proxy, 200);
+    auto reuse = simulate(test, CoherenceMode::FenceReuse, 200);
+    EXPECT_GT(reuse.stats.fenceInvalidations,
+              proxy.stats.fenceInvalidations);
+}
+
+} // namespace

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unit tests for the asynchronous-copy extension (§3.1.4) and the
+ * scoped proxy fence extension (§7.2): decoding, program expansion
+ * (forked program order), moral strength, and checker semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/instruction.hh"
+#include "litmus/test.hh"
+#include "model/checker.hh"
+#include "model/program.hh"
+#include "relation/error.hh"
+
+namespace {
+
+using namespace mixedproxy;
+using namespace mixedproxy::model;
+using litmus::LitmusBuilder;
+
+TEST(AsyncDecode, CpAsyncForms)
+{
+    auto i = litmus::decode("cp.async.ca.shared.global.u32 [d], [s]");
+    EXPECT_EQ(i.opcode, litmus::Opcode::CpAsync);
+    EXPECT_EQ(i.proxy, litmus::ProxyKind::Async);
+    EXPECT_EQ(i.address, "d");
+    EXPECT_EQ(i.srcAddress, "s");
+    EXPECT_TRUE(i.isLoad());
+    EXPECT_TRUE(i.isStore());
+    EXPECT_TRUE(i.isMemoryOp());
+
+    auto wait = litmus::decode("cp.async.wait_all");
+    EXPECT_EQ(wait.opcode, litmus::Opcode::CpAsyncWait);
+    EXPECT_TRUE(wait.isFence());
+    EXPECT_FALSE(wait.isMemoryOp());
+}
+
+TEST(AsyncDecode, Malformed)
+{
+    EXPECT_THROW(litmus::decode("cp.async.u32 [d]"), FatalError);
+    EXPECT_THROW(litmus::decode("cp.async.u32 [d], [s], [t]"),
+                 FatalError);
+    EXPECT_THROW(litmus::decode("cp.async.u32 [d], r1"), FatalError);
+    EXPECT_THROW(litmus::decode("cp.sync.u32 [d], [s]"), FatalError);
+    EXPECT_THROW(litmus::decode("cp.async.bogus.u32 [d], [s]"),
+                 FatalError);
+    EXPECT_THROW(litmus::decode("cp.async.wait_all.u32"), FatalError);
+}
+
+TEST(ScopedFenceDecode, OptionalScope)
+{
+    auto plain = litmus::decode("fence.proxy.constant");
+    EXPECT_EQ(plain.scope, litmus::Scope::Cta); // PTX 7.5 meaning
+
+    auto gpu = litmus::decode("fence.proxy.constant.gpu");
+    EXPECT_EQ(gpu.opcode, litmus::Opcode::FenceProxy);
+    EXPECT_EQ(gpu.proxyFence, litmus::ProxyFenceKind::Constant);
+    EXPECT_EQ(gpu.scope, litmus::Scope::Gpu);
+
+    EXPECT_EQ(litmus::decode("fence.proxy.async").proxyFence,
+              litmus::ProxyFenceKind::Async);
+    EXPECT_THROW(litmus::decode("fence.proxy.constant.warp"),
+                 FatalError);
+}
+
+namespace {
+
+litmus::LitmusTest
+asyncTest()
+{
+    return LitmusBuilder("async")
+        .init("s", 7)
+        .thread("t0", 0, 0, {"st.global.u32 [a], 1",
+                             "cp.async.ca.u32 [d], [s]",
+                             "st.global.u32 [b], 2",
+                             "cp.async.wait_all",
+                             "ld.global.u32 r1, [d]"})
+        .permit("t0.r1 == 7")
+        .build();
+}
+
+} // namespace
+
+TEST(AsyncProgram, ForkedProgramOrder)
+{
+    Program p(asyncTest(), ProxyMode::Ptx75);
+    auto find = [&](auto pred) -> const Event & {
+        for (const auto &e : p.events()) {
+            if (pred(e))
+                return e;
+        }
+        throw std::logic_error("not found");
+    };
+    const Event &st_a = find([](const Event &e) {
+        return e.isWrite() && !e.isInit && e.instrIndex == 0;
+    });
+    const Event &copy_r = find([](const Event &e) {
+        return e.isRead() && e.isAsyncCopy();
+    });
+    const Event &copy_w = find([](const Event &e) {
+        return e.isWrite() && e.isAsyncCopy();
+    });
+    const Event &st_b = find([](const Event &e) {
+        return e.isWrite() && !e.isInit && e.instrIndex == 2;
+    });
+    const Event &join = find([](const Event &e) {
+        return e.isProxyFence();
+    });
+    const Event &ld_d = find([](const Event &e) {
+        return e.isRead() && !e.isAsyncCopy() && !e.isInit;
+    });
+
+    // Issue order: everything before the copy precedes it.
+    EXPECT_TRUE(p.po().contains(st_a.id, copy_r.id));
+    EXPECT_TRUE(p.po().contains(copy_r.id, copy_w.id));
+    // Forked: the copy is unordered with instructions between issue and
+    // join.
+    EXPECT_FALSE(p.po().contains(copy_r.id, st_b.id));
+    EXPECT_FALSE(p.po().contains(st_b.id, copy_r.id));
+    EXPECT_FALSE(p.po().contains(copy_w.id, st_b.id));
+    // The join orders the copy before everything after it.
+    EXPECT_TRUE(p.po().contains(copy_w.id, join.id));
+    EXPECT_TRUE(p.po().contains(copy_w.id, ld_d.id));
+    EXPECT_TRUE(p.po().contains(st_b.id, join.id));
+    // The copy pair carries an internal value dependency.
+    EXPECT_TRUE(p.dep().contains(copy_r.id, copy_w.id));
+    // The join is modeled as this CTA's async proxy fence.
+    EXPECT_EQ(join.proxyFence, litmus::ProxyFenceKind::Async);
+    // Async events use the async proxy, specialized by CTA.
+    EXPECT_EQ(copy_r.proxy.kind, litmus::ProxyKind::Async);
+    EXPECT_EQ(copy_r.proxy.cta, 0);
+}
+
+TEST(AsyncProgram, MoralStrengthUsesProgramOrderNotThreadIdentity)
+{
+    Program p(asyncTest(), ProxyMode::Ptx75);
+    const Event *copy_w = nullptr;
+    const Event *st_b = nullptr;
+    for (const auto &e : p.events()) {
+        if (e.isWrite() && e.isAsyncCopy())
+            copy_w = &e;
+        if (e.isWrite() && !e.isInit && e.instrIndex == 2)
+            st_b = &e;
+    }
+    ASSERT_NE(copy_w, nullptr);
+    ASSERT_NE(st_b, nullptr);
+    // Same thread, but unordered and weak: not morally strong.
+    EXPECT_FALSE(p.morallyStrong().contains(copy_w->id, st_b->id));
+}
+
+TEST(AsyncProgram, Ptx60ErasesTheAsyncProxy)
+{
+    Program p(asyncTest(), ProxyMode::Ptx60);
+    for (const auto &e : p.events()) {
+        EXPECT_NE(e.proxy.kind, litmus::ProxyKind::Async)
+            << e.toString();
+    }
+}
+
+TEST(AsyncChecker, WaitMakesCopyVisible)
+{
+    model::Checker checker;
+    auto result = checker.check(asyncTest());
+    for (const auto &outcome : result.outcomes)
+        EXPECT_EQ(outcome.reg("t0", "r1"), 7u) << outcome.toString();
+}
+
+TEST(AsyncChecker, UnjoinedCopyRaces)
+{
+    auto test = LitmusBuilder("race")
+                    .init("s", 7)
+                    .thread("t0", 0, 0, {"cp.async.ca.u32 [d], [s]",
+                                         "ld.global.u32 r1, [d]"})
+                    .permit("t0.r1 == 0")
+                    .build();
+    auto result = model::Checker().check(test);
+    bool saw0 = false;
+    bool saw7 = false;
+    for (const auto &outcome : result.outcomes) {
+        saw0 |= outcome.reg("t0", "r1") == 0;
+        saw7 |= outcome.reg("t0", "r1") == 7;
+    }
+    EXPECT_TRUE(saw0);
+    EXPECT_TRUE(saw7);
+}
+
+TEST(AsyncChecker, TwoUnorderedCopiesToOneDestination)
+{
+    auto test = LitmusBuilder("two_copies")
+                    .init("s1", 1)
+                    .init("s2", 2)
+                    .thread("t0", 0, 0, {"cp.async.ca.u32 [d], [s1]",
+                                         "cp.async.ca.u32 [d], [s2]",
+                                         "cp.async.wait_all",
+                                         "ld.global.u32 r1, [d]"})
+                    .permit("t0.r1 == 1")
+                    .permit("t0.r1 == 2")
+                    .build();
+    auto result = model::Checker().check(test);
+    EXPECT_TRUE(result.allPassed()) << result.summary();
+}
+
+TEST(ScopedFenceChecker, WiderScopeSubstitutesForRemoteFence)
+{
+    // fig8e's wrong-side placement, fixed by scope alone.
+    auto make = [](const char *fence) {
+        return LitmusBuilder("scoped")
+            .alias("rd2", "rd1")
+            .thread("t0", 0, 0,
+                    {"st.global.u32 [rd1], 42", fence,
+                     "st.release.gpu.u32 [rd4], 1"})
+            .thread("t1", 1, 0, {"ld.acquire.gpu.u32 r5, [rd4]",
+                                 "ld.const.u32 r3, [rd2]"})
+            .permit("t1.r5 == 0")
+            .build();
+    };
+    model::Checker checker;
+    auto cta = checker.check(make("fence.proxy.constant"));
+    EXPECT_TRUE(cta.admits(
+        litmus::parseCondition("t1.r5 == 1 && t1.r3 == 0")));
+    auto gpu = checker.check(make("fence.proxy.constant.gpu"));
+    EXPECT_FALSE(gpu.admits(
+        litmus::parseCondition("t1.r5 == 1 && t1.r3 == 0")));
+}
+
+TEST(ScopedFenceChecker, ScopeStillBoundsReach)
+{
+    // gpu scope does not reach another GPU; sys scope does.
+    auto make = [](const char *fence) {
+        return LitmusBuilder("scoped_xgpu")
+            .alias("rd2", "rd1")
+            .thread("t0", 0, 0,
+                    {"st.global.u32 [rd1], 42", fence,
+                     "st.release.sys.u32 [rd4], 1"})
+            .thread("t1", 1, 1, {"ld.acquire.sys.u32 r5, [rd4]",
+                                 "ld.const.u32 r3, [rd2]"})
+            .permit("t1.r5 == 0")
+            .build();
+    };
+    model::Checker checker;
+    auto stale = litmus::parseCondition("t1.r5 == 1 && t1.r3 == 0");
+    EXPECT_TRUE(
+        checker.check(make("fence.proxy.constant.gpu")).admits(stale));
+    EXPECT_FALSE(
+        checker.check(make("fence.proxy.constant.sys")).admits(stale));
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Integration tests: every built-in litmus test (the paper's Figs. 2, 4,
+ * 8, 9 plus the classic corpus) must satisfy all of its assertions under
+ * the PTX 7.5 proxy-aware model. Parameterized so each registry entry is
+ * its own ctest case.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/registry.hh"
+#include "model/checker.hh"
+
+namespace {
+
+using namespace mixedproxy;
+using namespace mixedproxy::model;
+
+class PaperFigures : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(PaperFigures, AssertionsHoldUnderPtx75)
+{
+    const auto &test = litmus::testByName(GetParam());
+    CheckOptions opts;
+    opts.collectWitnesses = false;
+    auto result = Checker(opts).check(test);
+    EXPECT_TRUE(result.allPassed()) << result.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, PaperFigures,
+    ::testing::ValuesIn(litmus::testNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+// The conservative-extension property: on proxy-free programs (single
+// virtual address per location, generic accesses only), PTX 7.5 allows
+// exactly the same outcomes as PTX 6.0.
+class ConservativeExtension : public ::testing::TestWithParam<std::string>
+{
+};
+
+namespace {
+
+bool
+usesProxies(const litmus::LitmusTest &test)
+{
+    for (const auto &thread : test.threads()) {
+        for (const auto &instr : thread.instructions) {
+            if (instr.opcode == litmus::Opcode::FenceProxy)
+                return true;
+            if (instr.isMemoryOp() &&
+                instr.proxy != litmus::ProxyKind::Generic) {
+                return true;
+            }
+            if (instr.isMemoryOp() &&
+                test.locationOf(instr.address) != instr.address) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+TEST_P(ConservativeExtension, Ptx75MatchesPtx60OnProxyFreeTests)
+{
+    const auto &test = litmus::testByName(GetParam());
+    if (usesProxies(test))
+        GTEST_SKIP() << "test exercises proxies";
+    CheckOptions opts75;
+    opts75.collectWitnesses = false;
+    CheckOptions opts60 = opts75;
+    opts60.mode = ProxyMode::Ptx60;
+    auto r75 = Checker(opts75).check(test);
+    auto r60 = Checker(opts60).check(test);
+    EXPECT_EQ(r75.outcomes, r60.outcomes) << test.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, ConservativeExtension,
+    ::testing::ValuesIn(litmus::testNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+// On proxy-exercising tests, PTX 7.5 must be weaker or equal: every
+// outcome PTX 6.0 allows is also allowed by PTX 7.5 (proxies only
+// *relax* the model; they never forbid previously-legal behavior).
+class ProxyRelaxation : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ProxyRelaxation, Ptx75AllowsEverythingPtx60Allows)
+{
+    const auto &test = litmus::testByName(GetParam());
+    CheckOptions opts75;
+    opts75.collectWitnesses = false;
+    CheckOptions opts60 = opts75;
+    opts60.mode = ProxyMode::Ptx60;
+    auto r75 = Checker(opts75).check(test);
+    auto r60 = Checker(opts60).check(test);
+    for (const auto &outcome : r60.outcomes) {
+        EXPECT_TRUE(r75.outcomes.count(outcome))
+            << test.name() << ": PTX 6.0 outcome missing under 7.5: "
+            << outcome.toString();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, ProxyRelaxation,
+    ::testing::ValuesIn(litmus::testNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace

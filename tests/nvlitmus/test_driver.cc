@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for the NVLitmus front-end: argument parsing, report content,
+ * exit codes, and file input.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "nvlitmus/driver.hh"
+#include "relation/error.hh"
+
+namespace {
+
+using namespace mixedproxy;
+using namespace mixedproxy::nvlitmus;
+
+int
+run(const std::vector<std::string> &args, std::string *out_text = nullptr,
+    std::string *err_text = nullptr)
+{
+    std::ostringstream out;
+    std::ostringstream err;
+    int code = runCli(args, out, err);
+    if (out_text)
+        *out_text = out.str();
+    if (err_text)
+        *err_text = err.str();
+    return code;
+}
+
+TEST(ParseArgs, Defaults)
+{
+    auto opts = parseArgs({"foo.litmus"});
+    EXPECT_EQ(opts.inputs.size(), 1u);
+    EXPECT_EQ(opts.mode, model::ProxyMode::Ptx75);
+    EXPECT_FALSE(opts.simulate);
+    EXPECT_FALSE(opts.showWitnesses);
+}
+
+TEST(ParseArgs, AllFlags)
+{
+    auto opts = parseArgs({"--model", "ptx60", "--compare", "--witness",
+                           "--simulate=500", "--sim-mode", "coherent",
+                           "a", "b"});
+    EXPECT_EQ(opts.mode, model::ProxyMode::Ptx60);
+    EXPECT_TRUE(opts.compareModels);
+    EXPECT_TRUE(opts.showWitnesses);
+    EXPECT_TRUE(opts.simulate);
+    EXPECT_EQ(opts.simIterations, 500u);
+    EXPECT_EQ(opts.simMode, microarch::CoherenceMode::FullyCoherent);
+    EXPECT_EQ(opts.inputs.size(), 2u);
+}
+
+TEST(ParseArgs, EqualsSyntax)
+{
+    auto opts = parseArgs({"--model=ptx60", "--sim-mode=fence-reuse"});
+    EXPECT_EQ(opts.mode, model::ProxyMode::Ptx60);
+    EXPECT_EQ(opts.simMode, microarch::CoherenceMode::FenceReuse);
+}
+
+TEST(ParseArgs, Invalid)
+{
+    EXPECT_THROW(parseArgs({"--model", "ptx99"}), FatalError);
+    EXPECT_THROW(parseArgs({"--model"}), FatalError);
+    EXPECT_THROW(parseArgs({"--bogus"}), FatalError);
+    EXPECT_THROW(parseArgs({"--simulate=abc"}), FatalError);
+    EXPECT_THROW(parseArgs({"--sim-mode", "warp"}), FatalError);
+}
+
+TEST(Cli, HelpAndList)
+{
+    std::string out;
+    EXPECT_EQ(run({"--help"}, &out), 0);
+    EXPECT_NE(out.find("usage"), std::string::npos);
+
+    EXPECT_EQ(run({"--list"}, &out), 0);
+    EXPECT_NE(out.find("fig8a_alias_fence"), std::string::npos);
+    EXPECT_NE(out.find("fig9_message_passing"), std::string::npos);
+}
+
+TEST(Cli, NoInputsIsUsageError)
+{
+    std::string err;
+    EXPECT_EQ(run({}, nullptr, &err), 2);
+    EXPECT_NE(err.find("no inputs"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagIsUsageError)
+{
+    std::string err;
+    EXPECT_EQ(run({"--frobnicate"}, nullptr, &err), 2);
+}
+
+TEST(Cli, BuiltinTestByName)
+{
+    std::string out;
+    EXPECT_EQ(run({"fig8a_alias_fence"}, &out), 0);
+    EXPECT_NE(out.find("PASS"), std::string::npos);
+    EXPECT_NE(out.find("allowed: t0.r3=42"), std::string::npos);
+}
+
+TEST(Cli, MissingFileIsError)
+{
+    std::string err;
+    EXPECT_EQ(run({"/nonexistent/x.litmus"}, nullptr, &err), 2);
+    EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, FileInput)
+{
+    const char *path = "nvlitmus_test_tmp.litmus";
+    {
+        std::ofstream file(path);
+        file << "name: from_file\n"
+                "thread t0:\n"
+                "  st.global.u32 [x], 1\n"
+                "  ld.global.u32 r1, [x]\n"
+                "require: t0.r1 == 1\n";
+    }
+    std::string out;
+    EXPECT_EQ(run({path}, &out), 0);
+    EXPECT_NE(out.find("from_file"), std::string::npos);
+    std::remove(path);
+}
+
+TEST(Cli, FailingAssertionExitsOne)
+{
+    const char *path = "nvlitmus_fail_tmp.litmus";
+    {
+        std::ofstream file(path);
+        file << "name: failing\n"
+                "thread t0:\n"
+                "  ld.global.u32 r1, [x]\n"
+                "forbid: t0.r1 == 0\n";
+    }
+    std::string out;
+    EXPECT_EQ(run({path}, &out), 1);
+    EXPECT_NE(out.find("FAIL"), std::string::npos);
+    std::remove(path);
+}
+
+TEST(Cli, CompareShowsProxyDelta)
+{
+    std::string out;
+    EXPECT_EQ(run({"--compare", "fig4_const_alias_nofence"}, &out), 0);
+    EXPECT_NE(out.find("only ptx75"), std::string::npos);
+}
+
+TEST(Cli, CompareIdenticalOnProxyFreeTest)
+{
+    std::string out;
+    EXPECT_EQ(run({"--compare", "sb_relaxed"}, &out), 0);
+    EXPECT_NE(out.find("identical outcome sets"), std::string::npos);
+}
+
+TEST(Cli, WitnessOutput)
+{
+    std::string out;
+    EXPECT_EQ(run({"--witness", "fig8a_alias_fence"}, &out), 0);
+    EXPECT_NE(out.find("witness for"), std::string::npos);
+    EXPECT_NE(out.find("rf"), std::string::npos);
+}
+
+TEST(Cli, DotOutput)
+{
+    std::string out;
+    EXPECT_EQ(run({"--dot", "fig9_message_passing"}, &out), 0);
+    EXPECT_NE(out.find("digraph"), std::string::npos);
+    EXPECT_NE(out.find("label=\"rf\""), std::string::npos);
+    EXPECT_NE(out.find("subgraph cluster_"), std::string::npos);
+    // Synchronized outcome carries an sw edge.
+    EXPECT_NE(out.find("label=\"sw\""), std::string::npos);
+}
+
+TEST(Cli, SimulateCrossChecks)
+{
+    std::string out;
+    EXPECT_EQ(run({"--simulate=200", "fig4_const_alias_nofence"}, &out),
+              0);
+    EXPECT_NE(out.find("schedules"), std::string::npos);
+    EXPECT_EQ(out.find("WARNING"), std::string::npos) << out;
+}
+
+TEST(Cli, AllRunsEveryBuiltin)
+{
+    std::string out;
+    EXPECT_EQ(run({"--all"}, &out), 0);
+    EXPECT_NE(out.find("PASS  fig8a_alias_fence"), std::string::npos);
+    EXPECT_EQ(out.find("FAIL"), std::string::npos);
+}
+
+TEST(ParseArgs, SynthFlag)
+{
+    EXPECT_EQ(parseArgs({"--synth=3"}).synthInstructions, 3u);
+    EXPECT_THROW(parseArgs({"--synth"}), FatalError);
+    EXPECT_THROW(parseArgs({"--synth=abc"}), FatalError);
+    EXPECT_THROW(parseArgs({"--synth=0"}), FatalError);
+    EXPECT_THROW(parseArgs({"--synth=9"}), FatalError);
+}
+
+TEST(Cli, SynthReportsProxySensitiveTests)
+{
+    std::string out;
+    EXPECT_EQ(run({"--synth=2"}, &out), 0);
+    EXPECT_NE(out.find("proxy-sensitive"), std::string::npos);
+    EXPECT_NE(out.find("ld.const"), std::string::npos) << out;
+}
+
+TEST(Cli, ShrinkMinimizesInput)
+{
+    std::string out;
+    EXPECT_EQ(run({"--shrink", "t0.r1 == 0 && [global_ptr] == 42",
+                   "fig4_const_alias_generic_fence"},
+                  &out),
+              0);
+    EXPECT_NE(out.find("shrunk from 3 to 2 instructions"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("ld.const"), std::string::npos);
+    EXPECT_EQ(out.find("fence.acq_rel"), std::string::npos) << out;
+}
+
+TEST(Cli, ShrinkRejectsUnsatisfiableCondition)
+{
+    std::string err;
+    EXPECT_EQ(run({"--shrink", "t0.r1 == 99", "fig8a_alias_fence"},
+                  nullptr, &err),
+              2);
+    EXPECT_NE(err.find("does not hold"), std::string::npos);
+}
+
+TEST(Cli, SynthOutWritesSuite)
+{
+    std::string out;
+    EXPECT_EQ(run({"--synth=2", "--synth-out=cli_suite_tmp"}, &out), 0);
+    EXPECT_NE(out.find("wrote"), std::string::npos);
+    std::size_t files = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator("cli_suite_tmp")) {
+        (void)entry;
+        files++;
+    }
+    EXPECT_GT(files, 0u);
+    std::filesystem::remove_all("cli_suite_tmp");
+}
+
+TEST(Cli, Ptx60ModeChangesVerdicts)
+{
+    // Under the proxy-oblivious model the Fig. 4 no-fence test's
+    // "permit stale" assertion fails: PTX 6.0 cannot see the race.
+    std::string out;
+    EXPECT_EQ(run({"--model", "ptx60", "fig4_const_alias_nofence"},
+                  &out),
+              1);
+    EXPECT_NE(out.find("FAIL"), std::string::npos);
+}
+
+} // namespace

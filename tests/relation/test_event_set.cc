@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for relation::EventSet.
+ */
+
+#include <gtest/gtest.h>
+
+#include "relation/error.hh"
+#include "relation/event_set.hh"
+
+namespace {
+
+using mixedproxy::PanicError;
+using mixedproxy::relation::EventId;
+using mixedproxy::relation::EventSet;
+
+TEST(EventSet, EmptyOnConstruction)
+{
+    EventSet s(10);
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.universeSize(), 10u);
+    for (EventId i = 0; i < 10; i++)
+        EXPECT_FALSE(s.contains(i));
+}
+
+TEST(EventSet, InsertEraseContains)
+{
+    EventSet s(100);
+    s.insert(0);
+    s.insert(63);
+    s.insert(64);
+    s.insert(99);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_TRUE(s.contains(0));
+    EXPECT_TRUE(s.contains(63));
+    EXPECT_TRUE(s.contains(64));
+    EXPECT_TRUE(s.contains(99));
+    EXPECT_FALSE(s.contains(1));
+    s.erase(63);
+    EXPECT_FALSE(s.contains(63));
+    EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(EventSet, InitializerList)
+{
+    EventSet s(8, {1, 3, 5});
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_TRUE(s.contains(3));
+    EXPECT_FALSE(s.contains(4));
+}
+
+TEST(EventSet, FullSet)
+{
+    for (std::size_t n : {0u, 1u, 63u, 64u, 65u, 130u}) {
+        EventSet s = EventSet::full(n);
+        EXPECT_EQ(s.count(), n) << "universe " << n;
+        EXPECT_FALSE(s.contains(n));
+    }
+}
+
+TEST(EventSet, SetAlgebra)
+{
+    EventSet a(10, {1, 2, 3});
+    EventSet b(10, {3, 4, 5});
+    EXPECT_EQ((a | b), EventSet(10, {1, 2, 3, 4, 5}));
+    EXPECT_EQ((a & b), EventSet(10, {3}));
+    EXPECT_EQ((a - b), EventSet(10, {1, 2}));
+}
+
+TEST(EventSet, SubsetOf)
+{
+    EventSet a(10, {1, 2});
+    EventSet b(10, {1, 2, 3});
+    EXPECT_TRUE(a.subsetOf(b));
+    EXPECT_FALSE(b.subsetOf(a));
+    EXPECT_TRUE(a.subsetOf(a));
+}
+
+TEST(EventSet, MembersAscending)
+{
+    EventSet s(70, {65, 2, 33});
+    std::vector<EventId> expected{2, 33, 65};
+    EXPECT_EQ(s.members(), expected);
+}
+
+TEST(EventSet, Filter)
+{
+    EventSet s(10, {1, 2, 3, 4});
+    EventSet even = s.filter([](EventId id) { return id % 2 == 0; });
+    EXPECT_EQ(even, EventSet(10, {2, 4}));
+}
+
+TEST(EventSet, ToString)
+{
+    EXPECT_EQ(EventSet(5, {0, 3}).toString(), "{0, 3}");
+    EXPECT_EQ(EventSet(5).toString(), "{}");
+}
+
+TEST(EventSet, OutOfUniversePanics)
+{
+    EventSet s(4);
+    EXPECT_THROW(s.insert(4), PanicError);
+    EXPECT_FALSE(s.contains(4)); // queries out of range are just false
+}
+
+TEST(EventSet, UniverseMismatchPanics)
+{
+    EventSet a(4);
+    EventSet b(5);
+    EXPECT_THROW(a | b, PanicError);
+    EXPECT_THROW(a & b, PanicError);
+    EXPECT_THROW(a.subsetOf(b), PanicError);
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the SC reference executor, plus the oracle property
+ * that SC outcomes are always admitted by both PTX model variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/registry.hh"
+#include "litmus/test.hh"
+#include "model/checker.hh"
+#include "synth/sc_reference.hh"
+
+namespace {
+
+using namespace mixedproxy;
+using litmus::LitmusBuilder;
+using synth::scOutcomes;
+
+TEST(ScReference, SingleThreadIsDeterministic)
+{
+    auto test = LitmusBuilder("seq")
+                    .thread("t0", 0, 0, {"st.global.u32 [x], 1",
+                                         "ld.global.u32 r1, [x]",
+                                         "st.global.u32 [x], 2"})
+                    .permit("t0.r1 == 1")
+                    .build();
+    auto outcomes = scOutcomes(test);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes.begin()->reg("t0", "r1"), 1u);
+    EXPECT_EQ(outcomes.begin()->mem("x"), 2u);
+}
+
+TEST(ScReference, MessagePassingInterleavings)
+{
+    auto test = LitmusBuilder("mp")
+                    .thread("t0", 0, 0, {"st.global.u32 [x], 42",
+                                         "st.global.u32 [y], 1"})
+                    .thread("t1", 1, 0, {"ld.global.u32 r1, [y]",
+                                         "ld.global.u32 r2, [x]"})
+                    .permit("t1.r1 == 0")
+                    .build();
+    auto outcomes = scOutcomes(test);
+    // SC admits exactly three register combinations: 0/0, 0/42, 1/42.
+    EXPECT_EQ(outcomes.size(), 3u);
+    for (const auto &outcome : outcomes) {
+        EXPECT_FALSE(outcome.reg("t1", "r1") == 1 &&
+                     outcome.reg("t1", "r2") == 0)
+            << outcome.toString();
+    }
+}
+
+TEST(ScReference, StoreBufferingForbiddenUnderSc)
+{
+    auto test = LitmusBuilder("sb")
+                    .thread("t0", 0, 0, {"st.global.u32 [x], 1",
+                                         "ld.global.u32 r1, [y]"})
+                    .thread("t1", 1, 0, {"st.global.u32 [y], 1",
+                                         "ld.global.u32 r2, [x]"})
+                    .permit("t0.r1 == 1")
+                    .build();
+    for (const auto &outcome : scOutcomes(test)) {
+        EXPECT_FALSE(outcome.reg("t0", "r1") == 0 &&
+                     outcome.reg("t1", "r2") == 0)
+            << outcome.toString();
+    }
+}
+
+TEST(ScReference, AliasesResolveToOneCell)
+{
+    auto test = LitmusBuilder("alias")
+                    .alias("c", "x")
+                    .thread("t0", 0, 0, {"st.global.u32 [x], 42",
+                                         "ld.const.u32 r1, [c]"})
+                    .permit("t0.r1 == 42")
+                    .build();
+    auto outcomes = scOutcomes(test);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes.begin()->reg("t0", "r1"), 42u);
+}
+
+TEST(ScReference, AtomicsAndCas)
+{
+    auto test = LitmusBuilder("atom")
+                    .thread("t0", 0, 0, {"atom.cas.u32 r1, [x], 0, 1"})
+                    .thread("t1", 1, 0, {"atom.cas.u32 r2, [x], 0, 2"})
+                    .permit("t0.r1 == 0")
+                    .build();
+    auto outcomes = scOutcomes(test);
+    EXPECT_EQ(outcomes.size(), 2u); // one winner each way
+    for (const auto &outcome : outcomes) {
+        EXPECT_FALSE(outcome.reg("t0", "r1") == 0 &&
+                     outcome.reg("t1", "r2") == 0);
+    }
+}
+
+TEST(ScReference, InitValuesRespected)
+{
+    auto test = LitmusBuilder("init")
+                    .init("x", 5)
+                    .thread("t0", 0, 0, {"ld.global.u32 r1, [x]"})
+                    .permit("t0.r1 == 5")
+                    .build();
+    auto outcomes = scOutcomes(test);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes.begin()->reg("t0", "r1"), 5u);
+}
+
+// SC is a legal implementation of PTX: every SC outcome must be allowed
+// by both model variants, on the entire corpus.
+class ScIsLegal : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ScIsLegal, ScOutcomesAllowedByBothModels)
+{
+    const auto &test = litmus::testByName(GetParam());
+    auto sc = scOutcomes(test);
+    for (auto mode : {model::ProxyMode::Ptx75, model::ProxyMode::Ptx60}) {
+        model::CheckOptions opts;
+        opts.mode = mode;
+        opts.collectWitnesses = false;
+        auto allowed = model::Checker(opts).check(test).outcomes;
+        for (const auto &outcome : sc) {
+            EXPECT_TRUE(allowed.count(outcome))
+                << test.name() << " [" << model::toString(mode)
+                << "]: SC outcome not allowed: " << outcome.toString();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, ScIsLegal, ::testing::ValuesIn(litmus::testNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Entry point of the `nvlitmus` command-line tool.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "nvlitmus/driver.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        return mixedproxy::nvlitmus::runCli(args, std::cout, std::cerr);
+    } catch (const std::exception &e) {
+        std::cerr << "nvlitmus: internal error: " << e.what() << "\n";
+        return 2;
+    }
+}
