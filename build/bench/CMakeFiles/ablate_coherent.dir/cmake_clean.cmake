@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_coherent.dir/ablate_coherent.cc.o"
+  "CMakeFiles/ablate_coherent.dir/ablate_coherent.cc.o.d"
+  "ablate_coherent"
+  "ablate_coherent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_coherent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_fence_reuse.dir/ablate_fence_reuse.cc.o"
+  "CMakeFiles/ablate_fence_reuse.dir/ablate_fence_reuse.cc.o.d"
+  "ablate_fence_reuse"
+  "ablate_fence_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_fence_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

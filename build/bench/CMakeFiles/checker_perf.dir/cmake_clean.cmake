@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_perf.dir/checker_perf.cc.o"
+  "CMakeFiles/checker_perf.dir/checker_perf.cc.o.d"
+  "checker_perf"
+  "checker_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

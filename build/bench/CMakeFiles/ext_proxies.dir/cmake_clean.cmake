@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_proxies.dir/ext_proxies.cc.o"
+  "CMakeFiles/ext_proxies.dir/ext_proxies.cc.o.d"
+  "ext_proxies"
+  "ext_proxies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_proxies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_iriw.dir/fig2_iriw.cc.o"
+  "CMakeFiles/fig2_iriw.dir/fig2_iriw.cc.o.d"
+  "fig2_iriw"
+  "fig2_iriw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_iriw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

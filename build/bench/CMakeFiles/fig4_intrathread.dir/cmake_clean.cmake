@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_intrathread.dir/fig4_intrathread.cc.o"
+  "CMakeFiles/fig4_intrathread.dir/fig4_intrathread.cc.o.d"
+  "fig4_intrathread"
+  "fig4_intrathread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_intrathread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_decode.dir/fig5_decode.cc.o"
+  "CMakeFiles/fig5_decode.dir/fig5_decode.cc.o.d"
+  "fig5_decode"
+  "fig5_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

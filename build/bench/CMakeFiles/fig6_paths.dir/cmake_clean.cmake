@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_paths.dir/fig6_paths.cc.o"
+  "CMakeFiles/fig6_paths.dir/fig6_paths.cc.o.d"
+  "fig6_paths"
+  "fig6_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_litmus.dir/fig8_litmus.cc.o"
+  "CMakeFiles/fig8_litmus.dir/fig8_litmus.cc.o.d"
+  "fig8_litmus"
+  "fig8_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_causality.dir/fig9_causality.cc.o"
+  "CMakeFiles/fig9_causality.dir/fig9_causality.cc.o.d"
+  "fig9_causality"
+  "fig9_causality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_causality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

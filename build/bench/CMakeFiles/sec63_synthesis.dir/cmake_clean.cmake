@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec63_synthesis.dir/sec63_synthesis.cc.o"
+  "CMakeFiles/sec63_synthesis.dir/sec63_synthesis.cc.o.d"
+  "sec63_synthesis"
+  "sec63_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec63_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/kernel_fusion.cpp" "examples/CMakeFiles/kernel_fusion.dir/kernel_fusion.cpp.o" "gcc" "examples/CMakeFiles/kernel_fusion.dir/kernel_fusion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/microarch/CMakeFiles/mp_microarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/mp_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/litmus/CMakeFiles/mp_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/mp_relation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_fusion.dir/kernel_fusion.cpp.o"
+  "CMakeFiles/kernel_fusion.dir/kernel_fusion.cpp.o.d"
+  "kernel_fusion"
+  "kernel_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microarch_demo.dir/microarch_demo.cpp.o"
+  "CMakeFiles/microarch_demo.dir/microarch_demo.cpp.o.d"
+  "microarch_demo"
+  "microarch_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microarch_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

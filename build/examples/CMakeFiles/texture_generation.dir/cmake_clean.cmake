@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/texture_generation.dir/texture_generation.cpp.o"
+  "CMakeFiles/texture_generation.dir/texture_generation.cpp.o.d"
+  "texture_generation"
+  "texture_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/texture_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_litmus.dir/expr.cc.o"
+  "CMakeFiles/mp_litmus.dir/expr.cc.o.d"
+  "CMakeFiles/mp_litmus.dir/instruction.cc.o"
+  "CMakeFiles/mp_litmus.dir/instruction.cc.o.d"
+  "CMakeFiles/mp_litmus.dir/outcome.cc.o"
+  "CMakeFiles/mp_litmus.dir/outcome.cc.o.d"
+  "CMakeFiles/mp_litmus.dir/parser.cc.o"
+  "CMakeFiles/mp_litmus.dir/parser.cc.o.d"
+  "CMakeFiles/mp_litmus.dir/registry.cc.o"
+  "CMakeFiles/mp_litmus.dir/registry.cc.o.d"
+  "CMakeFiles/mp_litmus.dir/test.cc.o"
+  "CMakeFiles/mp_litmus.dir/test.cc.o.d"
+  "CMakeFiles/mp_litmus.dir/types.cc.o"
+  "CMakeFiles/mp_litmus.dir/types.cc.o.d"
+  "libmp_litmus.a"
+  "libmp_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/microarch/cache.cc" "src/microarch/CMakeFiles/mp_microarch.dir/cache.cc.o" "gcc" "src/microarch/CMakeFiles/mp_microarch.dir/cache.cc.o.d"
+  "/root/repo/src/microarch/explore.cc" "src/microarch/CMakeFiles/mp_microarch.dir/explore.cc.o" "gcc" "src/microarch/CMakeFiles/mp_microarch.dir/explore.cc.o.d"
+  "/root/repo/src/microarch/machine.cc" "src/microarch/CMakeFiles/mp_microarch.dir/machine.cc.o" "gcc" "src/microarch/CMakeFiles/mp_microarch.dir/machine.cc.o.d"
+  "/root/repo/src/microarch/simulator.cc" "src/microarch/CMakeFiles/mp_microarch.dir/simulator.cc.o" "gcc" "src/microarch/CMakeFiles/mp_microarch.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/litmus/CMakeFiles/mp_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/mp_relation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_microarch.dir/cache.cc.o"
+  "CMakeFiles/mp_microarch.dir/cache.cc.o.d"
+  "CMakeFiles/mp_microarch.dir/explore.cc.o"
+  "CMakeFiles/mp_microarch.dir/explore.cc.o.d"
+  "CMakeFiles/mp_microarch.dir/machine.cc.o"
+  "CMakeFiles/mp_microarch.dir/machine.cc.o.d"
+  "CMakeFiles/mp_microarch.dir/simulator.cc.o"
+  "CMakeFiles/mp_microarch.dir/simulator.cc.o.d"
+  "libmp_microarch.a"
+  "libmp_microarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

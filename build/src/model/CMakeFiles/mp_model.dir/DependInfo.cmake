@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/checker.cc" "src/model/CMakeFiles/mp_model.dir/checker.cc.o" "gcc" "src/model/CMakeFiles/mp_model.dir/checker.cc.o.d"
+  "/root/repo/src/model/event.cc" "src/model/CMakeFiles/mp_model.dir/event.cc.o" "gcc" "src/model/CMakeFiles/mp_model.dir/event.cc.o.d"
+  "/root/repo/src/model/program.cc" "src/model/CMakeFiles/mp_model.dir/program.cc.o" "gcc" "src/model/CMakeFiles/mp_model.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/litmus/CMakeFiles/mp_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/mp_relation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

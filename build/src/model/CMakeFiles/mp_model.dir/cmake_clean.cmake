@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_model.dir/checker.cc.o"
+  "CMakeFiles/mp_model.dir/checker.cc.o.d"
+  "CMakeFiles/mp_model.dir/event.cc.o"
+  "CMakeFiles/mp_model.dir/event.cc.o.d"
+  "CMakeFiles/mp_model.dir/program.cc.o"
+  "CMakeFiles/mp_model.dir/program.cc.o.d"
+  "libmp_model.a"
+  "libmp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

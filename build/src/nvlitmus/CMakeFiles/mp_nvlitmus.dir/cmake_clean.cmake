@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_nvlitmus.dir/driver.cc.o"
+  "CMakeFiles/mp_nvlitmus.dir/driver.cc.o.d"
+  "libmp_nvlitmus.a"
+  "libmp_nvlitmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_nvlitmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_relation.dir/event_set.cc.o"
+  "CMakeFiles/mp_relation.dir/event_set.cc.o.d"
+  "CMakeFiles/mp_relation.dir/relation.cc.o"
+  "CMakeFiles/mp_relation.dir/relation.cc.o.d"
+  "libmp_relation.a"
+  "libmp_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

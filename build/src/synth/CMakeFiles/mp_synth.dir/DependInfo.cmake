@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/generator.cc" "src/synth/CMakeFiles/mp_synth.dir/generator.cc.o" "gcc" "src/synth/CMakeFiles/mp_synth.dir/generator.cc.o.d"
+  "/root/repo/src/synth/mutate.cc" "src/synth/CMakeFiles/mp_synth.dir/mutate.cc.o" "gcc" "src/synth/CMakeFiles/mp_synth.dir/mutate.cc.o.d"
+  "/root/repo/src/synth/sc_reference.cc" "src/synth/CMakeFiles/mp_synth.dir/sc_reference.cc.o" "gcc" "src/synth/CMakeFiles/mp_synth.dir/sc_reference.cc.o.d"
+  "/root/repo/src/synth/shrink.cc" "src/synth/CMakeFiles/mp_synth.dir/shrink.cc.o" "gcc" "src/synth/CMakeFiles/mp_synth.dir/shrink.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/litmus/CMakeFiles/mp_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/mp_relation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

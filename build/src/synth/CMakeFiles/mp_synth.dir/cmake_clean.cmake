@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_synth.dir/generator.cc.o"
+  "CMakeFiles/mp_synth.dir/generator.cc.o.d"
+  "CMakeFiles/mp_synth.dir/mutate.cc.o"
+  "CMakeFiles/mp_synth.dir/mutate.cc.o.d"
+  "CMakeFiles/mp_synth.dir/sc_reference.cc.o"
+  "CMakeFiles/mp_synth.dir/sc_reference.cc.o.d"
+  "CMakeFiles/mp_synth.dir/shrink.cc.o"
+  "CMakeFiles/mp_synth.dir/shrink.cc.o.d"
+  "libmp_synth.a"
+  "libmp_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

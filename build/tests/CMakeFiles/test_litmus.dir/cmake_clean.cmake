@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_litmus.dir/litmus/test_corpus_files.cc.o"
+  "CMakeFiles/test_litmus.dir/litmus/test_corpus_files.cc.o.d"
+  "CMakeFiles/test_litmus.dir/litmus/test_expr.cc.o"
+  "CMakeFiles/test_litmus.dir/litmus/test_expr.cc.o.d"
+  "CMakeFiles/test_litmus.dir/litmus/test_instruction.cc.o"
+  "CMakeFiles/test_litmus.dir/litmus/test_instruction.cc.o.d"
+  "CMakeFiles/test_litmus.dir/litmus/test_parser.cc.o"
+  "CMakeFiles/test_litmus.dir/litmus/test_parser.cc.o.d"
+  "CMakeFiles/test_litmus.dir/litmus/test_registry.cc.o"
+  "CMakeFiles/test_litmus.dir/litmus/test_registry.cc.o.d"
+  "test_litmus"
+  "test_litmus.pdb"
+  "test_litmus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

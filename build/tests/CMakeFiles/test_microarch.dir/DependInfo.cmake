@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/microarch/test_async_machine.cc" "tests/CMakeFiles/test_microarch.dir/microarch/test_async_machine.cc.o" "gcc" "tests/CMakeFiles/test_microarch.dir/microarch/test_async_machine.cc.o.d"
+  "/root/repo/tests/microarch/test_barrier_machine.cc" "tests/CMakeFiles/test_microarch.dir/microarch/test_barrier_machine.cc.o" "gcc" "tests/CMakeFiles/test_microarch.dir/microarch/test_barrier_machine.cc.o.d"
+  "/root/repo/tests/microarch/test_cache.cc" "tests/CMakeFiles/test_microarch.dir/microarch/test_cache.cc.o" "gcc" "tests/CMakeFiles/test_microarch.dir/microarch/test_cache.cc.o.d"
+  "/root/repo/tests/microarch/test_explore.cc" "tests/CMakeFiles/test_microarch.dir/microarch/test_explore.cc.o" "gcc" "tests/CMakeFiles/test_microarch.dir/microarch/test_explore.cc.o.d"
+  "/root/repo/tests/microarch/test_machine.cc" "tests/CMakeFiles/test_microarch.dir/microarch/test_machine.cc.o" "gcc" "tests/CMakeFiles/test_microarch.dir/microarch/test_machine.cc.o.d"
+  "/root/repo/tests/microarch/test_multigpu.cc" "tests/CMakeFiles/test_microarch.dir/microarch/test_multigpu.cc.o" "gcc" "tests/CMakeFiles/test_microarch.dir/microarch/test_multigpu.cc.o.d"
+  "/root/repo/tests/microarch/test_simulator.cc" "tests/CMakeFiles/test_microarch.dir/microarch/test_simulator.cc.o" "gcc" "tests/CMakeFiles/test_microarch.dir/microarch/test_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/litmus/CMakeFiles/mp_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/mp_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/microarch/CMakeFiles/mp_microarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/mp_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvlitmus/CMakeFiles/mp_nvlitmus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microarch.dir/microarch/test_async_machine.cc.o"
+  "CMakeFiles/test_microarch.dir/microarch/test_async_machine.cc.o.d"
+  "CMakeFiles/test_microarch.dir/microarch/test_barrier_machine.cc.o"
+  "CMakeFiles/test_microarch.dir/microarch/test_barrier_machine.cc.o.d"
+  "CMakeFiles/test_microarch.dir/microarch/test_cache.cc.o"
+  "CMakeFiles/test_microarch.dir/microarch/test_cache.cc.o.d"
+  "CMakeFiles/test_microarch.dir/microarch/test_explore.cc.o"
+  "CMakeFiles/test_microarch.dir/microarch/test_explore.cc.o.d"
+  "CMakeFiles/test_microarch.dir/microarch/test_machine.cc.o"
+  "CMakeFiles/test_microarch.dir/microarch/test_machine.cc.o.d"
+  "CMakeFiles/test_microarch.dir/microarch/test_multigpu.cc.o"
+  "CMakeFiles/test_microarch.dir/microarch/test_multigpu.cc.o.d"
+  "CMakeFiles/test_microarch.dir/microarch/test_simulator.cc.o"
+  "CMakeFiles/test_microarch.dir/microarch/test_simulator.cc.o.d"
+  "test_microarch"
+  "test_microarch.pdb"
+  "test_microarch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

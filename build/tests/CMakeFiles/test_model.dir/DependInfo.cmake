@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/test_async.cc" "tests/CMakeFiles/test_model.dir/model/test_async.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_async.cc.o.d"
+  "/root/repo/tests/model/test_barrier.cc" "tests/CMakeFiles/test_model.dir/model/test_barrier.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_barrier.cc.o.d"
+  "/root/repo/tests/model/test_checker.cc" "tests/CMakeFiles/test_model.dir/model/test_checker.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_checker.cc.o.d"
+  "/root/repo/tests/model/test_derived.cc" "tests/CMakeFiles/test_model.dir/model/test_derived.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_derived.cc.o.d"
+  "/root/repo/tests/model/test_paper_figures.cc" "tests/CMakeFiles/test_model.dir/model/test_paper_figures.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_paper_figures.cc.o.d"
+  "/root/repo/tests/model/test_program.cc" "tests/CMakeFiles/test_model.dir/model/test_program.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/litmus/CMakeFiles/mp_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/mp_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/microarch/CMakeFiles/mp_microarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/mp_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvlitmus/CMakeFiles/mp_nvlitmus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/model/test_async.cc.o"
+  "CMakeFiles/test_model.dir/model/test_async.cc.o.d"
+  "CMakeFiles/test_model.dir/model/test_barrier.cc.o"
+  "CMakeFiles/test_model.dir/model/test_barrier.cc.o.d"
+  "CMakeFiles/test_model.dir/model/test_checker.cc.o"
+  "CMakeFiles/test_model.dir/model/test_checker.cc.o.d"
+  "CMakeFiles/test_model.dir/model/test_derived.cc.o"
+  "CMakeFiles/test_model.dir/model/test_derived.cc.o.d"
+  "CMakeFiles/test_model.dir/model/test_paper_figures.cc.o"
+  "CMakeFiles/test_model.dir/model/test_paper_figures.cc.o.d"
+  "CMakeFiles/test_model.dir/model/test_program.cc.o"
+  "CMakeFiles/test_model.dir/model/test_program.cc.o.d"
+  "test_model"
+  "test_model.pdb"
+  "test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

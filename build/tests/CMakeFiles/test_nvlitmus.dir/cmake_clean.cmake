@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvlitmus.dir/nvlitmus/test_driver.cc.o"
+  "CMakeFiles/test_nvlitmus.dir/nvlitmus/test_driver.cc.o.d"
+  "test_nvlitmus"
+  "test_nvlitmus.pdb"
+  "test_nvlitmus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvlitmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

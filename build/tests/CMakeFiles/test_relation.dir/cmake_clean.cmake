@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relation.dir/relation/test_event_set.cc.o"
+  "CMakeFiles/test_relation.dir/relation/test_event_set.cc.o.d"
+  "CMakeFiles/test_relation.dir/relation/test_relation.cc.o"
+  "CMakeFiles/test_relation.dir/relation/test_relation.cc.o.d"
+  "test_relation"
+  "test_relation.pdb"
+  "test_relation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

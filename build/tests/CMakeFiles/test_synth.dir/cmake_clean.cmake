@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth.dir/synth/test_cross_validation.cc.o"
+  "CMakeFiles/test_synth.dir/synth/test_cross_validation.cc.o.d"
+  "CMakeFiles/test_synth.dir/synth/test_generator.cc.o"
+  "CMakeFiles/test_synth.dir/synth/test_generator.cc.o.d"
+  "CMakeFiles/test_synth.dir/synth/test_sc_reference.cc.o"
+  "CMakeFiles/test_synth.dir/synth/test_sc_reference.cc.o.d"
+  "CMakeFiles/test_synth.dir/synth/test_shrink.cc.o"
+  "CMakeFiles/test_synth.dir/synth/test_shrink.cc.o.d"
+  "test_synth"
+  "test_synth.pdb"
+  "test_synth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvlitmus.dir/nvlitmus_main.cc.o"
+  "CMakeFiles/nvlitmus.dir/nvlitmus_main.cc.o.d"
+  "nvlitmus"
+  "nvlitmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvlitmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
