@@ -123,6 +123,57 @@ BM_Ptx60VsPtx75(benchmark::State &state)
 }
 BENCHMARK(BM_Ptx60VsPtx75)->Arg(0)->Arg(1);
 
+/**
+ * Cost of the static single-proxy fast path (analysis-informed): when
+ * every access is generic and unaliased, per-candidate proxy-rule
+ * evaluation is skipped entirely. Arg(1) = fast path on (default),
+ * Arg(0) = forced off; scalingTest is single-proxy, so the delta is
+ * pure clause-evaluation overhead.
+ */
+void
+BM_SingleProxyFastPath(benchmark::State &state)
+{
+    auto test = scalingTest(3);
+    model::CheckOptions opts;
+    opts.collectWitnesses = false;
+    opts.staticFastPath = state.range(0) != 0;
+    model::Checker checker(opts);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(checker.check(test).outcomes.size());
+}
+BENCHMARK(BM_SingleProxyFastPath)->Arg(0)->Arg(1);
+
+/**
+ * The same comparison isolated to the per-candidate derived-relation
+ * computation (where the fast path lives): 8 threads of paired
+ * release/acquire accesses over 4 locations, one fixed rf assignment.
+ */
+void
+BM_DerivedSingleProxy(benchmark::State &state)
+{
+    litmus::LitmusBuilder b("derived_sp");
+    for (int t = 0; t < 8; t++) {
+        std::string loc = "x" + std::to_string(t % 4);
+        b.thread("t" + std::to_string(t), t, 0,
+                 {"st.release.gpu.u32 [" + loc + "], 1",
+                  "ld.acquire.gpu.u32 r0, [" + loc + "]"});
+    }
+    b.permit("t0.r0 == 1");
+    model::Program program(b.build(), model::ProxyMode::Ptx75);
+
+    relation::Relation rf(program.size());
+    for (auto r : program.reads())
+        rf.insert(program.initWrite(program.event(r).location), r);
+    std::vector<char> live(program.size(), 1);
+
+    const bool fast = state.range(0) != 0;
+    for (auto _ : state) {
+        auto derived = model::computeDerived(program, rf, live, fast);
+        benchmark::DoNotOptimize(derived.cause.pairCount());
+    }
+}
+BENCHMARK(BM_DerivedSingleProxy)->Arg(0)->Arg(1);
+
 void
 BM_ProgramExpansion(benchmark::State &state)
 {

@@ -1,0 +1,62 @@
+#include "diagnostic.hh"
+
+#include <sstream>
+
+#include "relation/error.hh"
+
+namespace mixedproxy::analysis {
+
+std::string
+toString(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    panic("unknown Severity");
+}
+
+std::string
+toString(DiagnosticKind kind)
+{
+    switch (kind) {
+      case DiagnosticKind::MixedProxyRace: return "mixed-proxy-race";
+      case DiagnosticKind::RedundantFence: return "redundant-fence";
+      case DiagnosticKind::UnmatchedFenceKind:
+        return "unmatched-fence-kind";
+      case DiagnosticKind::VacuousFence: return "vacuous-fence";
+      case DiagnosticKind::ShadowedFence: return "shadowed-fence";
+      case DiagnosticKind::UnreadRegister: return "unread-register";
+    }
+    panic("unknown DiagnosticKind");
+}
+
+std::string
+InstrRef::toString() const
+{
+    std::ostringstream os;
+    os << "'" << text << "' (" << thread << " #" << index;
+    if (sourceLine > 0)
+        os << ", line " << sourceLine;
+    os << ")";
+    return os.str();
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::ostringstream os;
+    os << analysis::toString(severity) << " ["
+       << analysis::toString(kind) << "]: " << message << "\n";
+    const char *intro = "at";
+    for (const auto &ref : where) {
+        os << "    " << intro << " " << ref.toString() << "\n";
+        intro = "and";
+    }
+    if (!hint.empty())
+        os << "    hint: " << hint << "\n";
+    return os.str();
+}
+
+} // namespace mixedproxy::analysis

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Structured diagnostics emitted by the static mixed-proxy analyzer.
+ *
+ * A Diagnostic names a defect class (§6.2-derived), a severity, the
+ * instructions involved (with source positions when the test came from a
+ * litmus file), and a fix-it hint. Rendering is plain text, one finding
+ * per block, in the style of a compiler lint pass.
+ */
+
+#ifndef MIXEDPROXY_ANALYSIS_DIAGNOSTIC_HH
+#define MIXEDPROXY_ANALYSIS_DIAGNOSTIC_HH
+
+#include <string>
+#include <vector>
+
+namespace mixedproxy::analysis {
+
+/** How bad a finding is; drives lint exit codes and filtering. */
+enum class Severity {
+    Note,    ///< advisory; never fails a lint run
+    Warning, ///< almost certainly a mistake, but not a race
+    Error,   ///< a mixed-proxy race candidate (§6.2.4 violation)
+};
+
+/** The defect classes the analyzer reports. */
+enum class DiagnosticKind {
+    /**
+     * Two overlapping accesses travel different proxies, some static
+     * causality path orders them, and no path carries the proxy fences
+     * §6.2.4's clause (3) requires. The checker will admit stale-value
+     * outcomes for this pair (the paper's Fig. 4 / Fig. 8 bug class).
+     */
+    MixedProxyRace,
+
+    /**
+     * A `fence.proxy` instruction that participates in no successful
+     * clause-(3) bridge for any same-location cross-proxy pair: it
+     * orders nothing (wrong kind, wrong CTA, or not on any path).
+     */
+    RedundantFence,
+
+    /**
+     * A `fence.proxy.K` whose kind K matches no proxy pair in the test
+     * at all, e.g. `fence.proxy.alias` in a test with no aliased
+     * location (subsumes RedundantFence when it applies).
+     */
+    UnmatchedFenceKind,
+
+    /**
+     * A scoped fence with no memory operation before (or after) it in
+     * its thread: it can anchor no release (acquire) pattern on that
+     * side and orders nothing.
+     */
+    VacuousFence,
+
+    /**
+     * A fence immediately adjacent to another fence that is at least as
+     * strong (wider-or-equal scope, stronger-or-equal semantics, same
+     * proxy kind for proxy fences): removable per the paper's
+     * fence-elision discussion.
+     */
+    ShadowedFence,
+
+    /**
+     * A load whose destination register is never read by a later
+     * instruction nor mentioned in any assertion: its outcome is
+     * unconstrained.
+     */
+    UnreadRegister,
+};
+
+std::string toString(Severity severity);
+std::string toString(DiagnosticKind kind);
+
+/** A reference to one instruction of the analyzed test. */
+struct InstrRef
+{
+    std::string thread;   ///< owning thread name
+    int index = 0;        ///< 0-based index within the thread
+    int sourceLine = 0;   ///< 1-based litmus-file line; 0 if unknown
+    std::string text;     ///< the instruction as written
+
+    /** "'st.global.u32 [x], 1' (t0 #0, line 5)". */
+    std::string toString() const;
+};
+
+/** One finding. */
+struct Diagnostic
+{
+    DiagnosticKind kind = DiagnosticKind::MixedProxyRace;
+    Severity severity = Severity::Error;
+    std::string message;        ///< one-sentence statement of the defect
+    std::string hint;           ///< fix-it suggestion ("" if none)
+    std::vector<InstrRef> where; ///< involved instructions, primary first
+
+    /** Multi-line rendering: severity, message, locations, hint. */
+    std::string toString() const;
+};
+
+} // namespace mixedproxy::analysis
+
+#endif // MIXEDPROXY_ANALYSIS_DIAGNOSTIC_HH

@@ -155,6 +155,19 @@ Expr::evalValue(const Outcome &outcome) const
     }
 }
 
+void
+Expr::forEachRegRef(
+    const std::function<void(const std::string &thread,
+                             const std::string &reg)> &fn) const
+{
+    if (_kind == Kind::Reg)
+        fn(thread, regName);
+    if (lhs)
+        lhs->forEachRegRef(fn);
+    if (rhs)
+        rhs->forEachRegRef(fn);
+}
+
 std::string
 Expr::toString() const
 {

@@ -11,6 +11,7 @@
 #define MIXEDPROXY_LITMUS_EXPR_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -73,6 +74,14 @@ class Expr
 
     /** Evaluate a value node against an outcome. */
     std::uint64_t evalValue(const Outcome &outcome) const;
+
+    /**
+     * Invoke @p fn with (thread, register) for every register reference
+     * anywhere in this expression tree.
+     */
+    void forEachRegRef(
+        const std::function<void(const std::string &thread,
+                                 const std::string &reg)> &fn) const;
 
     /** Render with minimal parenthesization. */
     std::string toString() const;

@@ -94,6 +94,12 @@ struct Instruction
     /** Original text, when decoded from text. */
     std::string text;
 
+    /**
+     * 1-based source line in the litmus file this instruction was parsed
+     * from; 0 when the instruction was built programmatically.
+     */
+    int sourceLine = 0;
+
     /** True for loads, stores, and atomics (not fences). */
     bool isMemoryOp() const;
 

@@ -158,7 +158,9 @@ parseTest(const std::string &text)
                     fatal("instruction outside a thread block: '", line,
                           "'");
                 }
-                current.instructions.push_back(decode(line));
+                Instruction instr = decode(line);
+                instr.sourceLine = static_cast<int>(line_no);
+                current.instructions.push_back(std::move(instr));
             }
         } catch (const FatalError &err) {
             // Re-raise with position information if not yet present.

@@ -210,20 +210,30 @@ evaluate(const Program &program, const Relation &rf,
     return vals;
 }
 
-/**
- * True when a chain of proxy fences along the base-causality path
- * bridges X's proxy to Y's proxy (ppbc rule 3, generalized per
- * DESIGN.md §3).
- */
+} // namespace
+
 bool
-bridgedByProxyFences(const Program &program, const Relation &bcause,
-                     const Event &x, const Event &y)
+proxyFenceBridged(const Program &program, const Relation &bcause,
+                  const Event &x, const Event &y,
+                  relation::EventSet *usedFences)
 {
     const auto &events = program.events();
     const bool need_exit =
         x.proxy.kind != litmus::ProxyKind::Generic;
     const bool need_entry =
         y.proxy.kind != litmus::ProxyKind::Generic;
+
+    bool bridged = false;
+    auto found = [&](EventId f1, EventId f2 = Event::kNoPartner) {
+        bridged = true;
+        if (usedFences) {
+            usedFences->insert(f1);
+            if (f2 != Event::kNoPartner)
+                usedFences->insert(f2);
+        }
+        // Without a collector the first bridge settles the question.
+        return usedFences == nullptr;
+    };
 
     // PTX 7.5 proxy fences act on the executing CTA's caches; the §7.2
     // scoped extension lets a wider-scope fence stand in for fences in
@@ -248,11 +258,12 @@ bridgedByProxyFences(const Program &program, const Relation &bcause,
         for (EventId fid : program.proxyFences()) {
             const Event &f = events[fid];
             if (f.proxyFence == litmus::ProxyFenceKind::Alias &&
-                bcause.contains(x.id, fid) && bcause.contains(fid, y.id)) {
+                bcause.contains(x.id, fid) &&
+                bcause.contains(fid, y.id) && found(fid)) {
                 return true;
             }
         }
-        return false;
+        return bridged;
     }
 
     if (need_exit && need_entry) {
@@ -264,20 +275,22 @@ bridgedByProxyFences(const Program &program, const Relation &bcause,
             const Event &exit = events[f1];
             if (!fence_matches(exit, x) || !bcause.contains(x.id, f1))
                 continue;
-            if (fence_matches(exit, y) && bcause.contains(f1, y.id))
+            if (fence_matches(exit, y) && bcause.contains(f1, y.id) &&
+                found(f1)) {
                 return true;
+            }
             for (EventId f2 : program.proxyFences()) {
                 if (f1 == f2)
                     continue;
                 const Event &entry = events[f2];
                 if (fence_matches(entry, y) &&
                     bcause.contains(f1, f2) &&
-                    bcause.contains(f2, y.id)) {
+                    bcause.contains(f2, y.id) && found(f1, f2)) {
                     return true;
                 }
             }
         }
-        return false;
+        return bridged;
     }
 
     // One non-generic endpoint: a single fence of its kind, in its CTA,
@@ -286,19 +299,23 @@ bridgedByProxyFences(const Program &program, const Relation &bcause,
     for (EventId fid : program.proxyFences()) {
         const Event &f = events[fid];
         if (fence_matches(f, nongeneric) &&
-            bcause.contains(x.id, fid) && bcause.contains(fid, y.id)) {
+            bcause.contains(x.id, fid) && bcause.contains(fid, y.id) &&
+            found(fid)) {
             return true;
         }
     }
-    return false;
+    return bridged;
 }
-
-} // namespace
 
 DerivedRelations
 computeDerived(const Program &program, const Relation &rf,
-               const std::vector<char> &live)
+               const std::vector<char> &live, bool staticFastPath)
 {
+    // Single-proxy fast path: with every access generic and unaliased,
+    // §6.2.4's clause (1) orders every overlapping base-causality pair,
+    // so the per-pair clause checks and fence bridging are skipped.
+    const bool single_proxy =
+        staticFastPath && !program.usesMixedProxies();
     const auto &events = program.events();
     const std::size_t n = events.size();
     DerivedRelations d{Relation(n), Relation(n), Relation(n),
@@ -358,7 +375,23 @@ computeDerived(const Program &program, const Relation &rf,
     d.bcause =
         (program.po() | d.sw | program.barrierSync()).transitiveClosure();
 
-    // Proxy-preserved base causality order (§6.2.4).
+    // Proxy-preserved base causality order (§6.2.4). When the static
+    // analysis proved the test single-proxy, clause (1) orders every
+    // overlapping pair, so ppbc is just the bit-matrix intersection of
+    // base causality with the precomputed overlap pairs (restricted to
+    // live events) — no per-pair clause scan at all.
+    if (single_proxy) {
+        relation::EventSet live_set(events.size());
+        for (const Event &e : events) {
+            if (live[e.id])
+                live_set.insert(e.id);
+        }
+        d.ppbc =
+            (d.bcause & program.overlapPairs()).restrict(live_set);
+        d.cause = d.ppbc | d.obs.compose(d.ppbc);
+        return d;
+    }
+
     for (const Event &x : events) {
         if (!x.isMemory() || x.isInit || !live[x.id])
             continue;
@@ -384,7 +417,7 @@ computeDerived(const Program &program, const Relation &rf,
                 ordered = true;
             }
             // (3) proxy fences along the base causality path
-            if (!ordered && bridgedByProxyFences(program, d.bcause, x, y))
+            if (!ordered && proxyFenceBridged(program, d.bcause, x, y))
                 ordered = true;
             if (ordered)
                 d.ppbc.insert(x.id, y.id);
@@ -527,7 +560,8 @@ Checker::check(const Program &program) const
         if (!vals.feasible)
             continue;
 
-        DerivedRelations derived = computeDerived(program, rf, vals.live);
+        DerivedRelations derived =
+            computeDerived(program, rf, vals.live, opts.staticFastPath);
 
         // ---- Axiom: Causality, part (a) -------------------------------
         // A read cannot observe a write that it causally precedes.

@@ -37,6 +37,14 @@ struct CheckOptions
     /** Record one witness execution per distinct outcome. */
     bool collectWitnesses = true;
 
+    /**
+     * Skip per-candidate proxy-rule evaluation (§6.2.4 clause checks and
+     * fence bridging) for tests the static analysis proves single-proxy
+     * (Program::usesMixedProxies() == false). Semantics-preserving;
+     * disable only to benchmark or cross-check the slow path.
+     */
+    bool staticFastPath = true;
+
     /** Abort (FatalError) past this many candidate executions. */
     std::uint64_t maxExecutions = 100'000'000;
 };
@@ -129,10 +137,30 @@ struct DerivedRelations
  * @param program The static expansion.
  * @param rf Reads-from edges, write -> read.
  * @param live Liveness per event (failed-CAS writes are dead).
+ * @param staticFastPath Allow the single-proxy fast path (see
+ *        CheckOptions::staticFastPath); the result is identical either
+ *        way.
  */
 DerivedRelations computeDerived(const Program &program,
                                 const relation::Relation &rf,
-                                const std::vector<char> &live);
+                                const std::vector<char> &live,
+                                bool staticFastPath = true);
+
+/**
+ * True when a chain of proxy fences along the base-causality path
+ * @p bcause bridges @p x's proxy to @p y's proxy (§6.2.4 clause 3,
+ * generalized per DESIGN.md §3). Shared between the checker's ppbc
+ * construction and the static race analyzer (src/analysis/).
+ *
+ * @param usedFences When non-null, every proxy-fence event participating
+ *        in *some* successful bridge is inserted (the search then does
+ *        not stop at the first bridge found); used by the analyzer's
+ *        redundant-fence diagnostic.
+ */
+bool proxyFenceBridged(const Program &program,
+                       const relation::Relation &bcause, const Event &x,
+                       const Event &y,
+                       relation::EventSet *usedFences = nullptr);
 
 /** The exhaustive axiomatic checker. */
 class Checker

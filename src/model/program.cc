@@ -213,6 +213,35 @@ Program::buildEvents()
         if (e.isProxyFence())
             _proxyFences.push_back(e.id);
     }
+
+    // Static mixed-proxy summary (see usesMixedProxies()): a non-generic
+    // access, or two distinct virtual addresses reaching one location.
+    std::map<LocationId, AddressId> address_at;
+    for (const auto &e : _events) {
+        if (!e.isMemory() || e.isInit)
+            continue;
+        if (e.proxy.kind != litmus::ProxyKind::Generic) {
+            _mixedProxies = true;
+            break;
+        }
+        auto [it, inserted] = address_at.emplace(e.location, e.address);
+        if (!inserted && it->second != e.address) {
+            _mixedProxies = true;
+            break;
+        }
+    }
+
+    _overlapPairs = relation::Relation(_events.size());
+    for (const Event &x : _events) {
+        if (!x.isMemory() || x.isInit)
+            continue;
+        for (const Event &y : _events) {
+            if (y.id == x.id || !y.isMemory() || y.isInit)
+                continue;
+            if (overlaps(x, y))
+                _overlapPairs.insert(x.id, y.id);
+        }
+    }
 }
 
 void

@@ -127,6 +127,31 @@ class Program
         return _acquirePatterns;
     }
 
+    /**
+     * Static mixed-proxy summary: true when some non-init memory event
+     * travels a non-generic proxy, or some location is accessed through
+     * more than one virtual address (generic-proxy aliasing).
+     *
+     * When false, every overlapping pair of non-init accesses is a
+     * same-address generic pair, so §6.2.4's clause (1) orders every
+     * base-causality-related pair and the per-candidate proxy-rule
+     * evaluation (clause 2/3 and fence bridging) can be skipped. The
+     * checker's single-proxy fast path and the `analysis::analyze`
+     * linter both consult this proof.
+     */
+    bool usesMixedProxies() const { return _mixedProxies; }
+
+    /**
+     * Overlapping non-init memory event pairs (both directions,
+     * irreflexive), rf-independent. The checker's single-proxy fast
+     * path intersects base causality with this to get ppbc in one
+     * bit-matrix operation instead of a per-pair clause scan.
+     */
+    const relation::Relation &overlapPairs() const
+    {
+        return _overlapPairs;
+    }
+
     /** Number of physical locations. */
     std::size_t locationCount() const { return locationNames.size(); }
 
@@ -163,6 +188,9 @@ class Program
     std::vector<std::string> addressNames;
     std::map<std::string, AddressId> addressIds;
 
+    bool _mixedProxies = false;
+
+    relation::Relation _overlapPairs{0};
     relation::Relation _po{0};
     relation::Relation _dep{0};
     relation::Relation _ms{0};

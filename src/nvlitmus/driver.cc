@@ -4,6 +4,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/analyzer.hh"
 #include "litmus/parser.hh"
 #include "litmus/registry.hh"
 #include "relation/error.hh"
@@ -44,10 +45,17 @@ options:
   --shrink COND    instead of checking, minimize each input while the
                    PTX 7.5 model still admits an outcome satisfying
                    COND, and print the minimized test
+  --lint           also run the static mixed-proxy analyzer and append
+                   its findings (race candidates, useless fences,
+                   unread registers) to each report
+  --lint-only      run only the static analyzer: no exhaustive
+                   checking; exit 0 when every input is clean, 1 when
+                   any warning or error fired
   --help           show this text
 
 exit status: 0 all assertions passed, 1 some assertion failed,
              2 bad usage or unreadable input
+             (--lint-only: 0 clean, 1 findings, 2 bad usage)
 )";
 }
 
@@ -87,6 +95,10 @@ parseArgs(const std::vector<std::string> &args)
             }
         } else if (arg.rfind("--synth-out", 0) == 0) {
             opts.synthOut = value_of("--synth-out");
+        } else if (arg == "--lint-only") {
+            opts.lintOnly = true;
+        } else if (arg == "--lint") {
+            opts.lint = true;
         } else if (arg.rfind("--shrink", 0) == 0) {
             opts.shrinkCondition = value_of("--shrink");
         } else if (arg.rfind("--synth", 0) == 0) {
@@ -205,6 +217,9 @@ report(const litmus::LitmusTest &test, const DriverOptions &options)
             os << "  identical outcome sets\n";
     }
 
+    if (options.lint)
+        os << "\n" << analysis::analyze(test).render();
+
     if (options.simulate) {
         microarch::SimOptions sopts;
         sopts.iterations = options.simIterations;
@@ -285,6 +300,22 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
                 return 2;
             }
         }
+    }
+
+    if (opts.lintOnly) {
+        bool all_clean = true;
+        for (const auto &test : tests) {
+            try {
+                auto result = analysis::analyze(test);
+                all_clean &= result.clean();
+                out << result.render() << "\n";
+            } catch (const FatalError &e) {
+                err << "nvlitmus: " << test.name() << ": " << e.what()
+                    << "\n";
+                return 2;
+            }
+        }
+        return all_clean ? 0 : 1;
     }
 
     if (!opts.shrinkCondition.empty()) {

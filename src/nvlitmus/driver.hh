@@ -54,6 +54,15 @@ struct DriverOptions
     /** Shrink inputs while preserving admission of this condition. */
     std::string shrinkCondition;
 
+    /** Append the static analyzer's findings to each report. */
+    bool lint = false;
+
+    /**
+     * Run only the static analyzer (no exhaustive checking); exit 0
+     * when every input is clean, 1 when any warning or error fired.
+     */
+    bool lintOnly = false;
+
     /** List built-in tests and exit. */
     bool list = false;
 

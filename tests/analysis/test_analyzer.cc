@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the static mixed-proxy analyzer: each diagnostic kind fires
+ * on a purpose-built case file, and the analyzer is silent (at warning
+ * severity and above) on every race-free test of the shipped corpus.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hh"
+#include "litmus/parser.hh"
+#include "litmus/registry.hh"
+
+namespace {
+
+using namespace mixedproxy;
+using analysis::AnalysisResult;
+using analysis::Diagnostic;
+using analysis::DiagnosticKind;
+using analysis::Severity;
+
+AnalysisResult
+analyzeCase(const std::string &file)
+{
+    return analysis::analyze(litmus::parseTestFile(
+        std::string(MIXEDPROXY_ANALYSIS_CASES_DIR) + "/" + file));
+}
+
+std::vector<const Diagnostic *>
+ofKind(const AnalysisResult &result, DiagnosticKind kind)
+{
+    std::vector<const Diagnostic *> found;
+    for (const auto &d : result.diagnostics) {
+        if (d.kind == kind)
+            found.push_back(&d);
+    }
+    return found;
+}
+
+TEST(Analyzer, RacyMpIsFlaggedAsRace)
+{
+    auto result = analyzeCase("racy_mp.litmus");
+    EXPECT_TRUE(result.mixedProxies);
+    EXPECT_FALSE(result.clean());
+    ASSERT_EQ(result.count(Severity::Error), 1u);
+
+    auto races = ofKind(result, DiagnosticKind::MixedProxyRace);
+    ASSERT_EQ(races.size(), 1u);
+    const Diagnostic &race = *races[0];
+    EXPECT_NE(race.message.find("generic"), std::string::npos);
+    EXPECT_NE(race.message.find("constant"), std::string::npos);
+    EXPECT_NE(race.hint.find("fence.proxy.constant"), std::string::npos)
+        << race.hint;
+
+    // Both endpoints are referenced, with 1-based source lines.
+    ASSERT_EQ(race.where.size(), 2u);
+    EXPECT_GT(race.where[0].sourceLine, 0);
+    EXPECT_GT(race.where[1].sourceLine, 0);
+}
+
+TEST(Analyzer, BridgedCounterpartIsClean)
+{
+    auto result = analyzeCase("bridged_clean.litmus");
+    EXPECT_TRUE(result.mixedProxies);
+    EXPECT_TRUE(result.clean());
+    EXPECT_TRUE(result.diagnostics.empty()) << result.render();
+}
+
+TEST(Analyzer, TrailingProxyFenceIsRedundant)
+{
+    auto result = analyzeCase("redundant_fence.litmus");
+    EXPECT_EQ(result.count(Severity::Error), 0u) << result.render();
+
+    auto redundant = ofKind(result, DiagnosticKind::RedundantFence);
+    ASSERT_EQ(redundant.size(), 1u) << result.render();
+    // The trailing fence (4th instruction) is flagged, not the bridge.
+    ASSERT_EQ(redundant[0]->where.size(), 1u);
+    EXPECT_EQ(redundant[0]->where[0].index, 3);
+}
+
+TEST(Analyzer, FenceKindMatchingNoProxyIsFlagged)
+{
+    auto result = analyzeCase("unmatched_kind.litmus");
+    EXPECT_FALSE(result.mixedProxies);
+    EXPECT_EQ(result.count(Severity::Error), 0u);
+
+    auto unmatched = ofKind(result, DiagnosticKind::UnmatchedFenceKind);
+    ASSERT_EQ(unmatched.size(), 1u) << result.render();
+    EXPECT_NE(unmatched[0]->message.find("texture"), std::string::npos);
+    // UnmatchedFenceKind subsumes RedundantFence for the same fence.
+    EXPECT_TRUE(ofKind(result, DiagnosticKind::RedundantFence).empty());
+}
+
+TEST(Analyzer, FenceDominatedByStrongerNeighborIsShadowed)
+{
+    auto result = analyzeCase("shadowed_fence.litmus");
+    auto shadowed = ofKind(result, DiagnosticKind::ShadowedFence);
+    ASSERT_EQ(shadowed.size(), 1u) << result.render();
+    // The weaker fence.acq_rel.cta (2nd instruction) is the victim.
+    ASSERT_EQ(shadowed[0]->where.size(), 1u);
+    EXPECT_EQ(shadowed[0]->where[0].index, 1);
+    EXPECT_NE(shadowed[0]->message.find("fence.sc.sys"),
+              std::string::npos);
+}
+
+TEST(Analyzer, LeadingFenceIsVacuous)
+{
+    auto result = analyzeCase("vacuous_fence.litmus");
+    auto vacuous = ofKind(result, DiagnosticKind::VacuousFence);
+    ASSERT_EQ(vacuous.size(), 1u) << result.render();
+    EXPECT_NE(vacuous[0]->message.find("first"), std::string::npos);
+}
+
+TEST(Analyzer, UnreadRegisterIsANote)
+{
+    auto result = analyzeCase("unread_register.litmus");
+    // Advisory only: the test is still "clean" for lint exit purposes.
+    EXPECT_TRUE(result.clean());
+    EXPECT_EQ(result.count(Severity::Note), 1u) << result.render();
+
+    auto unread = ofKind(result, DiagnosticKind::UnreadRegister);
+    ASSERT_EQ(unread.size(), 1u);
+    EXPECT_NE(unread[0]->message.find("t0.r0"), std::string::npos);
+    EXPECT_EQ(unread[0]->where[0].index, 0);
+}
+
+TEST(Analyzer, DiagnosticsAreSortedBySeverity)
+{
+    // fig8e has both an error (race) and a warning (useless fence).
+    auto result = analysis::analyze(litmus::parseTestFile(
+        std::string(MIXEDPROXY_CORPUS_DIR) + "/fig8e.litmus"));
+    ASSERT_GE(result.diagnostics.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(
+        result.diagnostics.begin(), result.diagnostics.end(),
+        [](const Diagnostic &a, const Diagnostic &b) {
+            return static_cast<int>(a.severity) >
+                   static_cast<int>(b.severity);
+        }));
+}
+
+TEST(Analyzer, RenderMentionsEverySeverityBucket)
+{
+    auto result = analyzeCase("racy_mp.litmus");
+    std::string text = result.render();
+    EXPECT_NE(text.find("lint lint_racy_mp"), std::string::npos) << text;
+    EXPECT_NE(text.find("1 error(s)"), std::string::npos) << text;
+    EXPECT_NE(text.find("mixed-proxy-race"), std::string::npos) << text;
+    EXPECT_NE(text.find("hint:"), std::string::npos) << text;
+}
+
+TEST(Analyzer, WorksOnProgrammaticTests)
+{
+    // No source lines available; diagnostics still carry instruction
+    // indices and rendered text.
+    auto test = litmus::LitmusBuilder("prog")
+                    .alias("c", "g")
+                    .thread("t0", 0, 0,
+                            {"st.global.u32 [g], 1",
+                             "st.release.gpu.u32 [f], 1"})
+                    .thread("t1", 0, 0,
+                            {"ld.acquire.gpu.u32 r0, [f]",
+                             "ld.const.u32 r1, [c]"})
+                    .permit("t1.r0 == 1 && t1.r1 == 0")
+                    .build();
+    auto result = analysis::analyze(test);
+    auto races = ofKind(result, DiagnosticKind::MixedProxyRace);
+    ASSERT_EQ(races.size(), 1u);
+    EXPECT_EQ(races[0]->where[0].sourceLine, 0);
+    EXPECT_FALSE(races[0]->where[0].text.empty());
+}
+
+/**
+ * Corpus-wide false-positive guard: of the shipped litmus corpus, only
+ * the two deliberately racy paper reproductions (Fig. 4 and Fig. 8e)
+ * may produce warning-or-worse findings, and those two must produce a
+ * mixed-proxy race error.
+ */
+TEST(Analyzer, CorpusOnlyRacyFilesAreFlagged)
+{
+    const std::set<std::string> racy = {"fig4.litmus", "fig8e.litmus"};
+    std::size_t seen = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(
+             MIXEDPROXY_CORPUS_DIR)) {
+        if (entry.path().extension() != ".litmus")
+            continue;
+        seen++;
+        auto test = litmus::parseTestFile(entry.path().string());
+        auto result = analysis::analyze(test);
+        std::string file = entry.path().filename().string();
+        if (racy.count(file)) {
+            EXPECT_FALSE(result.clean()) << file;
+            EXPECT_GE(ofKind(result, DiagnosticKind::MixedProxyRace)
+                          .size(),
+                      1u)
+                << file << "\n"
+                << result.render();
+        } else {
+            EXPECT_TRUE(result.clean())
+                << file << "\n" << result.render();
+        }
+    }
+    EXPECT_GE(seen, 10u);
+}
+
+/** The analyzer is silent at error severity on every built-in test
+ *  that ships a proxy fence where one is needed. */
+TEST(Analyzer, BuiltinFencedTestsHaveNoRaceErrors)
+{
+    for (const char *name :
+         {"fig8a_alias_fence", "fig9_message_passing",
+          "fig8f_double_fence_ordered"}) {
+        auto result = analysis::analyze(litmus::testByName(name));
+        EXPECT_EQ(result.count(Severity::Error), 0u)
+            << name << "\n" << result.render();
+    }
+}
+
+} // namespace

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Equivalence tests for the checker's analysis-informed single-proxy
+ * fast path: on every shipped corpus test and representative builtins,
+ * the outcome set with the fast path enabled is identical to the full
+ * per-candidate proxy-rule evaluation.
+ */
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "litmus/parser.hh"
+#include "litmus/registry.hh"
+#include "model/checker.hh"
+
+namespace {
+
+using namespace mixedproxy;
+
+model::CheckResult
+checkWith(const litmus::LitmusTest &test, bool fastPath)
+{
+    model::CheckOptions opts;
+    opts.collectWitnesses = false;
+    opts.staticFastPath = fastPath;
+    return model::Checker(opts).check(test);
+}
+
+void
+expectIdenticalVerdicts(const litmus::LitmusTest &test)
+{
+    auto fast = checkWith(test, true);
+    auto slow = checkWith(test, false);
+    EXPECT_EQ(fast.outcomes, slow.outcomes) << test.name();
+    ASSERT_EQ(fast.assertions.size(), slow.assertions.size());
+    for (std::size_t i = 0; i < fast.assertions.size(); i++) {
+        EXPECT_EQ(fast.assertions[i].passed, slow.assertions[i].passed)
+            << test.name() << " assertion " << i;
+    }
+}
+
+TEST(FastPath, SingleProxyDetection)
+{
+    auto mp = litmus::testByName("fig9_message_passing");
+    EXPECT_FALSE(
+        model::Program(mp, model::ProxyMode::Ptx75).usesMixedProxies());
+
+    // A non-generic access makes the test mixed-proxy.
+    auto fig4 = litmus::testByName("fig4_const_alias_nofence");
+    EXPECT_TRUE(model::Program(fig4, model::ProxyMode::Ptx75)
+                    .usesMixedProxies());
+
+    // So does generic aliasing, even with no non-generic access: two
+    // virtual addresses of one location are two generic proxies.
+    auto aliased = litmus::LitmusBuilder("alias_only")
+                       .alias("y", "x")
+                       .thread("t0", 0, 0, {"st.global.u32 [x], 1"})
+                       .thread("t1", 0, 0, {"ld.global.u32 r0, [y]"})
+                       .permit("t1.r0 == 0")
+                       .build();
+    EXPECT_TRUE(model::Program(aliased, model::ProxyMode::Ptx75)
+                    .usesMixedProxies());
+}
+
+TEST(FastPath, IdenticalOutcomesOnCorpus)
+{
+    std::size_t seen = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(
+             MIXEDPROXY_CORPUS_DIR)) {
+        if (entry.path().extension() != ".litmus")
+            continue;
+        seen++;
+        expectIdenticalVerdicts(
+            litmus::parseTestFile(entry.path().string()));
+    }
+    EXPECT_GE(seen, 10u);
+}
+
+TEST(FastPath, IdenticalOutcomesOnRepresentativeBuiltins)
+{
+    for (const char *name :
+         {"fig2_iriw_weak", "fig2_iriw_fence_sc", "fig9_message_passing",
+          "fig4_const_alias_nofence", "fig8a_alias_fence",
+          "fig8e_cross_cta_wrong_side"}) {
+        expectIdenticalVerdicts(litmus::testByName(name));
+    }
+}
+
+} // namespace

@@ -249,6 +249,45 @@ TEST(Cli, SynthOutWritesSuite)
     std::filesystem::remove_all("cli_suite_tmp");
 }
 
+TEST(ParseArgs, LintFlags)
+{
+    auto opts = parseArgs({"--lint", "a"});
+    EXPECT_TRUE(opts.lint);
+    EXPECT_FALSE(opts.lintOnly);
+    opts = parseArgs({"--lint-only", "a"});
+    EXPECT_TRUE(opts.lintOnly);
+}
+
+TEST(Cli, LintAppendsFindingsToReport)
+{
+    // The built-in Fig. 4 reproduction with only a generic fence is a
+    // mixed-proxy race; --lint must surface it alongside the verdicts.
+    std::string out;
+    EXPECT_EQ(run({"--lint", "fig4_const_alias_generic_fence"}, &out),
+              0);
+    EXPECT_NE(out.find("outcome(s)"), std::string::npos) << out;
+    EXPECT_NE(out.find("mixed-proxy-race"), std::string::npos) << out;
+    EXPECT_NE(out.find("hint: insert fence.proxy.constant"),
+              std::string::npos)
+        << out;
+}
+
+TEST(Cli, LintOnlyExitCodes)
+{
+    // Racy input: findings, exit 1, and no exhaustive-checker output.
+    std::string out;
+    EXPECT_EQ(run({"--lint-only", "fig4_const_alias_nofence"}, &out), 1);
+    EXPECT_NE(out.find("mixed-proxy-race"), std::string::npos) << out;
+    EXPECT_EQ(out.find("outcomes"), std::string::npos) << out;
+
+    // Properly fenced input: clean, exit 0.
+    out.clear();
+    EXPECT_EQ(run({"--lint-only", "fig4_const_alias_proxy_fence"}, &out),
+              0);
+    EXPECT_NE(out.find("0 error(s), 0 warning(s)"), std::string::npos)
+        << out;
+}
+
 TEST(Cli, Ptx60ModeChangesVerdicts)
 {
     // Under the proxy-oblivious model the Fig. 4 no-fence test's
