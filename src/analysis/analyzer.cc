@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "model/checker.hh"
+#include "obs/obs.hh"
 #include "relation/error.hh"
 
 namespace mixedproxy::analysis {
@@ -232,6 +233,7 @@ analyze(const litmus::LitmusTest &test)
 AnalysisResult
 analyze(const Program &program)
 {
+    obs::Span span("lint");
     const auto &events = program.events();
     const auto &test = program.test();
 
@@ -471,6 +473,16 @@ analyze(const Program &program)
                          return static_cast<int>(a.severity) >
                                 static_cast<int>(b.severity);
                      });
+
+    if (obs::enabled()) {
+        obs::MetricsRegistry &m = obs::metrics();
+        m.add("analysis.runs");
+        m.add("analysis.errors", result.count(Severity::Error));
+        m.add("analysis.warnings", result.count(Severity::Warning));
+        m.add("analysis.notes", result.count(Severity::Note));
+        if (result.mixedProxies)
+            m.add("analysis.mixed_proxy_tests");
+    }
     return result;
 }
 

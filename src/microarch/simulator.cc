@@ -3,6 +3,7 @@
 #include <random>
 #include <sstream>
 
+#include "obs/obs.hh"
 #include "relation/error.hh"
 
 namespace mixedproxy::microarch {
@@ -64,6 +65,7 @@ litmus::Outcome
 Simulator::runOnce(const litmus::LitmusTest &test, std::uint64_t seed,
                    MachineStats *stats_out) const
 {
+    obs::Span span("sim.schedule");
     Machine machine(test, opts.mode, opts.latencies);
     std::mt19937_64 rng(seed);
     // A generous step bound; litmus programs finish in well under this.
@@ -92,6 +94,7 @@ Simulator::runOnce(const litmus::LitmusTest &test, std::uint64_t seed,
 SimResult
 Simulator::run(const litmus::LitmusTest &test) const
 {
+    obs::Span span("sim");
     SimResult result;
     result.testName = test.name();
     result.mode = opts.mode;
@@ -100,6 +103,20 @@ Simulator::run(const litmus::LitmusTest &test) const
         litmus::Outcome outcome =
             runOnce(test, opts.seed + i, &result.stats);
         result.histogram[outcome]++;
+    }
+    if (obs::enabled()) {
+        obs::MetricsRegistry &m = obs::metrics();
+        m.add("sim.schedules", result.iterations);
+        m.add("sim.loads", result.stats.loads);
+        m.add("sim.stores", result.stats.stores);
+        m.add("sim.drains", result.stats.drains);
+        m.add("sim.invalidated_lines", result.stats.invalidatedLines);
+        m.add("sim.translations", result.stats.translations);
+        m.add("sim.fence_drains", result.stats.fenceDrains);
+        m.add("sim.total_latency_cycles", result.stats.totalLatency);
+        m.set("sim.distinct_outcomes",
+              static_cast<double>(result.histogram.size()));
+        m.set("sim.mean_latency_cycles", result.meanLatency());
     }
     return result;
 }

@@ -4,6 +4,7 @@
 #include <optional>
 #include <sstream>
 
+#include "obs/obs.hh"
 #include "relation/error.hh"
 
 namespace mixedproxy::model {
@@ -74,6 +75,20 @@ Witness::toDot(const std::string &name) const
           "style=bold");
     os << "}\n";
     return os.str();
+}
+
+void
+CheckStats::publish(obs::MetricsRegistry &registry) const
+{
+    registry.add("checker.rf_assignments", rfAssignments);
+    registry.add("checker.candidates", candidateExecutions);
+    registry.add("checker.consistent", consistentExecutions);
+    registry.add("checker.fastpath.hits", fastPathHits);
+    registry.add("checker.fastpath.misses", fastPathMisses);
+    registry.add("checker.fixpoint.iterations", fixpointIterations);
+    registry.add("checker.edges.bcause", bcauseEdges);
+    registry.add("checker.edges.ppbc", ppbcEdges);
+    registry.add("checker.edges.cause", causeEdges);
 }
 
 bool
@@ -311,6 +326,10 @@ DerivedRelations
 computeDerived(const Program &program, const Relation &rf,
                const std::vector<char> &live, bool staticFastPath)
 {
+    // Disabled-path cost of this span is one branch (measured at ~1ns
+    // by bench/checker_perf BM_ObsSpanDisabled).
+    obs::Span span("check.derived");
+
     // Single-proxy fast path: with every access generic and unaliased,
     // §6.2.4's clause (1) orders every overlapping base-causality pair,
     // so the per-pair clause checks and fence bridging are skipped.
@@ -333,9 +352,11 @@ computeDerived(const Program &program, const Relation &rf,
     // Observation order: morally strong reads-from, extended through
     // chains of atomic RMWs (release-sequence treatment).
     d.obs = d.msRf;
+    d.fastPath = single_proxy;
     bool changed = true;
     while (changed) {
         changed = false;
+        d.fixpointIterations++;
         d.obs.forEach([&](EventId w, EventId r) {
             const Event &read = events[r];
             if (!read.isAtomic())
@@ -437,8 +458,13 @@ Checker::Checker(CheckOptions options)
 CheckResult
 Checker::check(const litmus::LitmusTest &test) const
 {
-    Program program(test, opts.mode);
-    return check(program);
+    obs::Span span("check");
+    std::optional<Program> program;
+    {
+        obs::Span expand("check.expand");
+        program.emplace(test, opts.mode);
+    }
+    return check(*program);
 }
 
 namespace {
@@ -547,6 +573,8 @@ Checker::check(const Program &program) const
     result.testName = test.name();
     result.mode = opts.mode;
 
+    std::optional<obs::Span> enumerate_span;
+    enumerate_span.emplace("check.enumerate");
     for (RfEnumerator rfe(program); rfe.valid(); rfe.advance()) {
         result.stats.rfAssignments++;
         std::vector<EventId> source_of = rfe.sources();
@@ -562,6 +590,16 @@ Checker::check(const Program &program) const
 
         DerivedRelations derived =
             computeDerived(program, rf, vals.live, opts.staticFastPath);
+        if (derived.fastPath)
+            result.stats.fastPathHits++;
+        else
+            result.stats.fastPathMisses++;
+        result.stats.fixpointIterations += derived.fixpointIterations;
+        if (obs::enabled()) {
+            result.stats.bcauseEdges += derived.bcause.pairCount();
+            result.stats.ppbcEdges += derived.ppbc.pairCount();
+            result.stats.causeEdges += derived.cause.pairCount();
+        }
 
         // ---- Axiom: Causality, part (a) -------------------------------
         // A read cannot observe a write that it causally precedes.
@@ -826,7 +864,10 @@ Checker::check(const Program &program) const
         }
     }
 
+    enumerate_span.reset();
+
     // Evaluate assertions against the outcome set.
+    obs::Span assertion_span("check.assertions");
     for (const auto &assertion : test.assertions()) {
         AssertionCheck check;
         check.assertion = assertion;
@@ -865,6 +906,9 @@ Checker::check(const Program &program) const
         }
         result.assertions.push_back(std::move(check));
     }
+
+    if (obs::enabled())
+        result.stats.publish(obs::metrics());
 
     return result;
 }

@@ -24,6 +24,7 @@
 #include "litmus/outcome.hh"
 #include "litmus/test.hh"
 #include "model/program.hh"
+#include "obs/metrics.hh"
 #include "relation/relation.hh"
 
 namespace mixedproxy::model {
@@ -84,12 +85,42 @@ struct AssertionCheck
     std::string detail; ///< counterexample or confirmation note
 };
 
-/** Enumeration statistics. */
+/**
+ * Enumeration statistics. The checker fills this struct directly (it
+ * is the single source of truth) and publish() maps every field onto
+ * the stable "checker.*" metric names of the observability registry
+ * (docs/observability.md), so the summary() text and the --stats-json
+ * report cannot drift apart.
+ */
 struct CheckStats
 {
     std::uint64_t rfAssignments = 0;
     std::uint64_t candidateExecutions = 0;
     std::uint64_t consistentExecutions = 0;
+
+    /**
+     * Derived-relation computations that took the single-proxy fast
+     * path (the Program::usesMixedProxies() skip) vs. the full §6.2.4
+     * per-pair proxy-rule evaluation. hits + misses == rfAssignments
+     * that survived No-Thin-Air and value feasibility.
+     */
+    std::uint64_t fastPathHits = 0;
+    std::uint64_t fastPathMisses = 0;
+
+    /** Observation-order fixpoint iterations (DerivedRelations). */
+    std::uint64_t fixpointIterations = 0;
+
+    /**
+     * Derived-relation edge totals summed over candidate rf
+     * assignments; populated only while obs::enabled() (the popcounts
+     * are cheap but pure overhead otherwise).
+     */
+    std::uint64_t bcauseEdges = 0;
+    std::uint64_t ppbcEdges = 0;
+    std::uint64_t causeEdges = 0;
+
+    /** Add every field to @p registry under the "checker." prefix. */
+    void publish(obs::MetricsRegistry &registry) const;
 };
 
 /** The result of checking one litmus test. */
@@ -129,6 +160,12 @@ struct DerivedRelations
     relation::Relation bcause; ///< base causality order (§6.2.3)
     relation::Relation ppbc;   ///< proxy-preserved base causality (§6.2.4)
     relation::Relation cause;  ///< causality order (§6.2.5)
+
+    /** Iterations of the observation-order (release-chain) fixpoint. */
+    std::uint64_t fixpointIterations = 0;
+
+    /** True when the single-proxy fast path was taken. */
+    bool fastPath = false;
 };
 
 /**

@@ -2,11 +2,14 @@
 
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 
 #include "analysis/analyzer.hh"
 #include "litmus/parser.hh"
 #include "litmus/registry.hh"
+#include "obs/obs.hh"
+#include "obs/report.hh"
 #include "relation/error.hh"
 #include "synth/generator.hh"
 #include "synth/shrink.hh"
@@ -51,10 +54,23 @@ options:
   --lint-only      run only the static analyzer: no exhaustive
                    checking; exit 0 when every input is clean, 1 when
                    any warning or error fired
-  --help           show this text
+
+observability (docs/observability.md):
+  --timing         print a per-phase wall-time table and the metric
+                   counters on stderr after the run
+  --trace-out FILE write a Chrome trace_event JSON file covering the
+                   whole run (open in chrome://tracing or Perfetto)
+  --stats-json FILE
+                   write the structured metrics report (counters,
+                   gauges, timer histograms) as JSON
+
+  --help, -h       show this text
+
+Misspelled or unknown options (anything starting with '-' other than
+the flags above and the bare '-' stdin input) are usage errors.
 
 exit status: 0 all assertions passed, 1 some assertion failed,
-             2 bad usage or unreadable input
+             2 bad usage, unreadable input, or unwritable output
              (--lint-only: 0 clean, 1 findings, 2 bad usage)
 )";
 }
@@ -65,13 +81,28 @@ parseArgs(const std::vector<std::string> &args)
     DriverOptions opts;
     for (std::size_t i = 0; i < args.size(); i++) {
         const std::string &arg = args[i];
-        auto value_of = [&](const std::string &flag) -> std::string {
-            if (arg.size() > flag.size() && arg[flag.size()] == '=')
-                return arg.substr(flag.size() + 1);
-            if (++i >= args.size())
-                fatal(flag, " requires a value");
-            return args[i];
+        // Matches "--flag VALUE" and "--flag=VALUE", and nothing else:
+        // a misspelling like --modelx is a usage error below instead of
+        // silently consuming the next argument (or being treated as a
+        // test name).
+        auto value_flag = [&](const char *flag,
+                              std::string *value) -> bool {
+            const std::string f(flag);
+            if (arg == f) {
+                if (++i >= args.size())
+                    fatal(f, " requires a value");
+                *value = args[i];
+                return true;
+            }
+            if (arg.size() > f.size() + 1 &&
+                arg.compare(0, f.size(), f) == 0 &&
+                arg[f.size()] == '=') {
+                *value = arg.substr(f.size() + 1);
+                return true;
+            }
+            return false;
         };
+        std::string value;
         if (arg == "--help" || arg == "-h") {
             opts.help = true;
         } else if (arg == "--list") {
@@ -84,8 +115,17 @@ parseArgs(const std::vector<std::string> &args)
             opts.showWitnesses = true;
         } else if (arg == "--dot") {
             opts.dot = true;
-        } else if (arg.rfind("--model", 0) == 0) {
-            std::string value = value_of("--model");
+        } else if (arg == "--timing") {
+            opts.timing = true;
+        } else if (arg == "--lint-only") {
+            opts.lintOnly = true;
+        } else if (arg == "--lint") {
+            opts.lint = true;
+        } else if (value_flag("--trace-out", &opts.traceOut)) {
+        } else if (value_flag("--stats-json", &opts.statsJsonOut)) {
+        } else if (value_flag("--synth-out", &opts.synthOut)) {
+        } else if (value_flag("--shrink", &opts.shrinkCondition)) {
+        } else if (value_flag("--model", &value)) {
             if (value == "ptx75") {
                 opts.mode = model::ProxyMode::Ptx75;
             } else if (value == "ptx60") {
@@ -93,39 +133,7 @@ parseArgs(const std::vector<std::string> &args)
             } else {
                 fatal("unknown model '", value, "'");
             }
-        } else if (arg.rfind("--synth-out", 0) == 0) {
-            opts.synthOut = value_of("--synth-out");
-        } else if (arg == "--lint-only") {
-            opts.lintOnly = true;
-        } else if (arg == "--lint") {
-            opts.lint = true;
-        } else if (arg.rfind("--shrink", 0) == 0) {
-            opts.shrinkCondition = value_of("--shrink");
-        } else if (arg.rfind("--synth", 0) == 0) {
-            if (arg.size() <= 7 || arg[7] != '=')
-                fatal("--synth requires =N");
-            std::string value = arg.substr(8);
-            try {
-                opts.synthInstructions = std::stoul(value);
-            } catch (const std::exception &) {
-                fatal("bad --synth count '", value, "'");
-            }
-            if (opts.synthInstructions < 1 ||
-                opts.synthInstructions > 6) {
-                fatal("--synth size must be 1..6");
-            }
-        } else if (arg.rfind("--simulate", 0) == 0) {
-            opts.simulate = true;
-            if (arg.size() > 10 && arg[10] == '=') {
-                std::string value = arg.substr(11);
-                try {
-                    opts.simIterations = std::stoul(value);
-                } catch (const std::exception &) {
-                    fatal("bad --simulate count '", value, "'");
-                }
-            }
-        } else if (arg.rfind("--sim-mode", 0) == 0) {
-            std::string value = value_of("--sim-mode");
+        } else if (value_flag("--sim-mode", &value)) {
             if (value == "proxy") {
                 opts.simMode = microarch::CoherenceMode::Proxy;
             } else if (value == "coherent") {
@@ -135,7 +143,31 @@ parseArgs(const std::vector<std::string> &args)
             } else {
                 fatal("unknown sim mode '", value, "'");
             }
-        } else if (arg.rfind("--", 0) == 0) {
+        } else if (arg == "--synth") {
+            fatal("--synth requires =N");
+        } else if (arg.rfind("--synth=", 0) == 0) {
+            value = arg.substr(8);
+            try {
+                opts.synthInstructions = std::stoul(value);
+            } catch (const std::exception &) {
+                fatal("bad --synth count '", value, "'");
+            }
+            if (opts.synthInstructions < 1 ||
+                opts.synthInstructions > 6) {
+                fatal("--synth size must be 1..6");
+            }
+        } else if (arg == "--simulate") {
+            opts.simulate = true;
+        } else if (arg.rfind("--simulate=", 0) == 0) {
+            opts.simulate = true;
+            value = arg.substr(11);
+            try {
+                opts.simIterations = std::stoul(value);
+            } catch (const std::exception &) {
+                fatal("bad --simulate count '", value, "'");
+            }
+        } else if (arg.size() > 1 && arg[0] == '-') {
+            // "-" alone still means stdin.
             fatal("unknown option '", arg, "'");
         } else {
             opts.inputs.push_back(arg);
@@ -149,6 +181,7 @@ namespace {
 litmus::LitmusTest
 loadInput(const std::string &input)
 {
+    obs::Span span("parse");
     if (input == "-") {
         std::ostringstream contents;
         contents << std::cin.rdbuf();
@@ -159,10 +192,23 @@ loadInput(const std::string &input)
     return litmus::parseTestFile(input);
 }
 
+/** Write @p contents to @p path; false on any I/O failure. */
+bool
+writeFileOrFail(const std::string &path, const std::string &contents)
+{
+    std::ofstream file(path);
+    if (!file)
+        return false;
+    file << contents;
+    file.flush();
+    return static_cast<bool>(file);
+}
+
 } // namespace
 
 std::string
-report(const litmus::LitmusTest &test, const DriverOptions &options)
+report(const litmus::LitmusTest &test, const DriverOptions &options,
+       bool *passed)
 {
     std::ostringstream os;
     os << "=== " << test.name() << " ===\n";
@@ -172,6 +218,8 @@ report(const litmus::LitmusTest &test, const DriverOptions &options)
     copts.mode = options.mode;
     copts.collectWitnesses = options.showWitnesses || options.dot;
     auto result = model::Checker(copts).check(test);
+    if (passed)
+        *passed = result.allPassed();
     os << result.summary();
 
     if (options.showWitnesses) {
@@ -239,18 +287,13 @@ report(const litmus::LitmusTest &test, const DriverOptions &options)
     return os.str();
 }
 
-int
-runCli(const std::vector<std::string> &args, std::ostream &out,
-       std::ostream &err)
-{
-    DriverOptions opts;
-    try {
-        opts = parseArgs(args);
-    } catch (const FatalError &e) {
-        err << "nvlitmus: " << e.what() << "\n" << usage();
-        return 2;
-    }
+namespace {
 
+/** The work of runCli once options are parsed and obs is attached. */
+int
+runParsed(const DriverOptions &opts, std::ostream &out,
+          std::ostream &err)
+{
     if (opts.help) {
         out << usage();
         return 0;
@@ -360,12 +403,9 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
     } else {
         for (const auto &test : tests) {
             try {
-                model::CheckOptions copts;
-                copts.mode = opts.mode;
-                copts.collectWitnesses = false;
-                auto result = model::Checker(copts).check(test);
-                all_passed &= result.allPassed();
-                out << report(test, opts) << "\n";
+                bool passed = true;
+                out << report(test, opts, &passed) << "\n";
+                all_passed &= passed;
             } catch (const FatalError &e) {
                 err << "nvlitmus: " << test.name() << ": " << e.what()
                     << "\n";
@@ -374,6 +414,53 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
         }
     }
     return all_passed ? 0 : 1;
+}
+
+} // namespace
+
+int
+runCli(const std::vector<std::string> &args, std::ostream &out,
+       std::ostream &err)
+{
+    DriverOptions opts;
+    try {
+        opts = parseArgs(args);
+    } catch (const FatalError &e) {
+        err << "nvlitmus: " << e.what() << "\n" << usage();
+        return 2;
+    }
+
+    const bool observing = opts.timing || !opts.traceOut.empty() ||
+                           !opts.statsJsonOut.empty();
+    if (observing)
+        obs::enable();
+
+    int code = runParsed(opts, out, err);
+
+    if (observing) {
+        obs::disable();
+        if (opts.timing)
+            err << obs::timingTable(obs::metrics());
+        if (!opts.traceOut.empty() &&
+            !writeFileOrFail(opts.traceOut,
+                             obs::chromeTraceJson(obs::tracer()))) {
+            err << "nvlitmus: cannot write trace to '" << opts.traceOut
+                << "'\n";
+            code = 2;
+        }
+        if (!opts.statsJsonOut.empty()) {
+            std::map<std::string, std::string> meta;
+            meta["tool"] = "nvlitmus";
+            meta["model"] = model::toString(opts.mode);
+            if (!writeFileOrFail(opts.statsJsonOut,
+                                 obs::statsJson(obs::metrics(), meta))) {
+                err << "nvlitmus: cannot write stats to '"
+                    << opts.statsJsonOut << "'\n";
+                code = 2;
+            }
+        }
+    }
+    return code;
 }
 
 } // namespace mixedproxy::nvlitmus

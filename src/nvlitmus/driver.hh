@@ -63,6 +63,17 @@ struct DriverOptions
      */
     bool lintOnly = false;
 
+    /**
+     * Observability sinks (docs/observability.md). Any of these three
+     * attaches the obs session for the whole run: --timing prints the
+     * per-phase wall-time table on stderr, --trace-out writes Chrome
+     * trace_event JSON, --stats-json writes the structured metrics
+     * report.
+     */
+    bool timing = false;
+    std::string traceOut;
+    std::string statsJsonOut;
+
     /** List built-in tests and exit. */
     bool list = false;
 
@@ -83,9 +94,15 @@ DriverOptions parseArgs(const std::vector<std::string> &args);
 /** The usage text. */
 std::string usage();
 
-/** Render one test's full report (check + optional simulation). */
+/**
+ * Render one test's full report (check + optional simulation).
+ *
+ * @param passed When non-null, receives whether every assertion of
+ *        the axiomatic check passed (the CLI's exit-code input).
+ */
 std::string report(const litmus::LitmusTest &test,
-                   const DriverOptions &options);
+                   const DriverOptions &options,
+                   bool *passed = nullptr);
 
 /**
  * Run the front end. Reads litmus files, writes reports to @p out and

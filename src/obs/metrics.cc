@@ -1,0 +1,116 @@
+#include "metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mixedproxy::obs {
+
+void
+MetricsRegistry::add(const std::string &name, std::uint64_t delta)
+{
+    _counters[name] += delta;
+}
+
+void
+MetricsRegistry::set(const std::string &name, double value)
+{
+    _gauges[name] = value;
+}
+
+void
+MetricsRegistry::record(const std::string &name, double seconds)
+{
+    TimerSeries &series = _timers[name];
+    if (series.count == 0) {
+        series.min = seconds;
+        series.max = seconds;
+    } else {
+        series.min = std::min(series.min, seconds);
+        series.max = std::max(series.max, seconds);
+    }
+    series.count++;
+    series.total += seconds;
+    if (series.samples.size() < kMaxSamplesPerTimer)
+        series.samples.push_back(seconds);
+}
+
+std::uint64_t
+MetricsRegistry::counter(const std::string &name) const
+{
+    auto it = _counters.find(name);
+    return it == _counters.end() ? 0 : it->second;
+}
+
+double
+MetricsRegistry::gauge(const std::string &name) const
+{
+    auto it = _gauges.find(name);
+    return it == _gauges.end() ? 0.0 : it->second;
+}
+
+namespace {
+
+/** Nearest-rank percentile over a sorted sample vector. */
+double
+nearestRank(const std::vector<double> &sorted, double fraction)
+{
+    if (sorted.empty())
+        return 0.0;
+    auto rank = static_cast<std::size_t>(
+        std::ceil(fraction * static_cast<double>(sorted.size())));
+    if (rank == 0)
+        rank = 1;
+    if (rank > sorted.size())
+        rank = sorted.size();
+    return sorted[rank - 1];
+}
+
+} // namespace
+
+TimerSummary
+MetricsRegistry::timer(const std::string &name) const
+{
+    TimerSummary out;
+    auto it = _timers.find(name);
+    if (it == _timers.end() || it->second.count == 0)
+        return out;
+    const TimerSeries &series = it->second;
+    out.count = series.count;
+    out.total = series.total;
+    out.min = series.min;
+    out.max = series.max;
+    out.mean = series.total / static_cast<double>(series.count);
+    std::vector<double> sorted = series.samples;
+    std::sort(sorted.begin(), sorted.end());
+    out.p50 = nearestRank(sorted, 0.50);
+    out.p95 = nearestRank(sorted, 0.95);
+    return out;
+}
+
+std::vector<std::string>
+MetricsRegistry::timerNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(_timers.size());
+    for (const auto &[name, series] : _timers) {
+        if (series.count > 0)
+            names.push_back(name);
+    }
+    return names;
+}
+
+void
+MetricsRegistry::clear()
+{
+    _counters.clear();
+    _gauges.clear();
+    _timers.clear();
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    return _counters.empty() && _gauges.empty() && _timers.empty();
+}
+
+} // namespace mixedproxy::obs

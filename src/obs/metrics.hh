@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The metrics registry: named counters, gauges, and timer histograms.
+ *
+ * This is the numeric half of the observability layer (ISSUE 3 /
+ * docs/observability.md). Counters are monotonic uint64 sums, gauges
+ * are last-write-wins doubles, and timers are series of wall-time
+ * samples summarized as count/total/min/mean/p50/p95/max. Metric names
+ * are stable, documented identifiers (docs/observability.md lists the
+ * taxonomy); instrumented code publishes under its subsystem prefix
+ * ("checker.", "synth.", "sim.", "analysis.").
+ *
+ * The registry itself performs no clock reads and is deliberately
+ * dependency-free; the fast "is anyone listening" check lives in
+ * obs/obs.hh so that hot paths never pay a map lookup when
+ * observability is off. Like the rest of the libraries, the registry
+ * is single-threaded.
+ */
+
+#ifndef MIXEDPROXY_OBS_METRICS_HH
+#define MIXEDPROXY_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mixedproxy::obs {
+
+/** Summary of one timer series, all durations in seconds. */
+struct TimerSummary
+{
+    std::uint64_t count = 0;
+    double total = 0.0;
+    double min = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double max = 0.0;
+};
+
+/** Named counters, gauges, and timer histograms. */
+class MetricsRegistry
+{
+  public:
+    /** Add @p delta to the counter @p name (created at 0). */
+    void add(const std::string &name, std::uint64_t delta = 1);
+
+    /** Set the gauge @p name to @p value (last write wins). */
+    void set(const std::string &name, double value);
+
+    /** Record one timer sample of @p seconds under @p name. */
+    void record(const std::string &name, double seconds);
+
+    /** Current counter value; 0 when never written. */
+    std::uint64_t counter(const std::string &name) const;
+
+    /** Current gauge value; 0.0 when never written. */
+    double gauge(const std::string &name) const;
+
+    /**
+     * Summarize the timer @p name. Percentiles are nearest-rank over
+     * the retained samples (the first kMaxSamplesPerTimer per timer;
+     * count/total/min/max always cover every sample).
+     */
+    TimerSummary timer(const std::string &name) const;
+
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return _counters;
+    }
+
+    const std::map<std::string, double> &gauges() const
+    {
+        return _gauges;
+    }
+
+    /** Names of every timer with at least one sample. */
+    std::vector<std::string> timerNames() const;
+
+    /** Drop every metric. */
+    void clear();
+
+    /** True when nothing has been recorded. */
+    bool empty() const;
+
+    /**
+     * Per-timer sample retention bound: beyond this many samples the
+     * streaming aggregates (count, total, min, max, mean) keep
+     * absorbing but percentiles are computed over the retained prefix.
+     * Bounds memory when instrumented code runs inside a benchmark
+     * loop.
+     */
+    static constexpr std::size_t kMaxSamplesPerTimer = 8192;
+
+  private:
+    struct TimerSeries
+    {
+        std::uint64_t count = 0;
+        double total = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+        std::vector<double> samples; ///< first kMaxSamplesPerTimer
+    };
+
+    std::map<std::string, std::uint64_t> _counters;
+    std::map<std::string, double> _gauges;
+    std::map<std::string, TimerSeries> _timers;
+};
+
+} // namespace mixedproxy::obs
+
+#endif // MIXEDPROXY_OBS_METRICS_HH

@@ -1,0 +1,82 @@
+#include "obs.hh"
+
+namespace mixedproxy::obs {
+
+namespace detail {
+
+bool g_enabled = false;
+
+Session &
+session()
+{
+    static Session instance;
+    return instance;
+}
+
+} // namespace detail
+
+void
+enable()
+{
+    detail::Session &s = detail::session();
+    s.metrics.clear();
+    s.tracer.clear();
+    s.depth = 0;
+    s.origin = std::chrono::steady_clock::now();
+    detail::g_enabled = true;
+}
+
+void
+disable()
+{
+    detail::g_enabled = false;
+}
+
+MetricsRegistry &
+metrics()
+{
+    return detail::session().metrics;
+}
+
+Tracer &
+tracer()
+{
+    return detail::session().tracer;
+}
+
+void
+Span::begin(const char *name)
+{
+    detail::Session &s = detail::session();
+    _name = name;
+    _depth = s.depth++;
+    _live = true;
+    _start = std::chrono::steady_clock::now();
+}
+
+void
+Span::end()
+{
+    auto stop = std::chrono::steady_clock::now();
+    _live = false;
+    detail::Session &s = detail::session();
+    if (s.depth > 0)
+        s.depth--;
+    // A span that outlived disable() (e.g. an exporter reading mid-scope
+    // state) still balances the depth but records nothing.
+    if (!detail::g_enabled)
+        return;
+    double seconds =
+        std::chrono::duration<double>(stop - _start).count();
+    s.metrics.record(_name, seconds);
+    TraceEvent event;
+    event.name = _name;
+    event.startUs =
+        std::chrono::duration<double, std::micro>(_start - s.origin)
+            .count();
+    event.durationUs = seconds * 1e6;
+    event.depth = _depth;
+    s.tracer.record(std::move(event));
+}
+
+} // namespace mixedproxy::obs

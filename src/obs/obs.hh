@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The observability facade: one process-wide session combining the
+ * metrics registry (obs/metrics.hh) and the span tracer (obs/trace.hh).
+ *
+ * Design constraints (ISSUE 3): zero dependencies, and near-zero cost
+ * when nothing is listening. The entire disabled path is one branch on
+ * a plain global bool — no clock read, no allocation, no map lookup —
+ * so instrumentation can sit inside the checker's per-candidate loops
+ * without showing up in benchmarks (bench/checker_perf.cc proves the
+ * bound). A sink is attached with obs::enable() (the driver does this
+ * for --timing/--trace-out/--stats-json); libraries only ever *emit*,
+ * via obs::Span, obs::count, and the publish() methods on their stats
+ * structs.
+ *
+ * Single-threaded by design, like every library in this repository;
+ * enable()/disable() and all emission must happen on one thread.
+ */
+
+#ifndef MIXEDPROXY_OBS_OBS_HH
+#define MIXEDPROXY_OBS_OBS_HH
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace mixedproxy::obs {
+
+namespace detail {
+
+/** The one flag every instrumentation site checks first. */
+extern bool g_enabled;
+
+/** Session state; meaningful only while enabled (or just disabled). */
+struct Session
+{
+    MetricsRegistry metrics;
+    Tracer tracer;
+    std::chrono::steady_clock::time_point origin;
+    int depth = 0; ///< current span nesting depth
+};
+
+Session &session();
+
+} // namespace detail
+
+/** True when a sink is attached and instrumentation should record. */
+inline bool
+enabled()
+{
+    return detail::g_enabled;
+}
+
+/**
+ * Attach the sink: reset the session (metrics, trace, clock origin)
+ * and start recording.
+ */
+void enable();
+
+/**
+ * Stop recording. The session's data stays readable (for export) until
+ * the next enable().
+ */
+void disable();
+
+/** The session's metrics registry (readable regardless of state). */
+MetricsRegistry &metrics();
+
+/** The session's tracer (readable regardless of state). */
+Tracer &tracer();
+
+/** Add @p delta to counter @p name; no-op when disabled. */
+inline void
+count(const char *name, std::uint64_t delta = 1)
+{
+    if (detail::g_enabled)
+        detail::session().metrics.add(name, delta);
+}
+
+/** Set gauge @p name; no-op when disabled. */
+inline void
+gauge(const char *name, double value)
+{
+    if (detail::g_enabled)
+        detail::session().metrics.set(name, value);
+}
+
+/**
+ * RAII trace span. When observability is enabled, construction reads
+ * the monotonic clock and destruction records (a) one TraceEvent and
+ * (b) one timer sample named after the span — so every span phase
+ * automatically appears in both the Chrome trace and the --timing /
+ * stats-JSON histograms. When disabled, construction and destruction
+ * are each a single branch.
+ *
+ * The @p name must outlive the span (string literals in practice);
+ * span names are the stable phase identifiers documented in
+ * docs/observability.md.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name)
+    {
+        if (detail::g_enabled)
+            begin(name);
+    }
+
+    ~Span()
+    {
+        if (_live)
+            end();
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    void begin(const char *name);
+    void end();
+
+    const char *_name = nullptr;
+    std::chrono::steady_clock::time_point _start;
+    int _depth = 0;
+    bool _live = false;
+};
+
+} // namespace mixedproxy::obs
+
+#endif // MIXEDPROXY_OBS_OBS_HH

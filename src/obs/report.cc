@@ -1,0 +1,167 @@
+#include "report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace mixedproxy::obs {
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Format a double as JSON (finite, plain decimal). */
+std::string
+jsonNumber(double value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    return buf;
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const Tracer &tracer)
+{
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &event : tracer.events()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"name\":\"" << jsonEscape(event.name)
+           << "\",\"cat\":\"mixedproxy\",\"ph\":\"X\",\"pid\":0,"
+              "\"tid\":0,\"ts\":"
+           << jsonNumber(event.startUs)
+           << ",\"dur\":" << jsonNumber(event.durationUs)
+           << ",\"args\":{\"depth\":" << event.depth << "}}";
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+std::string
+statsJson(const MetricsRegistry &registry,
+          const std::map<std::string, std::string> &meta)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"mixedproxy.stats.v1\",\n  \"meta\": {";
+    bool first = true;
+    for (const auto &[key, value] : meta) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(key)
+           << "\": \"" << jsonEscape(value) << "\"";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"counters\": {";
+    first = true;
+    for (const auto &[name, value] : registry.counters()) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": " << value;
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : registry.gauges()) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": " << jsonNumber(value);
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"timers\": {";
+    first = true;
+    for (const std::string &name : registry.timerNames()) {
+        TimerSummary t = registry.timer(name);
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": {\"count\": " << t.count
+           << ", \"total_ms\": " << jsonNumber(t.total * 1e3)
+           << ", \"min_ms\": " << jsonNumber(t.min * 1e3)
+           << ", \"mean_ms\": " << jsonNumber(t.mean * 1e3)
+           << ", \"p50_ms\": " << jsonNumber(t.p50 * 1e3)
+           << ", \"p95_ms\": " << jsonNumber(t.p95 * 1e3)
+           << ", \"max_ms\": " << jsonNumber(t.max * 1e3) << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "}\n}\n";
+    return os.str();
+}
+
+std::string
+timingTable(const MetricsRegistry &registry)
+{
+    std::ostringstream os;
+    std::vector<std::pair<std::string, TimerSummary>> rows;
+    for (const std::string &name : registry.timerNames())
+        rows.emplace_back(name, registry.timer(name));
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second.total != b.second.total)
+                      return a.second.total > b.second.total;
+                  return a.first < b.first;
+              });
+
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-28s %8s %12s %12s %12s %12s\n",
+                  "phase", "count", "total ms", "mean ms", "p95 ms",
+                  "max ms");
+    os << line << std::string(88, '-') << "\n";
+    for (const auto &[name, t] : rows) {
+        std::snprintf(line, sizeof(line),
+                      "%-28s %8llu %12.3f %12.4f %12.4f %12.4f\n",
+                      name.c_str(),
+                      static_cast<unsigned long long>(t.count),
+                      t.total * 1e3, t.mean * 1e3, t.p95 * 1e3,
+                      t.max * 1e3);
+        os << line;
+    }
+    if (rows.empty())
+        os << "(no phases recorded)\n";
+
+    if (!registry.counters().empty()) {
+        os << "\ncounters:\n";
+        for (const auto &[name, value] : registry.counters()) {
+            std::snprintf(line, sizeof(line), "  %-34s %llu\n",
+                          name.c_str(),
+                          static_cast<unsigned long long>(value));
+            os << line;
+        }
+    }
+    return os.str();
+}
+
+} // namespace mixedproxy::obs

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Exporters for the observability session: Chrome trace_event JSON
+ * (loadable in chrome://tracing and Perfetto), the structured stats
+ * JSON report, and the human-readable per-phase timing table that
+ * `nvlitmus --timing` prints.
+ *
+ * Both JSON emitters are hand-rolled (zero-dependency constraint) and
+ * emit complete, parseable documents; tests/obs/ validates them with a
+ * full JSON syntax checker.
+ */
+
+#ifndef MIXEDPROXY_OBS_REPORT_HH
+#define MIXEDPROXY_OBS_REPORT_HH
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace mixedproxy::obs {
+
+/** JSON-escape @p text (quotes, backslashes, control characters). */
+std::string jsonEscape(const std::string &text);
+
+/**
+ * Render @p tracer as Chrome trace_event JSON: an object with a
+ * "traceEvents" array of complete ("ph":"X") events, all on pid 0 /
+ * tid 0, with timestamps and durations in microseconds. Open in
+ * chrome://tracing or https://ui.perfetto.dev.
+ */
+std::string chromeTraceJson(const Tracer &tracer);
+
+/**
+ * Render @p registry as the structured stats report:
+ *
+ * {
+ *   "schema": "mixedproxy.stats.v1",
+ *   "meta": { ... @p meta, verbatim ... },
+ *   "counters": { "<name>": <uint>, ... },
+ *   "gauges": { "<name>": <double>, ... },
+ *   "timers": { "<name>": { "count": n, "total_ms": ..., "min_ms": ...,
+ *               "mean_ms": ..., "p50_ms": ..., "p95_ms": ...,
+ *               "max_ms": ... }, ... }
+ * }
+ *
+ * Metric names are the stable identifiers from docs/observability.md.
+ */
+std::string statsJson(const MetricsRegistry &registry,
+                      const std::map<std::string, std::string> &meta = {});
+
+/**
+ * Render the per-phase wall-time table (one row per timer, sorted by
+ * total time descending) followed by the counters, for `--timing`.
+ */
+std::string timingTable(const MetricsRegistry &registry);
+
+} // namespace mixedproxy::obs
+
+#endif // MIXEDPROXY_OBS_REPORT_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The trace-event recorder behind obs::Span.
+ *
+ * Spans record complete ("X" phase) events: name, start timestamp, and
+ * duration, in microseconds relative to the session origin, plus the
+ * nesting depth at entry. Chrome's trace viewer and Perfetto both
+ * reconstruct the flame graph from complete events on one track when
+ * they nest properly in time, which RAII scoping guarantees here. The
+ * exporter lives in obs/report.hh.
+ */
+
+#ifndef MIXEDPROXY_OBS_TRACE_HH
+#define MIXEDPROXY_OBS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mixedproxy::obs {
+
+/** One completed span. */
+struct TraceEvent
+{
+    std::string name;
+    double startUs = 0.0; ///< microseconds since session origin
+    double durationUs = 0.0;
+    int depth = 0; ///< nesting depth when the span opened (root = 0)
+};
+
+/** Append-only store of completed spans, in completion order. */
+class Tracer
+{
+  public:
+    void record(TraceEvent event) { _events.push_back(std::move(event)); }
+
+    const std::vector<TraceEvent> &events() const { return _events; }
+
+    void clear() { _events.clear(); }
+
+    bool empty() const { return _events.empty(); }
+
+  private:
+    std::vector<TraceEvent> _events;
+};
+
+} // namespace mixedproxy::obs
+
+#endif // MIXEDPROXY_OBS_TRACE_HH

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "model/checker.hh"
+#include "obs/obs.hh"
 #include "relation/error.hh"
 #include "synth/mutate.hh"
 #include "synth/sc_reference.hh"
@@ -289,6 +290,19 @@ SynthReport::writeSuite(const std::string &directory) const
     return written;
 }
 
+void
+SynthStats::publish(obs::MetricsRegistry &registry) const
+{
+    registry.add("synth.enumerated", programsEnumerated);
+    registry.add("synth.after_pruning", afterPruning);
+    registry.add("synth.unique", uniquePrograms);
+    registry.add("synth.checked", checked);
+    registry.add("synth.skipped_too_expensive", skippedTooExpensive);
+    registry.add("synth.weak", weak);
+    registry.add("synth.proxy_sensitive", proxySensitive);
+    registry.add("synth.fence_minimal", fenceMinimal);
+}
+
 std::string
 SynthReport::summary() const
 {
@@ -317,6 +331,7 @@ Synthesizer::Synthesizer(SynthOptions options)
 SynthReport
 Synthesizer::run() const
 {
+    obs::Span span("synth");
     auto start = std::chrono::steady_clock::now();
     SynthReport report;
     const auto alpha = alphabet(opts);
@@ -357,6 +372,7 @@ Synthesizer::run() const
             return;
         }
 
+        obs::Span check_span("synth.check");
         SynthesizedTest entry;
         entry.test = test;
         try {
@@ -472,6 +488,8 @@ Synthesizer::run() const
     auto end = std::chrono::steady_clock::now();
     report.stats.seconds =
         std::chrono::duration<double>(end - start).count();
+    if (obs::enabled())
+        report.stats.publish(obs::metrics());
     return report;
 }
 

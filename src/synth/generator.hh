@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "litmus/test.hh"
+#include "obs/metrics.hh"
 
 namespace mixedproxy::synth {
 
@@ -93,7 +94,12 @@ struct SynthesizedTest
     std::size_t scOutcomeCount = 0;
 };
 
-/** Aggregate statistics of a synthesis run. */
+/**
+ * Aggregate statistics of a synthesis run. The synthesizer fills this
+ * struct directly; publish() maps every field onto the stable
+ * "synth.*" metric names (docs/observability.md), keeping summary()
+ * and the --stats-json report on one source of truth.
+ */
 struct SynthStats
 {
     std::uint64_t programsEnumerated = 0;
@@ -105,6 +111,9 @@ struct SynthStats
     std::uint64_t proxySensitive = 0;
     std::uint64_t fenceMinimal = 0;
     double seconds = 0.0;
+
+    /** Add every field to @p registry under the "synth." prefix. */
+    void publish(obs::MetricsRegistry &registry) const;
 };
 
 /** The result of one synthesis run. */

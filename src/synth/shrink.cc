@@ -1,9 +1,18 @@
 #include "shrink.hh"
 
+#include "obs/obs.hh"
 #include "relation/error.hh"
 #include "synth/mutate.hh"
 
 namespace mixedproxy::synth {
+
+void
+ShrinkStats::publish(obs::MetricsRegistry &registry) const
+{
+    registry.add("shrink.candidates", candidatesTried);
+    registry.add("shrink.accepted", removalsAccepted);
+    registry.add("shrink.rejected", removalsRejected());
+}
 
 namespace {
 
@@ -27,6 +36,11 @@ litmus::LitmusTest
 shrink(const litmus::LitmusTest &test, const TestPredicate &predicate,
        ShrinkStats *stats)
 {
+    obs::Span span("shrink");
+    ShrinkStats local;
+    if (!stats)
+        stats = &local; // always count, so obs can publish
+
     test.validate();
     if (!predicate(test)) {
         fatal("shrink: the predicate does not hold on '", test.name(),
@@ -36,6 +50,7 @@ shrink(const litmus::LitmusTest &test, const TestPredicate &predicate,
     litmus::LitmusTest current = test;
     bool changed = true;
     while (changed) {
+        obs::Span round("shrink.round");
         changed = false;
 
         // Whole threads first: the biggest cuts.
@@ -69,6 +84,8 @@ shrink(const litmus::LitmusTest &test, const TestPredicate &predicate,
             }
         }
     }
+    if (obs::enabled())
+        stats->publish(obs::metrics());
     return current;
 }
 

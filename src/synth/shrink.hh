@@ -16,6 +16,7 @@
 
 #include "litmus/test.hh"
 #include "model/checker.hh"
+#include "obs/metrics.hh"
 
 namespace mixedproxy::synth {
 
@@ -27,6 +28,15 @@ struct ShrinkStats
 {
     std::uint64_t candidatesTried = 0;
     std::uint64_t removalsAccepted = 0;
+
+    /** Candidates where the property did not survive the removal. */
+    std::uint64_t removalsRejected() const
+    {
+        return candidatesTried - removalsAccepted;
+    }
+
+    /** Add every field to @p registry under the "shrink." prefix. */
+    void publish(obs::MetricsRegistry &registry) const;
 };
 
 /**

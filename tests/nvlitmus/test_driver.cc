@@ -72,6 +72,34 @@ TEST(ParseArgs, Invalid)
     EXPECT_THROW(parseArgs({"--sim-mode", "warp"}), FatalError);
 }
 
+TEST(ParseArgs, FlagsMatchExactlyNotByPrefix)
+{
+    // "--modelx ptx75" once parsed as "--model ptx75" (the matcher
+    // compared prefixes and then consumed the next argument); any
+    // extended spelling must be an error now.
+    EXPECT_THROW(parseArgs({"--modelx", "ptx75"}), FatalError);
+    EXPECT_THROW(parseArgs({"--simulatex"}), FatalError);
+    EXPECT_THROW(parseArgs({"--lintonly"}), FatalError);
+    EXPECT_THROW(parseArgs({"--timingx"}), FatalError);
+    // Single-dash unknowns are usage errors, not input files...
+    EXPECT_THROW(parseArgs({"-x"}), FatalError);
+    // ...but a bare "-" still means stdin.
+    auto opts = parseArgs({"-"});
+    ASSERT_EQ(opts.inputs.size(), 1u);
+    EXPECT_EQ(opts.inputs[0], "-");
+}
+
+TEST(ParseArgs, ObservabilityFlags)
+{
+    auto opts = parseArgs({"--timing", "--trace-out", "t.json",
+                           "--stats-json=s.json", "fig2_iriw_weak"});
+    EXPECT_TRUE(opts.timing);
+    EXPECT_EQ(opts.traceOut, "t.json");
+    EXPECT_EQ(opts.statsJsonOut, "s.json");
+    EXPECT_THROW(parseArgs({"--trace-out"}), FatalError);
+    EXPECT_THROW(parseArgs({"--stats-json"}), FatalError);
+}
+
 TEST(Cli, HelpAndList)
 {
     std::string out;

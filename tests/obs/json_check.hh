@@ -1,0 +1,327 @@
+/**
+ * @file
+ * A minimal strict JSON parser for validating the hand-rolled emitters
+ * in obs/report.cc. Parses the full JSON grammar (RFC 8259) into a
+ * tree of JsonValue nodes; any syntax error yields nullopt plus a
+ * position message. Test-only — the library itself stays
+ * dependency-free and never parses JSON.
+ */
+
+#ifndef MIXEDPROXY_TESTS_OBS_JSON_CHECK_HH
+#define MIXEDPROXY_TESTS_OBS_JSON_CHECK_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mixedproxy::testjson {
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    bool has(const std::string &key) const
+    {
+        return kind == Kind::Object && object.count(key) > 0;
+    }
+
+    /** Member access; a missing key yields a Null value. */
+    const JsonValue &at(const std::string &key) const
+    {
+        static const JsonValue null_value;
+        auto it = object.find(key);
+        return it == object.end() ? null_value : it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : _text(text) {}
+
+    std::optional<JsonValue> parse()
+    {
+        JsonValue value;
+        skipWs();
+        if (!parseValue(value))
+            return std::nullopt;
+        skipWs();
+        if (_pos != _text.size()) {
+            fail("trailing content");
+            return std::nullopt;
+        }
+        return value;
+    }
+
+    const std::string &error() const { return _error; }
+
+  private:
+    void skipWs()
+    {
+        while (_pos < _text.size() &&
+               (_text[_pos] == ' ' || _text[_pos] == '\t' ||
+                _text[_pos] == '\n' || _text[_pos] == '\r'))
+            _pos++;
+    }
+
+    bool fail(const std::string &what)
+    {
+        if (_error.empty())
+            _error = what + " at offset " + std::to_string(_pos);
+        return false;
+    }
+
+    bool literal(const char *word)
+    {
+        std::size_t n = std::string(word).size();
+        if (_text.compare(_pos, n, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        _pos += n;
+        return true;
+    }
+
+    bool parseValue(JsonValue &out)
+    {
+        if (_pos >= _text.size())
+            return fail("unexpected end of input");
+        char c = _text[_pos];
+        switch (c) {
+        case '{':
+            return parseObject(out);
+        case '[':
+            return parseArray(out);
+        case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+        case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+        case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+        case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+        default:
+            return parseNumber(out);
+        }
+    }
+
+    bool parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        _pos++; // '{'
+        skipWs();
+        if (_pos < _text.size() && _text[_pos] == '}') {
+            _pos++;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (_pos >= _text.size() || _text[_pos] != '"')
+                return fail("expected object key");
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (_pos >= _text.size() || _text[_pos] != ':')
+                return fail("expected ':'");
+            _pos++;
+            skipWs();
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            if (!out.object.emplace(key, std::move(value)).second)
+                return fail("duplicate key \"" + key + "\"");
+            skipWs();
+            if (_pos >= _text.size())
+                return fail("unterminated object");
+            if (_text[_pos] == ',') {
+                _pos++;
+                continue;
+            }
+            if (_text[_pos] == '}') {
+                _pos++;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        _pos++; // '['
+        skipWs();
+        if (_pos < _text.size() && _text[_pos] == ']') {
+            _pos++;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.array.push_back(std::move(value));
+            skipWs();
+            if (_pos >= _text.size())
+                return fail("unterminated array");
+            if (_text[_pos] == ',') {
+                _pos++;
+                continue;
+            }
+            if (_text[_pos] == ']') {
+                _pos++;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool parseString(std::string &out)
+    {
+        _pos++; // '"'
+        while (_pos < _text.size()) {
+            char c = _text[_pos];
+            if (c == '"') {
+                _pos++;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character");
+            if (c != '\\') {
+                out.push_back(c);
+                _pos++;
+                continue;
+            }
+            _pos++;
+            if (_pos >= _text.size())
+                return fail("unterminated escape");
+            char esc = _text[_pos];
+            _pos++;
+            switch (esc) {
+            case '"':
+                out.push_back('"');
+                break;
+            case '\\':
+                out.push_back('\\');
+                break;
+            case '/':
+                out.push_back('/');
+                break;
+            case 'b':
+                out.push_back('\b');
+                break;
+            case 'f':
+                out.push_back('\f');
+                break;
+            case 'n':
+                out.push_back('\n');
+                break;
+            case 'r':
+                out.push_back('\r');
+                break;
+            case 't':
+                out.push_back('\t');
+                break;
+            case 'u': {
+                if (_pos + 4 > _text.size())
+                    return fail("truncated \\u escape");
+                for (std::size_t i = 0; i < 4; i++) {
+                    if (!std::isxdigit(static_cast<unsigned char>(
+                            _text[_pos + i])))
+                        return fail("bad \\u escape");
+                }
+                // Decoded only far enough for validation; the emitters
+                // never produce non-ASCII escapes.
+                out.push_back('?');
+                _pos += 4;
+                break;
+            }
+            default:
+                return fail("bad escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseNumber(JsonValue &out)
+    {
+        std::size_t start = _pos;
+        if (_pos < _text.size() && _text[_pos] == '-')
+            _pos++;
+        if (_pos >= _text.size() ||
+            !std::isdigit(static_cast<unsigned char>(_text[_pos])))
+            return fail("expected a value");
+        // No leading zeros (strict JSON).
+        if (_text[_pos] == '0' && _pos + 1 < _text.size() &&
+            std::isdigit(static_cast<unsigned char>(_text[_pos + 1])))
+            return fail("leading zero");
+        while (_pos < _text.size() &&
+               std::isdigit(static_cast<unsigned char>(_text[_pos])))
+            _pos++;
+        if (_pos < _text.size() && _text[_pos] == '.') {
+            _pos++;
+            if (_pos >= _text.size() ||
+                !std::isdigit(static_cast<unsigned char>(_text[_pos])))
+                return fail("digit required after '.'");
+            while (_pos < _text.size() &&
+                   std::isdigit(static_cast<unsigned char>(_text[_pos])))
+                _pos++;
+        }
+        if (_pos < _text.size() &&
+            (_text[_pos] == 'e' || _text[_pos] == 'E')) {
+            _pos++;
+            if (_pos < _text.size() &&
+                (_text[_pos] == '+' || _text[_pos] == '-'))
+                _pos++;
+            if (_pos >= _text.size() ||
+                !std::isdigit(static_cast<unsigned char>(_text[_pos])))
+                return fail("digit required in exponent");
+            while (_pos < _text.size() &&
+                   std::isdigit(static_cast<unsigned char>(_text[_pos])))
+                _pos++;
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::strtod(_text.substr(start, _pos - start).c_str(),
+                                 nullptr);
+        return true;
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+    std::string _error;
+};
+
+/** Parse @p text; on failure returns nullopt and sets @p error. */
+inline std::optional<JsonValue>
+parseJson(const std::string &text, std::string *error = nullptr)
+{
+    JsonParser parser(text);
+    auto value = parser.parse();
+    if (!value && error)
+        *error = parser.error();
+    return value;
+}
+
+} // namespace mixedproxy::testjson
+
+#endif // MIXEDPROXY_TESTS_OBS_JSON_CHECK_HH

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * End-to-end tests for the driver's observability flags: --stats-json
+ * writes a parseable structured report with the documented metric
+ * names, --trace-out writes loadable Chrome trace JSON, --timing
+ * prints the per-phase table, and unwritable sinks are usage errors.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "json_check.hh"
+#include "nvlitmus/driver.hh"
+#include "obs/obs.hh"
+
+namespace {
+
+using namespace mixedproxy;
+using namespace mixedproxy::nvlitmus;
+using mixedproxy::testjson::JsonValue;
+using mixedproxy::testjson::parseJson;
+
+int
+run(const std::vector<std::string> &args, std::string *out_text = nullptr,
+    std::string *err_text = nullptr)
+{
+    std::ostringstream out;
+    std::ostringstream err;
+    int code = runCli(args, out, err);
+    if (out_text)
+        *out_text = out.str();
+    if (err_text)
+        *err_text = err.str();
+    return code;
+}
+
+/** Unique temp path, removed on destruction. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &stem)
+        : _path(std::filesystem::temp_directory_path() /
+                ("mp_obs_test_" + stem))
+    {
+        std::filesystem::remove(_path);
+    }
+
+    ~TempFile() { std::filesystem::remove(_path); }
+
+    const std::filesystem::path &path() const { return _path; }
+
+    std::string contents() const
+    {
+        std::ifstream in(_path);
+        std::ostringstream os;
+        os << in.rdbuf();
+        return os.str();
+    }
+
+  private:
+    std::filesystem::path _path;
+};
+
+TEST(DriverObs, StatsJsonHasDocumentedCheckerMetrics)
+{
+    TempFile stats("stats.json");
+    std::string out;
+    ASSERT_EQ(run({"--stats-json=" + stats.path().string(),
+                   "fig9_message_passing"},
+                  &out),
+              0);
+    ASSERT_TRUE(std::filesystem::exists(stats.path()));
+    std::string error;
+    auto doc = parseJson(stats.contents(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_EQ(doc->at("schema").string, "mixedproxy.stats.v1");
+    EXPECT_EQ(doc->at("meta").at("tool").string, "nvlitmus");
+    EXPECT_EQ(doc->at("meta").at("model").string, "ptx75");
+    // The stable checker metric names (docs/observability.md).
+    const JsonValue &counters = doc->at("counters");
+    for (const char *name :
+         {"checker.rf_assignments", "checker.candidates",
+          "checker.consistent", "checker.fixpoint.iterations"}) {
+        EXPECT_TRUE(counters.has(name)) << "missing counter " << name;
+        EXPECT_GT(counters.at(name).number, 0.0) << name;
+    }
+    // Every rf assignment either hits or misses the single-proxy fast
+    // path — the split must account for all of them.
+    EXPECT_DOUBLE_EQ(counters.at("checker.fastpath.hits").number +
+                         counters.at("checker.fastpath.misses").number,
+                     counters.at("checker.rf_assignments").number);
+    // Edge totals are collected when the obs session is attached.
+    EXPECT_GT(counters.at("checker.edges.cause").number, 0.0);
+    // Phase timers exist for the whole check and its inner phases.
+    const JsonValue &timers = doc->at("timers");
+    for (const char *name :
+         {"parse", "check", "check.expand", "check.derived",
+          "check.enumerate", "check.assertions"}) {
+        ASSERT_TRUE(timers.has(name)) << "missing timer " << name;
+        EXPECT_GE(timers.at(name).at("count").number, 1.0) << name;
+    }
+    // The report on stdout is unaffected by the sink.
+    EXPECT_NE(out.find("fig9_message_passing"), std::string::npos);
+}
+
+TEST(DriverObs, TraceOutWritesChromeTraceJson)
+{
+    TempFile trace("trace.json");
+    ASSERT_EQ(
+        run({"--trace-out=" + trace.path().string(), "fig2_iriw_weak"}),
+        0);
+    std::string error;
+    auto doc = parseJson(trace.contents(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    const auto &events = doc->at("traceEvents").array;
+    ASSERT_FALSE(events.empty());
+    bool saw_check = false;
+    for (const JsonValue &e : events) {
+        EXPECT_EQ(e.at("ph").string, "X");
+        EXPECT_GE(e.at("ts").number, 0.0);
+        EXPECT_GE(e.at("dur").number, 0.0);
+        if (e.at("name").string == "check")
+            saw_check = true;
+    }
+    EXPECT_TRUE(saw_check);
+}
+
+TEST(DriverObs, TimingPrintsPhaseTableToStderr)
+{
+    std::string out;
+    std::string err;
+    ASSERT_EQ(run({"--timing", "fig9_message_passing"}, &out, &err), 0);
+    EXPECT_NE(err.find("phase"), std::string::npos);
+    EXPECT_NE(err.find("check"), std::string::npos);
+    EXPECT_NE(err.find("counters:"), std::string::npos);
+    EXPECT_NE(err.find("checker.candidates"), std::string::npos);
+    // The table goes to stderr only; stdout keeps the report.
+    EXPECT_EQ(out.find("counters:"), std::string::npos);
+}
+
+TEST(DriverObs, SimulationAndLintMetricsReachStatsJson)
+{
+    TempFile stats("sim_stats.json");
+    ASSERT_EQ(run({"--stats-json=" + stats.path().string(),
+                   "--simulate=50", "--lint", "fig9_message_passing"}),
+              0);
+    std::string error;
+    auto doc = parseJson(stats.contents(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_GT(doc->at("counters").at("sim.schedules").number, 0.0);
+    EXPECT_GT(doc->at("counters").at("analysis.runs").number, 0.0);
+    EXPECT_TRUE(doc->at("timers").has("sim"));
+    EXPECT_TRUE(doc->at("timers").has("lint"));
+}
+
+TEST(DriverObs, UnwritableSinkIsUsageError)
+{
+    std::string err;
+    EXPECT_EQ(run({"--stats-json=/nonexistent_dir_mp/x.json",
+                   "fig9_message_passing"},
+                  nullptr, &err),
+              2);
+    EXPECT_NE(err.find("cannot write"), std::string::npos);
+    EXPECT_EQ(
+        run({"--trace-out=/nonexistent_dir_mp/x.json", "fig2_iriw_weak"},
+            nullptr, &err),
+        2);
+}
+
+TEST(DriverObs, SessionIsDisabledAgainAfterRun)
+{
+    ASSERT_EQ(run({"--timing", "fig9_message_passing"}), 0);
+    EXPECT_FALSE(obs::enabled());
+    // A run without sinks must not enable instrumentation at all.
+    obs::metrics().clear();
+    obs::tracer().clear();
+    ASSERT_EQ(run({"fig9_message_passing"}), 0);
+    EXPECT_TRUE(obs::metrics().empty());
+    EXPECT_TRUE(obs::tracer().empty());
+}
+
+} // namespace

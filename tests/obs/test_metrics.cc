@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the metrics registry: counter/gauge semantics, timer
+ * summaries, nearest-rank percentiles, and the sample-retention bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+
+namespace {
+
+using namespace mixedproxy::obs;
+
+TEST(Metrics, CountersDefaultToZeroAndAccumulate)
+{
+    MetricsRegistry reg;
+    EXPECT_EQ(reg.counter("checker.candidates"), 0u);
+    reg.add("checker.candidates");
+    reg.add("checker.candidates", 41);
+    EXPECT_EQ(reg.counter("checker.candidates"), 42u);
+    EXPECT_EQ(reg.counters().size(), 1u);
+}
+
+TEST(Metrics, GaugesLastWriteWins)
+{
+    MetricsRegistry reg;
+    EXPECT_DOUBLE_EQ(reg.gauge("sim.mean_latency_cycles"), 0.0);
+    reg.set("sim.mean_latency_cycles", 12.5);
+    reg.set("sim.mean_latency_cycles", 7.25);
+    EXPECT_DOUBLE_EQ(reg.gauge("sim.mean_latency_cycles"), 7.25);
+}
+
+TEST(Metrics, TimerSummaryStreamingAggregates)
+{
+    MetricsRegistry reg;
+    reg.record("check", 0.010);
+    reg.record("check", 0.030);
+    reg.record("check", 0.020);
+    TimerSummary t = reg.timer("check");
+    EXPECT_EQ(t.count, 3u);
+    EXPECT_DOUBLE_EQ(t.total, 0.060);
+    EXPECT_DOUBLE_EQ(t.min, 0.010);
+    EXPECT_DOUBLE_EQ(t.max, 0.030);
+    EXPECT_DOUBLE_EQ(t.mean, 0.020);
+}
+
+TEST(Metrics, UnknownTimerIsAllZero)
+{
+    MetricsRegistry reg;
+    TimerSummary t = reg.timer("never");
+    EXPECT_EQ(t.count, 0u);
+    EXPECT_DOUBLE_EQ(t.total, 0.0);
+    EXPECT_DOUBLE_EQ(t.p95, 0.0);
+}
+
+TEST(Metrics, NearestRankPercentiles)
+{
+    // 100 samples 1ms..100ms: nearest-rank p50 = ceil(0.50*100) = 50th
+    // smallest = 50ms; p95 = 95th smallest = 95ms. Insertion order must
+    // not matter, so insert descending.
+    MetricsRegistry reg;
+    for (int i = 100; i >= 1; i--)
+        reg.record("phase", i * 1e-3);
+    TimerSummary t = reg.timer("phase");
+    EXPECT_DOUBLE_EQ(t.p50, 0.050);
+    EXPECT_DOUBLE_EQ(t.p95, 0.095);
+}
+
+TEST(Metrics, PercentilesOfSingleSample)
+{
+    MetricsRegistry reg;
+    reg.record("phase", 0.004);
+    TimerSummary t = reg.timer("phase");
+    EXPECT_DOUBLE_EQ(t.p50, 0.004);
+    EXPECT_DOUBLE_EQ(t.p95, 0.004);
+    EXPECT_DOUBLE_EQ(t.min, 0.004);
+    EXPECT_DOUBLE_EQ(t.max, 0.004);
+}
+
+TEST(Metrics, RetentionBoundKeepsAggregatesExact)
+{
+    // Past kMaxSamplesPerTimer the percentile reservoir stops growing
+    // but count/total/min/max keep absorbing every sample.
+    MetricsRegistry reg;
+    const std::size_t extra = 100;
+    const std::size_t n = MetricsRegistry::kMaxSamplesPerTimer + extra;
+    for (std::size_t i = 0; i < n; i++)
+        reg.record("hot", 1e-6);
+    reg.record("hot", 5e-3); // outlier arrives after the bound
+    TimerSummary t = reg.timer("hot");
+    EXPECT_EQ(t.count, n + 1);
+    EXPECT_DOUBLE_EQ(t.min, 1e-6);
+    EXPECT_DOUBLE_EQ(t.max, 5e-3); // exact even though not retained
+    EXPECT_NEAR(t.total, n * 1e-6 + 5e-3, 1e-9);
+    // Percentiles come from the retained prefix (all 1µs).
+    EXPECT_DOUBLE_EQ(t.p50, 1e-6);
+    EXPECT_DOUBLE_EQ(t.p95, 1e-6);
+}
+
+TEST(Metrics, TimerNamesListsOnlyRecordedTimers)
+{
+    MetricsRegistry reg;
+    reg.record("b", 0.1);
+    reg.record("a", 0.1);
+    auto names = reg.timerNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "a"); // map order: sorted
+    EXPECT_EQ(names[1], "b");
+}
+
+TEST(Metrics, ClearAndEmpty)
+{
+    MetricsRegistry reg;
+    EXPECT_TRUE(reg.empty());
+    reg.add("c");
+    reg.set("g", 1.0);
+    reg.record("t", 0.5);
+    EXPECT_FALSE(reg.empty());
+    reg.clear();
+    EXPECT_TRUE(reg.empty());
+    EXPECT_EQ(reg.counter("c"), 0u);
+    EXPECT_EQ(reg.timer("t").count, 0u);
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the observability facade: enable/disable lifecycle, the
+ * disabled fast path (no recording at all), and RAII span nesting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hh"
+
+namespace {
+
+using namespace mixedproxy::obs;
+
+/** Every test leaves the global session disabled and clean. */
+class Obs : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        disable();
+        metrics().clear();
+        tracer().clear();
+    }
+
+    void TearDown() override
+    {
+        disable();
+        metrics().clear();
+        tracer().clear();
+    }
+};
+
+TEST_F(Obs, DisabledByDefaultRecordsNothing)
+{
+    ASSERT_FALSE(enabled());
+    {
+        Span span("phase");
+        count("counter", 5);
+        gauge("gauge", 1.0);
+    }
+    EXPECT_TRUE(metrics().empty());
+    EXPECT_TRUE(tracer().empty());
+}
+
+TEST_F(Obs, EnabledSpanRecordsEventAndTimerSample)
+{
+    enable();
+    {
+        Span span("phase");
+    }
+    disable();
+    ASSERT_EQ(tracer().events().size(), 1u);
+    const TraceEvent &e = tracer().events()[0];
+    EXPECT_EQ(e.name, "phase");
+    EXPECT_EQ(e.depth, 0);
+    EXPECT_GE(e.durationUs, 0.0);
+    EXPECT_GE(e.startUs, 0.0);
+    EXPECT_EQ(metrics().timer("phase").count, 1u);
+}
+
+TEST_F(Obs, SpansNestAndRecordDepths)
+{
+    enable();
+    {
+        Span outer("outer");
+        {
+            Span inner("inner");
+        }
+        {
+            Span inner2("inner");
+        }
+    }
+    disable();
+    // Completion order: inner, inner, outer.
+    ASSERT_EQ(tracer().events().size(), 3u);
+    EXPECT_EQ(tracer().events()[0].name, "inner");
+    EXPECT_EQ(tracer().events()[0].depth, 1);
+    EXPECT_EQ(tracer().events()[1].name, "inner");
+    EXPECT_EQ(tracer().events()[1].depth, 1);
+    EXPECT_EQ(tracer().events()[2].name, "outer");
+    EXPECT_EQ(tracer().events()[2].depth, 0);
+    // Children are contained in the parent's [start, start+duration].
+    const TraceEvent &outer_ev = tracer().events()[2];
+    for (std::size_t i = 0; i < 2; i++) {
+        const TraceEvent &child = tracer().events()[i];
+        EXPECT_GE(child.startUs, outer_ev.startUs);
+        EXPECT_LE(child.startUs + child.durationUs,
+                  outer_ev.startUs + outer_ev.durationUs + 1e-3);
+    }
+    EXPECT_EQ(metrics().timer("inner").count, 2u);
+    EXPECT_EQ(metrics().timer("outer").count, 1u);
+}
+
+TEST_F(Obs, CountAndGaugeWhileEnabled)
+{
+    enable();
+    count("hits");
+    count("hits", 2);
+    gauge("ratio", 0.75);
+    disable();
+    EXPECT_EQ(metrics().counter("hits"), 3u);
+    EXPECT_DOUBLE_EQ(metrics().gauge("ratio"), 0.75);
+}
+
+TEST_F(Obs, EnableResetsPreviousSession)
+{
+    enable();
+    count("old");
+    {
+        Span span("old_phase");
+    }
+    enable(); // fresh session
+    EXPECT_TRUE(metrics().empty());
+    EXPECT_TRUE(tracer().empty());
+    disable();
+}
+
+TEST_F(Obs, DataStaysReadableAfterDisable)
+{
+    enable();
+    count("kept");
+    disable();
+    EXPECT_EQ(metrics().counter("kept"), 1u);
+}
+
+TEST_F(Obs, SpanOutlivingDisableBalancesDepthWithoutRecording)
+{
+    enable();
+    {
+        Span outer("outer");
+        disable();
+    } // outer destructs disabled: depth must rebalance, no event
+    EXPECT_TRUE(tracer().empty());
+    // If the depth leaked, this new root span would report depth > 0.
+    enable();
+    {
+        Span root("root");
+    }
+    disable();
+    ASSERT_EQ(tracer().events().size(), 1u);
+    EXPECT_EQ(tracer().events()[0].depth, 0);
+}
+
+TEST_F(Obs, SpanOpenedWhileDisabledStaysDeadAfterEnable)
+{
+    std::size_t before;
+    {
+        Span dead("dead");
+        enable();
+        before = tracer().events().size();
+    } // constructed disabled → never live, records nothing
+    EXPECT_EQ(tracer().events().size(), before);
+    EXPECT_EQ(metrics().timer("dead").count, 0u);
+    disable();
+}
+
+} // namespace
