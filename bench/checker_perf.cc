@@ -23,6 +23,8 @@
 #include "model/checker.hh"
 #include "obs/obs.hh"
 #include "obs/report.hh"
+#include "runtime/parallel.hh"
+#include "runtime/thread_pool.hh"
 
 using namespace mixedproxy;
 using namespace mixedproxy::bench;
@@ -84,6 +86,74 @@ printTable()
     rule();
     std::printf("\n");
 }
+
+/** Check every built-in test on @p jobs worker threads; returns wall
+ *  milliseconds for the whole batch. */
+double
+batchCheckAllTests(std::size_t jobs)
+{
+    const auto &tests = litmus::allTests();
+    model::CheckOptions opts;
+    opts.collectWitnesses = false;
+    model::Checker checker(opts);
+    runtime::ParallelOptions par;
+    par.jobs = jobs;
+    auto begin = std::chrono::steady_clock::now();
+    runtime::parallelFor(tests.size(), par,
+                         [&](std::size_t i, obs::Session *) {
+                             benchmark::DoNotOptimize(
+                                 checker.check(tests[i]).outcomes.size());
+                         });
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - begin)
+        .count();
+}
+
+/**
+ * The --jobs N headline number: wall time to check the whole built-in
+ * corpus at 1, 2, and 4 worker threads. Work items are independent
+ * checker runs, so throughput should scale with physical cores (the
+ * per-jobs wall times also land in checker_perf.stats.json as
+ * batch.jobs.N.wall_ms gauges).
+ */
+void
+printBatchTable()
+{
+    banner("Batch throughput: built-in corpus at --jobs 1/2/4",
+           "independent checker runs dispatched by runtime::parallelFor"
+           "; scaling tracks physical cores");
+
+    const std::size_t n = litmus::allTests().size();
+    std::printf("hardware threads: %zu\n",
+                runtime::ThreadPool::hardwareThreads());
+    std::printf("%-8s %-8s %-12s %-10s\n", "jobs", "tests", "wall ms",
+                "speedup");
+    rule();
+    double serial_ms = 0.0;
+    for (std::size_t jobs : {1u, 2u, 4u}) {
+        double ms = batchCheckAllTests(jobs);
+        if (jobs == 1)
+            serial_ms = ms;
+        std::printf("%-8zu %-8zu %-12.1f %-10.2f\n", jobs, n, ms,
+                    ms > 0.0 ? serial_ms / ms : 0.0);
+    }
+    rule();
+    std::printf("\n");
+}
+
+void
+BM_BatchCheckCorpus(benchmark::State &state)
+{
+    const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(batchCheckAllTests(jobs));
+    state.counters["jobs"] = static_cast<double>(jobs);
+}
+BENCHMARK(BM_BatchCheckCorpus)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_CheckByFigure(benchmark::State &state, const char *name)
@@ -280,11 +350,22 @@ writeStatsJson()
     }
     for (std::size_t pairs = 1; pairs <= 4; pairs++)
         checker.check(scalingTest(pairs));
+    // Record the batch-throughput headline numbers alongside the
+    // per-phase timers: wall ms for the whole built-in corpus at each
+    // worker count, the artifact the --jobs acceptance rests on.
+    for (std::size_t jobs : {1u, 2u, 4u}) {
+        obs::gauge(("batch.jobs." + std::to_string(jobs) + ".wall_ms")
+                       .c_str(),
+                   batchCheckAllTests(jobs));
+    }
+    obs::gauge("batch.hardware_threads",
+               static_cast<double>(
+                   runtime::ThreadPool::hardwareThreads()));
     obs::disable();
 
     std::map<std::string, std::string> meta;
     meta["bench"] = "checker_perf";
-    meta["workload"] = "fig8a+fig9+iriw2x+scaling1..4";
+    meta["workload"] = "fig8a+fig9+iriw2x+scaling1..4+batch_corpus";
     const std::filesystem::path path = dir / "checker_perf.stats.json";
     std::ofstream out(path);
     if (out) {
@@ -301,6 +382,7 @@ int
 main(int argc, char **argv)
 {
     printTable();
+    printBatchTable();
     writeStatsJson();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

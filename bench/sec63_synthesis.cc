@@ -10,10 +10,15 @@
  */
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
 
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hh"
+#include "obs/obs.hh"
+#include "obs/report.hh"
 #include "synth/generator.hh"
 
 using namespace mixedproxy;
@@ -95,12 +100,58 @@ BM_Synthesis(benchmark::State &state)
 }
 BENCHMARK(BM_Synthesis)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 
+/**
+ * Re-run the small synthesis points with observability attached and
+ * write the "synth.*" metrics as stats JSON under bench/results/ —
+ * the same machine-readable trajectory checker_perf records, here for
+ * the §6.3 synthesis flow (enumerated/unique/checked counts plus the
+ * per-phase timers).
+ */
+void
+writeStatsJson()
+{
+#ifdef MIXEDPROXY_BENCH_RESULTS_DIR
+    const std::filesystem::path dir = MIXEDPROXY_BENCH_RESULTS_DIR;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        std::fprintf(stderr, "cannot create %s: %s\n",
+                     dir.string().c_str(), ec.message().c_str());
+        return;
+    }
+    obs::Session session;
+    session.enable();
+    for (std::size_t n = 2; n <= 3; n++) {
+        auto opts = optionsFor(n);
+        opts.session = &session;
+        auto report = synth::Synthesizer(opts).run();
+        session.metrics.set("synth.n" + std::to_string(n) + ".seconds",
+                            report.stats.seconds);
+    }
+    session.disable();
+
+    std::map<std::string, std::string> meta;
+    meta["bench"] = "sec63_synthesis";
+    meta["workload"] = "n=2..3, proxies, fence-minimal";
+    const std::filesystem::path path = dir / "sec63_synthesis.stats.json";
+    std::ofstream out(path);
+    if (out) {
+        out << obs::statsJson(session.metrics, meta);
+        std::printf("wrote %s\n\n", path.string().c_str());
+    } else {
+        std::fprintf(stderr, "cannot write %s\n",
+                     path.string().c_str());
+    }
+#endif
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     printScalingTable();
+    writeStatsJson();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

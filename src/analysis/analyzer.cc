@@ -224,15 +224,16 @@ AnalysisResult::render() const
 }
 
 AnalysisResult
-analyze(const litmus::LitmusTest &test)
+analyze(const litmus::LitmusTest &test, obs::Session *session)
 {
     Program program(test, model::ProxyMode::Ptx75);
-    return analyze(program);
+    return analyze(program, session);
 }
 
 AnalysisResult
-analyze(const Program &program)
+analyze(const Program &program, obs::Session *session)
 {
+    obs::ScopedSession bind(session);
     obs::Span span("lint");
     const auto &events = program.events();
     const auto &test = program.test();
@@ -474,8 +475,8 @@ analyze(const Program &program)
                                 static_cast<int>(b.severity);
                      });
 
-    if (obs::enabled()) {
-        obs::MetricsRegistry &m = obs::metrics();
+    if (obs::Session *s = obs::current()) {
+        obs::MetricsRegistry &m = s->metrics;
         m.add("analysis.runs");
         m.add("analysis.errors", result.count(Severity::Error));
         m.add("analysis.warnings", result.count(Severity::Warning));

@@ -29,6 +29,7 @@
 #include "analysis/diagnostic.hh"
 #include "litmus/test.hh"
 #include "model/program.hh"
+#include "obs/obs.hh"
 
 namespace mixedproxy::analysis {
 
@@ -59,13 +60,17 @@ struct AnalysisResult
 
 /**
  * Analyze a litmus test (expanded under the proxy-aware PTX 7.5 model).
+ * @p session, when non-null, is bound as the calling thread's
+ * observability session for the run (null keeps the ambient binding).
  *
  * @throws FatalError if the test fails structural validation.
  */
-AnalysisResult analyze(const litmus::LitmusTest &test);
+AnalysisResult analyze(const litmus::LitmusTest &test,
+                       obs::Session *session = nullptr);
 
 /** Analyze a pre-expanded program (reuse across calls). */
-AnalysisResult analyze(const model::Program &program);
+AnalysisResult analyze(const model::Program &program,
+                       obs::Session *session = nullptr);
 
 } // namespace mixedproxy::analysis
 

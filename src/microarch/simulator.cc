@@ -94,6 +94,7 @@ Simulator::runOnce(const litmus::LitmusTest &test, std::uint64_t seed,
 SimResult
 Simulator::run(const litmus::LitmusTest &test) const
 {
+    obs::ScopedSession bind(opts.session);
     obs::Span span("sim");
     SimResult result;
     result.testName = test.name();
@@ -104,8 +105,8 @@ Simulator::run(const litmus::LitmusTest &test) const
             runOnce(test, opts.seed + i, &result.stats);
         result.histogram[outcome]++;
     }
-    if (obs::enabled()) {
-        obs::MetricsRegistry &m = obs::metrics();
+    if (obs::Session *s = obs::current()) {
+        obs::MetricsRegistry &m = s->metrics;
         m.add("sim.schedules", result.iterations);
         m.add("sim.loads", result.stats.loads);
         m.add("sim.stores", result.stats.stores);

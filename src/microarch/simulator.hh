@@ -20,6 +20,7 @@
 #include "litmus/outcome.hh"
 #include "litmus/test.hh"
 #include "microarch/machine.hh"
+#include "obs/obs.hh"
 
 namespace mixedproxy::microarch {
 
@@ -35,6 +36,12 @@ struct SimOptions
     CoherenceMode mode = CoherenceMode::Proxy;
 
     LatencyModel latencies = {};
+
+    /**
+     * Observability session to record into (bound for the duration of
+     * run()). Null uses the calling thread's ambient session.
+     */
+    obs::Session *session = nullptr;
 };
 
 /** Aggregate result of a simulation campaign. */

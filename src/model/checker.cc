@@ -94,6 +94,8 @@ CheckStats::publish(obs::MetricsRegistry &registry) const
 bool
 CheckResult::allPassed() const
 {
+    if (budgetExceeded)
+        return false;
     return std::all_of(assertions.begin(), assertions.end(),
                        [](const AssertionCheck &a) { return a.passed; });
 }
@@ -115,6 +117,10 @@ CheckResult::summary() const
        << outcomes.size() << " outcome(s), "
        << stats.consistentExecutions << "/" << stats.candidateExecutions
        << " consistent executions\n";
+    if (budgetExceeded) {
+        os << "  BUDGET EXCEEDED: enumeration stopped early; outcomes "
+              "and assertion verdicts are incomplete\n";
+    }
     for (const auto &outcome : outcomes)
         os << "  allowed: " << outcome.toString() << "\n";
     for (const auto &check : assertions) {
@@ -458,6 +464,7 @@ Checker::Checker(CheckOptions options)
 CheckResult
 Checker::check(const litmus::LitmusTest &test) const
 {
+    obs::ScopedSession bind(opts.session);
     obs::Span span("check");
     std::optional<Program> program;
     {
@@ -565,6 +572,7 @@ frRelation(const Program &program, const std::vector<EventId> &source_of,
 CheckResult
 Checker::check(const Program &program) const
 {
+    obs::ScopedSession bind(opts.session);
     const auto &events = program.events();
     const auto &test = program.test();
     const std::size_t n = events.size();
@@ -649,8 +657,11 @@ Checker::check(const Program &program) const
         while (!co_done) {
             result.stats.candidateExecutions++;
             if (result.stats.candidateExecutions > opts.maxExecutions) {
-                fatal("exceeded maxExecutions (", opts.maxExecutions,
-                      ") checking '", test.name(), "'");
+                // Out of budget: stop enumerating and report the
+                // partial result as inconclusive (allPassed() == false)
+                // instead of killing the whole batch run.
+                result.budgetExceeded = true;
+                break;
             }
 
             std::vector<std::vector<EventId>> orders(
@@ -862,6 +873,8 @@ Checker::check(const Program &program) const
                 co_index[loc] = 0;
             }
         }
+        if (result.budgetExceeded)
+            break;
     }
 
     enumerate_span.reset();
@@ -907,8 +920,11 @@ Checker::check(const Program &program) const
         result.assertions.push_back(std::move(check));
     }
 
-    if (obs::enabled())
-        result.stats.publish(obs::metrics());
+    if (obs::Session *session = obs::current()) {
+        result.stats.publish(session->metrics);
+        if (result.budgetExceeded)
+            session->metrics.add("checker.budget_exceeded");
+    }
 
     return result;
 }

@@ -24,7 +24,7 @@
 #include "litmus/outcome.hh"
 #include "litmus/test.hh"
 #include "model/program.hh"
-#include "obs/metrics.hh"
+#include "obs/obs.hh"
 #include "relation/relation.hh"
 
 namespace mixedproxy::model {
@@ -46,8 +46,20 @@ struct CheckOptions
      */
     bool staticFastPath = true;
 
-    /** Abort (FatalError) past this many candidate executions. */
+    /**
+     * Stop enumerating past this many candidate executions. Exceeding
+     * the budget is a structured per-test verdict
+     * (CheckResult::budgetExceeded), not an error — batch runs report
+     * it and keep going.
+     */
     std::uint64_t maxExecutions = 100'000'000;
+
+    /**
+     * Observability session to record into (bound for the duration of
+     * check()). Null uses the calling thread's ambient session — the
+     * classic obs::enable() flow keeps working unchanged.
+     */
+    obs::Session *session = nullptr;
 };
 
 /** One consistent execution, rendered for diagnostics (Fig. 9 style). */
@@ -138,7 +150,19 @@ struct CheckResult
     std::vector<AssertionCheck> assertions;
     CheckStats stats;
 
-    /** True when every assertion passed. */
+    /**
+     * True when enumeration stopped at CheckOptions::maxExecutions.
+     * The outcome set (and thus every assertion verdict) covers only
+     * the candidates enumerated before the budget ran out — treat the
+     * result as inconclusive, not as a pass.
+     */
+    bool budgetExceeded = false;
+
+    /**
+     * True when every assertion passed over a *complete* enumeration;
+     * always false when budgetExceeded (an inconclusive result must
+     * not read as success).
+     */
     bool allPassed() const;
 
     /** True when some consistent execution satisfies @p condition. */

@@ -11,6 +11,7 @@
 #include "obs/obs.hh"
 #include "obs/report.hh"
 #include "relation/error.hh"
+#include "runtime/parallel.hh"
 #include "synth/generator.hh"
 #include "synth/shrink.hh"
 
@@ -54,6 +55,9 @@ options:
   --lint-only      run only the static analyzer: no exhaustive
                    checking; exit 0 when every input is clean, 1 when
                    any warning or error fired
+  --jobs N         check batch inputs (--all, multiple inputs, --synth,
+                   --lint-only) on N worker threads; output and
+                   --stats-json are identical for any N (default 1)
 
 observability (docs/observability.md):
   --timing         print a per-phase wall-time table and the metric
@@ -121,6 +125,21 @@ parseArgs(const std::vector<std::string> &args)
             opts.lintOnly = true;
         } else if (arg == "--lint") {
             opts.lint = true;
+        } else if (value_flag("--jobs", &value)) {
+            // Strict: digits only, at least 1 — "--jobs 0", "--jobs x",
+            // and an empty value are usage errors (exit 2).
+            bool digits = !value.empty() &&
+                          value.find_first_not_of("0123456789") ==
+                              std::string::npos;
+            if (!digits)
+                fatal("bad --jobs count '", value, "'");
+            try {
+                opts.jobs = std::stoul(value);
+            } catch (const std::exception &) {
+                fatal("bad --jobs count '", value, "'");
+            }
+            if (opts.jobs < 1)
+                fatal("--jobs must be at least 1");
         } else if (value_flag("--trace-out", &opts.traceOut)) {
         } else if (value_flag("--stats-json", &opts.statsJsonOut)) {
         } else if (value_flag("--synth-out", &opts.synthOut)) {
@@ -307,6 +326,7 @@ runParsed(const DriverOptions &opts, std::ostream &out,
         synth::SynthOptions sopts;
         sopts.instructions = opts.synthInstructions;
         sopts.classifyFenceMinimal = opts.synthInstructions <= 3;
+        sopts.jobs = opts.jobs;
         auto report = synth::Synthesizer(sopts).run();
         out << report.summary() << "\n";
         if (!opts.synthOut.empty()) {
@@ -345,18 +365,36 @@ runParsed(const DriverOptions &opts, std::ostream &out,
         }
     }
 
+    runtime::ParallelOptions par;
+    par.jobs = opts.jobs;
+
     if (opts.lintOnly) {
+        struct LintSlot
+        {
+            std::string text;
+            std::string error;
+            bool clean = true;
+        };
+        std::vector<LintSlot> slots(tests.size());
+        runtime::parallelFor(
+            tests.size(), par, [&](std::size_t i, obs::Session *) {
+                try {
+                    auto result = analysis::analyze(tests[i]);
+                    slots[i].clean = result.clean();
+                    slots[i].text = result.render();
+                } catch (const FatalError &e) {
+                    slots[i].error = e.what();
+                }
+            });
         bool all_clean = true;
-        for (const auto &test : tests) {
-            try {
-                auto result = analysis::analyze(test);
-                all_clean &= result.clean();
-                out << result.render() << "\n";
-            } catch (const FatalError &e) {
-                err << "nvlitmus: " << test.name() << ": " << e.what()
-                    << "\n";
+        for (std::size_t i = 0; i < slots.size(); i++) {
+            if (!slots[i].error.empty()) {
+                err << "nvlitmus: " << tests[i].name() << ": "
+                    << slots[i].error << "\n";
                 return 2;
             }
+            all_clean &= slots[i].clean;
+            out << slots[i].text << "\n";
         }
         return all_clean ? 0 : 1;
     }
@@ -386,31 +424,60 @@ runParsed(const DriverOptions &opts, std::ostream &out,
 
     bool all_passed = true;
     if (opts.all) {
-        // Compact verdict table.
+        // Compact verdict table. Each test renders into its own slot on
+        // a worker; folding the slots in index order makes the table
+        // byte-identical for any --jobs value.
         model::CheckOptions copts;
         copts.mode = opts.mode;
         copts.collectWitnesses = false;
         model::Checker checker(copts);
-        for (const auto &test : tests) {
-            auto result = checker.check(test);
-            bool passed = result.allPassed();
-            all_passed &= passed;
-            out << (passed ? "PASS" : "FAIL") << "  " << test.name()
-                << "  (" << result.outcomes.size() << " outcomes)\n";
-            if (!passed)
-                out << result.summary();
+        struct TableSlot
+        {
+            bool passed = false;
+            std::string text;
+        };
+        std::vector<TableSlot> slots(tests.size());
+        runtime::parallelFor(
+            tests.size(), par, [&](std::size_t i, obs::Session *) {
+                auto result = checker.check(tests[i]);
+                slots[i].passed = result.allPassed();
+                std::ostringstream os;
+                os << (slots[i].passed ? "PASS" : "FAIL") << "  "
+                   << tests[i].name() << "  ("
+                   << result.outcomes.size() << " outcomes)\n";
+                if (!slots[i].passed)
+                    os << result.summary();
+                slots[i].text = os.str();
+            });
+        for (const TableSlot &slot : slots) {
+            all_passed &= slot.passed;
+            out << slot.text;
         }
     } else {
-        for (const auto &test : tests) {
-            try {
-                bool passed = true;
-                out << report(test, opts, &passed) << "\n";
-                all_passed &= passed;
-            } catch (const FatalError &e) {
-                err << "nvlitmus: " << test.name() << ": " << e.what()
-                    << "\n";
+        struct ReportSlot
+        {
+            bool passed = true;
+            std::string text;
+            std::string error;
+        };
+        std::vector<ReportSlot> slots(tests.size());
+        runtime::parallelFor(
+            tests.size(), par, [&](std::size_t i, obs::Session *) {
+                try {
+                    slots[i].text =
+                        report(tests[i], opts, &slots[i].passed);
+                } catch (const FatalError &e) {
+                    slots[i].error = e.what();
+                }
+            });
+        for (std::size_t i = 0; i < slots.size(); i++) {
+            if (!slots[i].error.empty()) {
+                err << "nvlitmus: " << tests[i].name() << ": "
+                    << slots[i].error << "\n";
                 return 2;
             }
+            out << slots[i].text << "\n";
+            all_passed &= slots[i].passed;
         }
     }
     return all_passed ? 0 : 1;
@@ -430,20 +497,27 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
         return 2;
     }
 
+    // The run's observability data lives in a session local to this
+    // call (a run is a value, not a process): nothing leaks into the
+    // global session, and concurrent runCli calls cannot collide.
     const bool observing = opts.timing || !opts.traceOut.empty() ||
                            !opts.statsJsonOut.empty();
+    obs::Session session;
     if (observing)
-        obs::enable();
-
-    int code = runParsed(opts, out, err);
+        session.enable();
+    int code;
+    {
+        obs::ScopedSession bind(observing ? &session : nullptr);
+        code = runParsed(opts, out, err);
+    }
 
     if (observing) {
-        obs::disable();
+        session.disable();
         if (opts.timing)
-            err << obs::timingTable(obs::metrics());
+            err << obs::timingTable(session.metrics);
         if (!opts.traceOut.empty() &&
             !writeFileOrFail(opts.traceOut,
-                             obs::chromeTraceJson(obs::tracer()))) {
+                             obs::chromeTraceJson(session.tracer))) {
             err << "nvlitmus: cannot write trace to '" << opts.traceOut
                 << "'\n";
             code = 2;
@@ -452,8 +526,9 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
             std::map<std::string, std::string> meta;
             meta["tool"] = "nvlitmus";
             meta["model"] = model::toString(opts.mode);
-            if (!writeFileOrFail(opts.statsJsonOut,
-                                 obs::statsJson(obs::metrics(), meta))) {
+            if (!writeFileOrFail(
+                    opts.statsJsonOut,
+                    obs::statsJson(session.metrics, meta))) {
                 err << "nvlitmus: cannot write stats to '"
                     << opts.statsJsonOut << "'\n";
                 code = 2;

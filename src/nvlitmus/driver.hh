@@ -74,6 +74,13 @@ struct DriverOptions
     std::string traceOut;
     std::string statsJsonOut;
 
+    /**
+     * Worker threads for batch work: the --all table, multi-input
+     * check/lint runs, and synthesis (runtime::parallelFor). Output is
+     * identical for any value (docs/parallelism.md).
+     */
+    std::size_t jobs = 1;
+
     /** List built-in tests and exit. */
     bool list = false;
 

@@ -100,6 +100,34 @@ MetricsRegistry::timerNames() const
 }
 
 void
+MetricsRegistry::mergeFrom(const MetricsRegistry &other)
+{
+    for (const auto &[name, value] : other._counters)
+        _counters[name] += value;
+    for (const auto &[name, value] : other._gauges)
+        _gauges[name] = value;
+    for (const auto &[name, series] : other._timers) {
+        if (series.count == 0)
+            continue;
+        TimerSeries &mine = _timers[name];
+        if (mine.count == 0) {
+            mine.min = series.min;
+            mine.max = series.max;
+        } else {
+            mine.min = std::min(mine.min, series.min);
+            mine.max = std::max(mine.max, series.max);
+        }
+        mine.count += series.count;
+        mine.total += series.total;
+        for (double sample : series.samples) {
+            if (mine.samples.size() >= kMaxSamplesPerTimer)
+                break;
+            mine.samples.push_back(sample);
+        }
+    }
+}
+
+void
 MetricsRegistry::clear()
 {
     _counters.clear();

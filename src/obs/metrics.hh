@@ -78,6 +78,16 @@ class MetricsRegistry
     /** Names of every timer with at least one sample. */
     std::vector<std::string> timerNames() const;
 
+    /**
+     * Fold @p other into this registry: counters add, gauges are
+     * overwritten by @p other's (last write wins, matching set()), and
+     * timer series merge their streaming aggregates with @p other's
+     * samples appended up to the retention bound. Merging worker
+     * registries in a fixed order yields partition-independent
+     * aggregates — see docs/parallelism.md for the exact contract.
+     */
+    void mergeFrom(const MetricsRegistry &other);
+
     /** Drop every metric. */
     void clear();
 

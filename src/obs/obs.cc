@@ -4,10 +4,10 @@ namespace mixedproxy::obs {
 
 namespace detail {
 
-bool g_enabled = false;
+thread_local Session *t_current = nullptr;
 
 Session &
-session()
+globalSession()
 {
     static Session instance;
     return instance;
@@ -18,39 +18,44 @@ session()
 void
 enable()
 {
-    detail::Session &s = detail::session();
-    s.metrics.clear();
-    s.tracer.clear();
-    s.depth = 0;
-    s.origin = std::chrono::steady_clock::now();
-    detail::g_enabled = true;
+    Session &s = detail::globalSession();
+    s.enable();
+    detail::t_current = &s;
 }
 
 void
 disable()
 {
-    detail::g_enabled = false;
+    Session &s = detail::globalSession();
+    s.disable();
+    if (detail::t_current == &s)
+        detail::t_current = nullptr;
 }
 
 MetricsRegistry &
 metrics()
 {
-    return detail::session().metrics;
+    return detail::globalSession().metrics;
 }
 
 Tracer &
 tracer()
 {
-    return detail::session().tracer;
+    return detail::globalSession().tracer;
+}
+
+Session &
+globalSession()
+{
+    return detail::globalSession();
 }
 
 void
-Span::begin(const char *name)
+Span::begin(const char *name, Session *session)
 {
-    detail::Session &s = detail::session();
     _name = name;
-    _depth = s.depth++;
-    _live = true;
+    _session = session;
+    _depth = session->depth++;
     _start = std::chrono::steady_clock::now();
 }
 
@@ -58,13 +63,14 @@ void
 Span::end()
 {
     auto stop = std::chrono::steady_clock::now();
-    _live = false;
-    detail::Session &s = detail::session();
+    Session &s = *_session;
+    _session = nullptr;
     if (s.depth > 0)
         s.depth--;
-    // A span that outlived disable() (e.g. an exporter reading mid-scope
-    // state) still balances the depth but records nothing.
-    if (!detail::g_enabled)
+    // A span that outlived its session's recording window (e.g. an
+    // exporter reading mid-scope state) still balances the depth but
+    // records nothing.
+    if (!s.enabled())
         return;
     double seconds =
         std::chrono::duration<double>(stop - _start).count();
@@ -72,10 +78,11 @@ Span::end()
     TraceEvent event;
     event.name = _name;
     event.startUs =
-        std::chrono::duration<double, std::micro>(_start - s.origin)
+        std::chrono::duration<double, std::micro>(_start - s.origin())
             .count();
     event.durationUs = seconds * 1e6;
     event.depth = _depth;
+    event.tid = s.threadId;
     s.tracer.record(std::move(event));
 }
 

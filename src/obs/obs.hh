@@ -1,20 +1,31 @@
 /**
  * @file
- * The observability facade: one process-wide session combining the
- * metrics registry (obs/metrics.hh) and the span tracer (obs/trace.hh).
+ * The observability facade: sessions combining the metrics registry
+ * (obs/metrics.hh) and the span tracer (obs/trace.hh).
  *
  * Design constraints (ISSUE 3): zero dependencies, and near-zero cost
  * when nothing is listening. The entire disabled path is one branch on
- * a plain global bool — no clock read, no allocation, no map lookup —
- * so instrumentation can sit inside the checker's per-candidate loops
- * without showing up in benchmarks (bench/checker_perf.cc proves the
- * bound). A sink is attached with obs::enable() (the driver does this
- * for --timing/--trace-out/--stats-json); libraries only ever *emit*,
- * via obs::Span, obs::count, and the publish() methods on their stats
- * structs.
+ * a thread-local pointer — no clock read, no allocation, no map lookup
+ * — so instrumentation can sit inside the checker's per-candidate
+ * loops without showing up in benchmarks (bench/checker_perf.cc proves
+ * the bound). Libraries only ever *emit*, via obs::Span, obs::count,
+ * and the publish() methods on their stats structs.
  *
- * Single-threaded by design, like every library in this repository;
- * enable()/disable() and all emission must happen on one thread.
+ * A run is a value, not a process (ISSUE 4): obs::Session owns one
+ * registry + tracer + clock origin, and any number of sessions can be
+ * live at once — the parallel batch runtime gives every worker its own
+ * and merges them afterwards (docs/parallelism.md). Emission finds its
+ * sink through a thread-local "current session" binding:
+ *
+ *  - obs::ScopedSession binds a session on the calling thread for a
+ *    scope (the library entry points bind their options' session);
+ *  - the classic process-wide flow still works through thin wrappers:
+ *    obs::enable() binds a global session on the calling thread,
+ *    obs::metrics()/obs::tracer() read it.
+ *
+ * Each thread records only into its own bound session, so recording is
+ * data-race-free without any locking; merging sessions is the caller's
+ * (or the runtime's) explicit, post-barrier step.
  */
 
 #ifndef MIXEDPROXY_OBS_OBS_HH
@@ -28,72 +39,182 @@
 
 namespace mixedproxy::obs {
 
-namespace detail {
-
-/** The one flag every instrumentation site checks first. */
-extern bool g_enabled;
-
-/** Session state; meaningful only while enabled (or just disabled). */
-struct Session
+/**
+ * One observability session: a metrics registry, a span tracer, the
+ * clock origin trace timestamps are relative to, and the recording
+ * flag. Sessions are plain values; create as many as you need. A
+ * session records only while enabled() *and* bound as the calling
+ * thread's current session (ScopedSession, or the enable() wrapper for
+ * the global one). Never bind one session on two threads at once.
+ */
+class Session
 {
+  public:
     MetricsRegistry metrics;
     Tracer tracer;
-    std::chrono::steady_clock::time_point origin;
-    int depth = 0; ///< current span nesting depth
+
+    /**
+     * Worker lane for trace export: every span recorded into this
+     * session carries this value as its Chrome trace "tid", so the
+     * trace viewer shows real per-worker lanes (0 = main thread; the
+     * parallel runtime numbers workers from 1).
+     */
+    int threadId = 0;
+
+    /** Start recording on a fresh timeline: clear data, origin = now. */
+    void enable()
+    {
+        enableWithOrigin(std::chrono::steady_clock::now());
+    }
+
+    /**
+     * Start recording against an existing timeline — worker sessions
+     * adopt their parent's origin so merged traces share one clock.
+     */
+    void enableWithOrigin(std::chrono::steady_clock::time_point origin)
+    {
+        metrics.clear();
+        tracer.clear();
+        depth = 0;
+        _origin = origin;
+        _enabled = true;
+    }
+
+    /**
+     * Stop recording. The data stays readable (for export or merging)
+     * until the next enable().
+     */
+    void disable() { _enabled = false; }
+
+    /** True while this session is recording. */
+    bool enabled() const { return _enabled; }
+
+    /** The instant trace timestamps are relative to. */
+    std::chrono::steady_clock::time_point origin() const
+    {
+        return _origin;
+    }
+
+    /** Current span nesting depth (span bookkeeping). */
+    int depth = 0;
+
+  private:
+    bool _enabled = false;
+    std::chrono::steady_clock::time_point _origin{};
 };
 
-Session &session();
+namespace detail {
+
+/**
+ * The calling thread's recording sink; null when nothing listens.
+ * Invariant: non-null only while the pointee is enabled — the hot-path
+ * "is anyone listening" check is exactly one thread-local load.
+ */
+extern thread_local Session *t_current;
+
+/** The process-global session behind the classic enable() wrappers. */
+Session &globalSession();
 
 } // namespace detail
 
-/** True when a sink is attached and instrumentation should record. */
+/** True when the calling thread has a recording session bound. */
 inline bool
 enabled()
 {
-    return detail::g_enabled;
+    return detail::t_current != nullptr;
 }
 
 /**
- * Attach the sink: reset the session (metrics, trace, clock origin)
- * and start recording.
+ * The calling thread's current session, or null when none is bound.
+ * Library code uses this to publish stats structs at phase end.
+ */
+inline Session *
+current()
+{
+    return detail::t_current;
+}
+
+/**
+ * Bind @p session as the calling thread's current session for this
+ * scope (restoring the previous binding on destruction). Binding a
+ * null session is a no-op — the ambient binding stays in effect — so
+ * library entry points can bind `options.session` unconditionally.
+ * Binding a non-null but disabled session suppresses recording for the
+ * scope: an explicitly passed session is the sink, period.
+ */
+class ScopedSession
+{
+  public:
+    explicit ScopedSession(Session *session)
+        : _previous(detail::t_current), _bound(session != nullptr)
+    {
+        if (_bound)
+            detail::t_current = session->enabled() ? session : nullptr;
+    }
+
+    ~ScopedSession()
+    {
+        if (_bound)
+            detail::t_current = _previous;
+    }
+
+    ScopedSession(const ScopedSession &) = delete;
+    ScopedSession &operator=(const ScopedSession &) = delete;
+
+  private:
+    Session *_previous;
+    bool _bound;
+};
+
+/**
+ * Attach the classic process-wide sink: reset the global session and
+ * bind it on the calling thread.
  */
 void enable();
 
 /**
- * Stop recording. The session's data stays readable (for export) until
- * the next enable().
+ * Stop the global session's recording and unbind it from the calling
+ * thread. Its data stays readable (for export) until the next
+ * enable().
  */
 void disable();
 
-/** The session's metrics registry (readable regardless of state). */
+/** The global session's metrics registry (readable regardless). */
 MetricsRegistry &metrics();
 
-/** The session's tracer (readable regardless of state). */
+/** The global session's tracer (readable regardless of state). */
 Tracer &tracer();
 
-/** Add @p delta to counter @p name; no-op when disabled. */
+/** The global session itself (for explicit Session threading). */
+Session &globalSession();
+
+/** Add @p delta to counter @p name; no-op when nothing is bound. */
 inline void
 count(const char *name, std::uint64_t delta = 1)
 {
-    if (detail::g_enabled)
-        detail::session().metrics.add(name, delta);
+    if (Session *s = detail::t_current)
+        s->metrics.add(name, delta);
 }
 
-/** Set gauge @p name; no-op when disabled. */
+/** Set gauge @p name; no-op when nothing is bound. */
 inline void
 gauge(const char *name, double value)
 {
-    if (detail::g_enabled)
-        detail::session().metrics.set(name, value);
+    if (Session *s = detail::t_current)
+        s->metrics.set(name, value);
 }
 
 /**
- * RAII trace span. When observability is enabled, construction reads
- * the monotonic clock and destruction records (a) one TraceEvent and
- * (b) one timer sample named after the span — so every span phase
+ * RAII trace span. When a session is bound, construction reads the
+ * monotonic clock and destruction records (a) one TraceEvent and (b)
+ * one timer sample named after the span — so every span phase
  * automatically appears in both the Chrome trace and the --timing /
- * stats-JSON histograms. When disabled, construction and destruction
- * are each a single branch.
+ * stats-JSON histograms. When nothing is bound, construction and
+ * destruction are each a single branch.
+ *
+ * The span captures its session at construction: if the session stops
+ * recording before the span closes, the span still rebalances the
+ * nesting depth but records nothing.
  *
  * The @p name must outlive the span (string literals in practice);
  * span names are the stable phase identifiers documented in
@@ -104,13 +225,13 @@ class Span
   public:
     explicit Span(const char *name)
     {
-        if (detail::g_enabled)
-            begin(name);
+        if (Session *s = detail::t_current)
+            begin(name, s);
     }
 
     ~Span()
     {
-        if (_live)
+        if (_session)
             end();
     }
 
@@ -118,13 +239,13 @@ class Span
     Span &operator=(const Span &) = delete;
 
   private:
-    void begin(const char *name);
+    void begin(const char *name, Session *session);
     void end();
 
     const char *_name = nullptr;
+    Session *_session = nullptr;
     std::chrono::steady_clock::time_point _start;
     int _depth = 0;
-    bool _live = false;
 };
 
 } // namespace mixedproxy::obs

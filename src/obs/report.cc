@@ -68,8 +68,8 @@ chromeTraceJson(const Tracer &tracer)
         first = false;
         os << "\n{\"name\":\"" << jsonEscape(event.name)
            << "\",\"cat\":\"mixedproxy\",\"ph\":\"X\",\"pid\":0,"
-              "\"tid\":0,\"ts\":"
-           << jsonNumber(event.startUs)
+              "\"tid\":"
+           << event.tid << ",\"ts\":" << jsonNumber(event.startUs)
            << ",\"dur\":" << jsonNumber(event.durationUs)
            << ",\"args\":{\"depth\":" << event.depth << "}}";
     }

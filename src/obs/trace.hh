@@ -26,6 +26,7 @@ struct TraceEvent
     double startUs = 0.0; ///< microseconds since session origin
     double durationUs = 0.0;
     int depth = 0; ///< nesting depth when the span opened (root = 0)
+    int tid = 0;   ///< worker lane (Session::threadId; 0 = main thread)
 };
 
 /** Append-only store of completed spans, in completion order. */
@@ -35,6 +36,13 @@ class Tracer
     void record(TraceEvent event) { _events.push_back(std::move(event)); }
 
     const std::vector<TraceEvent> &events() const { return _events; }
+
+    /** Append every event of @p other, preserving order. */
+    void append(const Tracer &other)
+    {
+        _events.insert(_events.end(), other._events.begin(),
+                       other._events.end());
+    }
 
     void clear() { _events.clear(); }
 

@@ -1,0 +1,79 @@
+#include "parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <vector>
+
+#include "runtime/thread_pool.hh"
+
+namespace mixedproxy::runtime {
+
+void
+parallelFor(std::size_t n, const ParallelOptions &options,
+            const std::function<void(std::size_t, obs::Session *)> &body)
+{
+    obs::Session *parent =
+        options.session ? options.session : obs::current();
+    bool observing = parent != nullptr && parent->enabled();
+
+    if (options.jobs <= 1 || n <= 1) {
+        // Serial path: run inline under the parent session, exactly as
+        // the pre-runtime code would have.
+        obs::ScopedSession bind(parent);
+        for (std::size_t i = 0; i < n; i++)
+            body(i, observing ? parent : nullptr);
+        return;
+    }
+
+    std::size_t workers = std::min(options.jobs, n);
+    std::vector<obs::Session> workerSessions(workers);
+    if (observing) {
+        for (std::size_t w = 0; w < workers; w++) {
+            workerSessions[w].threadId = static_cast<int>(w) + 1;
+            workerSessions[w].enableWithOrigin(parent->origin());
+        }
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(n);
+
+    {
+        ThreadPool pool(workers);
+        for (std::size_t w = 0; w < workers; w++) {
+            pool.submit([&, w] {
+                obs::Session *mine =
+                    observing ? &workerSessions[w] : nullptr;
+                obs::ScopedSession bind(
+                    observing ? mine : nullptr);
+                for (;;) {
+                    std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= n)
+                        return;
+                    try {
+                        body(i, mine);
+                    } catch (...) {
+                        errors[i] = std::current_exception();
+                    }
+                }
+            });
+        }
+        pool.wait();
+    }
+
+    if (observing) {
+        for (obs::Session &session : workerSessions) {
+            session.disable();
+            parent->metrics.mergeFrom(session.metrics);
+            parent->tracer.append(session.tracer);
+        }
+    }
+
+    for (const std::exception_ptr &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+}
+
+} // namespace mixedproxy::runtime

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * runtime::parallelFor — deterministic data-parallel iteration with
+ * per-worker observability sessions.
+ *
+ * The batch runtime's contract (docs/parallelism.md): for any --jobs
+ * N, a parallelFor over the same inputs produces the same observable
+ * results. The pieces that make that true:
+ *
+ *  - Results by input index. parallelFor only runs `body(i, session)`
+ *    for every i in [0, n); callers write into slot i of a
+ *    pre-sized vector and fold the slots in index order afterwards.
+ *    Which worker ran which index never matters.
+ *  - Per-worker obs::Session. Each worker thread records metrics and
+ *    spans into its own session (bound as the thread's current
+ *    session for the duration); after the barrier the worker
+ *    registries and tracers are merged into the parent session in
+ *    worker order via MetricsRegistry::mergeFrom / Tracer::append.
+ *    Counters and timer sample counts are additive, so the merged
+ *    totals are partition-independent.
+ *  - Deterministic errors. An exception thrown by body(i) is captured
+ *    per index; after every index has been attempted (or skipped past
+ *    a failure), the exception for the *lowest* failing index is
+ *    rethrown — the same error a serial run would hit first.
+ *
+ * Work is dispatched by atomic index draw over a fixed pool of
+ * min(jobs, n) workers. jobs == 1 (or n <= 1) runs inline on the
+ * calling thread with no pool, no extra session, and no merge — the
+ * serial path stays exactly the pre-runtime code path.
+ */
+
+#ifndef MIXEDPROXY_RUNTIME_PARALLEL_HH
+#define MIXEDPROXY_RUNTIME_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+
+#include "obs/obs.hh"
+
+namespace mixedproxy::runtime {
+
+/** Knobs for parallelFor. */
+struct ParallelOptions
+{
+    /** Worker count; 1 = run inline on the calling thread. */
+    std::size_t jobs = 1;
+
+    /**
+     * Parent observability session. Worker sessions adopt its clock
+     * origin and merge into it after the barrier. Null means "use the
+     * calling thread's current session" (the ambient binding), which
+     * in turn may be null — then nothing is recorded.
+     */
+    obs::Session *session = nullptr;
+};
+
+/**
+ * Run body(i, session) for every i in [0, n), on min(jobs, n) workers.
+ * @p session is the observability session bound as current on the
+ * executing thread for the call (a per-worker session when parallel,
+ * the parent when inline; null when not observing) — bodies thread it
+ * into engine options structs. Returns after all indices complete;
+ * rethrows the lowest-index captured exception, if any.
+ */
+void parallelFor(
+    std::size_t n, const ParallelOptions &options,
+    const std::function<void(std::size_t, obs::Session *)> &body);
+
+} // namespace mixedproxy::runtime
+
+#endif // MIXEDPROXY_RUNTIME_PARALLEL_HH

@@ -1,0 +1,83 @@
+#include "thread_pool.hh"
+
+namespace mixedproxy::runtime {
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0)
+        threads = 1;
+    _workers.reserve(threads);
+    for (std::size_t i = 0; i < threads; i++)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _workReady.notify_all();
+    for (std::thread &worker : _workers)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _queue.push_back(std::move(task));
+    }
+    _workReady.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _allIdle.wait(lock,
+                  [this] { return _queue.empty() && _active == 0; });
+    if (_firstError) {
+        std::exception_ptr error = _firstError;
+        _firstError = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+std::size_t
+ThreadPool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    for (;;) {
+        _workReady.wait(lock,
+                        [this] { return _stop || !_queue.empty(); });
+        if (_queue.empty()) // _stop set and nothing left to drain
+            return;
+        std::function<void()> task = std::move(_queue.front());
+        _queue.pop_front();
+        _active++;
+        lock.unlock();
+        try {
+            task();
+        } catch (...) {
+            lock.lock();
+            if (!_firstError)
+                _firstError = std::current_exception();
+            lock.unlock();
+        }
+        lock.lock();
+        _active--;
+        if (_queue.empty() && _active == 0)
+            _allIdle.notify_all();
+    }
+}
+
+} // namespace mixedproxy::runtime

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A fixed-size thread pool with a simple FIFO work queue.
+ *
+ * This is the execution substrate of the batch runtime (ISSUE 4,
+ * docs/parallelism.md). It is deliberately minimal: N worker threads
+ * created at construction, a mutex+condvar protected deque of
+ * std::function tasks, submit() and wait(). No task priorities, no
+ * work stealing, no futures — the higher-level runtime::parallelFor
+ * owns result ordering and observability merging, so the pool only
+ * needs to run closures and surface the first exception.
+ *
+ * Exceptions thrown by tasks are captured; wait() rethrows the first
+ * one captured (submission order of capture is not defined — callers
+ * needing deterministic error selection, like parallelFor, record
+ * exceptions per work item themselves and leave the pool's capture as
+ * a backstop).
+ */
+
+#ifndef MIXEDPROXY_RUNTIME_THREAD_POOL_HH
+#define MIXEDPROXY_RUNTIME_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mixedproxy::runtime {
+
+/** Fixed-size worker pool; threads live until destruction. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (at least 1). */
+    explicit ThreadPool(std::size_t threads);
+
+    /** Joins all workers; pending tasks are completed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task for execution by some worker. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until the queue is empty and every worker is idle, then
+     * rethrow the first captured task exception, if any.
+     */
+    void wait();
+
+    /** Number of worker threads. */
+    std::size_t size() const { return _workers.size(); }
+
+    /**
+     * The machine's hardware concurrency, never less than 1 (the
+     * standard allows hardware_concurrency() to return 0).
+     */
+    static std::size_t hardwareThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> _workers;
+    std::deque<std::function<void()>> _queue;
+    std::mutex _mutex;
+    std::condition_variable _workReady; ///< queue gained work / stop
+    std::condition_variable _allIdle;   ///< queue drained + workers idle
+    std::size_t _active = 0;            ///< tasks currently executing
+    bool _stop = false;
+    std::exception_ptr _firstError;
+};
+
+} // namespace mixedproxy::runtime
+
+#endif // MIXEDPROXY_RUNTIME_THREAD_POOL_HH

@@ -11,6 +11,7 @@
 #include "model/checker.hh"
 #include "obs/obs.hh"
 #include "relation/error.hh"
+#include "runtime/parallel.hh"
 #include "synth/mutate.hh"
 #include "synth/sc_reference.hh"
 
@@ -328,150 +329,67 @@ Synthesizer::Synthesizer(SynthOptions options)
         fatal("maxThreads must be at least 1");
 }
 
+namespace {
+
+/**
+ * One enumeration shard: a thread shape plus the assignment of its
+ * first slot. Shards partition the skeleton space finely enough to
+ * keep every worker busy, and enumerating them in order reproduces the
+ * exact serial enumeration order.
+ */
+struct EnumShard
+{
+    std::vector<std::size_t> parts; ///< instructions per thread
+    std::size_t firstTmpl = 0;
+    std::size_t firstLoc = 0;
+};
+
+/** What one shard's enumeration produced. */
+struct ShardResult
+{
+    std::uint64_t enumerated = 0;
+    std::uint64_t pruned = 0;
+
+    /** In-shard deduplicated skeletons, first occurrence first. */
+    std::vector<std::pair<std::string, Skeleton>> unique;
+};
+
+/** What classifying one unique skeleton produced. */
+struct Classified
+{
+    bool valid = false;        ///< materialize succeeded
+    bool checked75 = false;    ///< PTX 7.5 check finished in budget
+    bool tooExpensive = false; ///< some check exceeded its budget
+    SynthesizedTest entry;
+};
+
+} // namespace
+
 SynthReport
 Synthesizer::run() const
 {
+    obs::ScopedSession bind(opts.session);
     obs::Span span("synth");
     auto start = std::chrono::steady_clock::now();
     SynthReport report;
     const auto alpha = alphabet(opts);
-    std::set<std::string> seen;
 
-    model::CheckOptions check75;
-    check75.collectWitnesses = false;
-    check75.maxExecutions = opts.maxExecutionsPerTest;
-    model::Checker checker75(check75);
-    model::CheckOptions check60 = check75;
-    check60.mode = model::ProxyMode::Ptx60;
-    model::Checker checker60(check60);
-
-    bool stop = false;
-
-    // Analyze one complete skeleton.
-    auto process = [&](const Skeleton &program) {
-        report.stats.programsEnumerated++;
-        if (!worthChecking(program, alpha))
-            return;
-        report.stats.afterPruning++;
-        std::string key = canonicalKey(program, opts.maxLocations);
-        if (!seen.insert(key).second)
-            return;
-        report.stats.uniquePrograms++;
-        if (opts.maxUniquePrograms != 0 &&
-            report.stats.uniquePrograms >= opts.maxUniquePrograms) {
-            stop = true;
-        }
-
-        litmus::LitmusTest test;
-        try {
-            test = materialize(program, alpha, opts.maxLocations,
-                               report.stats.uniquePrograms,
-                               opts.withBarriers);
-        } catch (const FatalError &) {
-            // E.g. mismatched barrier sequences within the CTA.
-            return;
-        }
-
-        obs::Span check_span("synth.check");
-        SynthesizedTest entry;
-        entry.test = test;
-        try {
-            auto r75 = checker75.check(test);
-            entry.ptx75Outcomes = r75.outcomes.size();
-            report.stats.checked++;
-
-            if (opts.classifyAgainstSc) {
-                auto sc = scOutcomes(test);
-                entry.scOutcomeCount = sc.size();
-                for (const auto &outcome : r75.outcomes) {
-                    if (!sc.count(outcome)) {
-                        entry.weak = true;
-                        break;
-                    }
-                }
-            }
-            if (opts.classifyAgainstPtx60) {
-                auto r60 = checker60.check(test);
-                entry.ptx60Outcomes = r60.outcomes.size();
-                entry.proxySensitive = r60.outcomes != r75.outcomes;
-            }
-            if (opts.classifyFenceMinimal) {
-                bool has_fence = false;
-                bool all_load_bearing = true;
-                for (std::size_t t = 0;
-                     t < test.threads().size() && all_load_bearing;
-                     t++) {
-                    const auto &instrs = test.threads()[t].instructions;
-                    for (std::size_t i = 0; i < instrs.size(); i++) {
-                        if (!instrs[i].isFence())
-                            continue;
-                        has_fence = true;
-                        auto reduced = withoutInstruction(test, t, i);
-                        auto rr = checker75.check(reduced);
-                        if (rr.outcomes == r75.outcomes) {
-                            all_load_bearing = false;
-                            break;
-                        }
-                    }
-                }
-                entry.fenceMinimal = has_fence && all_load_bearing;
-            }
-        } catch (const FatalError &) {
-            report.stats.skippedTooExpensive++;
-            return;
-        }
-
-        if (entry.weak)
-            report.stats.weak++;
-        if (entry.proxySensitive)
-            report.stats.proxySensitive++;
-        if (entry.fenceMinimal)
-            report.stats.fenceMinimal++;
-        if (entry.weak || entry.proxySensitive || entry.fenceMinimal)
-            report.interesting.push_back(std::move(entry));
-    };
-
-    // Enumerate (template, location) assignments for a fixed thread
-    // shape, then hand each complete skeleton to `process`.
-    std::function<void(Skeleton &, std::size_t, std::size_t)> fill =
-        [&](Skeleton &program, std::size_t thread, std::size_t slot) {
-            if (stop)
-                return;
-            if (thread == program.size()) {
-                process(program);
-                return;
-            }
-            std::size_t next_thread = thread;
-            std::size_t next_slot = slot + 1;
-            if (next_slot == program[thread].size()) {
-                next_thread = thread + 1;
-                next_slot = 0;
-            }
-            for (std::size_t tmpl = 0; tmpl < alpha.size(); tmpl++) {
-                std::size_t loc_count =
-                    alpha[tmpl].usesLocation ? opts.maxLocations : 1;
-                for (std::size_t loc = 0; loc < loc_count; loc++) {
-                    program[thread][slot] = {tmpl, loc};
-                    fill(program, next_thread, next_slot);
-                    if (stop)
-                        return;
-                }
-            }
-        };
-
-    // Enumerate compositions of `instructions` into 1..maxThreads
-    // nonincreasing parts (thread order is a symmetry).
+    // ---- Stage A: shard the skeleton space -----------------------------
+    // Compositions of `instructions` into 1..maxThreads nonincreasing
+    // parts (thread order is a symmetry), each split by the first
+    // slot's (template, location) assignment.
+    std::vector<EnumShard> shards;
     std::vector<std::size_t> parts;
     std::function<void(std::size_t, std::size_t, std::size_t)> compose =
         [&](std::size_t remaining, std::size_t threads_left,
             std::size_t max_part) {
-            if (stop)
-                return;
             if (remaining == 0) {
-                Skeleton program;
-                for (std::size_t part : parts)
-                    program.emplace_back(part, Slot{0, 0});
-                fill(program, 0, 0);
+                for (std::size_t tmpl = 0; tmpl < alpha.size(); tmpl++) {
+                    std::size_t loc_count =
+                        alpha[tmpl].usesLocation ? opts.maxLocations : 1;
+                    for (std::size_t loc = 0; loc < loc_count; loc++)
+                        shards.push_back({parts, tmpl, loc});
+                }
                 return;
             }
             if (threads_left == 0)
@@ -485,11 +403,200 @@ Synthesizer::run() const
         };
     compose(opts.instructions, opts.maxThreads, opts.instructions);
 
+    // Each shard enumerates its subspace in serial nested-loop order
+    // and dedups within itself; results land in the shard's slot.
+    std::vector<ShardResult> shard_results(shards.size());
+    runtime::ParallelOptions par;
+    par.jobs = opts.jobs;
+    runtime::parallelFor(
+        shards.size(), par, [&](std::size_t si, obs::Session *) {
+            const EnumShard &shard = shards[si];
+            ShardResult &out = shard_results[si];
+            std::set<std::string> seen;
+            Skeleton program;
+            for (std::size_t part : shard.parts)
+                program.emplace_back(part, Slot{0, 0});
+            program[0][0] = {shard.firstTmpl, shard.firstLoc};
+
+            auto process = [&](const Skeleton &complete) {
+                out.enumerated++;
+                if (!worthChecking(complete, alpha))
+                    return;
+                out.pruned++;
+                std::string key =
+                    canonicalKey(complete, opts.maxLocations);
+                if (seen.insert(key).second)
+                    out.unique.emplace_back(std::move(key), complete);
+            };
+
+            std::function<void(std::size_t, std::size_t)> fill =
+                [&](std::size_t thread, std::size_t slot) {
+                    if (thread == program.size()) {
+                        process(program);
+                        return;
+                    }
+                    std::size_t next_thread = thread;
+                    std::size_t next_slot = slot + 1;
+                    if (next_slot == program[thread].size()) {
+                        next_thread = thread + 1;
+                        next_slot = 0;
+                    }
+                    for (std::size_t tmpl = 0; tmpl < alpha.size();
+                         tmpl++) {
+                        std::size_t loc_count = alpha[tmpl].usesLocation
+                                                    ? opts.maxLocations
+                                                    : 1;
+                        for (std::size_t loc = 0; loc < loc_count;
+                             loc++) {
+                            program[thread][slot] = {tmpl, loc};
+                            fill(next_thread, next_slot);
+                        }
+                    }
+                };
+            // The first slot is fixed by the shard; start at its
+            // successor.
+            if (program[0].size() > 1)
+                fill(0, 1);
+            else if (program.size() > 1)
+                fill(1, 0);
+            else
+                process(program);
+        });
+
+    // ---- Stage B: merge shard dedups (serial, deterministic) -----------
+    // Folding shards in order against one global seen-set reproduces
+    // the serial first-occurrence order exactly, so test names and the
+    // unique count do not depend on jobs.
+    std::set<std::string> seen;
+    std::vector<Skeleton> unique_list;
+    for (ShardResult &shard : shard_results) {
+        report.stats.programsEnumerated += shard.enumerated;
+        report.stats.afterPruning += shard.pruned;
+        for (auto &[key, skeleton] : shard.unique) {
+            if (seen.insert(key).second)
+                unique_list.push_back(std::move(skeleton));
+        }
+    }
+    if (opts.maxUniquePrograms != 0 &&
+        unique_list.size() > opts.maxUniquePrograms)
+        unique_list.resize(opts.maxUniquePrograms);
+    report.stats.uniquePrograms = unique_list.size();
+
+    // ---- Stage C: classify every unique program ------------------------
+    model::CheckOptions check75;
+    check75.collectWitnesses = false;
+    check75.maxExecutions = opts.maxExecutionsPerTest;
+    model::Checker checker75(check75);
+    model::CheckOptions check60 = check75;
+    check60.mode = model::ProxyMode::Ptx60;
+    model::Checker checker60(check60);
+
+    std::vector<Classified> classified(unique_list.size());
+    runtime::parallelFor(
+        unique_list.size(), par, [&](std::size_t i, obs::Session *) {
+            Classified &c = classified[i];
+            litmus::LitmusTest test;
+            try {
+                test = materialize(unique_list[i], alpha,
+                                   opts.maxLocations, i + 1,
+                                   opts.withBarriers);
+            } catch (const FatalError &) {
+                // E.g. mismatched barrier sequences within the CTA.
+                return;
+            }
+            c.valid = true;
+
+            obs::Span check_span("synth.check");
+            c.entry.test = test;
+            try {
+                auto r75 = checker75.check(test);
+                if (r75.budgetExceeded) {
+                    c.tooExpensive = true;
+                    return;
+                }
+                c.entry.ptx75Outcomes = r75.outcomes.size();
+                c.checked75 = true;
+
+                if (opts.classifyAgainstSc) {
+                    auto sc = scOutcomes(test);
+                    c.entry.scOutcomeCount = sc.size();
+                    for (const auto &outcome : r75.outcomes) {
+                        if (!sc.count(outcome)) {
+                            c.entry.weak = true;
+                            break;
+                        }
+                    }
+                }
+                if (opts.classifyAgainstPtx60) {
+                    auto r60 = checker60.check(test);
+                    if (r60.budgetExceeded) {
+                        c.tooExpensive = true;
+                        return;
+                    }
+                    c.entry.ptx60Outcomes = r60.outcomes.size();
+                    c.entry.proxySensitive =
+                        r60.outcomes != r75.outcomes;
+                }
+                if (opts.classifyFenceMinimal) {
+                    bool has_fence = false;
+                    bool all_load_bearing = true;
+                    for (std::size_t t = 0;
+                         t < test.threads().size() && all_load_bearing;
+                         t++) {
+                        const auto &instrs =
+                            test.threads()[t].instructions;
+                        for (std::size_t j = 0; j < instrs.size();
+                             j++) {
+                            if (!instrs[j].isFence())
+                                continue;
+                            has_fence = true;
+                            auto reduced =
+                                withoutInstruction(test, t, j);
+                            auto rr = checker75.check(reduced);
+                            if (rr.budgetExceeded) {
+                                c.tooExpensive = true;
+                                return;
+                            }
+                            if (rr.outcomes == r75.outcomes) {
+                                all_load_bearing = false;
+                                break;
+                            }
+                        }
+                    }
+                    c.entry.fenceMinimal = has_fence && all_load_bearing;
+                }
+            } catch (const FatalError &) {
+                c.tooExpensive = true;
+                return;
+            }
+        });
+
+    // ---- Stage D: fold classifications (serial, index order) -----------
+    for (Classified &c : classified) {
+        if (!c.valid)
+            continue;
+        if (c.checked75)
+            report.stats.checked++;
+        if (c.tooExpensive) {
+            report.stats.skippedTooExpensive++;
+            continue;
+        }
+        if (c.entry.weak)
+            report.stats.weak++;
+        if (c.entry.proxySensitive)
+            report.stats.proxySensitive++;
+        if (c.entry.fenceMinimal)
+            report.stats.fenceMinimal++;
+        if (c.entry.weak || c.entry.proxySensitive ||
+            c.entry.fenceMinimal)
+            report.interesting.push_back(std::move(c.entry));
+    }
+
     auto end = std::chrono::steady_clock::now();
     report.stats.seconds =
         std::chrono::duration<double>(end - start).count();
-    if (obs::enabled())
-        report.stats.publish(obs::metrics());
+    if (obs::Session *session = obs::current())
+        report.stats.publish(session->metrics);
     return report;
 }
 

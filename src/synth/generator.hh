@@ -29,7 +29,7 @@
 #include <vector>
 
 #include "litmus/test.hh"
-#include "obs/metrics.hh"
+#include "obs/obs.hh"
 
 namespace mixedproxy::synth {
 
@@ -80,6 +80,22 @@ struct SynthOptions
 
     /** Stop after this many unique programs (0 = unlimited). */
     std::size_t maxUniquePrograms = 0;
+
+    /**
+     * Worker threads for skeleton enumeration and classification
+     * (runtime::parallelFor). The report is identical for any value —
+     * enumeration shards merge their canonical-key dedup in
+     * deterministic order and classification results fold by index
+     * (docs/parallelism.md).
+     */
+    std::size_t jobs = 1;
+
+    /**
+     * Observability session to record into (bound for the duration of
+     * run(); workers get per-worker sessions merged back into it).
+     * Null uses the calling thread's ambient session.
+     */
+    obs::Session *session = nullptr;
 };
 
 /** One synthesized-and-classified test. */

@@ -34,8 +34,9 @@ holdsOnValid(const TestPredicate &predicate,
 
 litmus::LitmusTest
 shrink(const litmus::LitmusTest &test, const TestPredicate &predicate,
-       ShrinkStats *stats)
+       ShrinkStats *stats, obs::Session *session)
 {
+    obs::ScopedSession bind(session);
     obs::Span span("shrink");
     ShrinkStats local;
     if (!stats)
@@ -84,8 +85,8 @@ shrink(const litmus::LitmusTest &test, const TestPredicate &predicate,
             }
         }
     }
-    if (obs::enabled())
-        stats->publish(obs::metrics());
+    if (obs::Session *s = obs::current())
+        stats->publish(s->metrics);
     return current;
 }
 
@@ -99,11 +100,13 @@ proxySensitivityPredicate(std::uint64_t max_executions_per_check)
     opts60.mode = model::ProxyMode::Ptx60;
     return [opts75, opts60](const litmus::LitmusTest &candidate) {
         try {
-            auto a75 = model::Checker(opts75).check(candidate).outcomes;
-            auto a60 = model::Checker(opts60).check(candidate).outcomes;
-            return a75 != a60;
+            auto r75 = model::Checker(opts75).check(candidate);
+            auto r60 = model::Checker(opts60).check(candidate);
+            if (r75.budgetExceeded || r60.budgetExceeded)
+                return false; // too expensive: "does not preserve"
+            return r75.outcomes != r60.outcomes;
         } catch (const FatalError &) {
-            return false; // too expensive counts as "does not preserve"
+            return false; // malformed candidate: "does not preserve"
         }
     };
 }
@@ -118,8 +121,13 @@ admitsPredicate(const std::string &condition,
     opts.maxExecutions = max_executions_per_check;
     return [expr, opts](const litmus::LitmusTest &candidate) {
         try {
-            return model::Checker(opts).check(candidate).admits(expr);
+            auto result = model::Checker(opts).check(candidate);
+            if (result.budgetExceeded)
+                return false; // too expensive: "does not preserve"
+            return result.admits(expr);
         } catch (const FatalError &) {
+            // E.g. the condition names a register the candidate does
+            // not define: "does not preserve".
             return false;
         }
     };

@@ -16,7 +16,7 @@
 
 #include "litmus/test.hh"
 #include "model/checker.hh"
-#include "obs/metrics.hh"
+#include "obs/obs.hh"
 
 namespace mixedproxy::synth {
 
@@ -49,11 +49,15 @@ struct ShrinkStats
  * test's assertions are not part of the result — the predicate is the
  * specification.
  *
+ * @p session, when non-null, is bound as the calling thread's
+ * observability session for the run (null keeps the ambient binding).
+ *
  * @throws FatalError if @p predicate does not hold on @p test itself.
  */
 litmus::LitmusTest shrink(const litmus::LitmusTest &test,
                           const TestPredicate &predicate,
-                          ShrinkStats *stats = nullptr);
+                          ShrinkStats *stats = nullptr,
+                          obs::Session *session = nullptr);
 
 /**
  * Predicate: the proxy-aware and proxy-oblivious models admit

@@ -479,7 +479,27 @@ TEST(Checker, MaxExecutionsGuard)
                                          "ld.global.u32 r2, [x]"})
                     .permit("t1.r1 == 0")
                     .build();
-    EXPECT_THROW(Checker(opts).check(test), FatalError);
+    // Exceeding the budget is a structured verdict, not an error: the
+    // partial result comes back flagged, reads as inconclusive (never
+    // a pass), and says so in the summary.
+    auto result = Checker(opts).check(test);
+    EXPECT_TRUE(result.budgetExceeded);
+    EXPECT_FALSE(result.allPassed());
+    EXPECT_LE(result.stats.candidateExecutions, 2u);
+    EXPECT_NE(result.summary().find("BUDGET EXCEEDED"),
+              std::string::npos);
+}
+
+TEST(Checker, BudgetNotExceededOnCompleteEnumeration)
+{
+    auto test = LitmusBuilder("no_guard")
+                    .thread("t0", 0, 0, {"st.global.u32 [x], 1"})
+                    .thread("t1", 1, 0, {"ld.global.u32 r1, [x]"})
+                    .permit("t1.r1 == 0")
+                    .build();
+    auto result = Checker().check(test);
+    EXPECT_FALSE(result.budgetExceeded);
+    EXPECT_TRUE(result.allPassed());
 }
 
 TEST(Checker, Ptx75IsConservativeOverPtx60OnProxyFreePrograms)

@@ -89,6 +89,42 @@ TEST(ParseArgs, FlagsMatchExactlyNotByPrefix)
     EXPECT_EQ(opts.inputs[0], "-");
 }
 
+TEST(ParseArgs, JobsFlag)
+{
+    EXPECT_EQ(parseArgs({"x"}).jobs, 1u);
+    EXPECT_EQ(parseArgs({"--jobs", "4", "x"}).jobs, 4u);
+    EXPECT_EQ(parseArgs({"--jobs=2", "x"}).jobs, 2u);
+    // Invalid values are usage errors, consistent with the strict flag
+    // parsing: zero, non-numeric, trailing junk, empty, missing.
+    EXPECT_THROW(parseArgs({"--jobs", "0"}), FatalError);
+    EXPECT_THROW(parseArgs({"--jobs=0"}), FatalError);
+    EXPECT_THROW(parseArgs({"--jobs", "abc"}), FatalError);
+    EXPECT_THROW(parseArgs({"--jobs", "4x"}), FatalError);
+    EXPECT_THROW(parseArgs({"--jobs", "-2"}), FatalError);
+    EXPECT_THROW(parseArgs({"--jobs="}), FatalError);
+    EXPECT_THROW(parseArgs({"--jobs"}), FatalError);
+    EXPECT_THROW(parseArgs({"--jobsx", "4"}), FatalError);
+}
+
+TEST(Cli, BadJobsIsUsageError)
+{
+    std::string err;
+    EXPECT_EQ(run({"--jobs", "0", "fig9_message_passing"}, nullptr,
+                  &err),
+              2);
+    EXPECT_NE(err.find("--jobs"), std::string::npos);
+    EXPECT_EQ(run({"--jobs=many", "fig9_message_passing"}, nullptr,
+                  &err),
+              2);
+}
+
+TEST(Cli, HelpMentionsJobs)
+{
+    std::string out;
+    EXPECT_EQ(run({"--help"}, &out), 0);
+    EXPECT_NE(out.find("--jobs"), std::string::npos);
+}
+
 TEST(ParseArgs, ObservabilityFlags)
 {
     auto opts = parseArgs({"--timing", "--trace-out", "t.json",

@@ -155,4 +155,105 @@ TEST_F(Obs, SpanOpenedWhileDisabledStaysDeadAfterEnable)
     disable();
 }
 
+TEST_F(Obs, ScopedSessionRoutesRecordingToAValueSession)
+{
+    Session session;
+    session.enable();
+    {
+        ScopedSession bind(&session);
+        ASSERT_TRUE(enabled());
+        EXPECT_EQ(current(), &session);
+        count("local");
+        Span span("local_phase");
+    }
+    session.disable();
+    // Everything landed in the value, nothing in the global session.
+    EXPECT_EQ(session.metrics.counter("local"), 1u);
+    EXPECT_EQ(session.metrics.timer("local_phase").count, 1u);
+    EXPECT_EQ(session.tracer.events().size(), 1u);
+    EXPECT_TRUE(metrics().empty());
+    EXPECT_TRUE(tracer().empty());
+    EXPECT_FALSE(enabled());
+}
+
+TEST_F(Obs, ScopedSessionRestoresThePreviousBinding)
+{
+    enable(); // global session bound
+    Session session;
+    session.enable();
+    {
+        ScopedSession bind(&session);
+        count("inner");
+    }
+    count("outer"); // back on the global session
+    disable();
+    EXPECT_EQ(session.metrics.counter("inner"), 1u);
+    EXPECT_EQ(session.metrics.counter("outer"), 0u);
+    EXPECT_EQ(metrics().counter("outer"), 1u);
+    EXPECT_EQ(metrics().counter("inner"), 0u);
+}
+
+TEST_F(Obs, NullScopedSessionKeepsAmbientBinding)
+{
+    enable();
+    {
+        ScopedSession bind(nullptr); // no-op: ambient stays
+        count("ambient");
+    }
+    disable();
+    EXPECT_EQ(metrics().counter("ambient"), 1u);
+}
+
+TEST_F(Obs, DisabledScopedSessionSuppressesRecording)
+{
+    enable();
+    Session session; // explicitly passed but not enabled
+    {
+        ScopedSession bind(&session);
+        EXPECT_FALSE(enabled());
+        count("suppressed");
+    }
+    disable();
+    // Neither the value session nor the ambient global one recorded:
+    // an explicitly passed session is the sink, period.
+    EXPECT_TRUE(session.metrics.empty());
+    EXPECT_EQ(metrics().counter("suppressed"), 0u);
+}
+
+TEST_F(Obs, SessionThreadIdTagsItsSpans)
+{
+    Session session;
+    session.threadId = 7;
+    session.enable();
+    {
+        ScopedSession bind(&session);
+        Span span("lane");
+    }
+    session.disable();
+    ASSERT_EQ(session.tracer.events().size(), 1u);
+    EXPECT_EQ(session.tracer.events()[0].tid, 7);
+}
+
+TEST_F(Obs, EnableWithOriginSharesTheParentTimeline)
+{
+    Session parent;
+    parent.enable();
+    {
+        ScopedSession bind(&parent);
+        Span span("parent_phase");
+    }
+    Session worker;
+    worker.enableWithOrigin(parent.origin());
+    {
+        ScopedSession bind(&worker);
+        Span span("worker_phase");
+    }
+    // The worker span started after the parent span did, on the same
+    // clock — merged traces line up on one timeline.
+    ASSERT_EQ(parent.tracer.events().size(), 1u);
+    ASSERT_EQ(worker.tracer.events().size(), 1u);
+    EXPECT_GE(worker.tracer.events()[0].startUs,
+              parent.tracer.events()[0].startUs);
+}
+
 } // namespace

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Tests for the batch runtime: the thread pool runs everything it is
+ * given, parallelFor covers every index exactly once and keeps its
+ * determinism contract (results by index, per-worker observability
+ * sessions merged in order, lowest-index error wins), and the
+ * registry/tracer merge primitives behave as documented.
+ */
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hh"
+#include "runtime/parallel.hh"
+#include "runtime/thread_pool.hh"
+
+namespace {
+
+using namespace mixedproxy;
+using runtime::ParallelOptions;
+using runtime::parallelFor;
+using runtime::ThreadPool;
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; i++)
+        pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, ZeroThreadsIsClampedToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, WaitRethrowsTaskException)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The error is consumed; the pool stays usable.
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, HardwareThreadsIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+class ParallelForJobs : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(ParallelForJobs, CoversEveryIndexExactlyOnce)
+{
+    const std::size_t n = 37;
+    std::vector<int> hits(n, 0);
+    ParallelOptions par;
+    par.jobs = GetParam();
+    parallelFor(n, par, [&](std::size_t i, obs::Session *) {
+        hits[i]++;
+    });
+    for (std::size_t i = 0; i < n; i++)
+        EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST_P(ParallelForJobs, MergedCountersAreJobsInvariant)
+{
+    obs::Session session;
+    session.enable();
+    ParallelOptions par;
+    par.jobs = GetParam();
+    par.session = &session;
+    parallelFor(20, par, [&](std::size_t i, obs::Session *s) {
+        ASSERT_NE(s, nullptr);
+        s->metrics.add("work.items");
+        s->metrics.add("work.weight", i);
+    });
+    session.disable();
+    EXPECT_EQ(session.metrics.counter("work.items"), 20u);
+    EXPECT_EQ(session.metrics.counter("work.weight"), 190u); // 0+..+19
+}
+
+TEST_P(ParallelForJobs, BodySessionIsBoundAsCurrent)
+{
+    obs::Session session;
+    session.enable();
+    ParallelOptions par;
+    par.jobs = GetParam();
+    par.session = &session;
+    parallelFor(8, par, [&](std::size_t, obs::Session *s) {
+        // The ambient binding and the explicit argument agree, so
+        // engine code using either records into the same place.
+        EXPECT_EQ(obs::current(), s);
+        obs::count("ambient.count");
+    });
+    session.disable();
+    EXPECT_EQ(session.metrics.counter("ambient.count"), 8u);
+}
+
+TEST_P(ParallelForJobs, LowestIndexExceptionWins)
+{
+    ParallelOptions par;
+    par.jobs = GetParam();
+    try {
+        parallelFor(16, par, [&](std::size_t i, obs::Session *) {
+            if (i == 3 || i == 11)
+                throw std::runtime_error("fail at " +
+                                         std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "fail at 3");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, ParallelForJobs,
+                         ::testing::Values(1, 2, 4, 16));
+
+TEST(ParallelFor, NotObservingPassesNullSession)
+{
+    ParallelOptions par;
+    par.jobs = 4;
+    std::atomic<int> nulls{0};
+    parallelFor(8, par, [&](std::size_t, obs::Session *s) {
+        if (s == nullptr && !obs::enabled())
+            nulls.fetch_add(1);
+    });
+    EXPECT_EQ(nulls.load(), 8);
+}
+
+TEST(ParallelFor, WorkerSpansCarryDistinctThreadIds)
+{
+    obs::Session session;
+    session.enable();
+    ParallelOptions par;
+    par.jobs = 4;
+    par.session = &session;
+    parallelFor(32, par, [&](std::size_t, obs::Session *) {
+        obs::Span span("unit");
+    });
+    session.disable();
+    ASSERT_EQ(session.tracer.events().size(), 32u);
+    std::set<int> tids;
+    for (const auto &event : session.tracer.events()) {
+        EXPECT_EQ(event.name, "unit");
+        EXPECT_GE(event.tid, 1); // workers are numbered from 1
+        tids.insert(event.tid);
+    }
+    EXPECT_LE(tids.size(), 4u);
+}
+
+TEST(ParallelFor, SerialPathRecordsOnMainLane)
+{
+    obs::Session session;
+    session.enable();
+    ParallelOptions par;
+    par.jobs = 1;
+    par.session = &session;
+    parallelFor(3, par, [&](std::size_t, obs::Session *) {
+        obs::Span span("unit");
+    });
+    session.disable();
+    ASSERT_EQ(session.tracer.events().size(), 3u);
+    for (const auto &event : session.tracer.events())
+        EXPECT_EQ(event.tid, 0);
+}
+
+TEST(ParallelFor, DisabledParentSessionRecordsNothing)
+{
+    obs::Session session; // never enabled
+    ParallelOptions par;
+    par.jobs = 4;
+    par.session = &session;
+    parallelFor(8, par, [&](std::size_t, obs::Session *s) {
+        EXPECT_EQ(s, nullptr);
+        obs::count("should.not.appear");
+    });
+    EXPECT_TRUE(session.metrics.empty());
+    EXPECT_TRUE(session.tracer.empty());
+}
+
+TEST(MetricsMerge, CountersAddGaugesOverwriteTimersCombine)
+{
+    obs::MetricsRegistry a;
+    a.add("c", 3);
+    a.set("g", 1.0);
+    a.record("t", 0.5);
+    a.record("t", 1.5);
+
+    obs::MetricsRegistry b;
+    b.add("c", 4);
+    b.add("only_b", 1);
+    b.set("g", 2.0);
+    b.record("t", 0.25);
+    b.record("other", 9.0);
+
+    a.mergeFrom(b);
+    EXPECT_EQ(a.counter("c"), 7u);
+    EXPECT_EQ(a.counter("only_b"), 1u);
+    EXPECT_DOUBLE_EQ(a.gauge("g"), 2.0);
+
+    auto t = a.timer("t");
+    EXPECT_EQ(t.count, 3u);
+    EXPECT_DOUBLE_EQ(t.total, 2.25);
+    EXPECT_DOUBLE_EQ(t.min, 0.25);
+    EXPECT_DOUBLE_EQ(t.max, 1.5);
+    auto other = a.timer("other");
+    EXPECT_EQ(other.count, 1u);
+    EXPECT_DOUBLE_EQ(other.max, 9.0);
+}
+
+TEST(MetricsMerge, MergeOrderIsPartitionIndependentForAggregates)
+{
+    // Two different partitions of the same samples merge to the same
+    // streaming aggregates — the property the jobs-invariance of
+    // --stats-json timer counts rests on.
+    obs::MetricsRegistry left1;
+    left1.record("t", 1.0);
+    left1.record("t", 4.0);
+    obs::MetricsRegistry right1;
+    right1.record("t", 2.0);
+
+    obs::MetricsRegistry left2;
+    left2.record("t", 1.0);
+    obs::MetricsRegistry right2;
+    right2.record("t", 4.0);
+    right2.record("t", 2.0);
+
+    obs::MetricsRegistry merged1;
+    merged1.mergeFrom(left1);
+    merged1.mergeFrom(right1);
+    obs::MetricsRegistry merged2;
+    merged2.mergeFrom(left2);
+    merged2.mergeFrom(right2);
+
+    auto t1 = merged1.timer("t");
+    auto t2 = merged2.timer("t");
+    EXPECT_EQ(t1.count, t2.count);
+    EXPECT_DOUBLE_EQ(t1.total, t2.total);
+    EXPECT_DOUBLE_EQ(t1.min, t2.min);
+    EXPECT_DOUBLE_EQ(t1.max, t2.max);
+    EXPECT_DOUBLE_EQ(t1.p50, t2.p50); // sorted percentile, under cap
+}
+
+TEST(MetricsMerge, SampleRetentionStaysBounded)
+{
+    obs::MetricsRegistry a;
+    obs::MetricsRegistry b;
+    for (std::size_t i = 0;
+         i < obs::MetricsRegistry::kMaxSamplesPerTimer; i++) {
+        a.record("t", 1.0);
+        b.record("t", 2.0);
+    }
+    a.mergeFrom(b);
+    auto t = a.timer("t");
+    // Every sample is counted in the streaming aggregates...
+    EXPECT_EQ(t.count, 2 * obs::MetricsRegistry::kMaxSamplesPerTimer);
+    EXPECT_DOUBLE_EQ(t.max, 2.0);
+    // ...while the retained-percentile prefix stays bounded (all 1.0
+    // here, because a's samples filled the cap first).
+    EXPECT_DOUBLE_EQ(t.p95, 1.0);
+}
+
+TEST(TracerAppend, ConcatenatesPreservingOrder)
+{
+    obs::Tracer a;
+    a.record({"first", 0.0, 1.0, 0, 0});
+    obs::Tracer b;
+    b.record({"second", 2.0, 1.0, 0, 1});
+    b.record({"third", 4.0, 1.0, 1, 1});
+    a.append(b);
+    ASSERT_EQ(a.events().size(), 3u);
+    EXPECT_EQ(a.events()[0].name, "first");
+    EXPECT_EQ(a.events()[1].name, "second");
+    EXPECT_EQ(a.events()[2].name, "third");
+    EXPECT_EQ(a.events()[2].tid, 1);
+}
+
+} // namespace

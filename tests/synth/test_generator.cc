@@ -170,6 +170,54 @@ TEST(Synthesizer, BarrierAlphabetValidatesAndRuns)
         EXPECT_NO_THROW(entry.test.validate());
 }
 
+TEST(Synthesizer, ParallelRunMatchesSerialRun)
+{
+    // The determinism contract: --jobs N reproduces the serial report
+    // exactly — same stats, same interesting tests in the same order
+    // with the same names and classifications. Only the wall-clock
+    // seconds figure may differ.
+    auto opts = smallOptions(3, true);
+    auto serial = Synthesizer(opts).run();
+    opts.jobs = 4;
+    auto parallel = Synthesizer(opts).run();
+
+    EXPECT_EQ(serial.stats.programsEnumerated,
+              parallel.stats.programsEnumerated);
+    EXPECT_EQ(serial.stats.afterPruning, parallel.stats.afterPruning);
+    EXPECT_EQ(serial.stats.uniquePrograms,
+              parallel.stats.uniquePrograms);
+    EXPECT_EQ(serial.stats.checked, parallel.stats.checked);
+    EXPECT_EQ(serial.stats.skippedTooExpensive,
+              parallel.stats.skippedTooExpensive);
+    EXPECT_EQ(serial.stats.weak, parallel.stats.weak);
+    EXPECT_EQ(serial.stats.proxySensitive,
+              parallel.stats.proxySensitive);
+    EXPECT_EQ(serial.stats.fenceMinimal, parallel.stats.fenceMinimal);
+
+    ASSERT_EQ(serial.interesting.size(), parallel.interesting.size());
+    for (std::size_t i = 0; i < serial.interesting.size(); i++) {
+        const auto &a = serial.interesting[i];
+        const auto &b = parallel.interesting[i];
+        EXPECT_EQ(a.test.name(), b.test.name()) << "entry " << i;
+        EXPECT_EQ(a.test.toString(), b.test.toString());
+        EXPECT_EQ(a.weak, b.weak);
+        EXPECT_EQ(a.proxySensitive, b.proxySensitive);
+        EXPECT_EQ(a.fenceMinimal, b.fenceMinimal);
+        EXPECT_EQ(a.ptx75Outcomes, b.ptx75Outcomes);
+        EXPECT_EQ(a.ptx60Outcomes, b.ptx60Outcomes);
+        EXPECT_EQ(a.scOutcomeCount, b.scOutcomeCount);
+    }
+}
+
+TEST(Synthesizer, ParallelRunRespectsMaxUniquePrograms)
+{
+    auto opts = smallOptions(3, true);
+    opts.maxUniquePrograms = 5;
+    opts.jobs = 4;
+    auto report = Synthesizer(opts).run();
+    EXPECT_EQ(report.stats.uniquePrograms, 5u);
+}
+
 TEST(Synthesizer, GrowthIsExponential)
 {
     // The §6.3 scaling claim, in miniature: the enumeration grows by
