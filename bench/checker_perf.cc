@@ -298,13 +298,14 @@ BM_DerivedObsEnabled(benchmark::State &state)
         rf.insert(program.initWrite(program.event(r).location), r);
     std::vector<char> live(program.size(), 1);
 
+    obs::Session session;
     if (state.range(0) != 0)
-        obs::enable();
+        session.enable();
+    obs::ScopedSession bind(session.enabled() ? &session : nullptr);
     for (auto _ : state) {
         auto derived = model::computeDerived(program, rf, live, true);
         benchmark::DoNotOptimize(derived.cause.pairCount());
     }
-    obs::disable();
 }
 BENCHMARK(BM_DerivedObsEnabled)->Arg(0)->Arg(1);
 
@@ -339,29 +340,35 @@ writeStatsJson()
                      dir.string().c_str(), ec.message().c_str());
         return;
     }
-    obs::enable();
-    model::CheckOptions opts;
-    opts.collectWitnesses = false;
-    model::Checker checker(opts);
-    for (const char *name :
-         {"fig8a_alias_fence", "fig9_message_passing", "fig2_iriw_weak",
-          "fig2_iriw_fence_sc"}) {
-        checker.check(litmus::testByName(name));
+    obs::Session session;
+    session.enable();
+    {
+        obs::ScopedSession bind(&session);
+        model::CheckOptions opts;
+        opts.collectWitnesses = false;
+        model::Checker checker(opts);
+        for (const char *name :
+             {"fig8a_alias_fence", "fig9_message_passing",
+              "fig2_iriw_weak", "fig2_iriw_fence_sc"}) {
+            checker.check(litmus::testByName(name));
+        }
+        for (std::size_t pairs = 1; pairs <= 4; pairs++)
+            checker.check(scalingTest(pairs));
+        // Record the batch-throughput headline numbers alongside the
+        // per-phase timers: wall ms for the whole built-in corpus at
+        // each worker count, the artifact the --jobs acceptance rests
+        // on.
+        for (std::size_t jobs : {1u, 2u, 4u}) {
+            obs::gauge(
+                ("batch.jobs." + std::to_string(jobs) + ".wall_ms")
+                    .c_str(),
+                batchCheckAllTests(jobs));
+        }
+        obs::gauge("batch.hardware_threads",
+                   static_cast<double>(
+                       runtime::ThreadPool::hardwareThreads()));
     }
-    for (std::size_t pairs = 1; pairs <= 4; pairs++)
-        checker.check(scalingTest(pairs));
-    // Record the batch-throughput headline numbers alongside the
-    // per-phase timers: wall ms for the whole built-in corpus at each
-    // worker count, the artifact the --jobs acceptance rests on.
-    for (std::size_t jobs : {1u, 2u, 4u}) {
-        obs::gauge(("batch.jobs." + std::to_string(jobs) + ".wall_ms")
-                       .c_str(),
-                   batchCheckAllTests(jobs));
-    }
-    obs::gauge("batch.hardware_threads",
-               static_cast<double>(
-                   runtime::ThreadPool::hardwareThreads()));
-    obs::disable();
+    session.disable();
 
     std::map<std::string, std::string> meta;
     meta["bench"] = "checker_perf";
@@ -369,7 +376,7 @@ writeStatsJson()
     const std::filesystem::path path = dir / "checker_perf.stats.json";
     std::ofstream out(path);
     if (out) {
-        out << obs::statsJson(obs::metrics(), meta);
+        out << obs::statsJson(session.metrics, meta);
         std::printf("wrote %s\n\n", path.string().c_str());
     } else {
         std::fprintf(stderr, "cannot write %s\n",

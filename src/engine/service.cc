@@ -1,0 +1,337 @@
+#include "service.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <istream>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+#include "engine/json.hh"
+#include "litmus/parser.hh"
+#include "litmus/registry.hh"
+#include "relation/error.hh"
+#include "runtime/thread_pool.hh"
+
+namespace mixedproxy::engine {
+
+namespace {
+
+json::Value
+errorResponse(const json::Value *id, const std::string &message)
+{
+    json::Value response = json::Value::makeObject();
+    if (id)
+        response.object["id"] = *id;
+    response.object["ok"] = json::Value::makeBool(false);
+    response.object["error"] = json::Value::makeString(message);
+    return response;
+}
+
+/**
+ * Writes responses strictly in request order: completions arrive in
+ * any order, the next-in-line completion drains everything ready. The
+ * worker holding the lock does the writing, so no dedicated writer
+ * thread exists and the output stream needs no other synchronization.
+ */
+class OrderedWriter
+{
+  public:
+    explicit OrderedWriter(std::ostream &out) : out(out) {}
+
+    void complete(std::uint64_t seq, std::string text)
+    {
+        std::lock_guard lock(mutex);
+        ready[seq] = std::move(text);
+        bool wrote = false;
+        for (auto it = ready.find(nextSeq); it != ready.end();
+             it = ready.find(nextSeq)) {
+            out << it->second << '\n';
+            ready.erase(it);
+            nextSeq++;
+            wrote = true;
+        }
+        if (wrote)
+            out.flush();
+    }
+
+  private:
+    std::ostream &out;
+    std::mutex mutex;
+    std::map<std::uint64_t, std::string> ready;
+    std::uint64_t nextSeq = 0;
+};
+
+/** A std::streambuf over a connected socket fd (unbuffered writes). */
+class FdStreambuf : public std::streambuf
+{
+  public:
+    explicit FdStreambuf(int fd) : fd(fd)
+    {
+        setg(inBuffer, inBuffer, inBuffer);
+    }
+
+  protected:
+    int_type underflow() override
+    {
+        ssize_t got = ::read(fd, inBuffer, sizeof inBuffer);
+        if (got <= 0)
+            return traits_type::eof();
+        setg(inBuffer, inBuffer, inBuffer + got);
+        return traits_type::to_int_type(inBuffer[0]);
+    }
+
+    int_type overflow(int_type ch) override
+    {
+        if (ch == traits_type::eof())
+            return traits_type::eof();
+        char c = traits_type::to_char_type(ch);
+        return writeAll(&c, 1) ? ch : traits_type::eof();
+    }
+
+    std::streamsize xsputn(const char *data,
+                           std::streamsize count) override
+    {
+        return writeAll(data, static_cast<std::size_t>(count))
+                   ? count
+                   : 0;
+    }
+
+  private:
+    bool writeAll(const char *data, std::size_t count)
+    {
+        while (count > 0) {
+            ssize_t put = ::write(fd, data, count);
+            if (put <= 0)
+                return false;
+            data += put;
+            count -= static_cast<std::size_t>(put);
+        }
+        return true;
+    }
+
+    int fd;
+    char inBuffer[4096];
+};
+
+int
+serveStream(Engine &engine, const ServeOptions &options,
+            std::istream &in, std::ostream &out, std::ostream &err,
+            bool *shutdownRequested)
+{
+    obs::Session *parent = options.session;
+    std::mutex mergeMutex;
+    std::atomic<bool> shutdown{false};
+
+    OrderedWriter writer(out);
+    int code = 0;
+    {
+        runtime::ThreadPool pool(std::max<std::size_t>(1, options.jobs));
+        std::uint64_t seq = 0;
+        std::string line;
+        while (!shutdown.load(std::memory_order_relaxed) &&
+               std::getline(in, line)) {
+            if (line.empty())
+                continue;
+            const std::uint64_t mySeq = seq++;
+            pool.submit([&engine, &writer, &shutdown, &mergeMutex,
+                         parent, mySeq, myLine = line] {
+                obs::Session session;
+                if (parent && parent->enabled())
+                    session.enableWithOrigin(parent->origin());
+
+                bool wantsShutdown = false;
+                std::string response;
+                {
+                    obs::ScopedSession bind(
+                        session.enabled() ? &session : nullptr);
+                    response = handleRequestLine(engine, myLine,
+                                                 &wantsShutdown);
+                }
+
+                if (session.enabled()) {
+                    session.disable();
+                    std::lock_guard lock(mergeMutex);
+                    parent->metrics.mergeFrom(session.metrics);
+                    parent->tracer.append(session.tracer);
+                }
+                if (wantsShutdown)
+                    shutdown.store(true, std::memory_order_relaxed);
+                writer.complete(mySeq, std::move(response));
+            });
+        }
+        try {
+            pool.wait();
+        } catch (const std::exception &e) {
+            err << "nvlitmus: serve: " << e.what() << "\n";
+            code = 2;
+        }
+    }
+    if (shutdownRequested)
+        *shutdownRequested = shutdown.load();
+    return code;
+}
+
+} // namespace
+
+std::string
+handleRequestLine(Engine &engine, const std::string &line,
+                  bool *shutdown)
+{
+    std::string parseError;
+    std::unique_ptr<json::Value> doc = json::parse(line, &parseError);
+    if (!doc || !doc->isObject()) {
+        return errorResponse(nullptr, "bad request: " +
+                                          (parseError.empty()
+                                               ? "not a JSON object"
+                                               : parseError))
+            .dump();
+    }
+    const json::Value *id = doc->find("id");
+
+    const std::string cmd = doc->stringOr("cmd", "");
+    if (cmd == "ping") {
+        json::Value response = json::Value::makeObject();
+        if (id)
+            response.object["id"] = *id;
+        response.object["ok"] = json::Value::makeBool(true);
+        response.object["pong"] = json::Value::makeBool(true);
+        return response.dump();
+    }
+    if (cmd == "shutdown") {
+        if (shutdown)
+            *shutdown = true;
+        json::Value response = json::Value::makeObject();
+        if (id)
+            response.object["id"] = *id;
+        response.object["ok"] = json::Value::makeBool(true);
+        response.object["shutdown"] = json::Value::makeBool(true);
+        return response.dump();
+    }
+    if (!cmd.empty())
+        return errorResponse(id, "unknown cmd '" + cmd + "'").dump();
+
+    Request request;
+    try {
+        if (const json::Value *source = doc->find("litmus")) {
+            if (!source->isString())
+                fatal("'litmus' must be a string");
+            request.test = litmus::parseTest(source->string);
+        } else if (const json::Value *name = doc->find("test")) {
+            if (!name->isString())
+                fatal("'test' must be a string");
+            if (!litmus::hasTest(name->string))
+                fatal("unknown built-in test '", name->string, "'");
+            request.test = litmus::testByName(name->string);
+        } else {
+            fatal("request needs 'litmus' (source text) or 'test' "
+                  "(built-in name)");
+        }
+
+        const std::string mode = doc->stringOr("mode", "ptx75");
+        if (mode == "ptx75") {
+            request.check.mode = model::ProxyMode::Ptx75;
+        } else if (mode == "ptx60") {
+            request.check.mode = model::ProxyMode::Ptx60;
+        } else {
+            fatal("unknown model '", mode, "'");
+        }
+
+        request.check.showWitnesses = doc->boolOr("witness", false);
+        request.check.dot = doc->boolOr("dot", false);
+        request.check.compareModels = doc->boolOr("compare", false);
+        request.check.maxExecutions = doc->uintOr(
+            "max_executions", request.check.maxExecutions);
+        request.lint.enabled = doc->boolOr("lint", false);
+        request.lint.lintOnly = doc->boolOr("lint_only", false);
+        request.sim.enabled = doc->boolOr("sim", false);
+        request.sim.iterations = static_cast<std::size_t>(doc->uintOr(
+            "sim_iterations", request.sim.iterations));
+
+        Verdict verdict = engine.submit(request);
+
+        json::Value response = json::Value::makeObject();
+        if (id)
+            response.object["id"] = *id;
+        response.object["ok"] = json::Value::makeBool(true);
+        response.object["passed"] =
+            json::Value::makeBool(verdict.passed());
+        response.object["cache_hit"] =
+            json::Value::makeBool(verdict.cacheHit);
+        response.object["report"] =
+            json::Value::makeString(renderReport(request, verdict));
+        return response.dump();
+    } catch (const FatalError &e) {
+        return errorResponse(id, e.what()).dump();
+    }
+}
+
+int
+serve(Engine &engine, const ServeOptions &options, std::istream &in,
+      std::ostream &out, std::ostream &err)
+{
+    return serveStream(engine, options, in, out, err, nullptr);
+}
+
+int
+serveSocket(Engine &engine, const ServeOptions &options,
+            std::ostream &err)
+{
+    const std::string &path = options.socketPath;
+    if (path.empty() || path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+        err << "nvlitmus: bad socket path\n";
+        return 2;
+    }
+
+    // A dead client mid-write must be a failed write, not SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listener < 0) {
+        err << "nvlitmus: socket: " << std::strerror(errno) << "\n";
+        return 2;
+    }
+    ::unlink(path.c_str());
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    std::strncpy(address.sun_path, path.c_str(),
+                 sizeof(address.sun_path) - 1);
+    if (::bind(listener, reinterpret_cast<sockaddr *>(&address),
+               sizeof address) < 0 ||
+        ::listen(listener, 8) < 0) {
+        err << "nvlitmus: bind " << path << ": "
+            << std::strerror(errno) << "\n";
+        ::close(listener);
+        return 2;
+    }
+
+    int code = 0;
+    bool shutdown = false;
+    while (!shutdown) {
+        int connection = ::accept(listener, nullptr, nullptr);
+        if (connection < 0) {
+            if (errno == EINTR)
+                continue;
+            err << "nvlitmus: accept: " << std::strerror(errno) << "\n";
+            code = 2;
+            break;
+        }
+        FdStreambuf buffer(connection);
+        std::istream in(&buffer);
+        std::ostream out(&buffer);
+        serveStream(engine, options, in, out, err, &shutdown);
+        ::close(connection);
+    }
+    ::close(listener);
+    ::unlink(path.c_str());
+    return code;
+}
+
+} // namespace mixedproxy::engine

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The nvlitmus daemon: a long-lived checking service speaking
+ * line-delimited JSON over stdin/stdout or a Unix-domain socket
+ * (docs/service.md).
+ *
+ * Each input line is one request object; each output line is the
+ * matching response object, and responses are written strictly in
+ * request order (an in-order completion window), so a scripted client
+ * can correlate by position and replay logs are reproducible. Requests
+ * dispatch onto a runtime::ThreadPool and each executes under its own
+ * obs::Session, merged into the server's parent session after
+ * completion — the daemon's --stats-json aggregates every request,
+ * including the engine.cache.{hit,miss} counters the cold-vs-warm CI
+ * job asserts on.
+ */
+
+#ifndef MIXEDPROXY_ENGINE_SERVICE_HH
+#define MIXEDPROXY_ENGINE_SERVICE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "engine/engine.hh"
+#include "obs/obs.hh"
+
+namespace mixedproxy::engine {
+
+/** Daemon knobs. */
+struct ServeOptions
+{
+    /** Worker threads executing requests. */
+    std::size_t jobs = 1;
+
+    /**
+     * Unix-domain socket path. Empty serves one session over
+     * stdin/stdout (EOF ends it); non-empty binds the socket and
+     * serves connections sequentially until a shutdown request.
+     */
+    std::string socketPath;
+
+    /**
+     * Parent observability session; each request's per-request session
+     * merges into it (null = no aggregation).
+     */
+    obs::Session *session = nullptr;
+};
+
+/**
+ * Serve the line-delimited JSON protocol from @p in to @p out until
+ * EOF or a {"cmd":"shutdown"} request. Protocol errors are per-request
+ * error responses, never process failures.
+ *
+ * @return process exit code (0 on orderly shutdown, 2 on a transport
+ *         failure reported to @p err).
+ */
+int serve(Engine &engine, const ServeOptions &options, std::istream &in,
+          std::ostream &out, std::ostream &err);
+
+/**
+ * Bind options.socketPath and serve accepted connections (each with
+ * the stream protocol above) until one sends {"cmd":"shutdown"}.
+ */
+int serveSocket(Engine &engine, const ServeOptions &options,
+                std::ostream &err);
+
+/**
+ * Process one request line into one response line (no trailing
+ * newline). Exposed for protocol unit tests; serve() calls this on
+ * pool workers.
+ */
+std::string handleRequestLine(Engine &engine, const std::string &line,
+                              bool *shutdown = nullptr);
+
+} // namespace mixedproxy::engine
+
+#endif // MIXEDPROXY_ENGINE_SERVICE_HH

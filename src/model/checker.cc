@@ -569,6 +569,50 @@ frRelation(const Program &program, const std::vector<EventId> &source_of,
 
 } // namespace
 
+void
+evaluateAssertions(const litmus::LitmusTest &test, CheckResult &result)
+{
+    obs::Span assertion_span("check.assertions");
+    for (const auto &assertion : test.assertions()) {
+        AssertionCheck check;
+        check.assertion = assertion;
+        switch (assertion.kind) {
+          case litmus::AssertKind::Require: {
+            check.passed = !result.outcomes.empty();
+            if (!check.passed)
+                check.detail = "no consistent execution";
+            for (const auto &outcome : result.outcomes) {
+                if (!assertion.condition->evalBool(outcome)) {
+                    check.passed = false;
+                    check.detail =
+                        "counterexample: " + outcome.toString();
+                    break;
+                }
+            }
+            break;
+          }
+          case litmus::AssertKind::Permit: {
+            check.passed = result.admits(assertion.condition);
+            if (!check.passed)
+                check.detail = "no allowed outcome satisfies it";
+            break;
+          }
+          case litmus::AssertKind::Forbid: {
+            check.passed = true;
+            for (const auto &outcome : result.outcomes) {
+                if (assertion.condition->evalBool(outcome)) {
+                    check.passed = false;
+                    check.detail = "observed: " + outcome.toString();
+                    break;
+                }
+            }
+            break;
+          }
+        }
+        result.assertions.push_back(std::move(check));
+    }
+}
+
 CheckResult
 Checker::check(const Program &program) const
 {
@@ -879,46 +923,7 @@ Checker::check(const Program &program) const
 
     enumerate_span.reset();
 
-    // Evaluate assertions against the outcome set.
-    obs::Span assertion_span("check.assertions");
-    for (const auto &assertion : test.assertions()) {
-        AssertionCheck check;
-        check.assertion = assertion;
-        switch (assertion.kind) {
-          case litmus::AssertKind::Require: {
-            check.passed = !result.outcomes.empty();
-            if (!check.passed)
-                check.detail = "no consistent execution";
-            for (const auto &outcome : result.outcomes) {
-                if (!assertion.condition->evalBool(outcome)) {
-                    check.passed = false;
-                    check.detail =
-                        "counterexample: " + outcome.toString();
-                    break;
-                }
-            }
-            break;
-          }
-          case litmus::AssertKind::Permit: {
-            check.passed = result.admits(assertion.condition);
-            if (!check.passed)
-                check.detail = "no allowed outcome satisfies it";
-            break;
-          }
-          case litmus::AssertKind::Forbid: {
-            check.passed = true;
-            for (const auto &outcome : result.outcomes) {
-                if (assertion.condition->evalBool(outcome)) {
-                    check.passed = false;
-                    check.detail = "observed: " + outcome.toString();
-                    break;
-                }
-            }
-            break;
-          }
-        }
-        result.assertions.push_back(std::move(check));
-    }
+    evaluateAssertions(test, result);
 
     if (obs::Session *session = obs::current()) {
         result.stats.publish(session->metrics);

@@ -208,6 +208,18 @@ DerivedRelations computeDerived(const Program &program,
                                 bool staticFastPath = true);
 
 /**
+ * Evaluate @p test's assertions against @p result's outcome set,
+ * appending one AssertionCheck per assertion (the checker's own final
+ * step, exposed standalone). The engine calls this to re-evaluate a
+ * request's assertions against a cache-served outcome set — assertions
+ * are deliberately not part of the verdict-cache key, so two tests
+ * that differ only in their assertions share one cached enumeration
+ * (docs/service.md).
+ */
+void evaluateAssertions(const litmus::LitmusTest &test,
+                        CheckResult &result);
+
+/**
  * True when a chain of proxy fences along the base-causality path
  * @p bcause bridges @p x's proxy to @p y's proxy (§6.2.4 clause 3,
  * generalized per DESIGN.md §3). Shared between the checker's ppbc

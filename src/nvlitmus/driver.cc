@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "analysis/analyzer.hh"
+#include "engine/engine.hh"
+#include "engine/service.hh"
 #include "litmus/parser.hh"
 #include "litmus/registry.hh"
 #include "obs/obs.hh"
@@ -58,6 +60,20 @@ options:
   --jobs N         check batch inputs (--all, multiple inputs, --synth,
                    --lint-only) on N worker threads; output and
                    --stats-json are identical for any N (default 1)
+
+service mode and verdict cache (docs/service.md):
+  --serve          run as a daemon: read one JSON request per line on
+                   stdin, write one JSON response per line on stdout
+                   (in request order), until EOF or {"cmd":"shutdown"}
+  --serve-socket PATH
+                   like --serve, over a Unix-domain socket at PATH
+                   (connections served until a shutdown request)
+  --cache-dir DIR  persist verdicts to DIR (content-addressed JSON
+                   files); a later run with the same DIR answers
+                   repeated checks from disk
+  --cache-size N   in-memory verdict-cache capacity in entries
+                   (default 4096)
+  --no-cache       disable verdict memoization entirely
 
 observability (docs/observability.md):
   --timing         print a per-phase wall-time table and the metric
@@ -125,6 +141,24 @@ parseArgs(const std::vector<std::string> &args)
             opts.lintOnly = true;
         } else if (arg == "--lint") {
             opts.lint = true;
+        } else if (arg == "--serve") {
+            opts.serve = true;
+        } else if (arg == "--no-cache") {
+            opts.noCache = true;
+        } else if (value_flag("--serve-socket", &opts.serveSocketPath)) {
+            opts.serve = true;
+        } else if (value_flag("--cache-dir", &opts.cacheDir)) {
+        } else if (value_flag("--cache-size", &value)) {
+            bool digits = !value.empty() &&
+                          value.find_first_not_of("0123456789") ==
+                              std::string::npos;
+            if (!digits)
+                fatal("bad --cache-size '", value, "'");
+            try {
+                opts.cacheSize = std::stoul(value);
+            } catch (const std::exception &) {
+                fatal("bad --cache-size '", value, "'");
+            }
         } else if (value_flag("--jobs", &value)) {
             // Strict: digits only, at least 1 — "--jobs 0", "--jobs x",
             // and an empty value are usage errors (exit 2).
@@ -223,95 +257,57 @@ writeFileOrFail(const std::string &path, const std::string &contents)
     return static_cast<bool>(file);
 }
 
+engine::EngineConfig
+engineConfigOf(const DriverOptions &options)
+{
+    engine::EngineConfig config;
+    config.cacheEnabled = !options.noCache;
+    config.cacheCapacity = options.cacheSize;
+    config.cacheDir = options.cacheDir;
+    return config;
+}
+
+/** The engine request one `nvlitmus <input>` report describes. */
+engine::Request
+checkRequestOf(const litmus::LitmusTest &test,
+               const DriverOptions &options)
+{
+    engine::Request request = engine::Request::forCheck(test);
+    request.check.mode = options.mode;
+    request.check.showWitnesses = options.showWitnesses;
+    request.check.dot = options.dot;
+    request.check.compareModels = options.compareModels;
+    request.lint.enabled = options.lint;
+    request.sim.enabled = options.simulate;
+    request.sim.iterations = options.simIterations;
+    request.sim.mode = options.simMode;
+    return request;
+}
+
 } // namespace
 
 std::string
 report(const litmus::LitmusTest &test, const DriverOptions &options,
        bool *passed)
 {
-    std::ostringstream os;
-    os << "=== " << test.name() << " ===\n";
-    os << test.toString() << "\n";
-
-    model::CheckOptions copts;
-    copts.mode = options.mode;
-    copts.collectWitnesses = options.showWitnesses || options.dot;
-    auto result = model::Checker(copts).check(test);
+    // One-shot adapter: a fresh engine per call keeps the historical
+    // stateless semantics for library callers; the CLI batch paths
+    // share one engine (and thus one verdict cache) across the whole
+    // run instead (runParsed below).
+    engine::Engine eng(engineConfigOf(options));
+    engine::Request request = checkRequestOf(test, options);
+    engine::Verdict verdict = eng.submit(request);
     if (passed)
-        *passed = result.allPassed();
-    os << result.summary();
-
-    if (options.showWitnesses) {
-        for (const auto &[outcome, witness] : result.witnesses) {
-            os << "\nwitness for " << outcome.toString() << ":\n"
-               << witness.toString();
-        }
-    }
-    if (options.dot) {
-        std::size_t index = 0;
-        for (const auto &[outcome, witness] : result.witnesses) {
-            os << "\n// " << outcome.toString() << "\n"
-               << witness.toDot(test.name() + "_" +
-                                std::to_string(index++));
-        }
-    }
-
-    if (options.compareModels) {
-        model::CheckOptions other = copts;
-        other.collectWitnesses = false;
-        other.mode = options.mode == model::ProxyMode::Ptx75
-                         ? model::ProxyMode::Ptx60
-                         : model::ProxyMode::Ptx75;
-        auto other_result = model::Checker(other).check(test);
-        os << "\ncomparison with " << model::toString(other.mode)
-           << ":\n";
-        bool any = false;
-        for (const auto &outcome : result.outcomes) {
-            if (!other_result.outcomes.count(outcome)) {
-                os << "  only " << model::toString(copts.mode) << ": "
-                   << outcome.toString() << "\n";
-                any = true;
-            }
-        }
-        for (const auto &outcome : other_result.outcomes) {
-            if (!result.outcomes.count(outcome)) {
-                os << "  only " << model::toString(other.mode) << ": "
-                   << outcome.toString() << "\n";
-                any = true;
-            }
-        }
-        if (!any)
-            os << "  identical outcome sets\n";
-    }
-
-    if (options.lint)
-        os << "\n" << analysis::analyze(test).render();
-
-    if (options.simulate) {
-        microarch::SimOptions sopts;
-        sopts.iterations = options.simIterations;
-        sopts.mode = options.simMode;
-        auto sim = microarch::Simulator(sopts).run(test);
-        os << "\n" << sim.summary();
-
-        // Cross-check: flag any simulated outcome the model forbids.
-        for (const auto &[outcome, count] : sim.histogram) {
-            if (!result.outcomes.count(outcome)) {
-                os << "  WARNING: observed outcome not allowed by "
-                   << model::toString(copts.mode) << ": "
-                   << outcome.toString() << "\n";
-            }
-        }
-    }
-    return os.str();
+        *passed = verdict.passed();
+    return engine::renderReport(request, verdict);
 }
 
 namespace {
 
 /** The work of runCli once options are parsed and obs is attached. */
 int
-runParsed(const DriverOptions &opts, std::ostream &out,
-          std::ostream &err)
+runParsed(const DriverOptions &opts, engine::Engine &eng,
+          std::ostream &out, std::ostream &err)
 {
     if (opts.help) {
         out << usage();
@@ -322,12 +318,24 @@ runParsed(const DriverOptions &opts, std::ostream &out,
             out << name << "\n";
         return 0;
     }
-    if (opts.synthInstructions != 0) {
-        synth::SynthOptions sopts;
-        sopts.instructions = opts.synthInstructions;
-        sopts.classifyFenceMinimal = opts.synthInstructions <= 3;
+    if (opts.serve) {
+        engine::ServeOptions sopts;
         sopts.jobs = opts.jobs;
-        auto report = synth::Synthesizer(sopts).run();
+        sopts.socketPath = opts.serveSocketPath;
+        sopts.session = obs::current();
+        if (!sopts.socketPath.empty())
+            return engine::serveSocket(eng, sopts, err);
+        return engine::serve(eng, sopts, std::cin, out, err);
+    }
+    if (opts.synthInstructions != 0) {
+        engine::Request request =
+            engine::Request::forSynth(opts.synthInstructions);
+        request.synth.classifyFenceMinimal =
+            opts.synthInstructions <= 3;
+        request.synth.jobs = opts.jobs;
+        request.synth.outDir = opts.synthOut;
+        engine::Verdict verdict = eng.submit(request);
+        const synth::SynthReport &report = *verdict.synth;
         out << report.summary() << "\n";
         if (!opts.synthOut.empty()) {
             std::size_t written = report.writeSuite(opts.synthOut);
@@ -379,9 +387,10 @@ runParsed(const DriverOptions &opts, std::ostream &out,
         runtime::parallelFor(
             tests.size(), par, [&](std::size_t i, obs::Session *) {
                 try {
-                    auto result = analysis::analyze(tests[i]);
-                    slots[i].clean = result.clean();
-                    slots[i].text = result.render();
+                    auto verdict = eng.submit(
+                        engine::Request::forLint(tests[i]));
+                    slots[i].clean = verdict.lint->clean();
+                    slots[i].text = verdict.lint->render();
                 } catch (const FatalError &e) {
                     slots[i].error = e.what();
                 }
@@ -427,10 +436,6 @@ runParsed(const DriverOptions &opts, std::ostream &out,
         // Compact verdict table. Each test renders into its own slot on
         // a worker; folding the slots in index order makes the table
         // byte-identical for any --jobs value.
-        model::CheckOptions copts;
-        copts.mode = opts.mode;
-        copts.collectWitnesses = false;
-        model::Checker checker(copts);
         struct TableSlot
         {
             bool passed = false;
@@ -439,7 +444,11 @@ runParsed(const DriverOptions &opts, std::ostream &out,
         std::vector<TableSlot> slots(tests.size());
         runtime::parallelFor(
             tests.size(), par, [&](std::size_t i, obs::Session *) {
-                auto result = checker.check(tests[i]);
+                engine::Request request =
+                    engine::Request::forCheck(tests[i]);
+                request.check.mode = opts.mode;
+                auto verdict = eng.submit(request);
+                const model::CheckResult &result = verdict.check;
                 slots[i].passed = result.allPassed();
                 std::ostringstream os;
                 os << (slots[i].passed ? "PASS" : "FAIL") << "  "
@@ -464,8 +473,12 @@ runParsed(const DriverOptions &opts, std::ostream &out,
         runtime::parallelFor(
             tests.size(), par, [&](std::size_t i, obs::Session *) {
                 try {
+                    engine::Request request =
+                        checkRequestOf(tests[i], opts);
+                    engine::Verdict verdict = eng.submit(request);
+                    slots[i].passed = verdict.passed();
                     slots[i].text =
-                        report(tests[i], opts, &slots[i].passed);
+                        engine::renderReport(request, verdict);
                 } catch (const FatalError &e) {
                     slots[i].error = e.what();
                 }
@@ -505,10 +518,13 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
     obs::Session session;
     if (observing)
         session.enable();
+    // One engine — and thus one verdict cache — for the whole run;
+    // every batch slot and daemon request goes through it.
+    engine::Engine eng(engineConfigOf(opts));
     int code;
     {
         obs::ScopedSession bind(observing ? &session : nullptr);
-        code = runParsed(opts, out, err);
+        code = runParsed(opts, eng, out, err);
     }
 
     if (observing) {

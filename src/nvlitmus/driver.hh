@@ -8,6 +8,12 @@
  * module provides the same experience as a library + CLI: parse a
  * litmus file (or pick a built-in test), run the axiomatic checker
  * and/or the operational simulator, and render a human-readable report.
+ *
+ * Since ISSUE 6 the driver is a thin adapter over the engine facade:
+ * every code path builds an engine::Request, calls
+ * engine::Engine::submit(), and renders the Verdict — the same path
+ * the --serve daemon, benches, and tests use, with the same verdict
+ * cache in front of the checker (docs/service.md).
  */
 
 #ifndef MIXEDPROXY_NVLITMUS_DRIVER_HH
@@ -76,10 +82,29 @@ struct DriverOptions
 
     /**
      * Worker threads for batch work: the --all table, multi-input
-     * check/lint runs, and synthesis (runtime::parallelFor). Output is
-     * identical for any value (docs/parallelism.md).
+     * check/lint runs, synthesis (runtime::parallelFor), and the
+     * daemon's request pool. Output is identical for any value
+     * (docs/parallelism.md).
      */
     std::size_t jobs = 1;
+
+    /**
+     * Daemon mode (docs/service.md): serve line-delimited JSON
+     * requests over stdin/stdout (--serve) or a Unix-domain socket
+     * (--serve-socket PATH, which implies --serve).
+     */
+    bool serve = false;
+    std::string serveSocketPath;
+
+    /**
+     * Verdict-cache knobs (docs/service.md). The in-memory cache is on
+     * by default for every mode; --cache-dir adds the on-disk store
+     * that survives the process, --no-cache disables memoization
+     * entirely.
+     */
+    std::string cacheDir;
+    std::size_t cacheSize = 4096;
+    bool noCache = false;
 
     /** List built-in tests and exit. */
     bool list = false;

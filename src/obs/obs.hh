@@ -169,20 +169,45 @@ class ScopedSession
 /**
  * Attach the classic process-wide sink: reset the global session and
  * bind it on the calling thread.
+ *
+ * @deprecated Since ISSUE 6 the process-level entry point is
+ * engine::Engine (engine/engine.hh), which binds one Session per
+ * request; hold an explicit obs::Session and bind it with
+ * ScopedSession instead. globalSession() remains for code that really
+ * wants the shared instance.
  */
+[[deprecated("hold an explicit obs::Session and bind it with "
+             "obs::ScopedSession (or submit through engine::Engine)")]]
 void enable();
 
 /**
  * Stop the global session's recording and unbind it from the calling
  * thread. Its data stays readable (for export) until the next
  * enable().
+ *
+ * @deprecated See enable().
  */
+[[deprecated("disable the explicit obs::Session you enabled")]]
 void disable();
 
-/** The global session's metrics registry (readable regardless). */
+/**
+ * The global session's metrics registry (readable regardless).
+ *
+ * @deprecated Read the metrics of the session you own (or
+ * globalSession().metrics for the shared instance).
+ */
+[[deprecated("read your own obs::Session::metrics "
+             "(or globalSession().metrics)")]]
 MetricsRegistry &metrics();
 
-/** The global session's tracer (readable regardless of state). */
+/**
+ * The global session's tracer (readable regardless of state).
+ *
+ * @deprecated Read the tracer of the session you own (or
+ * globalSession().tracer for the shared instance).
+ */
+[[deprecated("read your own obs::Session::tracer "
+             "(or globalSession().tracer)")]]
 Tracer &tracer();
 
 /** The global session itself (for explicit Session threading). */

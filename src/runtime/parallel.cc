@@ -27,12 +27,20 @@ parallelFor(std::size_t n, const ParallelOptions &options,
     }
 
     std::size_t workers = std::min(options.jobs, n);
-    std::vector<obs::Session> workerSessions(workers);
-    if (observing) {
-        for (std::size_t w = 0; w < workers; w++) {
-            workerSessions[w].threadId = static_cast<int>(w) + 1;
-            workerSessions[w].enableWithOrigin(parent->origin());
-        }
+
+    // Draw runs of indices, not single indices: one fetch_add per
+    // chunk keeps the shared counter off the critical path of
+    // microsecond-scale work items (see ParallelOptions::chunk).
+    std::size_t chunk = options.chunk;
+    if (chunk == 0)
+        chunk = std::max<std::size_t>(1, n / (workers * 8));
+
+    // Worker sessions exist only while someone is listening; the
+    // non-observing batch path allocates nothing per worker.
+    std::vector<obs::Session> workerSessions(observing ? workers : 0);
+    for (std::size_t w = 0; w < workerSessions.size(); w++) {
+        workerSessions[w].threadId = static_cast<int>(w) + 1;
+        workerSessions[w].enableWithOrigin(parent->origin());
     }
 
     std::atomic<std::size_t> next{0};
@@ -44,17 +52,19 @@ parallelFor(std::size_t n, const ParallelOptions &options,
             pool.submit([&, w] {
                 obs::Session *mine =
                     observing ? &workerSessions[w] : nullptr;
-                obs::ScopedSession bind(
-                    observing ? mine : nullptr);
+                obs::ScopedSession bind(mine);
                 for (;;) {
-                    std::size_t i =
-                        next.fetch_add(1, std::memory_order_relaxed);
-                    if (i >= n)
+                    std::size_t start = next.fetch_add(
+                        chunk, std::memory_order_relaxed);
+                    if (start >= n)
                         return;
-                    try {
-                        body(i, mine);
-                    } catch (...) {
-                        errors[i] = std::current_exception();
+                    std::size_t end = std::min(start + chunk, n);
+                    for (std::size_t i = start; i < end; i++) {
+                        try {
+                            body(i, mine);
+                        } catch (...) {
+                            errors[i] = std::current_exception();
+                        }
                     }
                 }
             });

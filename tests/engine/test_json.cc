@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the engine's strict JSON reader/writer: round trips,
+ * integer preservation, escapes, and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/json.hh"
+
+namespace {
+
+using namespace mixedproxy::engine;
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(json::parse("null")->isNull());
+    EXPECT_TRUE(json::parse("true")->boolean);
+    EXPECT_FALSE(json::parse("false")->boolean);
+    EXPECT_EQ(json::parse("\"hi\"")->string, "hi");
+    EXPECT_DOUBLE_EQ(json::parse("-2.5")->number, -2.5);
+}
+
+TEST(Json, PreservesUint64Exactly)
+{
+    auto doc = json::parse("18446744073709551615");
+    ASSERT_TRUE(doc);
+    EXPECT_TRUE(doc->isInteger);
+    EXPECT_EQ(doc->integer, 18446744073709551615ull);
+    EXPECT_EQ(doc->dump(), "18446744073709551615");
+
+    // Signed / fractional / exponent forms are doubles, not integers.
+    EXPECT_FALSE(json::parse("-3")->isInteger);
+    EXPECT_FALSE(json::parse("3.0")->isInteger);
+    EXPECT_FALSE(json::parse("3e2")->isInteger);
+}
+
+TEST(Json, ObjectAndArrayRoundTrip)
+{
+    const std::string text =
+        "{\"a\":[1,2,3],\"b\":{\"c\":true},\"d\":\"x\"}";
+    auto doc = json::parse(text);
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc->dump(), text);
+    ASSERT_TRUE(doc->find("a"));
+    EXPECT_EQ(doc->find("a")->array.size(), 3u);
+    EXPECT_TRUE(doc->find("b")->find("c")->boolean);
+    EXPECT_EQ(doc->stringOr("d", ""), "x");
+    EXPECT_EQ(doc->stringOr("missing", "fb"), "fb");
+    EXPECT_TRUE(doc->boolOr("missing", true));
+    EXPECT_EQ(doc->uintOr("missing", 9u), 9u);
+}
+
+TEST(Json, StringEscapesRoundTrip)
+{
+    auto doc = json::parse("\"a\\n\\t\\\"\\\\b\\u0041\"");
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc->string, "a\n\t\"\\bA");
+    auto again = json::parse(doc->dump());
+    ASSERT_TRUE(again);
+    EXPECT_EQ(again->string, doc->string);
+}
+
+TEST(Json, ControlCharactersAreEscapedOnDump)
+{
+    json::Value value = json::Value::makeString(std::string("a\x01z"));
+    auto reparsed = json::parse(value.dump());
+    ASSERT_TRUE(reparsed);
+    EXPECT_EQ(reparsed->string, "a\x01z");
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    std::string error;
+    EXPECT_FALSE(json::parse("", &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(json::parse("{", &error));
+    EXPECT_FALSE(json::parse("{\"a\":}", &error));
+    EXPECT_FALSE(json::parse("[1,]", &error));
+    EXPECT_FALSE(json::parse("tru", &error));
+    EXPECT_FALSE(json::parse("\"unterminated", &error));
+    EXPECT_FALSE(json::parse("1 2", &error)); // trailing garbage
+    EXPECT_FALSE(json::parse("{\"a\":1,}", &error));
+}
+
+TEST(Json, FindOnNonObjectIsNull)
+{
+    EXPECT_EQ(json::parse("[1]")->find("a"), nullptr);
+    EXPECT_EQ(json::parse("3")->find("a"), nullptr);
+}
+
+} // namespace

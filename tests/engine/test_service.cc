@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the daemon protocol: request parsing, error responses,
+ * cache_hit reporting, ordered responses, shutdown, and the per-request
+ * session merge into the server's parent session.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.hh"
+#include "engine/json.hh"
+#include "engine/service.hh"
+#include "obs/obs.hh"
+
+namespace {
+
+using namespace mixedproxy;
+using namespace mixedproxy::engine;
+
+std::unique_ptr<json::Value>
+response(Engine &engine, const std::string &line,
+         bool *shutdown = nullptr)
+{
+    std::string text = handleRequestLine(engine, line, shutdown);
+    auto doc = json::parse(text);
+    EXPECT_TRUE(doc && doc->isObject()) << text;
+    return doc;
+}
+
+const std::string kMpSource = "name: wire_mp\n"
+                              "thread t0 cta 0 gpu 0:\n"
+                              "  st.global.u32 [x], 1\n"
+                              "  st.release.gpu.u32 [f], 1\n"
+                              "thread t1 cta 1 gpu 0:\n"
+                              "  ld.acquire.gpu.u32 r0, [f]\n"
+                              "  ld.global.u32 r1, [x]\n"
+                              "require: !(t1.r0 == 1) || t1.r1 == 1\n";
+
+std::string
+jsonQuote(const std::string &text)
+{
+    return json::Value::makeString(text).dump();
+}
+
+TEST(Service, PingPongAndShutdown)
+{
+    Engine engine;
+    auto pong = response(engine, "{\"cmd\":\"ping\",\"id\":7}");
+    EXPECT_TRUE(pong->boolOr("ok", false));
+    EXPECT_TRUE(pong->boolOr("pong", false));
+    EXPECT_EQ(pong->uintOr("id", 0), 7u);
+
+    bool shutdown = false;
+    auto bye = response(engine, "{\"cmd\":\"shutdown\"}", &shutdown);
+    EXPECT_TRUE(shutdown);
+    EXPECT_TRUE(bye->boolOr("ok", false));
+}
+
+TEST(Service, MalformedRequestsGetErrorResponses)
+{
+    Engine engine;
+    EXPECT_FALSE(response(engine, "not json")->boolOr("ok", true));
+    EXPECT_FALSE(response(engine, "[1,2]")->boolOr("ok", true));
+    EXPECT_FALSE(
+        response(engine, "{\"cmd\":\"frobnicate\"}")->boolOr("ok", true));
+    EXPECT_FALSE(response(engine, "{}")->boolOr("ok", true));
+
+    auto unknown =
+        response(engine, "{\"id\":3,\"test\":\"no_such_test\"}");
+    EXPECT_FALSE(unknown->boolOr("ok", true));
+    EXPECT_EQ(unknown->uintOr("id", 0), 3u);
+    EXPECT_NE(unknown->stringOr("error", "").find("no_such_test"),
+              std::string::npos);
+
+    auto badSource =
+        response(engine, "{\"litmus\":\"thread t0 oops\"}");
+    EXPECT_FALSE(badSource->boolOr("ok", true));
+}
+
+TEST(Service, BuiltInTestCheckReportsCacheHits)
+{
+    Engine engine;
+    const std::string line = "{\"test\":\"fig9_message_passing\"}";
+    auto cold = response(engine, line);
+    EXPECT_TRUE(cold->boolOr("ok", false));
+    EXPECT_TRUE(cold->boolOr("passed", false));
+    EXPECT_FALSE(cold->boolOr("cache_hit", true));
+    EXPECT_NE(cold->stringOr("report", "").find("fig9_message_passing"),
+              std::string::npos);
+
+    auto warm = response(engine, line);
+    EXPECT_TRUE(warm->boolOr("cache_hit", false));
+    EXPECT_EQ(warm->stringOr("report", ""),
+              cold->stringOr("report", ""));
+}
+
+TEST(Service, InlineLitmusSourceHitsAcrossSpellings)
+{
+    Engine engine;
+    auto cold = response(engine, "{\"litmus\":" + jsonQuote(kMpSource) + "}");
+    ASSERT_TRUE(cold->boolOr("ok", false));
+    EXPECT_FALSE(cold->boolOr("cache_hit", true));
+
+    // The same program with every identifier renamed is a cache hit
+    // (the instruction decoder requires r-prefixed register names).
+    std::string renamedSource = "name: wire_mp_renamed\n"
+                                "thread alpha cta 0 gpu 0:\n"
+                                "  st.global.u32 [data], 1\n"
+                                "  st.release.gpu.u32 [flag], 1\n"
+                                "thread beta cta 1 gpu 0:\n"
+                                "  ld.acquire.gpu.u32 r7, [flag]\n"
+                                "  ld.global.u32 r9, [data]\n"
+                                "require: !(beta.r7 == 1) || beta.r9 == 1\n";
+    auto warm =
+        response(engine, "{\"litmus\":" + jsonQuote(renamedSource) + "}");
+    ASSERT_TRUE(warm->boolOr("ok", false));
+    EXPECT_TRUE(warm->boolOr("cache_hit", false));
+    EXPECT_TRUE(warm->boolOr("passed", false));
+    // Each report speaks its request's own namespace.
+    EXPECT_NE(warm->stringOr("report", "").find("beta.r7"),
+              std::string::npos);
+}
+
+TEST(Service, ModeAndOptionKnobsAreHonored)
+{
+    Engine engine;
+    auto ptx60 = response(
+        engine, "{\"test\":\"fig9_message_passing\",\"mode\":\"ptx60\"}");
+    EXPECT_TRUE(ptx60->boolOr("ok", false));
+    EXPECT_NE(ptx60->stringOr("report", "").find("[ptx60]"),
+              std::string::npos);
+
+    auto bad = response(
+        engine, "{\"test\":\"fig9_message_passing\",\"mode\":\"ptx99\"}");
+    EXPECT_FALSE(bad->boolOr("ok", true));
+
+    auto witness = response(
+        engine,
+        "{\"test\":\"fig9_message_passing\",\"witness\":true}");
+    EXPECT_TRUE(witness->boolOr("ok", false));
+    EXPECT_FALSE(witness->boolOr("cache_hit", true));
+}
+
+TEST(Service, ServeStreamsResponsesInRequestOrder)
+{
+    Engine engine;
+    std::istringstream in("{\"cmd\":\"ping\",\"id\":0}\n"
+                          "{\"test\":\"fig9_message_passing\",\"id\":1}\n"
+                          "{\"test\":\"fig9_message_passing\",\"id\":2}\n"
+                          "{\"cmd\":\"ping\",\"id\":3}\n");
+    std::ostringstream out;
+    std::ostringstream err;
+    ServeOptions options;
+    options.jobs = 4;
+    EXPECT_EQ(serve(engine, options, in, out, err), 0);
+    EXPECT_EQ(err.str(), "");
+
+    std::vector<std::string> lines;
+    std::istringstream reader(out.str());
+    for (std::string line; std::getline(reader, line);)
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 4u);
+    for (std::size_t i = 0; i < lines.size(); i++) {
+        auto doc = json::parse(lines[i]);
+        ASSERT_TRUE(doc) << lines[i];
+        EXPECT_EQ(doc->uintOr("id", 99), i) << lines[i];
+        EXPECT_TRUE(doc->boolOr("ok", false));
+    }
+    // Identical requests coalesce: exactly one computes the verdict
+    // and the other reports the hit — but either may have run first,
+    // so only the hit *count* is deterministic.
+    auto first = json::parse(lines[1]);
+    auto second = json::parse(lines[2]);
+    EXPECT_NE(first->boolOr("cache_hit", false),
+              second->boolOr("cache_hit", true));
+}
+
+TEST(Service, ShutdownStopsTheStreamEarly)
+{
+    Engine engine;
+    std::istringstream in("{\"cmd\":\"shutdown\",\"id\":0}\n");
+    std::ostringstream out;
+    std::ostringstream err;
+    ServeOptions options;
+    EXPECT_EQ(serve(engine, options, in, out, err), 0);
+    auto doc = json::parse(out.str().substr(0, out.str().find('\n')));
+    ASSERT_TRUE(doc);
+    EXPECT_TRUE(doc->boolOr("shutdown", false));
+}
+
+TEST(Service, RequestMetricsMergeIntoTheParentSession)
+{
+    Engine engine;
+    obs::Session parent;
+    parent.enable();
+    {
+        std::istringstream in(
+            "{\"test\":\"fig9_message_passing\"}\n"
+            "{\"test\":\"fig9_message_passing\"}\n"
+            "{\"test\":\"fig9_message_passing\"}\n");
+        std::ostringstream out;
+        std::ostringstream err;
+        ServeOptions options;
+        options.jobs = 2;
+        options.session = &parent;
+        EXPECT_EQ(serve(engine, options, in, out, err), 0);
+    }
+    parent.disable();
+    EXPECT_EQ(parent.metrics.counter("engine.cache.miss"), 1u);
+    EXPECT_EQ(parent.metrics.counter("engine.cache.hit"), 2u);
+    EXPECT_GE(parent.metrics.timer("engine.request").count, 3u);
+}
+
+} // namespace

@@ -176,11 +176,11 @@ TEST(DriverObs, SessionIsDisabledAgainAfterRun)
     ASSERT_EQ(run({"--timing", "fig9_message_passing"}), 0);
     EXPECT_FALSE(obs::enabled());
     // A run without sinks must not enable instrumentation at all.
-    obs::metrics().clear();
-    obs::tracer().clear();
+    obs::globalSession().metrics.clear();
+    obs::globalSession().tracer.clear();
     ASSERT_EQ(run({"fig9_message_passing"}), 0);
-    EXPECT_TRUE(obs::metrics().empty());
-    EXPECT_TRUE(obs::tracer().empty());
+    EXPECT_TRUE(obs::globalSession().metrics.empty());
+    EXPECT_TRUE(obs::globalSession().tracer.empty());
 }
 
 } // namespace

@@ -8,6 +8,14 @@
 
 #include "obs/obs.hh"
 
+// This file is the compatibility suite for the classic global facade
+// (enable()/disable()/metrics()/tracer()), which is [[deprecated]]
+// since ISSUE 6 but must keep working for out-of-tree callers — so the
+// deprecation warnings are expected here, and only here.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 namespace {
 
 using namespace mixedproxy::obs;
