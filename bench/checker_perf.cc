@@ -17,6 +17,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "analysis/presolve/presolve.hh"
 #include "bench_common.hh"
 #include "litmus/registry.hh"
 #include "litmus/test.hh"
@@ -140,6 +141,84 @@ printBatchTable()
     rule();
     std::printf("\n");
 }
+
+/** One corpus sweep under a pre-solver policy: wall ms plus how many
+ *  of the checks were fully discharged without enumeration. */
+struct PresolveRun
+{
+    double ms = 0.0;
+    std::size_t discharged = 0;
+    std::size_t fellBack = 0;
+};
+
+PresolveRun
+presolveCorpusRun(model::PresolvePolicy policy)
+{
+    static const analysis::presolve::StaticSolver solver;
+    const auto &tests = litmus::allTests();
+    model::CheckOptions opts;
+    opts.collectWitnesses = false;
+    opts.presolve = policy;
+    if (policy != model::PresolvePolicy::Off)
+        opts.presolver = &solver;
+    model::Checker checker(opts);
+    PresolveRun run;
+    auto begin = std::chrono::steady_clock::now();
+    for (const auto &test : tests) {
+        auto result = checker.check(test);
+        if (result.staticallyDischarged &&
+            result.staticallyDischarged->discharged)
+            run.discharged++;
+        else
+            run.fellBack++;
+        benchmark::DoNotOptimize(result.outcomes.size());
+    }
+    auto end = std::chrono::steady_clock::now();
+    run.ms = std::chrono::duration<double, std::milli>(end - begin)
+                 .count();
+    return run;
+}
+
+/**
+ * The static pre-solver's headline numbers (docs/static_solver.md):
+ * discharge rate and wall-time delta over the whole built-in corpus,
+ * off vs. on. "on" is always exact (inconclusive checks fall back to
+ * enumeration), so the delta is pure enumeration avoided.
+ */
+void
+printPresolveTable()
+{
+    banner("Static pre-solver: corpus discharge rate and wall time",
+           "presolve=on discharges checks without enumeration and "
+           "falls back exactly otherwise");
+
+    std::printf("%-10s %-8s %-12s %-10s %-12s\n", "presolve", "tests",
+                "discharged", "fallback", "wall ms");
+    rule();
+    for (auto policy :
+         {model::PresolvePolicy::Off, model::PresolvePolicy::On}) {
+        auto run = presolveCorpusRun(policy);
+        std::printf("%-10s %-8zu %-12zu %-10zu %-12.1f\n",
+                    model::toString(policy).c_str(),
+                    run.discharged + run.fellBack, run.discharged,
+                    run.fellBack, run.ms);
+    }
+    rule();
+    std::printf("\n");
+}
+
+void
+BM_CheckCorpusPresolve(benchmark::State &state)
+{
+    const auto policy = state.range(0) == 0 ? model::PresolvePolicy::Off
+                                            : model::PresolvePolicy::On;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(presolveCorpusRun(policy).discharged);
+}
+BENCHMARK(BM_CheckCorpusPresolve)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_BatchCheckCorpus(benchmark::State &state)
@@ -340,6 +419,13 @@ writeStatsJson()
                      dir.string().c_str(), ec.message().c_str());
         return;
     }
+    // Measured before the session is bound so the pre-solver sweeps
+    // don't perturb the checker.* counter baseline below.
+    const PresolveRun presolve_off =
+        presolveCorpusRun(model::PresolvePolicy::Off);
+    const PresolveRun presolve_on =
+        presolveCorpusRun(model::PresolvePolicy::On);
+
     obs::Session session;
     session.enable();
     {
@@ -367,6 +453,14 @@ writeStatsJson()
         obs::gauge("batch.hardware_threads",
                    static_cast<double>(
                        runtime::ThreadPool::hardwareThreads()));
+        // Pre-solver headline (docs/static_solver.md): corpus wall
+        // time off vs. on and the discharge rate behind the delta.
+        obs::gauge("presolve.off.wall_ms", presolve_off.ms);
+        obs::gauge("presolve.on.wall_ms", presolve_on.ms);
+        obs::gauge("presolve.on.discharged",
+                   static_cast<double>(presolve_on.discharged));
+        obs::gauge("presolve.on.fallback",
+                   static_cast<double>(presolve_on.fellBack));
     }
     session.disable();
 
@@ -390,6 +484,7 @@ main(int argc, char **argv)
 {
     printTable();
     printBatchTable();
+    printPresolveTable();
     writeStatsJson();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "analysis/presolve/approx.hh"
 #include "model/checker.hh"
 #include "obs/obs.hh"
 #include "relation/error.hh"
@@ -33,69 +34,6 @@ refOf(const Event &e)
                                          : e.instr->text;
     }
     return ref;
-}
-
-/**
- * Optimistic base causality: program order, barrier rendezvous, and
- * every synchronizes-with edge that *some* reads-from assignment could
- * realize (§6.2.3 upper bound). A pair unordered even here is unordered
- * in every candidate execution.
- */
-Relation
-optimisticBaseCausality(const Program &program)
-{
-    const auto &events = program.events();
-    const std::size_t n = events.size();
-
-    // Potential morally strong reads-from: every enumerable source that
-    // would make the edge morally strong (§6.2.2).
-    Relation pot_msrf(n);
-    for (EventId r : program.reads()) {
-        for (EventId w : program.readSources(r)) {
-            if (!events[w].isInit &&
-                program.morallyStrong().contains(w, r)) {
-                pot_msrf.insert(w, r);
-            }
-        }
-    }
-
-    // Potential observation order: extended through atomic RMW chains
-    // exactly as the checker's per-candidate computation does.
-    Relation obs = pot_msrf;
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        obs.forEach([&](EventId w, EventId r) {
-            const Event &read = events[r];
-            if (!read.isAtomic())
-                return;
-            EventId w2 = read.rmwPartner;
-            pot_msrf.forEach([&](EventId src, EventId r2) {
-                if (src == w2 && !obs.contains(w, r2)) {
-                    obs.insert(w, r2);
-                    changed = true;
-                }
-            });
-        });
-    }
-
-    // Potential synchronizes-with: release pattern to acquire pattern
-    // whenever the pattern write could reach the pattern read.
-    Relation sw(n);
-    for (const auto &rel : program.releasePatterns()) {
-        const Event &first = events[rel.first];
-        for (const auto &acq : program.acquirePatterns()) {
-            const Event &last = events[acq.last];
-            if (obs.contains(rel.write, acq.read) &&
-                program.scopeIncludes(first, last.thread) &&
-                program.scopeIncludes(last, first.thread)) {
-                sw.insert(rel.first, acq.last);
-            }
-        }
-    }
-
-    return (program.po() | sw | program.barrierSync())
-        .transitiveClosure();
 }
 
 /** "fence.proxy.<kind>" spelling for a required bridge endpoint. */
@@ -242,7 +180,7 @@ analyze(const Program &program, obs::Session *session)
     result.testName = test.name();
     result.mixedProxies = program.usesMixedProxies();
 
-    Relation bcause = optimisticBaseCausality(program);
+    Relation bcause = presolve::mayBaseCausality(program);
 
     // ---- Mixed-proxy race candidates (§6.2.4) ------------------------
     // Scan overlapping cross-proxy pairs. A pair with a causality path
@@ -467,13 +405,11 @@ analyze(const Program &program, obs::Session *session)
         }
     }
 
-    // Errors first, then warnings, then notes; stable within a class.
+    // Canonical report order (diagnostic.hh): severity, stable ID,
+    // primary location, message — fully deterministic, so lint output
+    // is golden-file comparable.
     std::stable_sort(result.diagnostics.begin(),
-                     result.diagnostics.end(),
-                     [](const Diagnostic &a, const Diagnostic &b) {
-                         return static_cast<int>(a.severity) >
-                                static_cast<int>(b.severity);
-                     });
+                     result.diagnostics.end(), orderedBefore);
 
     if (obs::Session *s = obs::current()) {
         obs::MetricsRegistry &m = s->metrics;

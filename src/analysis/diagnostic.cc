@@ -1,6 +1,7 @@
 #include "diagnostic.hh"
 
 #include <sstream>
+#include <tuple>
 
 #include "relation/error.hh"
 
@@ -33,6 +34,20 @@ toString(DiagnosticKind kind)
 }
 
 std::string
+idOf(DiagnosticKind kind)
+{
+    switch (kind) {
+      case DiagnosticKind::MixedProxyRace: return "E001";
+      case DiagnosticKind::RedundantFence: return "W101";
+      case DiagnosticKind::UnmatchedFenceKind: return "W102";
+      case DiagnosticKind::VacuousFence: return "W103";
+      case DiagnosticKind::ShadowedFence: return "W104";
+      case DiagnosticKind::UnreadRegister: return "N201";
+    }
+    panic("unknown DiagnosticKind");
+}
+
+std::string
 InstrRef::toString() const
 {
     std::ostringstream os;
@@ -47,7 +62,7 @@ std::string
 Diagnostic::toString() const
 {
     std::ostringstream os;
-    os << analysis::toString(severity) << " ["
+    os << analysis::toString(severity) << " [" << idOf(kind) << " "
        << analysis::toString(kind) << "]: " << message << "\n";
     const char *intro = "at";
     for (const auto &ref : where) {
@@ -57,6 +72,22 @@ Diagnostic::toString() const
     if (!hint.empty())
         os << "    hint: " << hint << "\n";
     return os.str();
+}
+
+bool
+orderedBefore(const Diagnostic &a, const Diagnostic &b)
+{
+    auto key = [](const Diagnostic &d) {
+        const InstrRef *primary = d.where.empty() ? nullptr
+                                                  : &d.where.front();
+        return std::make_tuple(
+            // Severity descending: errors first.
+            -static_cast<int>(d.severity), idOf(d.kind),
+            primary ? primary->thread : std::string(),
+            primary ? primary->index : -1,
+            primary ? primary->sourceLine : -1, d.message, d.hint);
+    };
+    return key(a) < key(b);
 }
 
 } // namespace mixedproxy::analysis

@@ -73,6 +73,15 @@ enum class DiagnosticKind {
 std::string toString(Severity severity);
 std::string toString(DiagnosticKind kind);
 
+/**
+ * The stable diagnostic ID, e.g. "E001" for MixedProxyRace. IDs are
+ * part of the output contract (golden lint files, scripts grepping
+ * reports): they never change meaning and are never reused, even if a
+ * kind is retired. The letter mirrors the kind's fixed severity band
+ * (E = error, W = warning, N = note).
+ */
+std::string idOf(DiagnosticKind kind);
+
 /** A reference to one instruction of the analyzed test. */
 struct InstrRef
 {
@@ -94,9 +103,21 @@ struct Diagnostic
     std::string hint;           ///< fix-it suggestion ("" if none)
     std::vector<InstrRef> where; ///< involved instructions, primary first
 
-    /** Multi-line rendering: severity, message, locations, hint. */
+    /** The stable ID of this finding's kind (idOf(kind)). */
+    std::string id() const { return idOf(kind); }
+
+    /** Multi-line rendering: severity, id, message, locations, hint. */
     std::string toString() const;
 };
+
+/**
+ * The canonical report order: severity (errors first), then stable ID,
+ * then primary location (thread, instruction index, source line), then
+ * message text. Total up to true duplicates, so any two runs — and any
+ * worker interleaving — render findings identically; lint output is
+ * golden-file comparable byte for byte.
+ */
+bool orderedBefore(const Diagnostic &a, const Diagnostic &b);
 
 } // namespace mixedproxy::analysis
 

@@ -1,0 +1,137 @@
+#include "approx.hh"
+
+#include "model/checker.hh"
+
+namespace mixedproxy::analysis::presolve {
+
+using model::Event;
+using model::Program;
+using relation::EventId;
+using relation::Relation;
+
+Relation
+mayBaseCausality(const Program &program)
+{
+    const auto &events = program.events();
+    const std::size_t n = events.size();
+
+    // Potential morally strong reads-from: every enumerable source that
+    // would make the edge morally strong (§6.2.2).
+    Relation pot_msrf(n);
+    for (EventId r : program.reads()) {
+        for (EventId w : program.readSources(r)) {
+            if (!events[w].isInit &&
+                program.morallyStrong().contains(w, r)) {
+                pot_msrf.insert(w, r);
+            }
+        }
+    }
+
+    // Potential observation order: extended through atomic RMW chains
+    // exactly as the checker's per-candidate computation does.
+    Relation obs = pot_msrf;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        obs.forEach([&](EventId w, EventId r) {
+            const Event &read = events[r];
+            if (!read.isAtomic())
+                return;
+            EventId w2 = read.rmwPartner;
+            pot_msrf.forEach([&](EventId src, EventId r2) {
+                if (src == w2 && !obs.contains(w, r2)) {
+                    obs.insert(w, r2);
+                    changed = true;
+                }
+            });
+        });
+    }
+
+    // Potential synchronizes-with: release pattern to acquire pattern
+    // whenever the pattern write could reach the pattern read.
+    Relation sw(n);
+    for (const auto &rel : program.releasePatterns()) {
+        const Event &first = events[rel.first];
+        for (const auto &acq : program.acquirePatterns()) {
+            const Event &last = events[acq.last];
+            if (obs.contains(rel.write, acq.read) &&
+                program.scopeIncludes(first, last.thread) &&
+                program.scopeIncludes(last, first.thread)) {
+                sw.insert(rel.first, acq.last);
+            }
+        }
+    }
+
+    return (program.po() | sw | program.barrierSync())
+        .transitiveClosure();
+}
+
+Relation
+mustBaseCausality(const Program &program)
+{
+    return (program.po() | program.barrierSync()).transitiveClosure();
+}
+
+namespace {
+
+/**
+ * True when @p e is live in every candidate execution. The checker's
+ * liveness vector only ever kills failed-CAS writes, so everything
+ * except a CAS write is unconditional.
+ */
+bool
+alwaysLive(const Event &e)
+{
+    if (!e.isWrite() || !e.isAtomic() || !e.instr)
+        return true;
+    return e.instr->atomOp != litmus::AtomOp::Cas;
+}
+
+} // namespace
+
+Relation
+mustProxyPreserved(const Program &program)
+{
+    const auto &events = program.events();
+    Relation must = mustBaseCausality(program);
+    Relation ppbc(events.size());
+
+    for (const Event &x : events) {
+        if (!x.isMemory() || x.isInit || !alwaysLive(x))
+            continue;
+        for (const Event &y : events) {
+            if (!y.isMemory() || y.isInit || !alwaysLive(y))
+                continue;
+            if (!must.contains(x.id, y.id))
+                continue;
+            if (!program.overlaps(x, y))
+                continue;
+            const bool x_generic =
+                x.proxy.kind == litmus::ProxyKind::Generic;
+            const bool y_generic =
+                y.proxy.kind == litmus::ProxyKind::Generic;
+            bool ordered = false;
+            // (1) same address, generic proxy
+            if (x_generic && y_generic && x.address == y.address)
+                ordered = true;
+            // (2) same address, same proxy, same thread block
+            if (!ordered && x.proxy == y.proxy &&
+                x.address == y.address && x.cta == y.cta &&
+                x.gpu == y.gpu) {
+                ordered = true;
+            }
+            // (3) proxy fences along the must base-causality path;
+            // sound because bridging is monotone in the bcause argument
+            // and must ⊆ bcause of every execution.
+            if (!ordered &&
+                model::proxyFenceBridged(program, must, x, y)) {
+                ordered = true;
+            }
+            if (ordered)
+                ppbc.insert(x.id, y.id);
+        }
+    }
+    return ppbc;
+}
+
+} // namespace mixedproxy::analysis::presolve

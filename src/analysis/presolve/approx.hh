@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Static may/must approximations of the PTX causality relations
+ * (docs/static_solver.md).
+ *
+ * The checker's derived relations (model/checker.hh) are per-candidate:
+ * they depend on the reads-from assignment. These closures bracket them
+ * from both sides without enumerating any rf:
+ *
+ *  - mayBaseCausality over-approximates: it contains every base
+ *    causality edge any candidate execution could have (program order,
+ *    barrier rendezvous, and every synchronizes-with edge some rf could
+ *    realize). A pair unordered here is unordered in every execution.
+ *
+ *  - mustBaseCausality under-approximates: program order and barrier
+ *    rendezvous only — the rf-independent core present in every
+ *    candidate execution.
+ *
+ *  - mustProxyPreserved pushes the must side through §6.2.4: the
+ *    proxy-preserved base causality edges forced in every execution
+ *    (clause 1/2 statically, clause 3 via fence chains along must-
+ *    ordered paths — sound because proxyFenceBridged is monotone in
+ *    its base-causality argument). Restricted, like the checker's
+ *    ppbc, to non-init memory events whose liveness is unconditional
+ *    (everything but CAS writes).
+ *
+ * The may closure is shared with the mixed-proxy race analyzer
+ * (analysis/analyzer.cc), which built it first (PR 1).
+ */
+
+#ifndef MIXEDPROXY_ANALYSIS_PRESOLVE_APPROX_HH
+#define MIXEDPROXY_ANALYSIS_PRESOLVE_APPROX_HH
+
+#include "model/program.hh"
+#include "relation/relation.hh"
+
+namespace mixedproxy::analysis::presolve {
+
+/**
+ * Optimistic base causality (§6.2.3 upper bound): program order,
+ * barrier rendezvous, and every synchronizes-with edge that *some*
+ * reads-from assignment could realize.
+ */
+relation::Relation mayBaseCausality(const model::Program &program);
+
+/**
+ * Pessimistic base causality (§6.2.3 lower bound): the transitive
+ * closure of program order and barrier rendezvous — the edges present
+ * in every candidate execution regardless of rf.
+ */
+relation::Relation mustBaseCausality(const model::Program &program);
+
+/**
+ * Proxy-preserved base causality edges (§6.2.4) present in every
+ * candidate execution: must-ordered overlapping pairs of
+ * unconditionally live non-init memory events whose proxies clause
+ * (1), (2) or (3) reconciles along the must path.
+ */
+relation::Relation mustProxyPreserved(const model::Program &program);
+
+} // namespace mixedproxy::analysis::presolve
+
+#endif // MIXEDPROXY_ANALYSIS_PRESOLVE_APPROX_HH

@@ -303,15 +303,18 @@ VerdictCache::VerdictCache(Config config) : cfg(std::move(config)) {}
 std::string
 VerdictCache::fingerprint(const std::string &canonicalKey,
                           model::ProxyMode mode, bool staticFastPath,
-                          std::uint64_t maxExecutions)
+                          std::uint64_t maxExecutions,
+                          model::PresolvePolicy presolve)
 {
-    // "fp1" guards this layout the way the canonical key's own version
+    // "fp2" guards this layout the way the canonical key's own version
     // tag guards its serialization; any knob added to CheckOptions that
     // can change the outcome set must be appended here.
     std::ostringstream os;
-    os << "fp1|mode=" << static_cast<int>(mode)
+    os << "fp2|mode=" << static_cast<int>(mode)
        << "|fast=" << (staticFastPath ? 1 : 0)
-       << "|budget=" << maxExecutions << '|' << canonicalKey;
+       << "|budget=" << maxExecutions
+       << "|presolve=" << static_cast<int>(presolve) << '|'
+       << canonicalKey;
     return os.str();
 }
 

@@ -84,12 +84,19 @@ class VerdictCache
      * key joined with every verdict-affecting knob. Witness collection
      * is not a knob here — witness-bearing requests bypass the cache
      * (engine/engine.cc) because witnesses name concrete events of the
-     * original program and are not translatable.
+     * original program and are not translatable. The presolve policy
+     * *is* a knob (it changes what a verdict even is — a discharged
+     * check has no outcome enumeration), even though non-Off requests
+     * currently also bypass the cache for exactly that reason: keying
+     * on it means a future cached-presolve tier can never collide with
+     * today's enumerated entries.
      */
     static std::string fingerprint(const std::string &canonicalKey,
                                    model::ProxyMode mode,
                                    bool staticFastPath,
-                                   std::uint64_t maxExecutions);
+                                   std::uint64_t maxExecutions,
+                                   model::PresolvePolicy presolve =
+                                       model::PresolvePolicy::Off);
 
     /**
      * Return the verdict for @p key, computing it with @p compute on a

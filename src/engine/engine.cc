@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/presolve/presolve.hh"
 #include "engine/canonical.hh"
 #include "obs/obs.hh"
 #include "relation/error.hh"
@@ -31,6 +32,18 @@ cacheConfigOf(const EngineConfig &cfg)
     return cacheConfig;
 }
 
+/**
+ * The engine's pre-solver instance. StaticSolver is stateless and
+ * thread-safe, so one process-wide const instance serves every engine
+ * and every concurrent request.
+ */
+const analysis::presolve::StaticSolver &
+staticSolver()
+{
+    static const analysis::presolve::StaticSolver solver;
+    return solver;
+}
+
 } // namespace
 
 Engine::Engine(EngineConfig config)
@@ -48,10 +61,17 @@ Engine::checkCached(const litmus::LitmusTest &test,
     model::CheckOptions opts = block;
     opts.mode = mode;
     opts.collectWitnesses = collectWitnesses;
+    if (opts.presolve != model::PresolvePolicy::Off)
+        opts.presolver = &staticSolver();
 
     // Witness-bearing requests bypass the cache: a Witness names the
     // concrete events of this program and cannot be rename-translated.
-    if (!cfg.cacheEnabled || collectWitnesses)
+    // Presolve-enabled requests bypass it too — a statically discharged
+    // verdict carries no outcome enumeration, so there is nothing the
+    // reconstruction path could translate back (the policy is still
+    // part of the fingerprint, see engine/cache.hh).
+    if (!cfg.cacheEnabled || collectWitnesses ||
+        opts.presolve != model::PresolvePolicy::Off)
         return model::Checker(opts).check(test);
 
     CanonicalForm form;
@@ -64,7 +84,8 @@ Engine::checkCached(const litmus::LitmusTest &test,
     }
 
     const std::string key = VerdictCache::fingerprint(
-        form.key, mode, block.staticFastPath, block.maxExecutions);
+        form.key, mode, block.staticFastPath, block.maxExecutions,
+        block.presolve);
 
     CachedVerdict cached = verdictCache.lookupOrCompute(
         key,

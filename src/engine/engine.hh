@@ -17,8 +17,10 @@
  * names, with the request's own assertions re-evaluated — through the
  * same reconstruction code path a cold check uses, so a warm report is
  * byte-identical to a cold one. Witness-collecting checks bypass the
- * cache (witnesses name concrete events and are not translatable);
- * comparison checks are two cache lookups.
+ * cache (witnesses name concrete events and are not translatable), as
+ * do presolve-enabled checks (a statically discharged verdict has no
+ * outcome enumeration to store); comparison checks are two cache
+ * lookups.
  */
 
 #ifndef MIXEDPROXY_ENGINE_ENGINE_HH
@@ -81,11 +83,10 @@ class Engine
 
 /**
  * The process-wide engine (default config). This is the blessed
- * successor of the global obs facade: code that used to reach for
- * obs::enable()/obs::metrics() as "the" process-level service now
- * holds a Request with an explicit session and submits it here (or to
- * its own Engine). The instance is constructed on first use and lives
- * for the process.
+ * successor of the removed global obs facade: code that wants "the"
+ * process-level service holds a Request with an explicit session and
+ * submits it here (or to its own Engine). The instance is constructed
+ * on first use and lives for the process.
  */
 Engine &processEngine();
 

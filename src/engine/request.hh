@@ -16,8 +16,9 @@
  *
  * Each block converts implicitly to the subsystem struct it subsumes,
  * so model::Checker, synth::Synthesizer, and microarch::Simulator all
- * accept the engine blocks directly; the old per-subsystem names stay
- * available for one release as deprecated aliases below.
+ * accept the engine blocks directly. (The deprecated per-subsystem
+ * alias names were kept for one release after the engine API landed
+ * and have been removed.)
  */
 
 #ifndef MIXEDPROXY_ENGINE_REQUEST_HH
@@ -61,6 +62,16 @@ struct CheckBlock
     /** See model::CheckOptions::maxExecutions. */
     std::uint64_t maxExecutions = 100'000'000;
 
+    /**
+     * Static pre-solver policy (model::PresolvePolicy, CLI
+     * --presolve). The engine owns the solver instance and injects it
+     * when the policy is not Off; the policy is part of the cache
+     * fingerprint, and any non-Off policy bypasses the verdict cache
+     * (a discharged verdict carries no outcome set to reconstruct
+     * from).
+     */
+    model::PresolvePolicy presolve = model::PresolvePolicy::Off;
+
     /** Whether the checker must record witnesses (either renderer). */
     bool collectWitnesses() const { return showWitnesses || dot; }
 
@@ -72,6 +83,7 @@ struct CheckBlock
         opts.collectWitnesses = collectWitnesses();
         opts.staticFastPath = staticFastPath;
         opts.maxExecutions = maxExecutions;
+        opts.presolve = presolve;
         return opts;
     }
 };
@@ -114,6 +126,9 @@ struct SynthBlock
     /** Classify fence-minimality (expensive; off above 3 instrs). */
     bool classifyFenceMinimal = true;
 
+    /** See synth::SynthOptions::presolve (CLI --presolve=off). */
+    bool presolve = true;
+
     /** Worker threads for enumeration and classification. */
     std::size_t jobs = 1;
 
@@ -122,6 +137,7 @@ struct SynthBlock
         synth::SynthOptions opts;
         opts.instructions = instructions;
         opts.classifyFenceMinimal = classifyFenceMinimal;
+        opts.presolve = presolve;
         opts.jobs = jobs;
         return opts;
     }
@@ -212,16 +228,6 @@ struct Verdict
      */
     bool passed() const;
 };
-
-/*
- * Transitional names for the per-subsystem option structs the blocks
- * subsume. New code spells the blocks directly; these aliases go away
- * one release after the engine API landed.
- */
-using CheckOptions [[deprecated("use engine::CheckBlock")]] = CheckBlock;
-using LintOptions [[deprecated("use engine::LintBlock")]] = LintBlock;
-using SimOptions [[deprecated("use engine::SimBlock")]] = SimBlock;
-using SynthOptions [[deprecated("use engine::SynthBlock")]] = SynthBlock;
 
 } // namespace mixedproxy::engine
 

@@ -249,6 +249,13 @@ handleRequestLine(Engine &engine, const std::string &line,
         request.check.compareModels = doc->boolOr("compare", false);
         request.check.maxExecutions = doc->uintOr(
             "max_executions", request.check.maxExecutions);
+        const std::string presolve = doc->stringOr("presolve", "off");
+        if (auto policy = model::presolvePolicyFromString(presolve)) {
+            request.check.presolve = *policy;
+        } else {
+            fatal("unknown presolve policy '", presolve,
+                  "' (want off|on|only)");
+        }
         request.lint.enabled = doc->boolOr("lint", false);
         request.lint.lintOnly = doc->boolOr("lint_only", false);
         request.sim.enabled = doc->boolOr("sim", false);

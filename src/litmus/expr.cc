@@ -168,6 +168,18 @@ Expr::forEachRegRef(
         rhs->forEachRegRef(fn);
 }
 
+void
+Expr::forEachMemRef(
+    const std::function<void(const std::string &location)> &fn) const
+{
+    if (_kind == Kind::Mem)
+        fn(location);
+    if (lhs)
+        lhs->forEachMemRef(fn);
+    if (rhs)
+        rhs->forEachMemRef(fn);
+}
+
 std::string
 Expr::toString() const
 {

@@ -83,6 +83,14 @@ class Expr
         const std::function<void(const std::string &thread,
                                  const std::string &reg)> &fn) const;
 
+    /**
+     * Invoke @p fn with the location name for every final-memory
+     * reference ("[x]") anywhere in this expression tree.
+     */
+    void forEachMemRef(
+        const std::function<void(const std::string &location)> &fn)
+        const;
+
     /** Render with minimal parenthesization. */
     std::string toString() const;
 

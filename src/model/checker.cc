@@ -13,6 +13,32 @@ using relation::EventSet;
 using relation::Relation;
 
 std::string
+toString(PresolvePolicy policy)
+{
+    switch (policy) {
+    case PresolvePolicy::Off:
+        return "off";
+    case PresolvePolicy::On:
+        return "on";
+    case PresolvePolicy::Only:
+        return "only";
+    }
+    return "off";
+}
+
+std::optional<PresolvePolicy>
+presolvePolicyFromString(const std::string &text)
+{
+    if (text == "off")
+        return PresolvePolicy::Off;
+    if (text == "on")
+        return PresolvePolicy::On;
+    if (text == "only")
+        return PresolvePolicy::Only;
+    return std::nullopt;
+}
+
+std::string
 Witness::toString() const
 {
     std::ostringstream os;
@@ -120,6 +146,10 @@ CheckResult::summary() const
     if (budgetExceeded) {
         os << "  BUDGET EXCEEDED: enumeration stopped early; outcomes "
               "and assertion verdicts are incomplete\n";
+    }
+    if (staticallyDischarged && staticallyDischarged->discharged) {
+        os << "  statically discharged by the pre-solver "
+              "(no enumeration; outcome set not computed)\n";
     }
     for (const auto &outcome : outcomes)
         os << "  allowed: " << outcome.toString() << "\n";
@@ -567,7 +597,221 @@ frRelation(const Program &program, const std::vector<EventId> &source_of,
     return fr;
 }
 
+/**
+ * The per-candidate axiom core shared by the enumeration loop and
+ * evaluateCandidate(): Causality part (b), SC-per-Location, Atomicity
+ * and Fence-SC over one fully specified candidate execution. (No-Thin-
+ * Air, value feasibility and Causality part (a) depend only on rf and
+ * are checked once per rf assignment, before the coherence odometer.)
+ */
+bool
+candidateConsistent(const Program &program,
+                    const std::vector<EventId> &source_of,
+                    const std::vector<char> &live,
+                    const DerivedRelations &derived, const Relation &rf,
+                    const Relation &co, const Relation &fr)
+{
+    const auto &events = program.events();
+    const std::size_t n = events.size();
+
+    // ---- Axiom: Causality, part (b) -------------------------------
+    // A read must not observe a write coherence-older than a write
+    // that causally precedes the read.
+    for (EventId r : program.reads()) {
+        EventId src = source_of[r];
+        for (EventId w = 0; w < n; w++) {
+            if (w == src || !events[w].isWrite() || !live[w])
+                continue;
+            if (events[w].location != events[r].location)
+                continue;
+            if (derived.cause.contains(w, r) && co.contains(src, w))
+                return false;
+        }
+    }
+
+    // ---- Axiom: SC-per-Location -----------------------------------
+    // Within each maximal clique of morally strong overlapping
+    // operations, program order and communication order are acyclic.
+    {
+        Relation comm = rf | co | fr | program.po();
+        for (const auto &clique : program.msCliques()) {
+            EventSet live_clique =
+                clique.filter([&](EventId id) { return live[id]; });
+            if (!comm.restrict(live_clique).acyclic())
+                return false;
+        }
+    }
+
+    // ---- Axiom: Atomicity -----------------------------------------
+    // No morally strong write intervenes in coherence order between an
+    // RMW's source and its write.
+    for (EventId r : program.reads()) {
+        const Event &read = events[r];
+        if (!read.isAtomic() || !live[read.rmwPartner])
+            continue;
+        EventId w = read.rmwPartner;
+        EventId src = source_of[r];
+        for (EventId w2 = 0; w2 < n; w2++) {
+            if (w2 == src || w2 == w || !events[w2].isWrite() ||
+                !live[w2]) {
+                continue;
+            }
+            if (events[w2].location != read.location)
+                continue;
+            if (co.contains(src, w2) && co.contains(w2, w) &&
+                program.morallyStrong().contains(w2, w)) {
+                return false;
+            }
+        }
+    }
+
+    // ---- Axiom: Fence-SC -------------------------------------------
+    // Some total order of the sc fences must agree with base causality
+    // and with communication routed through program order, for every
+    // morally strong fence pair. Equivalently: the forced edges
+    // between morally strong sc-fence pairs are acyclic.
+    if (program.scFences().size() >= 2) {
+        Relation eco_ms(n);
+        auto add_ms_edges = [&](const Relation &rel) {
+            rel.forEach([&](EventId a, EventId b) {
+                if (program.morallyStrong().contains(a, b))
+                    eco_ms.insert(a, b);
+            });
+        };
+        add_ms_edges(rf);
+        add_ms_edges(co);
+        add_ms_edges(fr);
+        eco_ms = eco_ms.transitiveClosure();
+        Relation bad =
+            derived.bcause |
+            program.po().compose(eco_ms).compose(program.po());
+        Relation forced(n);
+        for (EventId f1 : program.scFences()) {
+            for (EventId f2 : program.scFences()) {
+                if (f1 != f2 &&
+                    program.morallyStrong().contains(f1, f2) &&
+                    bad.contains(f1, f2)) {
+                    forced.insert(f1, f2);
+                }
+            }
+        }
+        if (!forced.acyclic())
+            return false;
+    }
+
+    return true;
+}
+
+/** The outcome of one consistent candidate. */
+litmus::Outcome
+extractOutcome(const Program &program,
+               const std::vector<std::vector<EventId>> &orders,
+               const std::vector<std::uint64_t> &value)
+{
+    const auto &events = program.events();
+    litmus::Outcome outcome;
+    for (EventId r : program.reads()) {
+        const Event &read = events[r];
+        if (read.destReg.empty())
+            continue;
+        outcome.registers[read.threadName + "." + read.destReg] =
+            value[r];
+    }
+    for (LocationId loc = 0;
+         loc < static_cast<LocationId>(program.locationCount()); loc++) {
+        const auto &order = orders[static_cast<std::size_t>(loc)];
+        EventId final_write =
+            order.empty() ? program.initWrite(loc) : order.back();
+        outcome.memory[program.locationName(loc)] = value[final_write];
+    }
+    return outcome;
+}
+
 } // namespace
+
+std::optional<litmus::Outcome>
+evaluateCandidate(const Program &program,
+                  const CandidateExecution &candidate,
+                  bool staticFastPath)
+{
+    const auto &events = program.events();
+    const std::size_t n = events.size();
+
+    // Reject malformed source maps: every read mapped, every source
+    // drawn from the read's feasible source list.
+    std::vector<EventId> source_of(n, static_cast<EventId>(-1));
+    for (EventId r : program.reads()) {
+        auto it = candidate.sourceOf.find(r);
+        if (it == candidate.sourceOf.end())
+            return std::nullopt;
+        const auto &sources = program.readSources(r);
+        if (std::find(sources.begin(), sources.end(), it->second) ==
+            sources.end()) {
+            return std::nullopt;
+        }
+        source_of[r] = it->second;
+    }
+
+    Relation rf = rfRelation(program, source_of);
+
+    // ---- Axiom: No-Thin-Air --------------------------------------
+    if (!(rf | program.dep()).acyclic())
+        return std::nullopt;
+
+    Valuation vals = evaluate(program, rf, source_of);
+    if (!vals.feasible)
+        return std::nullopt;
+
+    DerivedRelations derived =
+        computeDerived(program, rf, vals.live, staticFastPath);
+
+    // ---- Axiom: Causality, part (a) ------------------------------
+    for (EventId r : program.reads()) {
+        if (derived.cause.contains(r, source_of[r]))
+            return std::nullopt;
+    }
+
+    // Validate and adopt the coherence orders: each must be a
+    // permutation of the location's live non-init writes. An order
+    // that inverts a causality edge between live writes violates the
+    // Coherence axiom (the enumerator only ever generates embeddings),
+    // so it is rejected the same way.
+    std::vector<std::vector<EventId>> orders(program.locationCount());
+    for (LocationId loc = 0;
+         loc < static_cast<LocationId>(program.locationCount()); loc++) {
+        std::vector<EventId> live_writes;
+        for (EventId w : program.writesAt(loc)) {
+            if (vals.live[w])
+                live_writes.push_back(w);
+        }
+        auto it = candidate.coOrders.find(loc);
+        std::vector<EventId> order = it == candidate.coOrders.end()
+                                         ? std::vector<EventId>{}
+                                         : it->second;
+        std::vector<EventId> sorted_order = order;
+        std::sort(sorted_order.begin(), sorted_order.end());
+        std::sort(live_writes.begin(), live_writes.end());
+        if (sorted_order != live_writes)
+            return std::nullopt;
+        // ---- Axiom: Coherence ------------------------------------
+        for (std::size_t i = 0; i < order.size(); i++) {
+            for (std::size_t j = i + 1; j < order.size(); j++) {
+                if (derived.cause.contains(order[j], order[i]))
+                    return std::nullopt;
+            }
+        }
+        orders[static_cast<std::size_t>(loc)] = std::move(order);
+    }
+
+    Relation co = coRelation(program, orders, vals.live);
+    Relation fr = frRelation(program, source_of, co);
+    if (!candidateConsistent(program, source_of, vals.live, derived, rf,
+                             co, fr)) {
+        return std::nullopt;
+    }
+
+    return extractOutcome(program, orders, vals.value);
+}
 
 void
 evaluateAssertions(const litmus::LitmusTest &test, CheckResult &result)
@@ -624,6 +868,64 @@ Checker::check(const Program &program) const
     CheckResult result;
     result.testName = test.name();
     result.mode = opts.mode;
+
+    // Static pre-solver fast path (docs/static_solver.md): try to
+    // discharge every assertion without enumeration. All-or-nothing —
+    // a partial discharge falls back to the full enumeration below (or
+    // stops here under PresolvePolicy::Only).
+    if (opts.presolve != PresolvePolicy::Off &&
+        opts.presolver != nullptr) {
+        StaticDischarge discharge;
+        {
+            obs::Span presolve_span("check.presolve");
+            discharge = opts.presolver->presolve(program);
+        }
+        const auto &asserts = test.assertions();
+        const bool usable =
+            discharge.assertions.size() == asserts.size();
+        if (usable && discharge.discharged) {
+            obs::count("check.presolve.discharged");
+            for (std::size_t i = 0; i < asserts.size(); i++) {
+                const auto &v = discharge.assertions[i];
+                AssertionCheck check;
+                check.assertion = asserts[i];
+                check.passed = v.passed;
+                check.detail = "static " + v.method;
+                if (!v.detail.empty())
+                    check.detail += ": " + v.detail;
+                result.assertions.push_back(std::move(check));
+            }
+            result.staticallyDischarged = std::move(discharge);
+            if (obs::Session *session = obs::current())
+                result.stats.publish(session->metrics);
+            return result;
+        }
+        obs::count("check.presolve.inconclusive");
+        if (opts.presolve == PresolvePolicy::Only) {
+            for (std::size_t i = 0; i < asserts.size(); i++) {
+                AssertionCheck check;
+                check.assertion = asserts[i];
+                if (usable && discharge.assertions[i].conclusive) {
+                    const auto &v = discharge.assertions[i];
+                    check.passed = v.passed;
+                    check.detail = "static " + v.method;
+                    if (!v.detail.empty())
+                        check.detail += ": " + v.detail;
+                } else {
+                    check.passed = false;
+                    check.detail =
+                        "statically inconclusive (presolve=only)";
+                }
+                result.assertions.push_back(std::move(check));
+            }
+            result.staticallyDischarged = std::move(discharge);
+            if (obs::Session *session = obs::current())
+                result.stats.publish(session->metrics);
+            return result;
+        }
+        // Fall through to enumeration, keeping the partial provenance.
+        result.staticallyDischarged = std::move(discharge);
+    }
 
     std::optional<obs::Span> enumerate_span;
     enumerate_span.emplace("check.enumerate");
@@ -718,129 +1020,14 @@ Checker::check(const Program &program) const
             Relation co = coRelation(program, orders, vals.live);
             Relation fr = frRelation(program, source_of, co);
 
-            bool consistent = true;
-
-            // ---- Axiom: Causality, part (b) ---------------------------
-            // A read must not observe a write coherence-older than a
-            // write that causally precedes the read.
-            for (EventId r : program.reads()) {
-                EventId src = source_of[r];
-                for (EventId w = 0; w < n && consistent; w++) {
-                    if (w == src || !events[w].isWrite() || !vals.live[w])
-                        continue;
-                    if (events[w].location != events[r].location)
-                        continue;
-                    if (derived.cause.contains(w, r) &&
-                        co.contains(src, w)) {
-                        consistent = false;
-                    }
-                }
-                if (!consistent)
-                    break;
-            }
-
-            // ---- Axiom: SC-per-Location -------------------------------
-            // Within each maximal clique of morally strong overlapping
-            // operations, program order and communication order are
-            // acyclic.
-            if (consistent) {
-                Relation comm = rf | co | fr | program.po();
-                for (const auto &clique : program.msCliques()) {
-                    EventSet live_clique = clique.filter(
-                        [&](EventId id) { return vals.live[id]; });
-                    if (!comm.restrict(live_clique).acyclic()) {
-                        consistent = false;
-                        break;
-                    }
-                }
-            }
-
-            // ---- Axiom: Atomicity -------------------------------------
-            // No morally strong write intervenes in coherence order
-            // between an RMW's source and its write.
-            if (consistent) {
-                for (EventId r : program.reads()) {
-                    const Event &read = events[r];
-                    if (!read.isAtomic() || !vals.live[read.rmwPartner])
-                        continue;
-                    EventId w = read.rmwPartner;
-                    EventId src = source_of[r];
-                    for (EventId w2 = 0; w2 < n; w2++) {
-                        if (w2 == src || w2 == w ||
-                            !events[w2].isWrite() || !vals.live[w2]) {
-                            continue;
-                        }
-                        if (events[w2].location != read.location)
-                            continue;
-                        if (co.contains(src, w2) && co.contains(w2, w) &&
-                            program.morallyStrong().contains(w2, w)) {
-                            consistent = false;
-                            break;
-                        }
-                    }
-                    if (!consistent)
-                        break;
-                }
-            }
-
-            // ---- Axiom: Fence-SC ---------------------------------------
-            // Some total order of the sc fences must agree with base
-            // causality and with communication routed through program
-            // order, for every morally strong fence pair. Equivalently:
-            // the forced edges between morally strong sc-fence pairs are
-            // acyclic.
-            if (consistent && program.scFences().size() >= 2) {
-                Relation eco_ms(n);
-                auto add_ms_edges = [&](const Relation &rel) {
-                    rel.forEach([&](EventId a, EventId b) {
-                        if (program.morallyStrong().contains(a, b))
-                            eco_ms.insert(a, b);
-                    });
-                };
-                add_ms_edges(rf);
-                add_ms_edges(co);
-                add_ms_edges(fr);
-                eco_ms = eco_ms.transitiveClosure();
-                Relation bad =
-                    derived.bcause |
-                    program.po().compose(eco_ms).compose(program.po());
-                Relation forced(n);
-                for (EventId f1 : program.scFences()) {
-                    for (EventId f2 : program.scFences()) {
-                        if (f1 != f2 &&
-                            program.morallyStrong().contains(f1, f2) &&
-                            bad.contains(f1, f2)) {
-                            forced.insert(f1, f2);
-                        }
-                    }
-                }
-                if (!forced.acyclic())
-                    consistent = false;
-            }
+            // Causality (b), SC-per-Location, Atomicity, Fence-SC.
+            const bool consistent = candidateConsistent(
+                program, source_of, vals.live, derived, rf, co, fr);
 
             if (consistent) {
                 result.stats.consistentExecutions++;
-                // Extract the outcome.
-                litmus::Outcome outcome;
-                for (EventId r : program.reads()) {
-                    const Event &read = events[r];
-                    if (read.destReg.empty())
-                        continue;
-                    outcome.registers[read.threadName + "." +
-                                      read.destReg] = vals.value[r];
-                }
-                for (LocationId loc = 0;
-                     loc <
-                     static_cast<LocationId>(program.locationCount());
-                     loc++) {
-                    const auto &order =
-                        orders[static_cast<std::size_t>(loc)];
-                    EventId final_write = order.empty()
-                                              ? program.initWrite(loc)
-                                              : order.back();
-                    outcome.memory[program.locationName(loc)] =
-                        vals.value[final_write];
-                }
+                litmus::Outcome outcome =
+                    extractOutcome(program, orders, vals.value);
 
                 auto [it, inserted] = result.outcomes.insert(outcome);
                 if (inserted && opts.collectWitnesses) {

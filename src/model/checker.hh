@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -28,6 +29,81 @@
 #include "relation/relation.hh"
 
 namespace mixedproxy::model {
+
+/**
+ * When the static pre-solver runs relative to enumeration
+ * (docs/static_solver.md).
+ *
+ *  - Off:  never consult the pre-solver (the enumerating baseline).
+ *  - On:   try to discharge every assertion statically first; fall back
+ *          to full enumeration when any assertion is inconclusive. The
+ *          verdict is always exact.
+ *  - Only: static verdicts only, no enumeration ever. Inconclusive
+ *          assertions are reported failed with a "statically
+ *          inconclusive" note; the outcome set stays empty. Used by the
+ *          differential harness and by callers that need a cheap sound
+ *          filter rather than an exact answer.
+ */
+enum class PresolvePolicy { Off, On, Only };
+
+/** "off" / "on" / "only" — the CLI and JSON-protocol spellings. */
+std::string toString(PresolvePolicy policy);
+
+/** Parse a CLI/JSON spelling; nullopt for anything unrecognized. */
+std::optional<PresolvePolicy>
+presolvePolicyFromString(const std::string &text);
+
+/**
+ * The pre-solver's verdict on one assertion, with provenance. Only
+ * trust `passed` when `conclusive` is true — the pre-solver never
+ * guesses, so an inconclusive verdict carries no information.
+ */
+struct StaticAssertionVerdict
+{
+    bool conclusive = false;
+    bool passed = false;
+
+    /**
+     * How the verdict was reached: "unsat" (no candidate execution can
+     * satisfy the condition — refuted by the value-domain fixpoint),
+     * "witness" (a concrete consistent execution was constructed and
+     * verified), or "inconclusive".
+     */
+    std::string method;
+
+    std::string detail; ///< human-readable provenance note
+};
+
+/**
+ * Structured provenance for a statically discharged check: one verdict
+ * per assertion, in assertion order. `discharged` is true only when
+ * every assertion is conclusive — the all-or-nothing contract that
+ * lets the checker skip enumeration without changing any verdict.
+ */
+struct StaticDischarge
+{
+    bool discharged = false;
+    std::vector<StaticAssertionVerdict> assertions;
+};
+
+/**
+ * The seam between the checker and the static pre-solver. The concrete
+ * implementation lives in src/analysis/presolve/ (analysis::presolve::
+ * StaticSolver); the model library defines only this interface so the
+ * dependency arrow keeps pointing model <- analysis.
+ */
+class Presolver
+{
+  public:
+    virtual ~Presolver() = default;
+
+    /**
+     * Attempt to discharge @p program's assertions without
+     * enumeration. Must be sound: a conclusive verdict must equal what
+     * full enumeration would conclude.
+     */
+    virtual StaticDischarge presolve(const Program &program) const = 0;
+};
 
 /** Options controlling a model-checking run. */
 struct CheckOptions
@@ -55,9 +131,24 @@ struct CheckOptions
     std::uint64_t maxExecutions = 100'000'000;
 
     /**
+     * Static pre-solver policy. Anything other than Off requires
+     * `presolver` to be set; with On the pre-solver runs before
+     * enumeration and a full discharge skips it entirely, with Only
+     * enumeration never runs (see PresolvePolicy).
+     */
+    PresolvePolicy presolve = PresolvePolicy::Off;
+
+    /**
+     * The pre-solver consulted when `presolve != Off` (not owned).
+     * Callers construct an analysis::presolve::StaticSolver and point
+     * here; the engine facade does this wiring automatically.
+     */
+    const Presolver *presolver = nullptr;
+
+    /**
      * Observability session to record into (bound for the duration of
-     * check()). Null uses the calling thread's ambient session — the
-     * classic obs::enable() flow keeps working unchanged.
+     * check()). Null uses the calling thread's ambient session
+     * (obs::ScopedSession binding, or none).
      */
     obs::Session *session = nullptr;
 };
@@ -151,6 +242,15 @@ struct CheckResult
     CheckStats stats;
 
     /**
+     * Set when the static pre-solver ran (CheckOptions::presolve !=
+     * Off). When `->discharged`, every assertion verdict above came
+     * from the pre-solver and enumeration was skipped — `outcomes` and
+     * `witnesses` are then empty by construction, not because the test
+     * admits nothing.
+     */
+    std::optional<StaticDischarge> staticallyDischarged;
+
+    /**
      * True when enumeration stopped at CheckOptions::maxExecutions.
      * The outcome set (and thus every assertion verdict) covers only
      * the candidates enumerated before the budget ran out — treat the
@@ -206,6 +306,39 @@ DerivedRelations computeDerived(const Program &program,
                                 const relation::Relation &rf,
                                 const std::vector<char> &live,
                                 bool staticFastPath = true);
+
+/**
+ * One fully specified candidate execution: a reads-from choice per read
+ * event plus a per-location coherence order. The pre-solver's witness
+ * path uses this to have the axiomatic core verify a single candidate
+ * in polynomial time instead of enumerating.
+ */
+struct CandidateExecution
+{
+    /** Source write per read event (every read must be mapped). */
+    std::map<EventId, EventId> sourceOf;
+
+    /**
+     * Coherence order per location over the live non-init writes (the
+     * init write is implicitly coherence-first). Locations with no
+     * live writes may be omitted.
+     */
+    std::map<LocationId, std::vector<EventId>> coOrders;
+};
+
+/**
+ * Check one candidate execution against all six PTX axioms (the same
+ * per-candidate core Checker::check() runs inside its enumeration
+ * loops) and return its outcome when consistent, std::nullopt when any
+ * axiom rejects it. Also rejects malformed candidates: a read source
+ * that is not in the read's feasible source set, value-infeasible rf,
+ * or a coherence order that is not a permutation of the location's
+ * live non-init writes. Polynomial in program size — no enumeration.
+ */
+std::optional<litmus::Outcome>
+evaluateCandidate(const Program &program,
+                  const CandidateExecution &candidate,
+                  bool staticFastPath = true);
 
 /**
  * Evaluate @p test's assertions against @p result's outcome set,

@@ -57,6 +57,21 @@ options:
   --lint-only      run only the static analyzer: no exhaustive
                    checking; exit 0 when every input is clean, 1 when
                    any warning or error fired
+  --presolve[=MODE]
+                   run the static pre-solver before enumeration
+                   (docs/static_solver.md). MODE: on (discharge
+                   statically when possible, fall back to enumeration
+                   otherwise — always exact; the default when =MODE is
+                   omitted), off (plain enumeration, the default), or
+                   only (static verdicts only, never enumerate;
+                   inconclusive assertions report failed). With
+                   --synth, --presolve=off also disables the provably
+                   output-preserving synthesis pruning oracle
+  --presolve-diff  differential soundness harness: for every input
+                   (default: every built-in test), compare the
+                   pre-solver's conclusive verdicts against full
+                   enumeration; prints a per-test table and exits 0
+                   only on zero disagreements
   --jobs N         check batch inputs (--all, multiple inputs, --synth,
                    --lint-only) on N worker threads; output and
                    --stats-json are identical for any N (default 1)
@@ -141,6 +156,20 @@ parseArgs(const std::vector<std::string> &args)
             opts.lintOnly = true;
         } else if (arg == "--lint") {
             opts.lint = true;
+        } else if (arg == "--presolve-diff") {
+            opts.presolveDiff = true;
+        } else if (arg == "--presolve") {
+            opts.presolve = model::PresolvePolicy::On;
+            opts.presolveSet = true;
+        } else if (arg.rfind("--presolve=", 0) == 0) {
+            value = arg.substr(11);
+            if (auto policy = model::presolvePolicyFromString(value)) {
+                opts.presolve = *policy;
+                opts.presolveSet = true;
+            } else {
+                fatal("unknown presolve policy '", value,
+                      "' (want off|on|only)");
+            }
         } else if (arg == "--serve") {
             opts.serve = true;
         } else if (arg == "--no-cache") {
@@ -277,11 +306,94 @@ checkRequestOf(const litmus::LitmusTest &test,
     request.check.showWitnesses = options.showWitnesses;
     request.check.dot = options.dot;
     request.check.compareModels = options.compareModels;
+    request.check.presolve = options.presolve;
     request.lint.enabled = options.lint;
     request.sim.enabled = options.simulate;
     request.sim.iterations = options.simIterations;
     request.sim.mode = options.simMode;
     return request;
+}
+
+/**
+ * The --presolve-diff harness (docs/static_solver.md): for every test,
+ * run the pre-solver alone (PresolvePolicy::Only) and full enumeration
+ * (PresolvePolicy::Off), then require that every *conclusive* static
+ * verdict equals the enumerated one. Budget-exceeded enumerations are
+ * skipped (there is no exact verdict to compare against). Exit 0 iff
+ * zero disagreements — soundness is all-or-nothing.
+ */
+int
+runPresolveDiff(const DriverOptions &opts, engine::Engine &eng,
+                const std::vector<litmus::LitmusTest> &tests,
+                std::ostream &out, std::ostream &err)
+{
+    std::size_t total_assertions = 0;
+    std::size_t conclusive = 0;
+    std::size_t disagreements = 0;
+    std::size_t skipped = 0;
+
+    for (const litmus::LitmusTest &test : tests) {
+        engine::Request static_only = engine::Request::forCheck(test);
+        static_only.check.mode = opts.mode;
+        static_only.check.presolve = model::PresolvePolicy::Only;
+
+        engine::Request enumerated = engine::Request::forCheck(test);
+        enumerated.check.mode = opts.mode;
+
+        model::CheckResult sr, er;
+        try {
+            sr = eng.submit(static_only).check;
+            er = eng.submit(enumerated).check;
+        } catch (const FatalError &e) {
+            err << "nvlitmus: " << test.name() << ": " << e.what()
+                << "\n";
+            return 2;
+        }
+
+        if (er.budgetExceeded) {
+            out << "skip  " << test.name()
+                << "  (enumeration budget exceeded)\n";
+            skipped++;
+            continue;
+        }
+
+        const std::size_t n = er.assertions.size();
+        std::size_t test_conclusive = 0;
+        bool test_agrees = true;
+        for (std::size_t i = 0; i < n; i++) {
+            total_assertions++;
+            const bool has_static =
+                sr.staticallyDischarged &&
+                i < sr.staticallyDischarged->assertions.size();
+            if (!has_static ||
+                !sr.staticallyDischarged->assertions[i].conclusive)
+                continue;
+            conclusive++;
+            test_conclusive++;
+            const auto &v = sr.staticallyDischarged->assertions[i];
+            if (v.passed != er.assertions[i].passed) {
+                disagreements++;
+                test_agrees = false;
+                out << "DISAGREE  " << test.name() << "  assertion "
+                    << i + 1 << ": static says "
+                    << (v.passed ? "pass" : "fail") << " ("
+                    << v.method
+                    << (v.detail.empty() ? "" : ": " + v.detail)
+                    << "), enumeration says "
+                    << (er.assertions[i].passed ? "pass" : "fail")
+                    << "\n";
+            }
+        }
+        out << (test_agrees ? "ok   " : "FAIL ") << " " << test.name()
+            << "  (" << test_conclusive << "/" << n
+            << " assertions discharged)\n";
+    }
+
+    out << "presolve differential: " << tests.size() << " tests ("
+        << skipped << " skipped), " << conclusive << "/"
+        << total_assertions << " assertions conclusive, "
+        << disagreements << " disagreements\n";
+    return disagreements == 0 ? 0 : 1;
 }
 
 } // namespace
@@ -332,6 +444,12 @@ runParsed(const DriverOptions &opts, engine::Engine &eng,
             engine::Request::forSynth(opts.synthInstructions);
         request.synth.classifyFenceMinimal =
             opts.synthInstructions <= 3;
+        // The pruning oracle is output-preserving, so it defaults on;
+        // only an explicit --presolve=off turns it off (to benchmark
+        // the unpruned baseline).
+        request.synth.presolve =
+            !opts.presolveSet ||
+            opts.presolve != model::PresolvePolicy::Off;
         request.synth.jobs = opts.jobs;
         request.synth.outDir = opts.synthOut;
         engine::Verdict verdict = eng.submit(request);
@@ -356,7 +474,9 @@ runParsed(const DriverOptions &opts, engine::Engine &eng,
     }
 
     std::vector<litmus::LitmusTest> tests;
-    if (opts.all) {
+    if (opts.all || (opts.presolveDiff && opts.inputs.empty())) {
+        // --presolve-diff with no inputs sweeps the whole built-in
+        // corpus — the harness's corpus-soundness default.
         tests = litmus::allTests();
     } else {
         if (opts.inputs.empty()) {
@@ -372,6 +492,9 @@ runParsed(const DriverOptions &opts, engine::Engine &eng,
             }
         }
     }
+
+    if (opts.presolveDiff)
+        return runPresolveDiff(opts, eng, tests, out, err);
 
     runtime::ParallelOptions par;
     par.jobs = opts.jobs;
@@ -447,6 +570,7 @@ runParsed(const DriverOptions &opts, engine::Engine &eng,
                 engine::Request request =
                     engine::Request::forCheck(tests[i]);
                 request.check.mode = opts.mode;
+                request.check.presolve = opts.presolve;
                 auto verdict = eng.submit(request);
                 const model::CheckResult &result = verdict.check;
                 slots[i].passed = result.allPassed();

@@ -40,6 +40,24 @@ struct DriverOptions
 
     model::ProxyMode mode = model::ProxyMode::Ptx75;
 
+    /**
+     * Static pre-solver policy for checks (--presolve[=MODE],
+     * docs/static_solver.md). `presolveSet` records whether the flag
+     * appeared at all: synthesis pruning defaults on and is only
+     * disabled by an explicit --presolve=off, while checking defaults
+     * to plain enumeration unless the flag turns the pre-solver on.
+     */
+    model::PresolvePolicy presolve = model::PresolvePolicy::Off;
+    bool presolveSet = false;
+
+    /**
+     * Differential soundness harness (--presolve-diff): compare the
+     * pre-solver's conclusive verdicts against full enumeration over
+     * every input (default: all built-ins); exit 0 only on zero
+     * disagreements.
+     */
+    bool presolveDiff = false;
+
     /** Print one witness execution per outcome. */
     bool showWitnesses = false;
 

@@ -15,35 +15,6 @@ globalSession()
 
 } // namespace detail
 
-void
-enable()
-{
-    Session &s = detail::globalSession();
-    s.enable();
-    detail::t_current = &s;
-}
-
-void
-disable()
-{
-    Session &s = detail::globalSession();
-    s.disable();
-    if (detail::t_current == &s)
-        detail::t_current = nullptr;
-}
-
-MetricsRegistry &
-metrics()
-{
-    return detail::globalSession().metrics;
-}
-
-Tracer &
-tracer()
-{
-    return detail::globalSession().tracer;
-}
-
 Session &
 globalSession()
 {

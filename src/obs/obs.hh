@@ -19,9 +19,9 @@
  *
  *  - obs::ScopedSession binds a session on the calling thread for a
  *    scope (the library entry points bind their options' session);
- *  - the classic process-wide flow still works through thin wrappers:
- *    obs::enable() binds a global session on the calling thread,
- *    obs::metrics()/obs::tracer() read it.
+ *  - obs::globalSession() offers one shared instance for code that
+ *    wants a process-wide session; bind it with ScopedSession like
+ *    any other.
  *
  * Each thread records only into its own bound session, so recording is
  * data-race-free without any locking; merging sessions is the caller's
@@ -44,8 +44,8 @@ namespace mixedproxy::obs {
  * clock origin trace timestamps are relative to, and the recording
  * flag. Sessions are plain values; create as many as you need. A
  * session records only while enabled() *and* bound as the calling
- * thread's current session (ScopedSession, or the enable() wrapper for
- * the global one). Never bind one session on two threads at once.
+ * thread's current session (ScopedSession). Never bind one session on
+ * two threads at once.
  */
 class Session
 {
@@ -112,7 +112,7 @@ namespace detail {
  */
 extern thread_local Session *t_current;
 
-/** The process-global session behind the classic enable() wrappers. */
+/** Storage for the process-global session (public globalSession()). */
 Session &globalSession();
 
 } // namespace detail
@@ -165,50 +165,6 @@ class ScopedSession
     Session *_previous;
     bool _bound;
 };
-
-/**
- * Attach the classic process-wide sink: reset the global session and
- * bind it on the calling thread.
- *
- * @deprecated Since ISSUE 6 the process-level entry point is
- * engine::Engine (engine/engine.hh), which binds one Session per
- * request; hold an explicit obs::Session and bind it with
- * ScopedSession instead. globalSession() remains for code that really
- * wants the shared instance.
- */
-[[deprecated("hold an explicit obs::Session and bind it with "
-             "obs::ScopedSession (or submit through engine::Engine)")]]
-void enable();
-
-/**
- * Stop the global session's recording and unbind it from the calling
- * thread. Its data stays readable (for export) until the next
- * enable().
- *
- * @deprecated See enable().
- */
-[[deprecated("disable the explicit obs::Session you enabled")]]
-void disable();
-
-/**
- * The global session's metrics registry (readable regardless).
- *
- * @deprecated Read the metrics of the session you own (or
- * globalSession().metrics for the shared instance).
- */
-[[deprecated("read your own obs::Session::metrics "
-             "(or globalSession().metrics)")]]
-MetricsRegistry &metrics();
-
-/**
- * The global session's tracer (readable regardless of state).
- *
- * @deprecated Read the tracer of the session you own (or
- * globalSession().tracer for the shared instance).
- */
-[[deprecated("read your own obs::Session::tracer "
-             "(or globalSession().tracer)")]]
-Tracer &tracer();
 
 /** The global session itself (for explicit Session threading). */
 Session &globalSession();

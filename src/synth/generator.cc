@@ -302,6 +302,9 @@ SynthStats::publish(obs::MetricsRegistry &registry) const
     registry.add("synth.weak", weak);
     registry.add("synth.proxy_sensitive", proxySensitive);
     registry.add("synth.fence_minimal", fenceMinimal);
+    registry.add("synth.presolve.pruned_ptx60", presolvePrunedPtx60);
+    registry.add("synth.presolve.pruned_fence_checks",
+                 presolvePrunedFenceChecks);
 }
 
 std::string
@@ -360,6 +363,8 @@ struct Classified
     bool valid = false;        ///< materialize succeeded
     bool checked75 = false;    ///< PTX 7.5 check finished in budget
     bool tooExpensive = false; ///< some check exceeded its budget
+    std::uint64_t prunedPtx60 = 0;       ///< oracle-skipped 6.0 checks
+    std::uint64_t prunedFenceChecks = 0; ///< oracle-skipped rechecks
     SynthesizedTest entry;
 };
 
@@ -517,6 +522,20 @@ Synthesizer::run() const
                 c.entry.ptx75Outcomes = r75.outcomes.size();
                 c.checked75 = true;
 
+                // The static pruning oracle: a program all of whose
+                // accesses go through one proxy is interpreted
+                // identically by both models and by the proxy rules —
+                // the same fact the checker's single-proxy fast path
+                // rests on (docs/static_solver.md "Synthesis
+                // pruning"), so two whole classes of Stage C checks
+                // are provably redundant for it.
+                bool single_proxy = false;
+                if (opts.presolve) {
+                    single_proxy =
+                        !model::Program(test, model::ProxyMode::Ptx75)
+                             .usesMixedProxies();
+                }
+
                 if (opts.classifyAgainstSc) {
                     auto sc = scOutcomes(test);
                     c.entry.scOutcomeCount = sc.size();
@@ -528,14 +547,23 @@ Synthesizer::run() const
                     }
                 }
                 if (opts.classifyAgainstPtx60) {
-                    auto r60 = checker60.check(test);
-                    if (r60.budgetExceeded) {
-                        c.tooExpensive = true;
-                        return;
+                    if (single_proxy) {
+                        // Both models admit exactly r75's outcomes
+                        // (and would enumerate the same candidates,
+                        // so the budget verdict matches too).
+                        c.entry.ptx60Outcomes = r75.outcomes.size();
+                        c.entry.proxySensitive = false;
+                        c.prunedPtx60++;
+                    } else {
+                        auto r60 = checker60.check(test);
+                        if (r60.budgetExceeded) {
+                            c.tooExpensive = true;
+                            return;
+                        }
+                        c.entry.ptx60Outcomes = r60.outcomes.size();
+                        c.entry.proxySensitive =
+                            r60.outcomes != r75.outcomes;
                     }
-                    c.entry.ptx60Outcomes = r60.outcomes.size();
-                    c.entry.proxySensitive =
-                        r60.outcomes != r75.outcomes;
                 }
                 if (opts.classifyFenceMinimal) {
                     bool has_fence = false;
@@ -550,6 +578,20 @@ Synthesizer::run() const
                             if (!instrs[j].isFence())
                                 continue;
                             has_fence = true;
+                            if (single_proxy &&
+                                instrs[j].opcode ==
+                                    litmus::Opcode::FenceProxy) {
+                                // A proxy fence in a single-proxy
+                                // program anchors no release/acquire
+                                // pattern and bridges no cross-proxy
+                                // pair: removing it provably leaves
+                                // the outcome set unchanged, which is
+                                // exactly the recheck's break
+                                // condition.
+                                c.prunedFenceChecks++;
+                                all_load_bearing = false;
+                                break;
+                            }
                             auto reduced =
                                 withoutInstruction(test, t, j);
                             auto rr = checker75.check(reduced);
@@ -577,6 +619,8 @@ Synthesizer::run() const
             continue;
         if (c.checked75)
             report.stats.checked++;
+        report.stats.presolvePrunedPtx60 += c.prunedPtx60;
+        report.stats.presolvePrunedFenceChecks += c.prunedFenceChecks;
         if (c.tooExpensive) {
             report.stats.skippedTooExpensive++;
             continue;

@@ -75,6 +75,19 @@ struct SynthOptions
     /** Classify fence-minimality by re-checking with fences removed. */
     bool classifyFenceMinimal = true;
 
+    /**
+     * Static pruning oracle (docs/static_solver.md): skip model checks
+     * the pre-solver's single-proxy analysis proves redundant — the
+     * PTX 6.0 recheck of a single-proxy program (both models interpret
+     * it identically) and the fence-minimality recheck of a proxy
+     * fence inside a single-proxy program (its removal provably
+     * preserves the outcome set). Output-preserving by construction:
+     * the report is byte-identical with the oracle off, only slower
+     * (tests/synth assert this). The skip counts surface as
+     * synth.presolve.* metrics.
+     */
+    bool presolve = true;
+
     /** Per-test enumeration guard (skip blow-ups). */
     std::uint64_t maxExecutionsPerTest = 2'000'000;
 
@@ -126,6 +139,17 @@ struct SynthStats
     std::uint64_t weak = 0;
     std::uint64_t proxySensitive = 0;
     std::uint64_t fenceMinimal = 0;
+
+    /**
+     * Checks skipped by the static pruning oracle
+     * (SynthOptions::presolve): PTX 6.0 classification checks and
+     * fence-minimality rechecks, respectively. Published as metrics
+     * only — summary() omits them so its text stays byte-identical
+     * whether or not the oracle ran.
+     */
+    std::uint64_t presolvePrunedPtx60 = 0;
+    std::uint64_t presolvePrunedFenceChecks = 0;
+
     double seconds = 0.0;
 
     /** Add every field to @p registry under the "synth." prefix. */

@@ -98,8 +98,17 @@ TEST(Fingerprint, SeparatesEveryKnob)
     EXPECT_NE(base, VerdictCache::fingerprint(
                         "ck1|other", model::ProxyMode::Ptx75, true,
                         1000));
+    EXPECT_NE(base, VerdictCache::fingerprint(
+                        key, model::ProxyMode::Ptx75, true, 1000,
+                        model::PresolvePolicy::On));
+    EXPECT_NE(base, VerdictCache::fingerprint(
+                        key, model::ProxyMode::Ptx75, true, 1000,
+                        model::PresolvePolicy::Only));
     EXPECT_EQ(base, VerdictCache::fingerprint(
                         key, model::ProxyMode::Ptx75, true, 1000));
+    EXPECT_EQ(base, VerdictCache::fingerprint(
+                        key, model::ProxyMode::Ptx75, true, 1000,
+                        model::PresolvePolicy::Off));
 }
 
 TEST(VerdictCache, MissComputesThenHits)

@@ -1,76 +1,60 @@
 /**
  * @file
- * Tests for the observability facade: enable/disable lifecycle, the
- * disabled fast path (no recording at all), and RAII span nesting.
+ * Tests for the observability core: the Session value type, the
+ * ScopedSession thread-local binding, the disabled fast path (no
+ * recording at all), and RAII span nesting. The legacy global facade
+ * (enable()/disable()/metrics()/tracer()) was removed on schedule
+ * after its one deprecated release; obs::globalSession() is the only
+ * process-wide remnant and is covered here too.
  */
 
 #include <gtest/gtest.h>
 
 #include "obs/obs.hh"
 
-// This file is the compatibility suite for the classic global facade
-// (enable()/disable()/metrics()/tracer()), which is [[deprecated]]
-// since ISSUE 6 but must keep working for out-of-tree callers — so the
-// deprecation warnings are expected here, and only here.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
 namespace {
 
 using namespace mixedproxy::obs;
 
-/** Every test leaves the global session disabled and clean. */
-class Obs : public ::testing::Test
-{
-  protected:
-    void SetUp() override
-    {
-        disable();
-        metrics().clear();
-        tracer().clear();
-    }
-
-    void TearDown() override
-    {
-        disable();
-        metrics().clear();
-        tracer().clear();
-    }
-};
-
-TEST_F(Obs, DisabledByDefaultRecordsNothing)
+TEST(Obs, NothingBoundByDefaultRecordsNothing)
 {
     ASSERT_FALSE(enabled());
+    ASSERT_EQ(current(), nullptr);
     {
         Span span("phase");
         count("counter", 5);
         gauge("gauge", 1.0);
     }
-    EXPECT_TRUE(metrics().empty());
-    EXPECT_TRUE(tracer().empty());
+    // Nothing listened, so there is nowhere the data could have gone;
+    // the assertions above are really about not crashing and the
+    // binding staying null.
+    EXPECT_FALSE(enabled());
 }
 
-TEST_F(Obs, EnabledSpanRecordsEventAndTimerSample)
+TEST(Obs, EnabledSpanRecordsEventAndTimerSample)
 {
-    enable();
+    Session session;
+    session.enable();
     {
+        ScopedSession bind(&session);
         Span span("phase");
     }
-    disable();
-    ASSERT_EQ(tracer().events().size(), 1u);
-    const TraceEvent &e = tracer().events()[0];
+    session.disable();
+    ASSERT_EQ(session.tracer.events().size(), 1u);
+    const TraceEvent &e = session.tracer.events()[0];
     EXPECT_EQ(e.name, "phase");
     EXPECT_EQ(e.depth, 0);
     EXPECT_GE(e.durationUs, 0.0);
     EXPECT_GE(e.startUs, 0.0);
-    EXPECT_EQ(metrics().timer("phase").count, 1u);
+    EXPECT_EQ(session.metrics.timer("phase").count, 1u);
 }
 
-TEST_F(Obs, SpansNestAndRecordDepths)
+TEST(Obs, SpansNestAndRecordDepths)
 {
-    enable();
+    Session session;
+    session.enable();
     {
+        ScopedSession bind(&session);
         Span outer("outer");
         {
             Span inner("inner");
@@ -79,91 +63,98 @@ TEST_F(Obs, SpansNestAndRecordDepths)
             Span inner2("inner");
         }
     }
-    disable();
+    session.disable();
     // Completion order: inner, inner, outer.
-    ASSERT_EQ(tracer().events().size(), 3u);
-    EXPECT_EQ(tracer().events()[0].name, "inner");
-    EXPECT_EQ(tracer().events()[0].depth, 1);
-    EXPECT_EQ(tracer().events()[1].name, "inner");
-    EXPECT_EQ(tracer().events()[1].depth, 1);
-    EXPECT_EQ(tracer().events()[2].name, "outer");
-    EXPECT_EQ(tracer().events()[2].depth, 0);
+    ASSERT_EQ(session.tracer.events().size(), 3u);
+    EXPECT_EQ(session.tracer.events()[0].name, "inner");
+    EXPECT_EQ(session.tracer.events()[0].depth, 1);
+    EXPECT_EQ(session.tracer.events()[1].name, "inner");
+    EXPECT_EQ(session.tracer.events()[1].depth, 1);
+    EXPECT_EQ(session.tracer.events()[2].name, "outer");
+    EXPECT_EQ(session.tracer.events()[2].depth, 0);
     // Children are contained in the parent's [start, start+duration].
-    const TraceEvent &outer_ev = tracer().events()[2];
+    const TraceEvent &outer_ev = session.tracer.events()[2];
     for (std::size_t i = 0; i < 2; i++) {
-        const TraceEvent &child = tracer().events()[i];
+        const TraceEvent &child = session.tracer.events()[i];
         EXPECT_GE(child.startUs, outer_ev.startUs);
         EXPECT_LE(child.startUs + child.durationUs,
                   outer_ev.startUs + outer_ev.durationUs + 1e-3);
     }
-    EXPECT_EQ(metrics().timer("inner").count, 2u);
-    EXPECT_EQ(metrics().timer("outer").count, 1u);
+    EXPECT_EQ(session.metrics.timer("inner").count, 2u);
+    EXPECT_EQ(session.metrics.timer("outer").count, 1u);
 }
 
-TEST_F(Obs, CountAndGaugeWhileEnabled)
+TEST(Obs, CountAndGaugeWhileEnabled)
 {
-    enable();
-    count("hits");
-    count("hits", 2);
-    gauge("ratio", 0.75);
-    disable();
-    EXPECT_EQ(metrics().counter("hits"), 3u);
-    EXPECT_DOUBLE_EQ(metrics().gauge("ratio"), 0.75);
-}
-
-TEST_F(Obs, EnableResetsPreviousSession)
-{
-    enable();
-    count("old");
+    Session session;
+    session.enable();
     {
+        ScopedSession bind(&session);
+        count("hits");
+        count("hits", 2);
+        gauge("ratio", 0.75);
+    }
+    session.disable();
+    EXPECT_EQ(session.metrics.counter("hits"), 3u);
+    EXPECT_DOUBLE_EQ(session.metrics.gauge("ratio"), 0.75);
+}
+
+TEST(Obs, EnableResetsPreviousSession)
+{
+    Session session;
+    session.enable();
+    {
+        ScopedSession bind(&session);
+        count("old");
         Span span("old_phase");
     }
-    enable(); // fresh session
-    EXPECT_TRUE(metrics().empty());
-    EXPECT_TRUE(tracer().empty());
-    disable();
+    session.enable(); // fresh timeline
+    EXPECT_TRUE(session.metrics.empty());
+    EXPECT_TRUE(session.tracer.empty());
+    session.disable();
 }
 
-TEST_F(Obs, DataStaysReadableAfterDisable)
+TEST(Obs, DataStaysReadableAfterDisable)
 {
-    enable();
-    count("kept");
-    disable();
-    EXPECT_EQ(metrics().counter("kept"), 1u);
-}
-
-TEST_F(Obs, SpanOutlivingDisableBalancesDepthWithoutRecording)
-{
-    enable();
+    Session session;
+    session.enable();
     {
-        Span outer("outer");
-        disable();
-    } // outer destructs disabled: depth must rebalance, no event
-    EXPECT_TRUE(tracer().empty());
-    // If the depth leaked, this new root span would report depth > 0.
-    enable();
-    {
-        Span root("root");
+        ScopedSession bind(&session);
+        count("kept");
     }
-    disable();
-    ASSERT_EQ(tracer().events().size(), 1u);
-    EXPECT_EQ(tracer().events()[0].depth, 0);
+    session.disable();
+    EXPECT_EQ(session.metrics.counter("kept"), 1u);
 }
 
-TEST_F(Obs, SpanOpenedWhileDisabledStaysDeadAfterEnable)
+TEST(Obs, SpanOutlivingDisableBalancesDepthWithoutRecording)
 {
-    std::size_t before;
+    Session session;
+    session.enable();
     {
-        Span dead("dead");
-        enable();
-        before = tracer().events().size();
-    } // constructed disabled → never live, records nothing
-    EXPECT_EQ(tracer().events().size(), before);
-    EXPECT_EQ(metrics().timer("dead").count, 0u);
-    disable();
+        ScopedSession bind(&session);
+        Span outer("outer");
+        session.disable();
+    } // outer destructs disabled: depth must rebalance, no event
+    EXPECT_TRUE(session.tracer.empty());
+    EXPECT_EQ(session.depth, 0);
 }
 
-TEST_F(Obs, ScopedSessionRoutesRecordingToAValueSession)
+TEST(Obs, SpanOpenedBeforeBindingStaysDead)
+{
+    Session session;
+    session.enable();
+    std::size_t before = 0;
+    {
+        Span dead("dead"); // constructed with nothing bound
+        ScopedSession bind(&session);
+        before = session.tracer.events().size();
+    } // never live, records nothing even though a session is now bound
+    EXPECT_EQ(session.tracer.events().size(), before);
+    EXPECT_EQ(session.metrics.timer("dead").count, 0u);
+    session.disable();
+}
+
+TEST(Obs, ScopedSessionRoutesRecordingToAValueSession)
 {
     Session session;
     session.enable();
@@ -175,60 +166,85 @@ TEST_F(Obs, ScopedSessionRoutesRecordingToAValueSession)
         Span span("local_phase");
     }
     session.disable();
-    // Everything landed in the value, nothing in the global session.
+    // Everything landed in the value; the binding is gone afterwards.
     EXPECT_EQ(session.metrics.counter("local"), 1u);
     EXPECT_EQ(session.metrics.timer("local_phase").count, 1u);
     EXPECT_EQ(session.tracer.events().size(), 1u);
-    EXPECT_TRUE(metrics().empty());
-    EXPECT_TRUE(tracer().empty());
     EXPECT_FALSE(enabled());
 }
 
-TEST_F(Obs, ScopedSessionRestoresThePreviousBinding)
+TEST(Obs, ScopedSessionRestoresThePreviousBinding)
 {
-    enable(); // global session bound
+    Session outer_session, inner_session;
+    outer_session.enable();
+    inner_session.enable();
+    {
+        ScopedSession outer_bind(&outer_session);
+        {
+            ScopedSession inner_bind(&inner_session);
+            count("inner");
+        }
+        count("outer"); // back on the outer session
+    }
+    outer_session.disable();
+    inner_session.disable();
+    EXPECT_EQ(inner_session.metrics.counter("inner"), 1u);
+    EXPECT_EQ(inner_session.metrics.counter("outer"), 0u);
+    EXPECT_EQ(outer_session.metrics.counter("outer"), 1u);
+    EXPECT_EQ(outer_session.metrics.counter("inner"), 0u);
+}
+
+TEST(Obs, NullScopedSessionKeepsAmbientBinding)
+{
     Session session;
     session.enable();
     {
         ScopedSession bind(&session);
-        count("inner");
+        {
+            ScopedSession noop(nullptr); // no-op: ambient stays
+            count("ambient");
+        }
     }
-    count("outer"); // back on the global session
-    disable();
-    EXPECT_EQ(session.metrics.counter("inner"), 1u);
-    EXPECT_EQ(session.metrics.counter("outer"), 0u);
-    EXPECT_EQ(metrics().counter("outer"), 1u);
-    EXPECT_EQ(metrics().counter("inner"), 0u);
+    session.disable();
+    EXPECT_EQ(session.metrics.counter("ambient"), 1u);
 }
 
-TEST_F(Obs, NullScopedSessionKeepsAmbientBinding)
+TEST(Obs, DisabledScopedSessionSuppressesRecording)
 {
-    enable();
+    Session ambient;
+    ambient.enable();
+    Session silent; // explicitly passed but not enabled
     {
-        ScopedSession bind(nullptr); // no-op: ambient stays
-        count("ambient");
+        ScopedSession bind(&ambient);
+        {
+            ScopedSession suppress(&silent);
+            EXPECT_FALSE(enabled());
+            count("suppressed");
+        }
     }
-    disable();
-    EXPECT_EQ(metrics().counter("ambient"), 1u);
+    ambient.disable();
+    // Neither the value session nor the ambient one recorded: an
+    // explicitly passed session is the sink, period.
+    EXPECT_TRUE(silent.metrics.empty());
+    EXPECT_EQ(ambient.metrics.counter("suppressed"), 0u);
 }
 
-TEST_F(Obs, DisabledScopedSessionSuppressesRecording)
+TEST(Obs, GlobalSessionIsOneSharedValue)
 {
-    enable();
-    Session session; // explicitly passed but not enabled
+    Session &global = globalSession();
+    EXPECT_EQ(&global, &globalSession());
+    global.enable();
     {
-        ScopedSession bind(&session);
-        EXPECT_FALSE(enabled());
-        count("suppressed");
+        ScopedSession bind(&global);
+        count("shared");
     }
-    disable();
-    // Neither the value session nor the ambient global one recorded:
-    // an explicitly passed session is the sink, period.
-    EXPECT_TRUE(session.metrics.empty());
-    EXPECT_EQ(metrics().counter("suppressed"), 0u);
+    global.disable();
+    EXPECT_EQ(global.metrics.counter("shared"), 1u);
+    global.enable(); // leave it clean for other suites
+    global.disable();
 }
 
-TEST_F(Obs, SessionThreadIdTagsItsSpans)
+TEST(Obs, SessionThreadIdTagsItsSpans)
 {
     Session session;
     session.threadId = 7;
@@ -242,7 +258,7 @@ TEST_F(Obs, SessionThreadIdTagsItsSpans)
     EXPECT_EQ(session.tracer.events()[0].tid, 7);
 }
 
-TEST_F(Obs, EnableWithOriginSharesTheParentTimeline)
+TEST(Obs, EnableWithOriginSharesTheParentTimeline)
 {
     Session parent;
     parent.enable();

@@ -209,6 +209,54 @@ TEST(Synthesizer, ParallelRunMatchesSerialRun)
     }
 }
 
+TEST(Synthesizer, PresolvePruningPreservesTheReportExactly)
+{
+    // The pruning-oracle contract (docs/static_solver.md): skipping
+    // the checks the pre-solver proves redundant changes nothing but
+    // the wall clock. Same stats, same interesting tests in the same
+    // order with the same classifications and outcome counts — and
+    // the same summary text (modulo the seconds figure, which we keep
+    // out of the comparison by comparing fields, not strings).
+    auto opts = smallOptions(3, true);
+    opts.presolve = false;
+    auto baseline = Synthesizer(opts).run();
+    opts.presolve = true;
+    auto pruned = Synthesizer(opts).run();
+
+    EXPECT_EQ(baseline.stats.programsEnumerated,
+              pruned.stats.programsEnumerated);
+    EXPECT_EQ(baseline.stats.afterPruning, pruned.stats.afterPruning);
+    EXPECT_EQ(baseline.stats.uniquePrograms,
+              pruned.stats.uniquePrograms);
+    EXPECT_EQ(baseline.stats.checked, pruned.stats.checked);
+    EXPECT_EQ(baseline.stats.skippedTooExpensive,
+              pruned.stats.skippedTooExpensive);
+    EXPECT_EQ(baseline.stats.weak, pruned.stats.weak);
+    EXPECT_EQ(baseline.stats.proxySensitive,
+              pruned.stats.proxySensitive);
+    EXPECT_EQ(baseline.stats.fenceMinimal, pruned.stats.fenceMinimal);
+
+    // The oracle must actually skip work, and only when enabled.
+    EXPECT_EQ(baseline.stats.presolvePrunedPtx60, 0u);
+    EXPECT_EQ(baseline.stats.presolvePrunedFenceChecks, 0u);
+    EXPECT_GT(pruned.stats.presolvePrunedPtx60, 0u);
+    EXPECT_GT(pruned.stats.presolvePrunedFenceChecks, 0u);
+
+    ASSERT_EQ(baseline.interesting.size(), pruned.interesting.size());
+    for (std::size_t i = 0; i < baseline.interesting.size(); i++) {
+        const auto &a = baseline.interesting[i];
+        const auto &b = pruned.interesting[i];
+        EXPECT_EQ(a.test.name(), b.test.name()) << "entry " << i;
+        EXPECT_EQ(a.test.toString(), b.test.toString());
+        EXPECT_EQ(a.weak, b.weak);
+        EXPECT_EQ(a.proxySensitive, b.proxySensitive);
+        EXPECT_EQ(a.fenceMinimal, b.fenceMinimal);
+        EXPECT_EQ(a.ptx75Outcomes, b.ptx75Outcomes);
+        EXPECT_EQ(a.ptx60Outcomes, b.ptx60Outcomes);
+        EXPECT_EQ(a.scOutcomeCount, b.scOutcomeCount);
+    }
+}
+
 TEST(Synthesizer, ParallelRunRespectsMaxUniquePrograms)
 {
     auto opts = smallOptions(3, true);
