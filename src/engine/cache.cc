@@ -155,7 +155,7 @@ class Sha256
 };
 
 /** Disk-entry format tag; bump on any layout change. */
-constexpr const char *kEntryFormat = "mixedproxy.verdict.v1";
+constexpr const char *kEntryFormat = "mixedproxy.verdict.v2";
 
 json::Value
 encodeOutcome(const litmus::Outcome &outcome)
@@ -220,6 +220,36 @@ encodeStats(const model::CheckStats &stats)
     entry.object["ppbc_edges"] = json::Value::makeUint(stats.ppbcEdges);
     entry.object["cause_edges"] =
         json::Value::makeUint(stats.causeEdges);
+    // Enumeration-profiler counters (v2): deterministic, so replaying
+    // them on a cache hit keeps stats reports jobs- and cache-
+    // invariant. Sampled wall-clock numbers are deliberately absent —
+    // they never enter CheckStats.
+    entry.object["reject_no_thin_air"] =
+        json::Value::makeUint(stats.rejectNoThinAir);
+    entry.object["reject_value_infeasible"] =
+        json::Value::makeUint(stats.rejectValueInfeasible);
+    entry.object["reject_causality_a"] =
+        json::Value::makeUint(stats.rejectCausalityA);
+    entry.object["reject_coherence_unembeddable"] =
+        json::Value::makeUint(stats.rejectCoherenceUnembeddable);
+    entry.object["reject_causality_b"] =
+        json::Value::makeUint(stats.rejectCausalityB);
+    entry.object["reject_sc_per_location"] =
+        json::Value::makeUint(stats.rejectScPerLocation);
+    entry.object["reject_atomicity"] =
+        json::Value::makeUint(stats.rejectAtomicity);
+    entry.object["reject_fence_sc"] =
+        json::Value::makeUint(stats.rejectFenceSc);
+    json::Value depth = json::Value::makeArray();
+    for (std::uint64_t bucket : stats.depthHistogram)
+        depth.array.push_back(json::Value::makeUint(bucket));
+    entry.object["depth_histogram"] = std::move(depth);
+    entry.object["enum_reads"] = json::Value::makeUint(stats.enumReads);
+    entry.object["enum_source_slots"] =
+        json::Value::makeUint(stats.enumSourceSlots);
+    entry.object["co_locations"] =
+        json::Value::makeUint(stats.coLocations);
+    entry.object["co_orders"] = json::Value::makeUint(stats.coOrders);
     return entry;
 }
 
@@ -235,6 +265,34 @@ decodeStats(const json::Value &value, model::CheckStats &out)
     out.bcauseEdges = value.uintOr("bcause_edges", 0);
     out.ppbcEdges = value.uintOr("ppbc_edges", 0);
     out.causeEdges = value.uintOr("cause_edges", 0);
+    out.rejectNoThinAir = value.uintOr("reject_no_thin_air", 0);
+    out.rejectValueInfeasible =
+        value.uintOr("reject_value_infeasible", 0);
+    out.rejectCausalityA = value.uintOr("reject_causality_a", 0);
+    out.rejectCoherenceUnembeddable =
+        value.uintOr("reject_coherence_unembeddable", 0);
+    out.rejectCausalityB = value.uintOr("reject_causality_b", 0);
+    out.rejectScPerLocation = value.uintOr("reject_sc_per_location", 0);
+    out.rejectAtomicity = value.uintOr("reject_atomicity", 0);
+    out.rejectFenceSc = value.uintOr("reject_fence_sc", 0);
+    if (const json::Value *depth = value.find("depth_histogram")) {
+        if (depth->kind == json::Value::Kind::Array) {
+            const std::size_t limit = std::min(
+                depth->array.size(), out.depthHistogram.size());
+            for (std::size_t d = 0; d < limit; d++) {
+                const json::Value &bucket = depth->array[d];
+                if (bucket.kind == json::Value::Kind::Number &&
+                    bucket.isInteger) {
+                    out.depthHistogram[d] =
+                        static_cast<std::uint64_t>(bucket.integer);
+                }
+            }
+        }
+    }
+    out.enumReads = value.uintOr("enum_reads", 0);
+    out.enumSourceSlots = value.uintOr("enum_source_slots", 0);
+    out.coLocations = value.uintOr("co_locations", 0);
+    out.coOrders = value.uintOr("co_orders", 0);
 }
 
 } // namespace

@@ -1,0 +1,41 @@
+#include "eventlog.hh"
+
+#include <chrono>
+
+namespace mixedproxy::engine {
+
+bool
+EventLog::open(const std::string &path)
+{
+    std::lock_guard lock(mutex);
+    out.open(path, std::ios::app);
+    ok = out.good();
+    return ok;
+}
+
+void
+EventLog::log(const std::string &level, const std::string &event,
+              const std::vector<std::pair<std::string, json::Value>>
+                  &fields)
+{
+    if (!ok)
+        return;
+    json::Value record = json::Value::makeObject();
+    record.object["schema"] = json::Value::makeString(kEventLogSchema);
+    const auto now = std::chrono::system_clock::now();
+    record.object["ts_ms"] = json::Value::makeUint(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now.time_since_epoch())
+                .count()));
+    record.object["level"] = json::Value::makeString(level);
+    record.object["event"] = json::Value::makeString(event);
+    for (const auto &[name, value] : fields)
+        record.object[name] = value;
+
+    std::lock_guard lock(mutex);
+    out << record.dump() << '\n';
+    out.flush();
+}
+
+} // namespace mixedproxy::engine

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Structured JSONL event log for the checking service (`--log-json
+ * PATH`, docs/service.md). One JSON object per line, schema-versioned
+ * ("mixedproxy.log.v1"), with a wall-clock timestamp, a severity
+ * level, the event name (server.start, request.start, request.finish,
+ * request.cache_hit, request.error, ...) and the daemon-assigned
+ * request id, so one request's lines — and its spans in a Chrome
+ * trace, which carry the same id — can be correlated after the fact.
+ */
+
+#ifndef MIXEDPROXY_ENGINE_EVENTLOG_HH
+#define MIXEDPROXY_ENGINE_EVENTLOG_HH
+
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/json.hh"
+
+namespace mixedproxy::engine {
+
+/** The schema tag stamped on every record. */
+constexpr const char *kEventLogSchema = "mixedproxy.log.v1";
+
+/**
+ * Append-only, mutex-guarded JSONL sink. Thread-safe: pool workers log
+ * concurrently; each record is written and flushed as one line. An
+ * unopened (or failed-to-open) log swallows writes, so call sites
+ * never need to guard.
+ */
+class EventLog
+{
+  public:
+    EventLog() = default;
+
+    /** Open @p path for appending; false (and inactive) on failure. */
+    bool open(const std::string &path);
+
+    bool active() const { return ok; }
+
+    /**
+     * Append one record: {"schema": ..., "ts_ms": <unix millis>,
+     * "level": @p level, "event": @p event, ...@p fields}. @p level is
+     * "info" or "error"; @p event names are listed in docs/service.md.
+     */
+    void log(const std::string &level, const std::string &event,
+             const std::vector<std::pair<std::string, json::Value>>
+                 &fields = {});
+
+  private:
+    std::mutex mutex;
+    std::ofstream out;
+    bool ok = false;
+};
+
+} // namespace mixedproxy::engine
+
+#endif // MIXEDPROXY_ENGINE_EVENTLOG_HH

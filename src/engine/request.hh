@@ -72,6 +72,14 @@ struct CheckBlock
      */
     model::PresolvePolicy presolve = model::PresolvePolicy::Off;
 
+    /**
+     * See model::CheckOptions::profileEnum (CLI --profile-enum[=N]).
+     * Deliberately not part of the cache fingerprint: sampling never
+     * changes verdicts, only adds live "checker.enum.sampled.*"
+     * measurements.
+     */
+    std::uint64_t profileEnum = 0;
+
     /** Whether the checker must record witnesses (either renderer). */
     bool collectWitnesses() const { return showWitnesses || dot; }
 
@@ -84,6 +92,7 @@ struct CheckBlock
         opts.staticFastPath = staticFastPath;
         opts.maxExecutions = maxExecutions;
         opts.presolve = presolve;
+        opts.profileEnum = profileEnum;
         return opts;
     }
 };

@@ -14,9 +14,11 @@
 #include <mutex>
 #include <ostream>
 
+#include "engine/eventlog.hh"
 #include "engine/json.hh"
 #include "litmus/parser.hh"
 #include "litmus/registry.hh"
+#include "obs/build_info.hh"
 #include "relation/error.hh"
 #include "runtime/thread_pool.hh"
 
@@ -124,7 +126,8 @@ class FdStreambuf : public std::streambuf
 int
 serveStream(Engine &engine, const ServeOptions &options,
             std::istream &in, std::ostream &out, std::ostream &err,
-            bool *shutdownRequested)
+            bool *shutdownRequested, ServiceState &state,
+            EventLog *log, std::uint64_t *nextRequestId)
 {
     obs::Session *parent = options.session;
     std::mutex mergeMutex;
@@ -141,26 +144,80 @@ serveStream(Engine &engine, const ServeOptions &options,
             if (line.empty())
                 continue;
             const std::uint64_t mySeq = seq++;
+            // Request ids are monotonic across a daemon's lifetime
+            // (serveSocket threads one counter through every
+            // connection), assigned in arrival order.
+            const std::uint64_t requestId = ++*nextRequestId;
             pool.submit([&engine, &writer, &shutdown, &mergeMutex,
-                         parent, mySeq, myLine = line] {
+                         &state, parent, log, mySeq, requestId,
+                         myLine = line] {
+                state.requestStarted();
+                if (log) {
+                    log->log("info", "request.start",
+                             {{"request_id",
+                               json::Value::makeUint(requestId)}});
+                }
+
+                // Every request records into its own session — always
+                // enabled, so per-op latency and engine.cache.* reach
+                // the live metrics registry even when the CLI has no
+                // observability sinks. The trace merges (and keeps
+                // accumulating memory) only when a parent listens.
                 obs::Session session;
                 if (parent && parent->enabled())
                     session.enableWithOrigin(parent->origin());
+                else
+                    session.enable();
+                session.requestId = requestId;
 
                 bool wantsShutdown = false;
+                RequestOutcome outcome;
                 std::string response;
+                const auto begin = std::chrono::steady_clock::now();
                 {
-                    obs::ScopedSession bind(
-                        session.enabled() ? &session : nullptr);
+                    obs::ScopedSession bind(&session);
                     response = handleRequestLine(engine, myLine,
-                                                 &wantsShutdown);
+                                                 &wantsShutdown, &state,
+                                                 &outcome);
                 }
+                const double seconds =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - begin)
+                        .count();
 
-                if (session.enabled()) {
-                    session.disable();
+                session.disable();
+                state.mergeMetrics(session.metrics);
+                state.requestFinished(outcome.op, seconds, outcome.ok);
+                if (parent && parent->enabled()) {
                     std::lock_guard lock(mergeMutex);
                     parent->metrics.mergeFrom(session.metrics);
                     parent->tracer.append(session.tracer);
+                }
+
+                if (log) {
+                    if (outcome.cacheHit) {
+                        log->log("info", "request.cache_hit",
+                                 {{"request_id",
+                                   json::Value::makeUint(requestId)}});
+                    }
+                    std::vector<std::pair<std::string, json::Value>>
+                        fields = {
+                            {"request_id",
+                             json::Value::makeUint(requestId)},
+                            {"op", json::Value::makeString(outcome.op)},
+                            {"duration_ms", json::Value::makeDouble(
+                                                seconds * 1e3)},
+                            {"cache_hit",
+                             json::Value::makeBool(outcome.cacheHit)},
+                        };
+                    if (outcome.ok) {
+                        log->log("info", "request.finish", fields);
+                    } else {
+                        fields.emplace_back(
+                            "error",
+                            json::Value::makeString(outcome.error));
+                        log->log("error", "request.error", fields);
+                    }
                 }
                 if (wantsShutdown)
                     shutdown.store(true, std::memory_order_relaxed);
@@ -183,21 +240,37 @@ serveStream(Engine &engine, const ServeOptions &options,
 
 std::string
 handleRequestLine(Engine &engine, const std::string &line,
-                  bool *shutdown)
+                  bool *shutdown, const ServiceState *state,
+                  RequestOutcome *outcome)
 {
+    RequestOutcome localOutcome;
+    RequestOutcome &result = outcome ? *outcome : localOutcome;
+    auto failed = [&result](const json::Value *id,
+                            const std::string &message) {
+        result.op = "error";
+        result.ok = false;
+        result.error = message;
+        return errorResponse(id, message).dump();
+    };
+
     std::string parseError;
     std::unique_ptr<json::Value> doc = json::parse(line, &parseError);
     if (!doc || !doc->isObject()) {
-        return errorResponse(nullptr, "bad request: " +
-                                          (parseError.empty()
-                                               ? "not a JSON object"
-                                               : parseError))
-            .dump();
+        return failed(nullptr, "bad request: " +
+                                   (parseError.empty()
+                                        ? "not a JSON object"
+                                        : parseError));
     }
     const json::Value *id = doc->find("id");
 
-    const std::string cmd = doc->stringOr("cmd", "");
+    // "cmd" is the historical admin-command field; "op" is accepted as
+    // an alias (docs/service.md).
+    std::string cmd = doc->stringOr("cmd", "");
+    if (cmd.empty())
+        cmd = doc->stringOr("op", "");
     if (cmd == "ping") {
+        result.op = "ping";
+        result.ok = true;
         json::Value response = json::Value::makeObject();
         if (id)
             response.object["id"] = *id;
@@ -208,6 +281,8 @@ handleRequestLine(Engine &engine, const std::string &line,
     if (cmd == "shutdown") {
         if (shutdown)
             *shutdown = true;
+        result.op = "shutdown";
+        result.ok = true;
         json::Value response = json::Value::makeObject();
         if (id)
             response.object["id"] = *id;
@@ -215,8 +290,67 @@ handleRequestLine(Engine &engine, const std::string &line,
         response.object["shutdown"] = json::Value::makeBool(true);
         return response.dump();
     }
+    if (cmd == "metrics") {
+        if (!state)
+            return failed(id, "metrics not available on this transport");
+        result.op = "metrics";
+        result.ok = true;
+        ServiceSnapshot snap = state->snapshot();
+
+        json::Value response = json::Value::makeObject();
+        if (id)
+            response.object["id"] = *id;
+        response.object["ok"] = json::Value::makeBool(true);
+        response.object["uptime_ms"] =
+            json::Value::makeDouble(snap.uptimeMs);
+        response.object["requests_total"] =
+            json::Value::makeUint(snap.requestsTotal);
+        response.object["errors_total"] =
+            json::Value::makeUint(snap.errorsTotal);
+        response.object["in_flight"] = json::Value::makeUint(
+            static_cast<std::uint64_t>(
+                snap.inFlight < 0 ? 0 : snap.inFlight));
+
+        const obs::BuildInfo &info = obs::buildInfo();
+        json::Value build = json::Value::makeObject();
+        build.object["git_sha"] = json::Value::makeString(info.gitSha);
+        build.object["compiler"] =
+            json::Value::makeString(info.compiler);
+        build.object["build_type"] =
+            json::Value::makeString(info.buildType);
+        response.object["build"] = std::move(build);
+
+        json::Value counters = json::Value::makeObject();
+        for (const auto &[name, value] : snap.metrics.counters())
+            counters.object[name] = json::Value::makeUint(value);
+        response.object["counters"] = std::move(counters);
+
+        // Per-op latency histogram summaries ("service.op.<op>").
+        json::Value ops = json::Value::makeObject();
+        for (const std::string &name : snap.metrics.timerNames()) {
+            const std::string prefix = "service.op.";
+            if (name.compare(0, prefix.size(), prefix) != 0)
+                continue;
+            obs::TimerSummary t = snap.metrics.timer(name);
+            json::Value summary = json::Value::makeObject();
+            summary.object["count"] = json::Value::makeUint(t.count);
+            summary.object["total_ms"] =
+                json::Value::makeDouble(t.total * 1e3);
+            summary.object["mean_ms"] =
+                json::Value::makeDouble(t.mean * 1e3);
+            summary.object["p50_ms"] =
+                json::Value::makeDouble(t.p50 * 1e3);
+            summary.object["p95_ms"] =
+                json::Value::makeDouble(t.p95 * 1e3);
+            summary.object["max_ms"] =
+                json::Value::makeDouble(t.max * 1e3);
+            ops.object[name.substr(prefix.size())] = std::move(summary);
+        }
+        response.object["ops"] = std::move(ops);
+        return response.dump();
+    }
     if (!cmd.empty())
-        return errorResponse(id, "unknown cmd '" + cmd + "'").dump();
+        return failed(id, "unknown cmd '" + cmd + "'");
 
     Request request;
     try {
@@ -256,6 +390,7 @@ handleRequestLine(Engine &engine, const std::string &line,
             fatal("unknown presolve policy '", presolve,
                   "' (want off|on|only)");
         }
+        request.check.profileEnum = doc->uintOr("profile_enum", 0);
         request.lint.enabled = doc->boolOr("lint", false);
         request.lint.lintOnly = doc->boolOr("lint_only", false);
         request.sim.enabled = doc->boolOr("sim", false);
@@ -264,6 +399,9 @@ handleRequestLine(Engine &engine, const std::string &line,
 
         Verdict verdict = engine.submit(request);
 
+        result.op = "check";
+        result.ok = true;
+        result.cacheHit = verdict.cacheHit;
         json::Value response = json::Value::makeObject();
         if (id)
             response.object["id"] = *id;
@@ -276,7 +414,7 @@ handleRequestLine(Engine &engine, const std::string &line,
             json::Value::makeString(renderReport(request, verdict));
         return response.dump();
     } catch (const FatalError &e) {
-        return errorResponse(id, e.what()).dump();
+        return failed(id, e.what());
     }
 }
 
@@ -284,7 +422,20 @@ int
 serve(Engine &engine, const ServeOptions &options, std::istream &in,
       std::ostream &out, std::ostream &err)
 {
-    return serveStream(engine, options, in, out, err, nullptr);
+    ServiceState state;
+    EventLog log;
+    if (!options.logJsonPath.empty() &&
+        !log.open(options.logJsonPath)) {
+        err << "nvlitmus: cannot open --log-json "
+            << options.logJsonPath << "\n";
+        return 2;
+    }
+    if (log.active())
+        log.log("info", "server.start",
+                {{"jobs", json::Value::makeUint(options.jobs)}});
+    std::uint64_t nextRequestId = 0;
+    return serveStream(engine, options, in, out, err, nullptr, state,
+                       log.active() ? &log : nullptr, &nextRequestId);
 }
 
 int
@@ -319,6 +470,25 @@ serveSocket(Engine &engine, const ServeOptions &options,
         return 2;
     }
 
+    // One ServiceState, event log and request-id counter span every
+    // connection: the metrics op reports daemon-lifetime uptime and
+    // totals, and request ids never restart mid-daemon.
+    ServiceState state;
+    EventLog log;
+    if (!options.logJsonPath.empty() &&
+        !log.open(options.logJsonPath)) {
+        err << "nvlitmus: cannot open --log-json "
+            << options.logJsonPath << "\n";
+        ::close(listener);
+        ::unlink(path.c_str());
+        return 2;
+    }
+    if (log.active())
+        log.log("info", "server.start",
+                {{"jobs", json::Value::makeUint(options.jobs)},
+                 {"socket", json::Value::makeString(path)}});
+    std::uint64_t nextRequestId = 0;
+
     int code = 0;
     bool shutdown = false;
     while (!shutdown) {
@@ -333,7 +503,8 @@ serveSocket(Engine &engine, const ServeOptions &options,
         FdStreambuf buffer(connection);
         std::istream in(&buffer);
         std::ostream out(&buffer);
-        serveStream(engine, options, in, out, err, &shutdown);
+        serveStream(engine, options, in, out, err, &shutdown, state,
+                    log.active() ? &log : nullptr, &nextRequestId);
         ::close(connection);
     }
     ::close(listener);

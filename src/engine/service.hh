@@ -13,12 +13,23 @@
  * completion — the daemon's --stats-json aggregates every request,
  * including the engine.cache.{hit,miss} counters the cold-vs-warm CI
  * job asserts on.
+ *
+ * Service telemetry (ISSUE 8): every request gets a monotonically
+ * assigned id (stamped onto its session, so every span and log line of
+ * the request carries it), a ServiceState aggregates live metrics the
+ * {"op":"metrics"} admin request snapshots (uptime, in-flight, per-op
+ * latency, engine.cache.*), and `--log-json PATH` appends one
+ * schema-versioned JSONL record per request lifecycle event.
  */
 
 #ifndef MIXEDPROXY_ENGINE_SERVICE_HH
 #define MIXEDPROXY_ENGINE_SERVICE_HH
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 
 #include "engine/engine.hh"
@@ -44,6 +55,104 @@ struct ServeOptions
      * merges into it (null = no aggregation).
      */
     obs::Session *session = nullptr;
+
+    /**
+     * Structured JSONL event-log path (`--log-json`); empty disables.
+     * Records follow the "mixedproxy.log.v1" schema (docs/service.md).
+     */
+    std::string logJsonPath;
+};
+
+/**
+ * A read-only copy of the daemon's live state, taken under the
+ * ServiceState lock; the {"op":"metrics"} response is rendered from
+ * one of these.
+ */
+struct ServiceSnapshot
+{
+    double uptimeMs = 0.0;
+    std::uint64_t requestsTotal = 0;
+    std::uint64_t errorsTotal = 0;
+    std::int64_t inFlight = 0;
+    obs::MetricsRegistry metrics;
+};
+
+/**
+ * Live daemon telemetry: request/error totals, in-flight gauge, and an
+ * aggregated metrics registry (per-op "service.op.<op>" latency timers
+ * plus every per-request session's counters, so engine.cache.* is
+ * visible without any CLI observability flags). One instance spans a
+ * whole daemon lifetime — serveSocket() reuses it across connections.
+ * Thread-safe.
+ */
+class ServiceState
+{
+  public:
+    ServiceState() : start(std::chrono::steady_clock::now()) {}
+
+    void requestStarted()
+    {
+        inFlight.fetch_add(1, std::memory_order_relaxed);
+        requestsTotal.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Record completion: per-op latency plus the error tally. */
+    void requestFinished(const std::string &op, double seconds, bool ok)
+    {
+        if (!ok)
+            errorsTotal.fetch_add(1, std::memory_order_relaxed);
+        {
+            std::lock_guard lock(mutex);
+            registry.record("service.op." + op, seconds);
+        }
+        inFlight.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    /** Fold one finished request session's metrics into the registry. */
+    void mergeMetrics(const obs::MetricsRegistry &metrics)
+    {
+        std::lock_guard lock(mutex);
+        registry.mergeFrom(metrics);
+    }
+
+    ServiceSnapshot snapshot() const
+    {
+        ServiceSnapshot snap;
+        snap.uptimeMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        snap.requestsTotal =
+            requestsTotal.load(std::memory_order_relaxed);
+        snap.errorsTotal = errorsTotal.load(std::memory_order_relaxed);
+        snap.inFlight = inFlight.load(std::memory_order_relaxed);
+        {
+            std::lock_guard lock(mutex);
+            snap.metrics = registry;
+        }
+        return snap;
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+    std::atomic<std::uint64_t> requestsTotal{0};
+    std::atomic<std::uint64_t> errorsTotal{0};
+    std::atomic<std::int64_t> inFlight{0};
+    mutable std::mutex mutex;
+    obs::MetricsRegistry registry;
+};
+
+/**
+ * What one handled request turned out to be, for the caller's
+ * telemetry (per-op latency bucketing and the JSONL event log).
+ */
+struct RequestOutcome
+{
+    std::string op = "check"; ///< "check", "ping", "shutdown",
+                              ///< "metrics", or "error"
+    bool ok = false;
+    bool cacheHit = false;
+    std::string error; ///< message when !ok
 };
 
 /**
@@ -59,7 +168,9 @@ int serve(Engine &engine, const ServeOptions &options, std::istream &in,
 
 /**
  * Bind options.socketPath and serve accepted connections (each with
- * the stream protocol above) until one sends {"cmd":"shutdown"}.
+ * the stream protocol above) until one sends {"cmd":"shutdown"}. The
+ * ServiceState (and thus the metrics op's uptime and totals) spans
+ * every connection.
  */
 int serveSocket(Engine &engine, const ServeOptions &options,
                 std::ostream &err);
@@ -67,10 +178,15 @@ int serveSocket(Engine &engine, const ServeOptions &options,
 /**
  * Process one request line into one response line (no trailing
  * newline). Exposed for protocol unit tests; serve() calls this on
- * pool workers.
+ * pool workers. The admin field "cmd" (alias "op") selects ping /
+ * shutdown / metrics; @p state backs the metrics snapshot (a null
+ * state answers metrics with an error); @p outcome, when non-null,
+ * reports what the request was for the caller's telemetry.
  */
 std::string handleRequestLine(Engine &engine, const std::string &line,
-                              bool *shutdown = nullptr);
+                              bool *shutdown = nullptr,
+                              const ServiceState *state = nullptr,
+                              RequestOutcome *outcome = nullptr);
 
 } // namespace mixedproxy::engine
 

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Stats-JSON comparator behind tools/perfcmp (ISSUE 8): diff two
+ * "mixedproxy.stats.*" documents (the bench/results stats files)
+ * against
+ * a regression threshold. Compared series: every timer's total_ms and
+ * every gauge whose name ends in "_ms" (the bench wall-time gauges).
+ * A regression is a current value exceeding the baseline by more than
+ * thresholdPct percent AND minAbsMs milliseconds — the absolute floor
+ * keeps micro-timers' noise from tripping the percentage gate.
+ *
+ * perfcmpMain() is the whole CLI (tools/perfcmp.cc is a shim), kept
+ * here so the exit-code contract — nonzero on regression unless
+ * --report-only — is unit-testable (tests/engine/test_statsdiff.cc).
+ */
+
+#ifndef MIXEDPROXY_ENGINE_STATSDIFF_HH
+#define MIXEDPROXY_ENGINE_STATSDIFF_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "engine/json.hh"
+
+namespace mixedproxy::engine {
+
+/** Regression gates for diffStats(). */
+struct StatsDiffOptions
+{
+    double thresholdPct = 10.0; ///< relative regression gate
+    double minAbsMs = 1.0;      ///< absolute floor (noise guard)
+};
+
+/** One compared series. */
+struct StatsDiffEntry
+{
+    std::string name;      ///< "timer:<name>" or "gauge:<name>"
+    double baselineMs = 0.0;
+    double currentMs = 0.0;
+    double deltaPct = 0.0; ///< (current - baseline) / baseline * 100
+    bool regression = false;
+};
+
+/** The full comparison. */
+struct StatsDiffReport
+{
+    std::vector<StatsDiffEntry> entries;
+
+    /** Series present in one document only, schema notes, etc. */
+    std::vector<std::string> notes;
+
+    bool hasRegression() const;
+
+    /** Human-readable table (regressions flagged). */
+    std::string render() const;
+};
+
+/**
+ * Compare @p current against @p baseline. Both must be stats-JSON
+ * documents (v1 and v2 both work — only "timers" and "gauges" are
+ * read). Missing sections degrade to notes, never to a crash.
+ */
+StatsDiffReport diffStats(const json::Value &baseline,
+                          const json::Value &current,
+                          const StatsDiffOptions &options = {});
+
+/**
+ * The perfcmp CLI: `perfcmp [--threshold=PCT] [--min-ms=MS]
+ * [--report-only] BASELINE.json CURRENT.json`. Prints the diff table
+ * to @p out. Exit codes: 0 clean (or --report-only), 1 regression
+ * detected, 2 usage or I/O error (reported to @p err).
+ */
+int perfcmpMain(const std::vector<std::string> &args, std::ostream &out,
+                std::ostream &err);
+
+} // namespace mixedproxy::engine
+
+#endif // MIXEDPROXY_ENGINE_STATSDIFF_HH

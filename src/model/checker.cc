@@ -115,6 +115,31 @@ CheckStats::publish(obs::MetricsRegistry &registry) const
     registry.add("checker.edges.bcause", bcauseEdges);
     registry.add("checker.edges.ppbc", ppbcEdges);
     registry.add("checker.edges.cause", causeEdges);
+    registry.add("checker.enum.reject.no_thin_air", rejectNoThinAir);
+    registry.add("checker.enum.reject.value_infeasible",
+                 rejectValueInfeasible);
+    registry.add("checker.enum.reject.causality_a", rejectCausalityA);
+    registry.add("checker.enum.reject.coherence_unembeddable",
+                 rejectCoherenceUnembeddable);
+    registry.add("checker.enum.reject.causality_b", rejectCausalityB);
+    registry.add("checker.enum.reject.sc_per_location",
+                 rejectScPerLocation);
+    registry.add("checker.enum.reject.atomicity", rejectAtomicity);
+    registry.add("checker.enum.reject.fence_sc", rejectFenceSc);
+    // Depth buckets are published sparsely: an all-zero bucket would
+    // only add noise to every stats report.
+    for (std::size_t d = 0; d < kDepthBuckets; d++) {
+        if (depthHistogram[d] == 0)
+            continue;
+        std::string name = d + 1 == kDepthBuckets
+                               ? std::string("checker.enum.depth.overflow")
+                               : "checker.enum.depth." + std::to_string(d);
+        registry.add(name, depthHistogram[d]);
+    }
+    registry.add("checker.enum.rf.reads", enumReads);
+    registry.add("checker.enum.rf.source_slots", enumSourceSlots);
+    registry.add("checker.enum.co.locations", coLocations);
+    registry.add("checker.enum.co.orders", coOrders);
 }
 
 bool
@@ -598,25 +623,67 @@ frRelation(const Program &program, const std::vector<EventId> &source_of,
 }
 
 /**
+ * Which candidate-level axiom rejected a candidate execution (None =
+ * consistent). The enumeration profiler attributes every rejection to
+ * the *first* failing axiom in candidateConsistent()'s fixed check
+ * order, so the four rejection counters partition the rejected
+ * candidates exactly.
+ */
+enum class Axiom { None, CausalityB, ScPerLocation, Atomicity, FenceSc };
+
+/**
+ * Sampled per-axiom wall-clock accumulator for the opt-in profiler
+ * (CheckOptions::profileEnum). Filled only for sampled candidates; the
+ * always-on counters never touch a clock.
+ */
+struct EnumProfiler
+{
+    std::uint64_t samples = 0;
+    std::uint64_t coBuildNs = 0;
+    // Indexed by the candidate-level axioms in check order:
+    // 0 Causality-b, 1 SC-per-Location, 2 Atomicity, 3 Fence-SC.
+    std::array<std::uint64_t, 4> axiomNs{};
+};
+
+/**
  * The per-candidate axiom core shared by the enumeration loop and
  * evaluateCandidate(): Causality part (b), SC-per-Location, Atomicity
  * and Fence-SC over one fully specified candidate execution. (No-Thin-
  * Air, value feasibility and Causality part (a) depend only on rf and
  * are checked once per rf assignment, before the coherence odometer.)
+ * Returns the first failing axiom, Axiom::None when consistent. With
+ * @p prof non-null, each axiom block's wall time is accumulated (the
+ * failing block's time included).
  */
-bool
+Axiom
 candidateConsistent(const Program &program,
                     const std::vector<EventId> &source_of,
                     const std::vector<char> &live,
                     const DerivedRelations &derived, const Relation &rf,
-                    const Relation &co, const Relation &fr)
+                    const Relation &co, const Relation &fr,
+                    EnumProfiler *prof = nullptr)
 {
     const auto &events = program.events();
     const std::size_t n = events.size();
 
+    using ProfClock = std::chrono::steady_clock;
+    ProfClock::time_point mark =
+        prof ? ProfClock::now() : ProfClock::time_point{};
+    auto lap = [&](std::size_t axiom) {
+        if (!prof)
+            return;
+        ProfClock::time_point now = ProfClock::now();
+        prof->axiomNs[axiom] += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                                 mark)
+                .count());
+        mark = now;
+    };
+
     // ---- Axiom: Causality, part (b) -------------------------------
     // A read must not observe a write coherence-older than a write
     // that causally precedes the read.
+    bool failed = false;
     for (EventId r : program.reads()) {
         EventId src = source_of[r];
         for (EventId w = 0; w < n; w++) {
@@ -624,10 +691,17 @@ candidateConsistent(const Program &program,
                 continue;
             if (events[w].location != events[r].location)
                 continue;
-            if (derived.cause.contains(w, r) && co.contains(src, w))
-                return false;
+            if (derived.cause.contains(w, r) && co.contains(src, w)) {
+                failed = true;
+                break;
+            }
         }
+        if (failed)
+            break;
     }
+    lap(0);
+    if (failed)
+        return Axiom::CausalityB;
 
     // ---- Axiom: SC-per-Location -----------------------------------
     // Within each maximal clique of morally strong overlapping
@@ -637,10 +711,15 @@ candidateConsistent(const Program &program,
         for (const auto &clique : program.msCliques()) {
             EventSet live_clique =
                 clique.filter([&](EventId id) { return live[id]; });
-            if (!comm.restrict(live_clique).acyclic())
-                return false;
+            if (!comm.restrict(live_clique).acyclic()) {
+                failed = true;
+                break;
+            }
         }
     }
+    lap(1);
+    if (failed)
+        return Axiom::ScPerLocation;
 
     // ---- Axiom: Atomicity -----------------------------------------
     // No morally strong write intervenes in coherence order between an
@@ -660,10 +739,16 @@ candidateConsistent(const Program &program,
                 continue;
             if (co.contains(src, w2) && co.contains(w2, w) &&
                 program.morallyStrong().contains(w2, w)) {
-                return false;
+                failed = true;
+                break;
             }
         }
+        if (failed)
+            break;
     }
+    lap(2);
+    if (failed)
+        return Axiom::Atomicity;
 
     // ---- Axiom: Fence-SC -------------------------------------------
     // Some total order of the sc fences must agree with base causality
@@ -696,10 +781,13 @@ candidateConsistent(const Program &program,
             }
         }
         if (!forced.acyclic())
-            return false;
+            failed = true;
     }
+    lap(3);
+    if (failed)
+        return Axiom::FenceSc;
 
-    return true;
+    return Axiom::None;
 }
 
 /** The outcome of one consistent candidate. */
@@ -805,8 +893,8 @@ evaluateCandidate(const Program &program,
 
     Relation co = coRelation(program, orders, vals.live);
     Relation fr = frRelation(program, source_of, co);
-    if (!candidateConsistent(program, source_of, vals.live, derived, rf,
-                             co, fr)) {
+    if (candidateConsistent(program, source_of, vals.live, derived, rf,
+                            co, fr) != Axiom::None) {
         return std::nullopt;
     }
 
@@ -927,6 +1015,18 @@ Checker::check(const Program &program) const
         result.staticallyDischarged = std::move(discharge);
     }
 
+    // Branching-factor numerators (enumeration profiler): the rf
+    // choice points of this program and their candidate sources,
+    // counted once per check. The candidate depth — the bucket every
+    // examined candidate of this program lands in — is the same count.
+    result.stats.enumReads += program.reads().size();
+    for (EventId r : program.reads())
+        result.stats.enumSourceSlots += program.readSources(r).size();
+    const std::size_t depth_bucket = std::min(
+        program.reads().size(), CheckStats::kDepthBuckets - 1);
+
+    EnumProfiler profiler;
+
     std::optional<obs::Span> enumerate_span;
     enumerate_span.emplace("check.enumerate");
     for (RfEnumerator rfe(program); rfe.valid(); rfe.advance()) {
@@ -935,12 +1035,16 @@ Checker::check(const Program &program) const
         Relation rf = rfRelation(program, source_of);
 
         // ---- Axiom: No-Thin-Air --------------------------------------
-        if (!(rf | program.dep()).acyclic())
+        if (!(rf | program.dep()).acyclic()) {
+            result.stats.rejectNoThinAir++;
             continue;
+        }
 
         Valuation vals = evaluate(program, rf, source_of);
-        if (!vals.feasible)
+        if (!vals.feasible) {
+            result.stats.rejectValueInfeasible++;
             continue;
+        }
 
         DerivedRelations derived =
             computeDerived(program, rf, vals.live, opts.staticFastPath);
@@ -964,8 +1068,10 @@ Checker::check(const Program &program) const
                 break;
             }
         }
-        if (!ok)
+        if (!ok) {
+            result.stats.rejectCausalityA++;
             continue;
+        }
 
         // ---- Axiom: Coherence ------------------------------------------
         // Enumerate only coherence orders that embed causality between
@@ -993,9 +1099,15 @@ Checker::check(const Program &program) const
                 });
             if (bucket.empty() && live_writes.count() > 0)
                 some_loc_empty = true;
+            if (live_writes.count() > 0) {
+                result.stats.coLocations++;
+                result.stats.coOrders += bucket.size();
+            }
         }
-        if (some_loc_empty)
+        if (some_loc_empty) {
+            result.stats.rejectCoherenceUnembeddable++;
             continue;
+        }
 
         // Odometer over per-location coherence orders.
         std::vector<std::size_t> co_index(program.locationCount(), 0);
@@ -1009,6 +1121,17 @@ Checker::check(const Program &program) const
                 result.budgetExceeded = true;
                 break;
             }
+            result.stats.depthHistogram[depth_bucket]++;
+
+            // Opt-in sampled profiling: every Nth examined candidate
+            // gets wall-clock attribution; candidate numbering is
+            // per-check, so sampling is deterministic and invariant
+            // under --jobs N work distribution.
+            const bool sampled =
+                opts.profileEnum != 0 &&
+                (result.stats.candidateExecutions - 1) %
+                        opts.profileEnum ==
+                    0;
 
             std::vector<std::vector<EventId>> orders(
                 program.locationCount());
@@ -1017,14 +1140,41 @@ Checker::check(const Program &program) const
                 orders[loc] = bucket.empty() ? std::vector<EventId>{}
                                              : bucket[co_index[loc]];
             }
+            std::chrono::steady_clock::time_point co_start;
+            if (sampled)
+                co_start = std::chrono::steady_clock::now();
             Relation co = coRelation(program, orders, vals.live);
             Relation fr = frRelation(program, source_of, co);
+            if (sampled) {
+                profiler.samples++;
+                profiler.coBuildNs += static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - co_start)
+                        .count());
+            }
 
             // Causality (b), SC-per-Location, Atomicity, Fence-SC.
-            const bool consistent = candidateConsistent(
-                program, source_of, vals.live, derived, rf, co, fr);
+            const Axiom verdict = candidateConsistent(
+                program, source_of, vals.live, derived, rf, co, fr,
+                sampled ? &profiler : nullptr);
+            switch (verdict) {
+            case Axiom::None:
+                break;
+            case Axiom::CausalityB:
+                result.stats.rejectCausalityB++;
+                break;
+            case Axiom::ScPerLocation:
+                result.stats.rejectScPerLocation++;
+                break;
+            case Axiom::Atomicity:
+                result.stats.rejectAtomicity++;
+                break;
+            case Axiom::FenceSc:
+                result.stats.rejectFenceSc++;
+                break;
+            }
 
-            if (consistent) {
+            if (verdict == Axiom::None) {
                 result.stats.consistentExecutions++;
                 litmus::Outcome outcome =
                     extractOutcome(program, orders, vals.value);
@@ -1116,6 +1266,27 @@ Checker::check(const Program &program) const
         result.stats.publish(session->metrics);
         if (result.budgetExceeded)
             session->metrics.add("checker.budget_exceeded");
+        // Sampled timings are per-run measurements, published straight
+        // to the session (never stored in CheckStats) so a verdict-
+        // cache hit can't replay stale wall-clock numbers.
+        if (profiler.samples > 0) {
+            session->metrics.add("checker.enum.sampled.candidates",
+                                 profiler.samples);
+            session->metrics.add("checker.enum.sampled.co_build_ns",
+                                 profiler.coBuildNs);
+            session->metrics.add(
+                "checker.enum.sampled.axiom.causality_b_ns",
+                profiler.axiomNs[0]);
+            session->metrics.add(
+                "checker.enum.sampled.axiom.sc_per_location_ns",
+                profiler.axiomNs[1]);
+            session->metrics.add(
+                "checker.enum.sampled.axiom.atomicity_ns",
+                profiler.axiomNs[2]);
+            session->metrics.add(
+                "checker.enum.sampled.axiom.fence_sc_ns",
+                profiler.axiomNs[3]);
+        }
     }
 
     return result;

@@ -15,6 +15,7 @@
 #ifndef MIXEDPROXY_MODEL_CHECKER_HH
 #define MIXEDPROXY_MODEL_CHECKER_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -146,6 +147,19 @@ struct CheckOptions
     const Presolver *presolver = nullptr;
 
     /**
+     * Enumeration-profiler sampling period: every Nth examined
+     * candidate additionally gets per-axiom wall-clock timing
+     * (published as "checker.enum.sampled.*" counters). 0 disables
+     * sampling. The always-on profiler counters in CheckStats are
+     * collected regardless of this knob; sampling only adds the clock
+     * reads. Does not affect verdicts, so it is deliberately not part
+     * of the verdict-cache fingerprint — a cache hit replays the
+     * deterministic counters but produces no fresh timing samples
+     * (combine with --no-cache to force live samples).
+     */
+    std::uint64_t profileEnum = 0;
+
+    /**
      * Observability session to record into (bound for the duration of
      * check()). Null uses the calling thread's ambient session
      * (obs::ScopedSession binding, or none).
@@ -221,6 +235,50 @@ struct CheckStats
     std::uint64_t bcauseEdges = 0;
     std::uint64_t ppbcEdges = 0;
     std::uint64_t causeEdges = 0;
+
+    /**
+     * Enumeration-profiler rejection attribution (always on; plain
+     * field increments, no registry traffic in the hot loop). The
+     * first four are rf-level: the whole rf assignment dies before any
+     * coherence odometer runs, counted once per rejected assignment.
+     * The last four are candidate-level, attributed to the *first*
+     * axiom that fails in candidateConsistent()'s fixed check order
+     * (Causality-b, SC-per-Location, Atomicity, Fence-SC), so for any
+     * completed (non-budget-exceeded) enumeration:
+     *
+     *   rejectCausalityB + rejectScPerLocation + rejectAtomicity
+     *     + rejectFenceSc == candidateExecutions - consistentExecutions
+     */
+    std::uint64_t rejectNoThinAir = 0;
+    std::uint64_t rejectValueInfeasible = 0;
+    std::uint64_t rejectCausalityA = 0;
+    std::uint64_t rejectCoherenceUnembeddable = 0;
+    std::uint64_t rejectCausalityB = 0;
+    std::uint64_t rejectScPerLocation = 0;
+    std::uint64_t rejectAtomicity = 0;
+    std::uint64_t rejectFenceSc = 0;
+
+    /**
+     * Search-tree shape: examined candidates bucketed by rf depth (the
+     * number of read events = rf choice points). Bucket kDepthBuckets-1
+     * is the overflow bucket for deeper programs. Sums to
+     * candidateExecutions on a completed enumeration.
+     */
+    static constexpr std::size_t kDepthBuckets = 17;
+    std::array<std::uint64_t, kDepthBuckets> depthHistogram{};
+
+    /**
+     * Branching-factor raw sums (averages are presentation-time
+     * quotients, so the counters stay additive under session merging
+     * and jobs-invariant): rf choice points and their candidate
+     * sources, counted once per check; locations with a live write and
+     * their admissible coherence orders, counted once per surviving rf
+     * assignment.
+     */
+    std::uint64_t enumReads = 0;
+    std::uint64_t enumSourceSlots = 0;
+    std::uint64_t coLocations = 0;
+    std::uint64_t coOrders = 0;
 
     /** Add every field to @p registry under the "checker." prefix. */
     void publish(obs::MetricsRegistry &registry) const;

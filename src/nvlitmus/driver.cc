@@ -97,7 +97,19 @@ observability (docs/observability.md):
                    whole run (open in chrome://tracing or Perfetto)
   --stats-json FILE
                    write the structured metrics report (counters,
-                   gauges, timer histograms) as JSON
+                   gauges, timer histograms, enum_profile) as JSON
+  --profile-enum[=N]
+                   enumeration profiler: sample every Nth examined
+                   candidate for per-axiom wall-clock attribution
+                   (bare flag: every candidate) and print the profiler
+                   breakdown table on stderr after the run; the
+                   always-on rejection/depth/branching counters appear
+                   in --stats-json regardless
+  --metrics-out FILE
+                   write the run's metrics in Prometheus text
+                   exposition format (includes build provenance)
+  --log-json FILE  with --serve: append one structured JSONL record
+                   per request lifecycle event (mixedproxy.log.v1)
 
   --help, -h       show this text
 
@@ -205,6 +217,24 @@ parseArgs(const std::vector<std::string> &args)
                 fatal("--jobs must be at least 1");
         } else if (value_flag("--trace-out", &opts.traceOut)) {
         } else if (value_flag("--stats-json", &opts.statsJsonOut)) {
+        } else if (value_flag("--metrics-out", &opts.metricsOut)) {
+        } else if (value_flag("--log-json", &opts.logJsonOut)) {
+        } else if (arg == "--profile-enum") {
+            opts.profileEnum = 1;
+        } else if (arg.rfind("--profile-enum=", 0) == 0) {
+            value = arg.substr(15);
+            bool digits = !value.empty() &&
+                          value.find_first_not_of("0123456789") ==
+                              std::string::npos;
+            if (!digits)
+                fatal("bad --profile-enum period '", value, "'");
+            try {
+                opts.profileEnum = std::stoull(value);
+            } catch (const std::exception &) {
+                fatal("bad --profile-enum period '", value, "'");
+            }
+            if (opts.profileEnum < 1)
+                fatal("--profile-enum period must be at least 1");
         } else if (value_flag("--synth-out", &opts.synthOut)) {
         } else if (value_flag("--shrink", &opts.shrinkCondition)) {
         } else if (value_flag("--model", &value)) {
@@ -307,6 +337,7 @@ checkRequestOf(const litmus::LitmusTest &test,
     request.check.dot = options.dot;
     request.check.compareModels = options.compareModels;
     request.check.presolve = options.presolve;
+    request.check.profileEnum = options.profileEnum;
     request.lint.enabled = options.lint;
     request.sim.enabled = options.simulate;
     request.sim.iterations = options.simIterations;
@@ -425,6 +456,10 @@ runParsed(const DriverOptions &opts, engine::Engine &eng,
         out << usage();
         return 0;
     }
+    if (!opts.logJsonOut.empty() && !opts.serve) {
+        err << "nvlitmus: --log-json requires --serve\n" << usage();
+        return 2;
+    }
     if (opts.list) {
         for (const auto &name : litmus::testNames())
             out << name << "\n";
@@ -435,6 +470,7 @@ runParsed(const DriverOptions &opts, engine::Engine &eng,
         sopts.jobs = opts.jobs;
         sopts.socketPath = opts.serveSocketPath;
         sopts.session = obs::current();
+        sopts.logJsonPath = opts.logJsonOut;
         if (!sopts.socketPath.empty())
             return engine::serveSocket(eng, sopts, err);
         return engine::serve(eng, sopts, std::cin, out, err);
@@ -571,6 +607,7 @@ runParsed(const DriverOptions &opts, engine::Engine &eng,
                     engine::Request::forCheck(tests[i]);
                 request.check.mode = opts.mode;
                 request.check.presolve = opts.presolve;
+                request.check.profileEnum = opts.profileEnum;
                 auto verdict = eng.submit(request);
                 const model::CheckResult &result = verdict.check;
                 slots[i].passed = result.allPassed();
@@ -638,7 +675,9 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
     // call (a run is a value, not a process): nothing leaks into the
     // global session, and concurrent runCli calls cannot collide.
     const bool observing = opts.timing || !opts.traceOut.empty() ||
-                           !opts.statsJsonOut.empty();
+                           !opts.statsJsonOut.empty() ||
+                           opts.profileEnum != 0 ||
+                           !opts.metricsOut.empty();
     obs::Session session;
     if (observing)
         session.enable();
@@ -655,6 +694,20 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
         session.disable();
         if (opts.timing)
             err << obs::timingTable(session.metrics);
+        if (opts.profileEnum != 0)
+            err << obs::enumProfileTable(session.metrics);
+        if (!opts.metricsOut.empty()) {
+            std::map<std::string, std::string> meta;
+            meta["tool"] = "nvlitmus";
+            meta["model"] = model::toString(opts.mode);
+            if (!writeFileOrFail(
+                    opts.metricsOut,
+                    obs::prometheusText(session.metrics, meta))) {
+                err << "nvlitmus: cannot write metrics to '"
+                    << opts.metricsOut << "'\n";
+                code = 2;
+            }
+        }
         if (!opts.traceOut.empty() &&
             !writeFileOrFail(opts.traceOut,
                              obs::chromeTraceJson(session.tracer))) {

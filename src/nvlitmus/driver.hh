@@ -99,6 +99,28 @@ struct DriverOptions
     std::string statsJsonOut;
 
     /**
+     * Enumeration-profiler sampling (--profile-enum[=N], ISSUE 8):
+     * sample every Nth examined candidate for per-axiom wall-clock
+     * attribution and print the profiler breakdown table on stderr.
+     * 0 = off; the bare flag means N=1 (sample everything). Attaches
+     * the obs session like the sinks above.
+     */
+    std::uint64_t profileEnum = 0;
+
+    /**
+     * Write the session's metrics in Prometheus text exposition format
+     * to this file at the end of the run ("" = don't). Attaches the
+     * obs session.
+     */
+    std::string metricsOut;
+
+    /**
+     * Structured JSONL event log for the daemon (--log-json PATH;
+     * requires --serve). See docs/service.md.
+     */
+    std::string logJsonOut;
+
+    /**
      * Worker threads for batch work: the --all table, multi-input
      * check/lint runs, synthesis (runtime::parallelFor), and the
      * daemon's request pool. Output is identical for any value

@@ -1,0 +1,23 @@
+#include "build_info.hh"
+
+#ifndef MIXEDPROXY_GIT_SHA
+#define MIXEDPROXY_GIT_SHA "unknown"
+#endif
+#ifndef MIXEDPROXY_COMPILER
+#define MIXEDPROXY_COMPILER "unknown"
+#endif
+#ifndef MIXEDPROXY_BUILD_TYPE
+#define MIXEDPROXY_BUILD_TYPE "unknown"
+#endif
+
+namespace mixedproxy::obs {
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info{MIXEDPROXY_GIT_SHA, MIXEDPROXY_COMPILER,
+                                MIXEDPROXY_BUILD_TYPE};
+    return info;
+}
+
+} // namespace mixedproxy::obs

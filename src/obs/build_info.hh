@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Build provenance (ISSUE 8): the git revision, compiler, and build
+ * type the binary was produced from, so every stats report and daemon
+ * metrics response is attributable to a concrete build. The values are
+ * captured at CMake configure time (src/obs/CMakeLists.txt) and baked
+ * into this translation unit as compile definitions — reconfigure to
+ * refresh the SHA after new commits.
+ */
+
+#ifndef MIXEDPROXY_OBS_BUILD_INFO_HH
+#define MIXEDPROXY_OBS_BUILD_INFO_HH
+
+#include <string>
+
+namespace mixedproxy::obs {
+
+/** One build's provenance; every field is "unknown" when unavailable. */
+struct BuildInfo
+{
+    std::string gitSha;    ///< short revision at configure time
+    std::string compiler;  ///< "<id> <version>", e.g. "GNU 12.2.0"
+    std::string buildType; ///< CMAKE_BUILD_TYPE, e.g. "Release"
+};
+
+/** The provenance of this binary (process-lifetime constant). */
+const BuildInfo &buildInfo();
+
+} // namespace mixedproxy::obs
+
+#endif // MIXEDPROXY_OBS_BUILD_INFO_HH

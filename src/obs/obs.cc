@@ -54,6 +54,7 @@ Span::end()
     event.durationUs = seconds * 1e6;
     event.depth = _depth;
     event.tid = s.threadId;
+    event.requestId = s.requestId;
     s.tracer.record(std::move(event));
 }
 

@@ -61,6 +61,15 @@ class Session
      */
     int threadId = 0;
 
+    /**
+     * Service request id for span export: the daemon stamps every
+     * request's session with its monotonically assigned id, and every
+     * span recorded into the session carries it (TraceEvent::requestId,
+     * JSONL log lines). 0 = not a service request. enable() does not
+     * reset it — set it after enabling.
+     */
+    std::uint64_t requestId = 0;
+
     /** Start recording on a fresh timeline: clear data, origin = now. */
     void enable()
     {

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/build_info.hh"
+
 namespace mixedproxy::obs {
 
 std::string
@@ -71,27 +73,72 @@ chromeTraceJson(const Tracer &tracer)
               "\"tid\":"
            << event.tid << ",\"ts\":" << jsonNumber(event.startUs)
            << ",\"dur\":" << jsonNumber(event.durationUs)
-           << ",\"args\":{\"depth\":" << event.depth << "}}";
+           << ",\"args\":{\"depth\":" << event.depth;
+        if (event.requestId != 0)
+            os << ",\"request_id\":" << event.requestId;
+        os << "}}";
     }
     os << "\n]}\n";
     return os.str();
 }
+
+namespace {
+
+/** The "checker.enum." counters are lifted into enum_profile. */
+constexpr const char *kEnumPrefix = "checker.enum.";
+
+bool
+hasPrefix(const std::string &name, const std::string &prefix)
+{
+    return name.size() >= prefix.size() &&
+           name.compare(0, prefix.size(), prefix) == 0;
+}
+
+/**
+ * Emit one enum_profile subsection: every "checker.enum.<group>.*"
+ * counter keyed by its suffix after the group.
+ */
+void
+emitEnumSection(std::ostringstream &os, const MetricsRegistry &registry,
+                const char *label, const std::string &group, bool last)
+{
+    const std::string prefix = std::string(kEnumPrefix) + group + ".";
+    os << "    \"" << label << "\": {";
+    bool first = true;
+    for (const auto &[name, value] : registry.counters()) {
+        if (!hasPrefix(name, prefix))
+            continue;
+        os << (first ? "\n" : ",\n") << "      \""
+           << jsonEscape(name.substr(prefix.size())) << "\": " << value;
+        first = false;
+    }
+    os << (first ? "" : "\n    ") << "}" << (last ? "\n" : ",\n");
+}
+
+} // namespace
 
 std::string
 statsJson(const MetricsRegistry &registry,
           const std::map<std::string, std::string> &meta)
 {
     std::ostringstream os;
-    os << "{\n  \"schema\": \"mixedproxy.stats.v1\",\n  \"meta\": {";
+    os << "{\n  \"schema\": \"mixedproxy.stats.v2\",\n  \"meta\": {";
     bool first = true;
     for (const auto &[key, value] : meta) {
         os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(key)
            << "\": \"" << jsonEscape(value) << "\"";
         first = false;
     }
-    os << (first ? "" : "\n  ") << "},\n  \"counters\": {";
+    const BuildInfo &build = buildInfo();
+    os << (first ? "" : "\n  ") << "},\n  \"build\": {\n"
+       << "    \"git_sha\": \"" << jsonEscape(build.gitSha) << "\",\n"
+       << "    \"compiler\": \"" << jsonEscape(build.compiler) << "\",\n"
+       << "    \"build_type\": \"" << jsonEscape(build.buildType)
+       << "\"\n  },\n  \"counters\": {";
     first = true;
     for (const auto &[name, value] : registry.counters()) {
+        if (hasPrefix(name, kEnumPrefix))
+            continue; // lifted into enum_profile below
         os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
            << "\": " << value;
         first = false;
@@ -117,7 +164,29 @@ statsJson(const MetricsRegistry &registry,
            << ", \"max_ms\": " << jsonNumber(t.max * 1e3) << "}";
         first = false;
     }
-    os << (first ? "" : "\n  ") << "}\n}\n";
+    os << (first ? "" : "\n  ") << "},\n  \"enum_profile\": {\n";
+    emitEnumSection(os, registry, "rejections", "reject", false);
+    emitEnumSection(os, registry, "depth_histogram", "depth", false);
+    // Branching spans two counter groups ("rf.*" and "co.*"); emit
+    // them with their group-qualified suffixes under one object.
+    {
+        os << "    \"branching\": {";
+        bool bfirst = true;
+        for (const auto &[name, value] : registry.counters()) {
+            const std::string base(kEnumPrefix);
+            if (!hasPrefix(name, base + "rf.") &&
+                !hasPrefix(name, base + "co.")) {
+                continue;
+            }
+            os << (bfirst ? "\n" : ",\n") << "      \""
+               << jsonEscape(name.substr(base.size()))
+               << "\": " << value;
+            bfirst = false;
+        }
+        os << (bfirst ? "" : "\n    ") << "},\n";
+    }
+    emitEnumSection(os, registry, "sampled", "sampled", true);
+    os << "  }\n}\n";
     return os.str();
 }
 
@@ -160,6 +229,225 @@ timingTable(const MetricsRegistry &registry)
                           static_cast<unsigned long long>(value));
             os << line;
         }
+    }
+    return os.str();
+}
+
+namespace {
+
+std::uint64_t
+counterOr(const MetricsRegistry &registry, const std::string &name)
+{
+    const auto &counters = registry.counters();
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+} // namespace
+
+std::string
+enumProfileTable(const MetricsRegistry &registry)
+{
+    std::ostringstream os;
+    char line[160];
+    auto row = [&](const char *name, std::uint64_t value) {
+        std::snprintf(line, sizeof(line), "  %-30s %12llu\n", name,
+                      static_cast<unsigned long long>(value));
+        os << line;
+    };
+
+    os << "enumeration profile\n" << std::string(44, '-') << "\n";
+
+    const std::uint64_t candidates =
+        counterOr(registry, "checker.candidates");
+    const std::uint64_t consistent =
+        counterOr(registry, "checker.consistent");
+    std::snprintf(line, sizeof(line),
+                  "  %-30s %12llu\n  %-30s %12llu\n", "candidates",
+                  static_cast<unsigned long long>(candidates),
+                  "consistent",
+                  static_cast<unsigned long long>(consistent));
+    os << line;
+
+    os << "rejections (rf-level, per rf assignment):\n";
+    row("no_thin_air",
+        counterOr(registry, "checker.enum.reject.no_thin_air"));
+    row("value_infeasible",
+        counterOr(registry, "checker.enum.reject.value_infeasible"));
+    row("causality_a",
+        counterOr(registry, "checker.enum.reject.causality_a"));
+    row("coherence_unembeddable",
+        counterOr(registry,
+                  "checker.enum.reject.coherence_unembeddable"));
+
+    os << "rejections (candidate-level, first failing axiom):\n";
+    row("causality_b",
+        counterOr(registry, "checker.enum.reject.causality_b"));
+    row("sc_per_location",
+        counterOr(registry, "checker.enum.reject.sc_per_location"));
+    row("atomicity",
+        counterOr(registry, "checker.enum.reject.atomicity"));
+    row("fence_sc", counterOr(registry, "checker.enum.reject.fence_sc"));
+
+    os << "candidates by rf depth:\n";
+    for (const auto &[name, value] : registry.counters()) {
+        const std::string prefix = "checker.enum.depth.";
+        if (name.size() <= prefix.size() ||
+            name.compare(0, prefix.size(), prefix) != 0) {
+            continue;
+        }
+        std::string label = "depth " + name.substr(prefix.size());
+        std::snprintf(line, sizeof(line), "  %-30s %12llu\n",
+                      label.c_str(),
+                      static_cast<unsigned long long>(value));
+        os << line;
+    }
+
+    os << "branching:\n";
+    const std::uint64_t reads =
+        counterOr(registry, "checker.enum.rf.reads");
+    const std::uint64_t slots =
+        counterOr(registry, "checker.enum.rf.source_slots");
+    const std::uint64_t locs =
+        counterOr(registry, "checker.enum.co.locations");
+    const std::uint64_t orders =
+        counterOr(registry, "checker.enum.co.orders");
+    std::snprintf(line, sizeof(line),
+                  "  %-30s %12.2f  (%llu/%llu)\n",
+                  "rf sources per read",
+                  reads ? static_cast<double>(slots) /
+                              static_cast<double>(reads)
+                        : 0.0,
+                  static_cast<unsigned long long>(slots),
+                  static_cast<unsigned long long>(reads));
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "  %-30s %12.2f  (%llu/%llu)\n",
+                  "co orders per location",
+                  locs ? static_cast<double>(orders) /
+                             static_cast<double>(locs)
+                       : 0.0,
+                  static_cast<unsigned long long>(orders),
+                  static_cast<unsigned long long>(locs));
+    os << line;
+
+    os << "prune attribution:\n";
+    row("fastpath hits", counterOr(registry, "checker.fastpath.hits"));
+    row("fastpath misses",
+        counterOr(registry, "checker.fastpath.misses"));
+    row("presolve discharged",
+        counterOr(registry, "check.presolve.discharged"));
+    row("presolve inconclusive",
+        counterOr(registry, "check.presolve.inconclusive"));
+
+    const std::uint64_t samples =
+        counterOr(registry, "checker.enum.sampled.candidates");
+    if (samples > 0) {
+        std::snprintf(line, sizeof(line),
+                      "sampled wall clock (%llu candidates):\n",
+                      static_cast<unsigned long long>(samples));
+        os << line;
+        auto sampled_row = [&](const char *name,
+                               const std::string &counter) {
+            const std::uint64_t ns = counterOr(registry, counter);
+            std::snprintf(line, sizeof(line),
+                          "  %-30s %12.3f ms %10.1f ns/cand\n", name,
+                          static_cast<double>(ns) * 1e-6,
+                          static_cast<double>(ns) /
+                              static_cast<double>(samples));
+            os << line;
+        };
+        sampled_row("co+fr build",
+                    "checker.enum.sampled.co_build_ns");
+        sampled_row("axiom causality_b",
+                    "checker.enum.sampled.axiom.causality_b_ns");
+        sampled_row("axiom sc_per_location",
+                    "checker.enum.sampled.axiom.sc_per_location_ns");
+        sampled_row("axiom atomicity",
+                    "checker.enum.sampled.axiom.atomicity_ns");
+        sampled_row("axiom fence_sc",
+                    "checker.enum.sampled.axiom.fence_sc_ns");
+    } else {
+        os << "sampled wall clock: (no samples — pass "
+              "--profile-enum[=N] on a run that enumerates)\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+/** Prometheus metric-name charset: [a-zA-Z0-9_:]; we use '_' only. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "mixedproxy_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+/** Prometheus label-value escaping: backslash, quote, newline. */
+std::string
+promLabelValue(const std::string &value)
+{
+    std::string out;
+    for (char c : value) {
+        if (c == '\\' || c == '"')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+prometheusText(const MetricsRegistry &registry,
+               const std::map<std::string, std::string> &meta)
+{
+    std::ostringstream os;
+
+    const BuildInfo &build = buildInfo();
+    os << "# HELP mixedproxy_build_info Build provenance (constant 1).\n"
+       << "# TYPE mixedproxy_build_info gauge\n"
+       << "mixedproxy_build_info{git_sha=\""
+       << promLabelValue(build.gitSha) << "\",compiler=\""
+       << promLabelValue(build.compiler) << "\",build_type=\""
+       << promLabelValue(build.buildType) << "\"";
+    for (const auto &[key, value] : meta) {
+        os << "," << promName(key).substr(std::string("mixedproxy_").size())
+           << "=\"" << promLabelValue(value) << "\"";
+    }
+    os << "} 1\n";
+
+    for (const auto &[name, value] : registry.counters()) {
+        const std::string metric = promName(name) + "_total";
+        os << "# TYPE " << metric << " counter\n"
+           << metric << " " << value << "\n";
+    }
+    for (const auto &[name, value] : registry.gauges()) {
+        const std::string metric = promName(name);
+        os << "# TYPE " << metric << " gauge\n"
+           << metric << " " << jsonNumber(value) << "\n";
+    }
+    for (const std::string &name : registry.timerNames()) {
+        TimerSummary t = registry.timer(name);
+        const std::string metric = promName(name) + "_seconds";
+        os << "# TYPE " << metric << " summary\n"
+           << metric << "{quantile=\"0.5\"} " << jsonNumber(t.p50)
+           << "\n"
+           << metric << "{quantile=\"0.95\"} " << jsonNumber(t.p95)
+           << "\n"
+           << metric << "_sum " << jsonNumber(t.total) << "\n"
+           << metric << "_count " << t.count << "\n";
     }
     return os.str();
 }

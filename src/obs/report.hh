@@ -36,14 +36,25 @@ std::string chromeTraceJson(const Tracer &tracer);
  * Render @p registry as the structured stats report:
  *
  * {
- *   "schema": "mixedproxy.stats.v1",
+ *   "schema": "mixedproxy.stats.v2",
  *   "meta": { ... @p meta, verbatim ... },
+ *   "build": { "git_sha": ..., "compiler": ..., "build_type": ... },
  *   "counters": { "<name>": <uint>, ... },
  *   "gauges": { "<name>": <double>, ... },
  *   "timers": { "<name>": { "count": n, "total_ms": ..., "min_ms": ...,
  *               "mean_ms": ..., "p50_ms": ..., "p95_ms": ...,
- *               "max_ms": ... }, ... }
+ *               "max_ms": ... }, ... },
+ *   "enum_profile": { "rejections": {...}, "depth_histogram": {...},
+ *                     "branching": {...}, "sampled": {...} }
  * }
+ *
+ * v2 (ISSUE 8): the "build" provenance object, and the enumeration-
+ * profiler counters ("checker.enum.*") lifted out of "counters" into
+ * the structured "enum_profile" section — "checker.enum.reject.X"
+ * becomes enum_profile.rejections.X, "checker.enum.depth.X" becomes
+ * enum_profile.depth_histogram.X, "checker.enum.rf.X" / "co.X" become
+ * enum_profile.branching."rf.X" / "co.X", and
+ * "checker.enum.sampled.X" becomes enum_profile.sampled.X.
  *
  * Metric names are the stable identifiers from docs/observability.md.
  */
@@ -55,6 +66,27 @@ std::string statsJson(const MetricsRegistry &registry,
  * total time descending) followed by the counters, for `--timing`.
  */
 std::string timingTable(const MetricsRegistry &registry);
+
+/**
+ * Render the human enumeration-profiler breakdown (`--profile-enum`'s
+ * --timing-style table): per-axiom rejection attribution, the
+ * candidate depth histogram, rf/co branching factors, prune
+ * attribution (fastpath + presolve), and — when sampling ran — the
+ * sampled per-axiom wall-clock split.
+ */
+std::string enumProfileTable(const MetricsRegistry &registry);
+
+/**
+ * Render @p registry in the Prometheus text exposition format (v0.0.4)
+ * for `--metrics-out`: counters as `mixedproxy_<name>_total`, gauges
+ * as `mixedproxy_<name>`, timers as `mixedproxy_<name>_seconds`
+ * summaries (quantile 0.5/0.95, _sum, _count), metric names sanitized
+ * to [a-zA-Z0-9_]. A `mixedproxy_build_info` gauge carries the build
+ * provenance plus @p meta entries as labels.
+ */
+std::string
+prometheusText(const MetricsRegistry &registry,
+               const std::map<std::string, std::string> &meta = {});
 
 } // namespace mixedproxy::obs
 

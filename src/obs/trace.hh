@@ -27,6 +27,13 @@ struct TraceEvent
     double durationUs = 0.0;
     int depth = 0; ///< nesting depth when the span opened (root = 0)
     int tid = 0;   ///< worker lane (Session::threadId; 0 = main thread)
+
+    /**
+     * Service request the span belongs to (Session::requestId; 0 =
+     * not part of a daemon request). Exported as an event argument so
+     * a trace of a `--serve` run can be filtered per request.
+     */
+    std::uint64_t requestId = 0;
 };
 
 /** Append-only store of completed spans, in completion order. */

@@ -5,6 +5,9 @@
  * session merge into the server's parent session.
  */
 
+#include <filesystem>
+#include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -12,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/engine.hh"
+#include "engine/eventlog.hh"
 #include "engine/json.hh"
 #include "engine/service.hh"
 #include "obs/obs.hh"
@@ -190,6 +194,224 @@ TEST(Service, ShutdownStopsTheStreamEarly)
     auto doc = json::parse(out.str().substr(0, out.str().find('\n')));
     ASSERT_TRUE(doc);
     EXPECT_TRUE(doc->boolOr("shutdown", false));
+}
+
+TEST(Service, OpIsAnAliasForCmd)
+{
+    Engine engine;
+    auto pong = response(engine, "{\"op\":\"ping\",\"id\":4}");
+    EXPECT_TRUE(pong->boolOr("pong", false));
+    EXPECT_EQ(pong->uintOr("id", 0), 4u);
+    // "cmd" wins when both are present.
+    auto both =
+        response(engine, "{\"cmd\":\"ping\",\"op\":\"shutdown\"}");
+    EXPECT_TRUE(both->boolOr("pong", false));
+}
+
+TEST(Service, MetricsOpNeedsAServiceState)
+{
+    // Direct handleRequestLine calls (no daemon) have no live state to
+    // report; the op must fail cleanly instead of inventing numbers.
+    Engine engine;
+    auto bare = response(engine, "{\"op\":\"metrics\"}");
+    EXPECT_FALSE(bare->boolOr("ok", true));
+    EXPECT_NE(bare->stringOr("error", "").find("not available"),
+              std::string::npos);
+}
+
+TEST(Service, MetricsOpReportsLiveServiceState)
+{
+    Engine engine;
+    // jobs=1 serializes the stream, so by the time the metrics request
+    // runs, both earlier requests have finished.
+    std::istringstream in(
+        "{\"test\":\"fig9_message_passing\",\"id\":0}\n"
+        "{\"test\":\"fig9_message_passing\",\"id\":1}\n"
+        "{\"op\":\"metrics\",\"id\":2}\n");
+    std::ostringstream out;
+    std::ostringstream err;
+    ServeOptions options;
+    options.jobs = 1;
+    ASSERT_EQ(serve(engine, options, in, out, err), 0);
+
+    std::vector<std::string> lines;
+    std::istringstream reader(out.str());
+    for (std::string line; std::getline(reader, line);)
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 3u);
+    auto metrics = json::parse(lines[2]);
+    ASSERT_TRUE(metrics) << lines[2];
+    EXPECT_TRUE(metrics->boolOr("ok", false));
+    EXPECT_GE(metrics->find("uptime_ms")->number, 0.0);
+    // The metrics request itself is in flight and already counted.
+    EXPECT_EQ(metrics->uintOr("requests_total", 0), 3u);
+    EXPECT_EQ(metrics->uintOr("errors_total", 99), 0u);
+    EXPECT_GE(metrics->uintOr("in_flight", 0), 1u);
+
+    const json::Value *build = metrics->find("build");
+    ASSERT_TRUE(build && build->isObject());
+    for (const char *key : {"git_sha", "compiler", "build_type"})
+        EXPECT_FALSE(build->stringOr(key, "").empty()) << key;
+
+    // Merged per-request counters: one miss, one hit.
+    const json::Value *counters = metrics->find("counters");
+    ASSERT_TRUE(counters && counters->isObject());
+    EXPECT_EQ(counters->uintOr("engine.cache.miss", 0), 1u);
+    EXPECT_EQ(counters->uintOr("engine.cache.hit", 0), 1u);
+
+    // Per-op latency summaries for the finished check requests.
+    const json::Value *ops = metrics->find("ops");
+    ASSERT_TRUE(ops && ops->isObject());
+    const json::Value *check = ops->find("check");
+    ASSERT_TRUE(check && check->isObject());
+    EXPECT_EQ(check->uintOr("count", 0), 2u);
+    EXPECT_GE(check->find("total_ms")->number, 0.0);
+    EXPECT_TRUE(check->find("p95_ms") != nullptr);
+}
+
+TEST(Service, ProfileEnumKnobPublishesSampledCounters)
+{
+    Engine engine;
+    // profile_enum samples every candidate of the (cache-missing)
+    // first check; the sampled counters merge into the live registry
+    // that the metrics op snapshots.
+    std::istringstream in(
+        "{\"test\":\"fig9_message_passing\",\"profile_enum\":1,"
+        "\"id\":0}\n"
+        "{\"op\":\"metrics\",\"id\":1}\n");
+    std::ostringstream out;
+    std::ostringstream err;
+    ServeOptions options;
+    options.jobs = 1;
+    ASSERT_EQ(serve(engine, options, in, out, err), 0);
+
+    std::string second = out.str().substr(out.str().find('\n') + 1);
+    auto metrics = json::parse(second);
+    ASSERT_TRUE(metrics) << second;
+    const json::Value *counters = metrics->find("counters");
+    ASSERT_TRUE(counters && counters->isObject());
+    const std::uint64_t candidates =
+        counters->uintOr("checker.candidates", 0);
+    EXPECT_GT(candidates, 0u);
+    EXPECT_EQ(counters->uintOr("checker.enum.sampled.candidates", 0),
+              candidates);
+    EXPECT_GT(counters->uintOr("checker.enum.sampled.co_build_ns", 0),
+              0u);
+}
+
+TEST(Service, ErrorRequestsCountIntoErrorsTotal)
+{
+    Engine engine;
+    std::istringstream in("{\"cmd\":\"frobnicate\",\"id\":0}\n"
+                          "{\"op\":\"metrics\",\"id\":1}\n");
+    std::ostringstream out;
+    std::ostringstream err;
+    ServeOptions options;
+    options.jobs = 1;
+    ASSERT_EQ(serve(engine, options, in, out, err), 0);
+    std::string second = out.str().substr(out.str().find('\n') + 1);
+    auto metrics = json::parse(second.substr(0, second.find('\n')));
+    ASSERT_TRUE(metrics);
+    EXPECT_EQ(metrics->uintOr("errors_total", 0), 1u);
+}
+
+TEST(Service, JsonlLogValidatesSchemaAndRequestIds)
+{
+    const std::filesystem::path path =
+        std::filesystem::temp_directory_path() / "mp_service_log.jsonl";
+    std::filesystem::remove(path);
+    {
+        Engine engine;
+        std::istringstream in(
+            "{\"test\":\"fig9_message_passing\",\"id\":0}\n"
+            "{\"test\":\"fig9_message_passing\",\"id\":1}\n"
+            "{\"test\":\"fig9_message_passing\",\"id\":2}\n"
+            "{\"cmd\":\"frobnicate\",\"id\":3}\n");
+        std::ostringstream out;
+        std::ostringstream err;
+        ServeOptions options;
+        options.jobs = 4;
+        options.logJsonPath = path.string();
+        ASSERT_EQ(serve(engine, options, in, out, err), 0);
+    }
+
+    std::ifstream log(path);
+    std::set<std::uint64_t> started;
+    std::set<std::uint64_t> finished;
+    std::size_t cache_hits = 0;
+    std::size_t errors = 0;
+    bool saw_server_start = false;
+    for (std::string line; std::getline(log, line);) {
+        auto record = json::parse(line);
+        ASSERT_TRUE(record && record->isObject()) << line;
+        // Every record carries the schema tag, a timestamp, a level,
+        // and an event name.
+        EXPECT_EQ(record->stringOr("schema", ""), kEventLogSchema)
+            << line;
+        EXPECT_GT(record->uintOr("ts_ms", 0), 0u) << line;
+        const std::string level = record->stringOr("level", "");
+        EXPECT_TRUE(level == "info" || level == "error") << line;
+        const std::string event = record->stringOr("event", "");
+        if (event == "server.start") {
+            saw_server_start = true;
+            EXPECT_EQ(record->uintOr("jobs", 0), 4u);
+            continue;
+        }
+        const std::uint64_t id = record->uintOr("request_id", 0);
+        EXPECT_GE(id, 1u) << line;
+        EXPECT_LE(id, 4u) << line;
+        if (event == "request.start") {
+            EXPECT_TRUE(started.insert(id).second) << line;
+        } else if (event == "request.finish") {
+            EXPECT_TRUE(finished.insert(id).second) << line;
+            EXPECT_EQ(record->stringOr("op", ""), "check") << line;
+            EXPECT_TRUE(record->find("duration_ms") != nullptr) << line;
+            EXPECT_TRUE(record->find("cache_hit") != nullptr) << line;
+        } else if (event == "request.cache_hit") {
+            cache_hits++;
+        } else if (event == "request.error") {
+            errors++;
+            EXPECT_EQ(level, "error") << line;
+            EXPECT_FALSE(record->stringOr("error", "").empty()) << line;
+        } else {
+            ADD_FAILURE() << "unknown event in " << line;
+        }
+    }
+    EXPECT_TRUE(saw_server_start);
+    // Ids are assigned in arrival order, exactly once each.
+    EXPECT_EQ(started, (std::set<std::uint64_t>{1, 2, 3, 4}));
+    EXPECT_EQ(finished.size(), 3u);
+    EXPECT_EQ(cache_hits, 2u);
+    EXPECT_EQ(errors, 1u);
+    std::filesystem::remove(path);
+}
+
+TEST(Service, RequestIdsStampParentTraceAcrossJobs)
+{
+    Engine engine;
+    obs::Session parent;
+    parent.enable();
+    {
+        std::istringstream in(
+            "{\"test\":\"fig9_message_passing\"}\n"
+            "{\"test\":\"fig2_iriw_weak\"}\n"
+            "{\"test\":\"fig8a_alias_fence\"}\n");
+        std::ostringstream out;
+        std::ostringstream err;
+        ServeOptions options;
+        options.jobs = 4;
+        options.session = &parent;
+        ASSERT_EQ(serve(engine, options, in, out, err), 0);
+    }
+    parent.disable();
+    std::set<std::uint64_t> ids;
+    for (const obs::TraceEvent &event : parent.tracer.events()) {
+        EXPECT_NE(event.requestId, 0u) << event.name;
+        ids.insert(event.requestId);
+    }
+    // Every span of every request is stamped; the three requests get
+    // ids 1..3 in arrival order regardless of worker interleaving.
+    EXPECT_EQ(ids, (std::set<std::uint64_t>{1, 2, 3}));
 }
 
 TEST(Service, RequestMetricsMergeIntoTheParentSession)

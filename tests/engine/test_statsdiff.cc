@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the stats-JSON comparator behind tools/perfcmp: regression
+ * detection (percentage gate plus absolute floor), report notes, and
+ * the CLI's exit-code contract — nonzero on an injected regression
+ * unless --report-only (the ISSUE 8 acceptance check).
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "engine/json.hh"
+#include "engine/statsdiff.hh"
+
+namespace {
+
+using namespace mixedproxy::engine;
+
+std::unique_ptr<json::Value>
+doc(const std::string &text)
+{
+    std::string error;
+    auto value = json::parse(text, &error);
+    EXPECT_TRUE(value) << error;
+    return value;
+}
+
+const char *kBaseline = R"({
+  "schema": "mixedproxy.stats.v2",
+  "gauges": {"wall_ms": 100.0, "ratio": 2.0},
+  "timers": {
+    "check": {"count": 4, "total_ms": 200.0},
+    "parse": {"count": 4, "total_ms": 1.0}
+  }
+})";
+
+TEST(StatsDiff, CleanComparisonHasNoRegressions)
+{
+    auto base = doc(kBaseline);
+    auto report = diffStats(*base, *base, {});
+    EXPECT_FALSE(report.hasRegression());
+    // wall_ms, check, parse — the unit-less gauge is not compared.
+    EXPECT_EQ(report.entries.size(), 3u);
+    EXPECT_TRUE(report.notes.empty());
+}
+
+TEST(StatsDiff, DetectsRegressionAboveThreshold)
+{
+    auto base = doc(kBaseline);
+    auto curr = doc(R"({
+      "schema": "mixedproxy.stats.v2",
+      "gauges": {"wall_ms": 100.0, "ratio": 2.0},
+      "timers": {
+        "check": {"count": 4, "total_ms": 260.0},
+        "parse": {"count": 4, "total_ms": 1.0}
+      }
+    })");
+    auto report = diffStats(*base, *curr, {});
+    ASSERT_TRUE(report.hasRegression());
+    for (const StatsDiffEntry &entry : report.entries) {
+        EXPECT_EQ(entry.regression, entry.name == "timer:check")
+            << entry.name;
+    }
+    EXPECT_NE(report.render().find("REGRESSION"), std::string::npos);
+}
+
+TEST(StatsDiff, AbsoluteFloorSuppressesMicroTimerNoise)
+{
+    auto base = doc(kBaseline);
+    // parse doubles (+100%) but only by 1 ms — under the default
+    // 1 ms absolute floor it must not be a strict regression.
+    auto curr = doc(R"({
+      "schema": "mixedproxy.stats.v2",
+      "gauges": {"wall_ms": 100.0},
+      "timers": {
+        "check": {"count": 4, "total_ms": 200.0},
+        "parse": {"count": 4, "total_ms": 2.0}
+      }
+    })");
+    EXPECT_FALSE(diffStats(*base, *curr, {}).hasRegression());
+    StatsDiffOptions strict;
+    strict.minAbsMs = 0.5;
+    EXPECT_TRUE(diffStats(*base, *curr, strict).hasRegression());
+}
+
+TEST(StatsDiff, SchemaAndSeriesMismatchesBecomeNotes)
+{
+    auto base = doc(kBaseline);
+    auto curr = doc(R"({
+      "schema": "mixedproxy.stats.v1",
+      "gauges": {"wall_ms": 90.0, "new_ms": 5.0},
+      "timers": {"check": {"count": 4, "total_ms": 190.0}}
+    })");
+    auto report = diffStats(*base, *curr, {});
+    EXPECT_FALSE(report.hasRegression());
+    bool schema_note = false;
+    bool missing_note = false;
+    bool new_note = false;
+    for (const std::string &note : report.notes) {
+        schema_note |= note.find("schema mismatch") != std::string::npos;
+        missing_note |=
+            note.find("missing from current: timer:parse") !=
+            std::string::npos;
+        new_note |= note.find("new in current: gauge:new_ms") !=
+                    std::string::npos;
+    }
+    EXPECT_TRUE(schema_note);
+    EXPECT_TRUE(missing_note);
+    EXPECT_TRUE(new_note);
+}
+
+/** Write @p text to a unique temp file removed on destruction. */
+class TempStats
+{
+  public:
+    TempStats(const std::string &stem, const std::string &text)
+        : _path(std::filesystem::temp_directory_path() /
+                ("mp_statsdiff_" + stem + ".json"))
+    {
+        std::ofstream file(_path);
+        file << text;
+    }
+
+    ~TempStats() { std::filesystem::remove(_path); }
+
+    std::string path() const { return _path.string(); }
+
+  private:
+    std::filesystem::path _path;
+};
+
+int
+runPerfcmp(const std::vector<std::string> &args,
+           std::string *out_text = nullptr)
+{
+    std::ostringstream out;
+    std::ostringstream err;
+    int code = perfcmpMain(args, out, err);
+    if (out_text)
+        *out_text = out.str() + err.str();
+    return code;
+}
+
+TEST(Perfcmp, ExitsNonzeroOnInjectedRegression)
+{
+    TempStats base("base", kBaseline);
+    TempStats slow("slow", R"({
+      "schema": "mixedproxy.stats.v2",
+      "gauges": {"wall_ms": 100.0},
+      "timers": {
+        "check": {"count": 4, "total_ms": 500.0},
+        "parse": {"count": 4, "total_ms": 1.0}
+      }
+    })");
+    std::string out;
+    EXPECT_EQ(runPerfcmp({base.path(), slow.path()}, &out), 1);
+    EXPECT_NE(out.find("regressions found"), std::string::npos);
+
+    // --report-only downgrades the regression to exit 0 (CI smoke).
+    EXPECT_EQ(runPerfcmp({"--report-only", base.path(), slow.path()},
+                         &out),
+              0);
+    EXPECT_NE(out.find("report-only"), std::string::npos);
+
+    // A generous threshold clears it entirely.
+    EXPECT_EQ(runPerfcmp({"--threshold=200", base.path(), slow.path()},
+                         &out),
+              0);
+    EXPECT_NE(out.find("no regressions"), std::string::npos);
+}
+
+TEST(Perfcmp, IdenticalFilesCompareClean)
+{
+    TempStats base("same_a", kBaseline);
+    TempStats curr("same_b", kBaseline);
+    std::string out;
+    EXPECT_EQ(runPerfcmp({base.path(), curr.path()}, &out), 0);
+    EXPECT_NE(out.find("no regressions"), std::string::npos);
+}
+
+TEST(Perfcmp, UsageAndIoErrorsExitTwo)
+{
+    TempStats base("usage", kBaseline);
+    EXPECT_EQ(runPerfcmp({}), 2);
+    EXPECT_EQ(runPerfcmp({base.path()}), 2);
+    EXPECT_EQ(runPerfcmp({"--bogus", base.path(), base.path()}), 2);
+    EXPECT_EQ(runPerfcmp({"--threshold=abc", base.path(), base.path()}),
+              2);
+    EXPECT_EQ(runPerfcmp({base.path(), "/nonexistent_dir_mp/x.json"}),
+              2);
+    TempStats garbage("garbage", "not json at all");
+    EXPECT_EQ(runPerfcmp({base.path(), garbage.path()}), 2);
+}
+
+} // namespace

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "litmus/parser.hh"
+#include "litmus/registry.hh"
 #include "litmus/test.hh"
 #include "model/checker.hh"
 #include "relation/error.hh"
@@ -517,6 +518,99 @@ TEST(Checker, Ptx75IsConservativeOverPtx60OnProxyFreePrograms)
     auto r75 = run(test, ProxyMode::Ptx75);
     auto r60 = run(test, ProxyMode::Ptx60);
     EXPECT_EQ(r75.outcomes, r60.outcomes);
+}
+
+TEST(CheckerProfile, RejectionCountersSumOverFigureCorpus)
+{
+    // The profiler's attribution contract (ISSUE 8): on any completed
+    // enumeration every non-consistent candidate is charged to exactly
+    // one candidate-level axiom, and the depth histogram covers every
+    // examined candidate.
+    std::size_t covered = 0;
+    for (const std::string &name : litmus::testNames()) {
+        if (name.rfind("fig8", 0) != 0 && name.rfind("fig9", 0) != 0)
+            continue;
+        auto result = run(litmus::testByName(name));
+        ASSERT_FALSE(result.budgetExceeded) << name;
+        const CheckStats &s = result.stats;
+        EXPECT_EQ(s.rejectCausalityB + s.rejectScPerLocation +
+                      s.rejectAtomicity + s.rejectFenceSc,
+                  s.candidateExecutions - s.consistentExecutions)
+            << name;
+        std::uint64_t depth_sum = 0;
+        for (std::uint64_t bucket : s.depthHistogram)
+            depth_sum += bucket;
+        EXPECT_EQ(depth_sum, s.candidateExecutions) << name;
+        covered++;
+    }
+    EXPECT_GE(covered, 15u);
+}
+
+TEST(CheckerProfile, BranchingCountersMatchProgramShape)
+{
+    auto test = LitmusBuilder("branching")
+                    .thread("t0", 0, 0, {"st.global.u32 [x], 1"})
+                    .thread("t1", 1, 0, {"ld.global.u32 r1, [x]"})
+                    .permit("t1.r1 == 0 || t1.r1 == 1")
+                    .build();
+    auto result = run(test);
+    const CheckStats &s = result.stats;
+    // One read with two candidate sources (the init write and t0's
+    // store): two rf assignments, each seeing the one location with a
+    // live write and its single admissible coherence order.
+    EXPECT_EQ(s.enumReads, 1u);
+    EXPECT_EQ(s.enumSourceSlots, 2u);
+    EXPECT_EQ(s.rfAssignments, 2u);
+    EXPECT_EQ(s.coLocations, s.rfAssignments);
+    EXPECT_EQ(s.coOrders, s.coLocations);
+    // Depth = reads = 1; every candidate lands in bucket 1.
+    EXPECT_EQ(s.depthHistogram[1], s.candidateExecutions);
+}
+
+TEST(CheckerProfile, SamplingIsDeterministicPerCheck)
+{
+    obs::Session session;
+    session.enable();
+    CheckOptions opts;
+    opts.profileEnum = 1;
+    opts.session = &session;
+    auto result =
+        Checker(opts).check(litmus::testByName("fig9_message_passing"));
+    session.disable();
+    // Period 1 samples every examined candidate; the sample *count* is
+    // deterministic even though the sampled timings are wall clock.
+    EXPECT_EQ(session.metrics.counter("checker.enum.sampled.candidates"),
+              result.stats.candidateExecutions);
+    EXPECT_GT(
+        session.metrics.counter("checker.enum.sampled.co_build_ns"), 0u);
+
+    obs::Session coarse;
+    coarse.enable();
+    CheckOptions opts4;
+    opts4.profileEnum = 4;
+    opts4.session = &coarse;
+    auto result4 =
+        Checker(opts4).check(litmus::testByName("fig9_message_passing"));
+    coarse.disable();
+    EXPECT_EQ(coarse.metrics.counter("checker.enum.sampled.candidates"),
+              (result4.stats.candidateExecutions + 3) / 4);
+}
+
+TEST(CheckerProfile, DisabledSamplingPublishesNoSampledCounters)
+{
+    obs::Session session;
+    session.enable();
+    CheckOptions opts;
+    opts.session = &session;
+    Checker(opts).check(litmus::testByName("fig9_message_passing"));
+    session.disable();
+    EXPECT_EQ(session.metrics.counter("checker.enum.sampled.candidates"),
+              0u);
+    // The always-on counters are still published.
+    EXPECT_GT(session.metrics.counter(
+                  "checker.enum.reject.causality_b") +
+                  session.metrics.counter("checker.consistent"),
+              0u);
 }
 
 } // namespace

@@ -136,6 +136,52 @@ TEST(ParseArgs, ObservabilityFlags)
     EXPECT_THROW(parseArgs({"--stats-json"}), FatalError);
 }
 
+TEST(ParseArgs, ProfileEnumFlag)
+{
+    EXPECT_EQ(parseArgs({"x"}).profileEnum, 0u);
+    // The bare flag samples every candidate; =N sets the period.
+    EXPECT_EQ(parseArgs({"--profile-enum", "x"}).profileEnum, 1u);
+    EXPECT_EQ(parseArgs({"--profile-enum=8", "x"}).profileEnum, 8u);
+    EXPECT_THROW(parseArgs({"--profile-enum=0"}), FatalError);
+    EXPECT_THROW(parseArgs({"--profile-enum="}), FatalError);
+    EXPECT_THROW(parseArgs({"--profile-enum=abc"}), FatalError);
+    EXPECT_THROW(parseArgs({"--profile-enum=4x"}), FatalError);
+    EXPECT_THROW(parseArgs({"--profile-enumx"}), FatalError);
+}
+
+TEST(ParseArgs, MetricsOutAndLogJsonFlags)
+{
+    auto opts = parseArgs({"--metrics-out", "m.prom", "x"});
+    EXPECT_EQ(opts.metricsOut, "m.prom");
+    opts = parseArgs({"--metrics-out=m2.prom", "x"});
+    EXPECT_EQ(opts.metricsOut, "m2.prom");
+    EXPECT_THROW(parseArgs({"--metrics-out"}), FatalError);
+
+    opts = parseArgs({"--serve", "--log-json=log.jsonl"});
+    EXPECT_EQ(opts.logJsonOut, "log.jsonl");
+    EXPECT_THROW(parseArgs({"--log-json"}), FatalError);
+}
+
+TEST(Cli, LogJsonWithoutServeIsUsageError)
+{
+    std::string err;
+    EXPECT_EQ(run({"--log-json=log.jsonl", "fig9_message_passing"},
+                  nullptr, &err),
+              2);
+    EXPECT_NE(err.find("--log-json requires --serve"),
+              std::string::npos);
+}
+
+TEST(Cli, HelpMentionsObservabilityFlags)
+{
+    std::string out;
+    EXPECT_EQ(run({"--help"}, &out), 0);
+    for (const char *flag : {"--profile-enum", "--metrics-out",
+                             "--log-json", "--timing", "--stats-json"}) {
+        EXPECT_NE(out.find(flag), std::string::npos) << flag;
+    }
+}
+
 TEST(Cli, HelpAndList)
 {
     std::string out;

@@ -9,7 +9,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -77,7 +79,7 @@ TEST(DriverObs, StatsJsonHasDocumentedCheckerMetrics)
     std::string error;
     auto doc = parseJson(stats.contents(), &error);
     ASSERT_TRUE(doc.has_value()) << error;
-    EXPECT_EQ(doc->at("schema").string, "mixedproxy.stats.v1");
+    EXPECT_EQ(doc->at("schema").string, "mixedproxy.stats.v2");
     EXPECT_EQ(doc->at("meta").at("tool").string, "nvlitmus");
     EXPECT_EQ(doc->at("meta").at("model").string, "ptx75");
     // The stable checker metric names (docs/observability.md).
@@ -169,6 +171,124 @@ TEST(DriverObs, UnwritableSinkIsUsageError)
         run({"--trace-out=/nonexistent_dir_mp/x.json", "fig2_iriw_weak"},
             nullptr, &err),
         2);
+}
+
+TEST(DriverObs, StatsJsonCarriesEnumProfileAndBuild)
+{
+    TempFile stats("enum_stats.json");
+    ASSERT_EQ(run({"--stats-json=" + stats.path().string(),
+                   "fig4_const_alias_nofence"}),
+              0);
+    std::string error;
+    auto doc = parseJson(stats.contents(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_FALSE(doc->at("build").at("git_sha").string.empty());
+    const JsonValue &profile = doc->at("enum_profile");
+    // The depth histogram covers every examined candidate.
+    double depth_sum = 0.0;
+    for (const auto &[bucket, value] :
+         profile.at("depth_histogram").object) {
+        (void)bucket;
+        depth_sum += value.number;
+    }
+    EXPECT_DOUBLE_EQ(
+        depth_sum, doc->at("counters").at("checker.candidates").number);
+    // Candidate-level rejections account for candidates - consistent.
+    double reject_sum = 0.0;
+    for (const char *axiom : {"causality_b", "sc_per_location",
+                              "atomicity", "fence_sc"}) {
+        if (profile.at("rejections").has(axiom))
+            reject_sum += profile.at("rejections").at(axiom).number;
+    }
+    EXPECT_DOUBLE_EQ(
+        reject_sum,
+        doc->at("counters").at("checker.candidates").number -
+            doc->at("counters").at("checker.consistent").number);
+    // Branching raw sums are present for presentation-time quotients.
+    EXPECT_GT(profile.at("branching").at("rf.reads").number, 0.0);
+    EXPECT_GT(profile.at("branching").at("rf.source_slots").number, 0.0);
+}
+
+TEST(DriverObs, ProfileEnumPrintsTableAndRecordsSamples)
+{
+    TempFile stats("profile_stats.json");
+    std::string err;
+    ASSERT_EQ(run({"--profile-enum",
+                   "--stats-json=" + stats.path().string(),
+                   "fig9_message_passing"},
+                  nullptr, &err),
+              0);
+    EXPECT_NE(err.find("enumeration profile"), std::string::npos);
+    EXPECT_NE(err.find("sampled wall clock"), std::string::npos);
+    std::string error;
+    auto doc = parseJson(stats.contents(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    const JsonValue &sampled = doc->at("enum_profile").at("sampled");
+    // Period 1 samples every examined candidate.
+    EXPECT_DOUBLE_EQ(
+        sampled.at("candidates").number,
+        doc->at("counters").at("checker.candidates").number);
+    EXPECT_TRUE(sampled.has("co_build_ns"));
+    EXPECT_TRUE(sampled.has("axiom.causality_b_ns"));
+}
+
+TEST(DriverObs, MetricsOutWritesPrometheusText)
+{
+    TempFile metrics("metrics.prom");
+    ASSERT_EQ(run({"--metrics-out=" + metrics.path().string(),
+                   "fig9_message_passing"}),
+              0);
+    std::string text = metrics.contents();
+    EXPECT_NE(text.find("mixedproxy_build_info{"), std::string::npos);
+    EXPECT_NE(text.find("tool=\"nvlitmus\""), std::string::npos);
+    EXPECT_NE(text.find("mixedproxy_checker_candidates_total"),
+              std::string::npos);
+    EXPECT_NE(text.find("mixedproxy_check_seconds_count"),
+              std::string::npos);
+
+    std::string err;
+    EXPECT_EQ(run({"--metrics-out=/nonexistent_dir_mp/x.prom",
+                   "fig9_message_passing"},
+                  nullptr, &err),
+              2);
+    EXPECT_NE(err.find("cannot write"), std::string::npos);
+}
+
+TEST(DriverObs, ProfilerCountersAreJobsInvariant)
+{
+    const std::vector<std::string> inputs = {
+        "fig9_message_passing", "fig2_iriw_weak", "fig8a_alias_fence",
+        "fig4_const_alias_nofence", "fig8b_constant_nofence"};
+    auto countersFor = [&](const std::string &jobs) {
+        TempFile stats("jobs" + jobs + "_stats.json");
+        std::vector<std::string> args = {
+            "--jobs=" + jobs, "--stats-json=" + stats.path().string()};
+        args.insert(args.end(), inputs.begin(), inputs.end());
+        EXPECT_EQ(run(args), 0);
+        std::string error;
+        auto doc = parseJson(stats.contents(), &error);
+        EXPECT_TRUE(doc.has_value()) << error;
+        // Deterministic counters only: sampled "*_ns" wall-clock
+        // counters (absent here — no --profile-enum) would differ.
+        std::map<std::string, double> flat;
+        for (const auto &[name, value] : doc->at("counters").object) {
+            if (name.find("_ns") == std::string::npos)
+                flat["counters." + name] = value.number;
+        }
+        for (const auto &[section, members] :
+             doc->at("enum_profile").object) {
+            for (const auto &[name, value] : members.object) {
+                if (name.find("_ns") == std::string::npos)
+                    flat[section + "." + name] = value.number;
+            }
+        }
+        return flat;
+    };
+    auto serial = countersFor("1");
+    auto parallel = countersFor("4");
+    EXPECT_EQ(serial, parallel);
+    EXPECT_GT(serial.at("counters.checker.candidates"), 0.0);
+    EXPECT_GT(serial.at("rejections.causality_b"), 0.0);
 }
 
 TEST(DriverObs, SessionIsDisabledAgainAfterRun)

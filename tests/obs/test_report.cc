@@ -6,6 +6,8 @@
  * JSON syntax checker in json_check.hh.
  */
 
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "json_check.hh"
@@ -76,11 +78,68 @@ TEST(StatsJson, EmptyRegistryIsValidAndComplete)
     std::string error;
     auto doc = parseJson(statsJson(reg), &error);
     ASSERT_TRUE(doc.has_value()) << error;
-    EXPECT_EQ(doc->at("schema").string, "mixedproxy.stats.v1");
+    EXPECT_EQ(doc->at("schema").string, "mixedproxy.stats.v2");
     EXPECT_TRUE(doc->at("meta").isObject());
+    EXPECT_TRUE(doc->at("build").isObject());
     EXPECT_TRUE(doc->at("counters").isObject());
     EXPECT_TRUE(doc->at("gauges").isObject());
     EXPECT_TRUE(doc->at("timers").isObject());
+    EXPECT_TRUE(doc->at("enum_profile").isObject());
+    for (const char *section :
+         {"rejections", "depth_histogram", "branching", "sampled"}) {
+        EXPECT_TRUE(doc->at("enum_profile").at(section).isObject())
+            << section;
+    }
+}
+
+TEST(StatsJson, BuildProvenanceHasAllFields)
+{
+    MetricsRegistry reg;
+    std::string error;
+    auto doc = parseJson(statsJson(reg), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    const JsonValue &build = doc->at("build");
+    for (const char *key : {"git_sha", "compiler", "build_type"}) {
+        ASSERT_TRUE(build.has(key)) << key;
+        EXPECT_TRUE(build.at(key).isString()) << key;
+        EXPECT_FALSE(build.at(key).string.empty()) << key;
+    }
+}
+
+TEST(StatsJson, EnumCountersAreLiftedIntoEnumProfile)
+{
+    MetricsRegistry reg;
+    reg.add("checker.candidates", 10);
+    reg.add("checker.enum.reject.causality_b", 3);
+    reg.add("checker.enum.reject.sc_per_location", 2);
+    reg.add("checker.enum.depth.2", 5);
+    reg.add("checker.enum.depth.overflow", 1);
+    reg.add("checker.enum.rf.reads", 2);
+    reg.add("checker.enum.co.orders", 6);
+    reg.add("checker.enum.sampled.candidates", 7);
+    std::string error;
+    auto doc = parseJson(statsJson(reg), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+
+    const JsonValue &profile = doc->at("enum_profile");
+    EXPECT_DOUBLE_EQ(profile.at("rejections").at("causality_b").number,
+                     3.0);
+    EXPECT_DOUBLE_EQ(
+        profile.at("rejections").at("sc_per_location").number, 2.0);
+    EXPECT_DOUBLE_EQ(profile.at("depth_histogram").at("2").number, 5.0);
+    EXPECT_DOUBLE_EQ(profile.at("depth_histogram").at("overflow").number,
+                     1.0);
+    EXPECT_DOUBLE_EQ(profile.at("branching").at("rf.reads").number, 2.0);
+    EXPECT_DOUBLE_EQ(profile.at("branching").at("co.orders").number,
+                     6.0);
+    EXPECT_DOUBLE_EQ(profile.at("sampled").at("candidates").number, 7.0);
+
+    // Lifted counters must not be duplicated in the flat section;
+    // everything else stays where it was.
+    const JsonValue &counters = doc->at("counters");
+    EXPECT_FALSE(counters.has("checker.enum.reject.causality_b"));
+    EXPECT_FALSE(counters.has("checker.enum.depth.2"));
+    EXPECT_TRUE(counters.has("checker.candidates"));
 }
 
 TEST(StatsJson, RendersAllMetricKindsAndMeta)
@@ -146,6 +205,99 @@ TEST(TimingTable, EmptyRegistryExplainsItself)
 {
     MetricsRegistry reg;
     EXPECT_NE(timingTable(reg).find("(no phases recorded)"),
+              std::string::npos);
+}
+
+TEST(ChromeTrace, RequestIdIsAnEventArgument)
+{
+    Tracer tracer;
+    tracer.record({"engine.request", 1.0, 2.0, 0, 3, 42});
+    tracer.record({"parse", 1.0, 2.0, 0, 0, 0});
+    std::string error;
+    auto doc = parseJson(chromeTraceJson(tracer), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    const auto &events = doc->at("traceEvents").array;
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_NEAR(events[0].at("args").at("request_id").number, 42.0,
+                1e-9);
+    // Id zero means "not a daemon request" and is omitted entirely.
+    EXPECT_FALSE(events[1].at("args").has("request_id"));
+}
+
+TEST(EnumProfileTable, RendersEverySection)
+{
+    MetricsRegistry reg;
+    reg.add("checker.candidates", 12);
+    reg.add("checker.consistent", 4);
+    reg.add("checker.enum.reject.causality_b", 5);
+    reg.add("checker.enum.reject.no_thin_air", 2);
+    reg.add("checker.enum.depth.3", 12);
+    reg.add("checker.enum.rf.reads", 3);
+    reg.add("checker.enum.rf.source_slots", 9);
+    reg.add("checker.enum.co.locations", 2);
+    reg.add("checker.enum.co.orders", 4);
+    reg.add("checker.fastpath.hits", 6);
+    std::string table = enumProfileTable(reg);
+    EXPECT_NE(table.find("enumeration profile"), std::string::npos);
+    EXPECT_NE(table.find("causality_b"), std::string::npos);
+    EXPECT_NE(table.find("no_thin_air"), std::string::npos);
+    EXPECT_NE(table.find("depth 3"), std::string::npos);
+    EXPECT_NE(table.find("rf sources per read"), std::string::npos);
+    EXPECT_NE(table.find("(9/3)"), std::string::npos);
+    EXPECT_NE(table.find("co orders per location"), std::string::npos);
+    EXPECT_NE(table.find("fastpath hits"), std::string::npos);
+    // Without samples the table says how to get them.
+    EXPECT_NE(table.find("--profile-enum"), std::string::npos);
+}
+
+TEST(EnumProfileTable, SampledSectionShowsPerCandidateCost)
+{
+    MetricsRegistry reg;
+    reg.add("checker.enum.sampled.candidates", 4);
+    reg.add("checker.enum.sampled.co_build_ns", 8000);
+    reg.add("checker.enum.sampled.axiom.causality_b_ns", 4000);
+    std::string table = enumProfileTable(reg);
+    EXPECT_NE(table.find("sampled wall clock (4 candidates)"),
+              std::string::npos);
+    EXPECT_NE(table.find("co+fr build"), std::string::npos);
+    EXPECT_NE(table.find("axiom causality_b"), std::string::npos);
+}
+
+TEST(Prometheus, RendersAllMetricKindsAndBuildInfo)
+{
+    MetricsRegistry reg;
+    reg.add("checker.candidates", 64);
+    reg.set("sim.mean_latency_cycles", 3.5);
+    reg.record("check", 0.002);
+    std::map<std::string, std::string> meta{{"tool", "nvlitmus"}};
+    std::string text = prometheusText(reg, meta);
+    EXPECT_NE(text.find("mixedproxy_build_info{"), std::string::npos);
+    EXPECT_NE(text.find("git_sha=\""), std::string::npos);
+    EXPECT_NE(text.find("tool=\"nvlitmus\""), std::string::npos);
+    EXPECT_NE(text.find("mixedproxy_checker_candidates_total 64"),
+              std::string::npos);
+    EXPECT_NE(text.find("mixedproxy_sim_mean_latency_cycles"),
+              std::string::npos);
+    EXPECT_NE(text.find("mixedproxy_check_seconds{quantile=\"0.5\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("mixedproxy_check_seconds_count 1"),
+              std::string::npos);
+    // Every line is either a comment or "name[{labels}] value".
+    std::istringstream lines(text);
+    for (std::string line; std::getline(lines, line);) {
+        ASSERT_FALSE(line.empty());
+        if (line[0] == '#')
+            continue;
+        EXPECT_NE(line.find(' '), std::string::npos) << line;
+    }
+}
+
+TEST(Prometheus, SanitizesMetricNames)
+{
+    MetricsRegistry reg;
+    reg.add("weird.name-with/chars", 1);
+    std::string text = prometheusText(reg);
+    EXPECT_NE(text.find("mixedproxy_weird_name_with_chars_total 1"),
               std::string::npos);
 }
 

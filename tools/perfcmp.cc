@@ -1,0 +1,20 @@
+/**
+ * @file
+ * perfcmp: compare two stats-JSON bench result files against
+ * regression thresholds (docs/observability.md). A thin shim — the
+ * whole CLI lives in engine/statsdiff.hh so its exit-code contract is
+ * unit-tested.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "engine/statsdiff.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return mixedproxy::engine::perfcmpMain(args, std::cout, std::cerr);
+}
