@@ -9,6 +9,7 @@
  * the practical limit of the methodology.
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -159,12 +160,29 @@ writeStatsJson()
     }
     obs::Session session;
     session.enable();
-    for (std::size_t n = 2; n <= 3; n++) {
+    // Wall gauges end in "_ms" so tools/perfcmp gates them against the
+    // committed baseline alongside the timers (docs/observability.md).
+    // n=4 is the exact-synthesis point the incremental enumeration core
+    // makes affordable in the recorded baseline.
+    for (std::size_t n = 2; n <= 4; n++) {
         auto opts = optionsFor(n);
         opts.session = &session;
         auto report = synth::Synthesizer(opts).run();
-        session.metrics.set("synth.n" + std::to_string(n) + ".seconds",
-                            report.stats.seconds);
+        // The recorded wall is the minimum of three runs: enumeration
+        // is deterministic, so the runs differ only by scheduler and
+        // allocator noise (~30% on a busy 1-CPU runner), and the
+        // minimum is the stable estimator of the true cost. Counters
+        // come from the session-attached run above; the repeats run
+        // unobserved so they are not double-counted.
+        double wall = report.stats.seconds;
+        for (int rep = 0; rep < 2; rep++) {
+            auto repeat = optionsFor(n);
+            wall = std::min(wall,
+                            synth::Synthesizer(repeat).run()
+                                .stats.seconds);
+        }
+        session.metrics.set("synth.n" + std::to_string(n) + ".wall_ms",
+                            wall * 1000.0);
     }
     // The pruning-oracle delta at n=3 (docs/static_solver.md): the
     // on-run above already published synth.presolve.pruned_* counters;
@@ -180,14 +198,14 @@ writeStatsJson()
         opts.presolve = false;
         opts.session = &off_session;
         auto baseline = synth::Synthesizer(opts).run();
-        session.metrics.set("synth.n3.presolve_off.seconds",
-                            baseline.stats.seconds);
+        session.metrics.set("synth.n3.presolve_off.wall_ms",
+                            baseline.stats.seconds * 1000.0);
     }
     session.disable();
 
     std::map<std::string, std::string> meta;
     meta["bench"] = "sec63_synthesis";
-    meta["workload"] = "n=2..3, proxies, fence-minimal";
+    meta["workload"] = "n=2..4, proxies, fence-minimal<=3";
     const std::filesystem::path path = dir / "sec63_synthesis.stats.json";
     std::ofstream out(path);
     if (out) {

@@ -69,7 +69,11 @@ mayBaseCausality(const Program &program)
 Relation
 mustBaseCausality(const Program &program)
 {
-    return (program.po() | program.barrierSync()).transitiveClosure();
+    // The rf-independent closure is the Program's precomputed base
+    // layer — the same relation the checker's layered computeDerived()
+    // starts from, so the pre-solver's must-side approximation can
+    // never drift from the enumerator's base.
+    return program.mustCause();
 }
 
 namespace {

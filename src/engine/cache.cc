@@ -155,7 +155,7 @@ class Sha256
 };
 
 /** Disk-entry format tag; bump on any layout change. */
-constexpr const char *kEntryFormat = "mixedproxy.verdict.v2";
+constexpr const char *kEntryFormat = "mixedproxy.verdict.v3";
 
 json::Value
 encodeOutcome(const litmus::Outcome &outcome)
@@ -250,6 +250,16 @@ encodeStats(const model::CheckStats &stats)
     entry.object["co_locations"] =
         json::Value::makeUint(stats.coLocations);
     entry.object["co_orders"] = json::Value::makeUint(stats.coOrders);
+    // Layered-engine counters (v3): deterministic per (test, core), so
+    // they round-trip like the other profiler counters.
+    entry.object["layer_base_reuse"] =
+        json::Value::makeUint(stats.layerBaseReuse);
+    entry.object["layer_rf_delta"] =
+        json::Value::makeUint(stats.layerRfDelta);
+    entry.object["layer_rf_prefix_reject"] =
+        json::Value::makeUint(stats.layerRfPrefixReject);
+    entry.object["layer_co_prefix_reject"] =
+        json::Value::makeUint(stats.layerCoPrefixReject);
     return entry;
 }
 
@@ -293,6 +303,10 @@ decodeStats(const json::Value &value, model::CheckStats &out)
     out.enumSourceSlots = value.uintOr("enum_source_slots", 0);
     out.coLocations = value.uintOr("co_locations", 0);
     out.coOrders = value.uintOr("co_orders", 0);
+    out.layerBaseReuse = value.uintOr("layer_base_reuse", 0);
+    out.layerRfDelta = value.uintOr("layer_rf_delta", 0);
+    out.layerRfPrefixReject = value.uintOr("layer_rf_prefix_reject", 0);
+    out.layerCoPrefixReject = value.uintOr("layer_co_prefix_reject", 0);
 }
 
 } // namespace
@@ -362,17 +376,18 @@ std::string
 VerdictCache::fingerprint(const std::string &canonicalKey,
                           model::ProxyMode mode, bool staticFastPath,
                           std::uint64_t maxExecutions,
-                          model::PresolvePolicy presolve)
+                          model::PresolvePolicy presolve,
+                          model::EnumCore enumCore)
 {
-    // "fp2" guards this layout the way the canonical key's own version
+    // "fp3" guards this layout the way the canonical key's own version
     // tag guards its serialization; any knob added to CheckOptions that
     // can change the outcome set must be appended here.
     std::ostringstream os;
-    os << "fp2|mode=" << static_cast<int>(mode)
+    os << "fp3|mode=" << static_cast<int>(mode)
        << "|fast=" << (staticFastPath ? 1 : 0)
        << "|budget=" << maxExecutions
-       << "|presolve=" << static_cast<int>(presolve) << '|'
-       << canonicalKey;
+       << "|presolve=" << static_cast<int>(presolve)
+       << "|core=" << static_cast<int>(enumCore) << '|' << canonicalKey;
     return os.str();
 }
 

@@ -85,7 +85,7 @@ Engine::checkCached(const litmus::LitmusTest &test,
 
     const std::string key = VerdictCache::fingerprint(
         form.key, mode, block.staticFastPath, block.maxExecutions,
-        block.presolve);
+        block.presolve, block.enumCore);
 
     CachedVerdict cached = verdictCache.lookupOrCompute(
         key,

@@ -80,6 +80,15 @@ struct CheckBlock
      */
     std::uint64_t profileEnum = 0;
 
+    /**
+     * Enumeration core (model::CheckOptions::enumCore, CLI
+     * --enum-core). The two cores produce bit-identical verdicts by
+     * contract, but the fingerprint still separates them so a cached
+     * incremental verdict can never mask a divergence the legacy
+     * oracle was asked to expose.
+     */
+    model::EnumCore enumCore = model::EnumCore::Incremental;
+
     /** Whether the checker must record witnesses (either renderer). */
     bool collectWitnesses() const { return showWitnesses || dot; }
 
@@ -93,6 +102,7 @@ struct CheckBlock
         opts.maxExecutions = maxExecutions;
         opts.presolve = presolve;
         opts.profileEnum = profileEnum;
+        opts.enumCore = enumCore;
         return opts;
     }
 };

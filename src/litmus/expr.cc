@@ -197,9 +197,17 @@ Expr::toString() const
       case Kind::Ne:
         return lhs->toString() + " != " + rhs->toString();
       case Kind::And:
-        return "(" + lhs->toString() + " && " + rhs->toString() + ")";
-      case Kind::Or:
-        return "(" + lhs->toString() + " || " + rhs->toString() + ")";
+      case Kind::Or: {
+        // Built by append rather than operator+ chaining: GCC 12's
+        // -Wrestrict misfires on literal + std::string&& concatenation
+        // once surrounding code is inlined aggressively (GCC PR105651).
+        std::string out = "(";
+        out += lhs->toString();
+        out += _kind == Kind::And ? " && " : " || ";
+        out += rhs->toString();
+        out += ")";
+        return out;
+      }
       case Kind::Not:
         return "!(" + lhs->toString() + ")";
     }

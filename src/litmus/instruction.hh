@@ -118,6 +118,24 @@ struct Instruction
     /** Registers this instruction reads (data + coordinate registers). */
     std::vector<std::string> sourceRegs() const;
 
+    /**
+     * Visit each source-register name in sourceRegs() order without
+     * materializing the vector (validate() runs once per synthesized
+     * candidate, where the per-instruction vector showed up in the
+     * allocation profile).
+     */
+    template <typename Fn>
+    void
+    forEachSourceReg(Fn &&fn) const
+    {
+        if (value.isReg())
+            fn(value.reg);
+        if (expected.isReg())
+            fn(expected.reg);
+        for (const auto &coord : addressCoordRegs)
+            fn(coord);
+    }
+
     /** Canonical PTX-style rendering. */
     std::string toString() const;
 };

@@ -26,6 +26,7 @@ LitmusTest::LitmusTest(std::string name)
 std::size_t
 LitmusTest::addThread(Thread thread)
 {
+    _validated = false;
     _threads.push_back(std::move(thread));
     return _threads.size() - 1;
 }
@@ -54,6 +55,7 @@ LitmusTest::addAlias(const std::string &va, const std::string &canonical)
         fatal("address '", va, "' is already aliased to '", locationOf(va),
               "'");
     }
+    _validated = false;
     aliasTo[va] = root;
 }
 
@@ -114,6 +116,7 @@ LitmusTest::addressesOf(const std::string &location) const
 void
 LitmusTest::setInit(const std::string &va, std::uint64_t value)
 {
+    _validated = false;
     initValues[locationOf(va)] = value;
 }
 
@@ -131,6 +134,7 @@ LitmusTest::addAssertion(AssertKind kind, const std::string &condition)
     a.kind = kind;
     a.condition = parseCondition(condition);
     a.text = condition;
+    _validated = false;
     _assertions.push_back(std::move(a));
 }
 
@@ -139,91 +143,132 @@ LitmusTest::addAssertion(Assertion assertion)
 {
     if (!assertion.condition)
         fatal("assertion without a condition in test '", _name, "'");
+    _validated = false;
     _assertions.push_back(std::move(assertion));
 }
 
 void
 LitmusTest::validate() const
 {
+    if (_validated)
+        return;
     if (_threads.empty())
         fatal("test '", _name, "' has no threads");
 
-    std::set<std::string> names;
-    std::map<int, int> cta_gpu;
-    for (const auto &thread : _threads) {
-        if (!names.insert(thread.name).second)
-            fatal("duplicate thread name '", thread.name, "'");
-        auto [it, inserted] = cta_gpu.emplace(thread.cta, thread.gpu);
-        if (!inserted && it->second != thread.gpu) {
-            fatal("CTA ", thread.cta, " placed on two GPUs (",
-                  it->second, " and ", thread.gpu, ")");
+    // Litmus tests are tiny (a handful of threads, registers, and
+    // locations), so every uniqueness check below is a linear scan
+    // over a flat scratch vector: validate() runs once per synthesized
+    // candidate, where the per-call set/map node churn of the obvious
+    // implementation dominated its allocation profile.
+    std::vector<std::pair<int, int>> cta_gpu;
+    std::vector<const std::string *> defined;
+    for (std::size_t ti = 0; ti < _threads.size(); ti++) {
+        const Thread &thread = _threads[ti];
+        for (std::size_t tj = 0; tj < ti; tj++) {
+            if (_threads[tj].name == thread.name)
+                fatal("duplicate thread name '", thread.name, "'");
         }
+        bool placed = false;
+        for (const auto &[cta, gpu] : cta_gpu) {
+            if (cta != thread.cta)
+                continue;
+            placed = true;
+            if (gpu != thread.gpu) {
+                fatal("CTA ", thread.cta, " placed on two GPUs (", gpu,
+                      " and ", thread.gpu, ")");
+            }
+        }
+        if (!placed)
+            cta_gpu.emplace_back(thread.cta, thread.gpu);
         if (thread.instructions.empty())
             fatal("thread '", thread.name, "' has no instructions");
 
-        std::set<std::string> defined;
+        defined.clear();
+        auto is_defined = [&](const std::string &reg) {
+            for (const std::string *d : defined) {
+                if (*d == reg)
+                    return true;
+            }
+            return false;
+        };
         for (const auto &instr : thread.instructions) {
-            for (const auto &src : instr.sourceRegs()) {
-                if (!defined.count(src)) {
+            instr.forEachSourceReg([&](const std::string &src) {
+                if (!is_defined(src)) {
                     fatal("thread '", thread.name, "' reads register '",
                           src, "' before any definition");
                 }
-            }
+            });
             if (!instr.destReg.empty()) {
-                if (!defined.insert(instr.destReg).second) {
+                if (is_defined(instr.destReg)) {
                     fatal("thread '", thread.name,
                           "' writes register '", instr.destReg,
                           "' more than once");
                 }
+                defined.push_back(&instr.destReg);
             }
         }
     }
 
     // Execution barriers: every thread of a CTA must execute the same
     // sequence of bar.sync ids, or the rendezvous deadlocks.
-    std::map<std::pair<int, int>, std::vector<unsigned>> barrier_seq;
-    std::map<std::pair<int, int>, std::string> barrier_rep;
-    for (const auto &thread : _threads) {
-        bool any_barrier = false;
+    struct CtaBarriers
+    {
+        int gpu;
+        int cta;
         std::vector<unsigned> seq;
+        const std::string *representative;
+    };
+    std::vector<CtaBarriers> barrier_seq;
+    std::vector<unsigned> seq;
+    for (const auto &thread : _threads) {
+        seq.clear();
         for (const auto &instr : thread.instructions) {
-            if (instr.opcode == Opcode::Barrier) {
+            if (instr.opcode == Opcode::Barrier)
                 seq.push_back(instr.barrierId);
-                any_barrier = true;
+        }
+        CtaBarriers *found = nullptr;
+        for (auto &cb : barrier_seq) {
+            if (cb.gpu == thread.gpu && cb.cta == thread.cta) {
+                found = &cb;
+                break;
             }
         }
-        auto key = std::make_pair(thread.gpu, thread.cta);
-        auto [it, inserted] = barrier_seq.emplace(key, seq);
-        if (inserted) {
-            barrier_rep[key] = thread.name;
-        } else if (it->second != seq) {
-            fatal("threads '", barrier_rep[key], "' and '", thread.name,
-                  "' in CTA ", thread.cta,
+        if (!found) {
+            barrier_seq.push_back(
+                {thread.gpu, thread.cta, seq, &thread.name});
+        } else if (found->seq != seq) {
+            fatal("threads '", *found->representative, "' and '",
+                  thread.name, "' in CTA ", thread.cta,
                   " execute different bar.sync sequences");
         }
-        (void)any_barrier;
     }
 
     // Access-size consistency per location (mixed-size is unsupported).
-    std::map<std::string, unsigned> size_of;
+    std::vector<std::pair<std::string, unsigned>> size_of;
+    auto check_size = [&](const std::string &va, unsigned size) {
+        std::string loc = locationOf(va);
+        for (const auto &[known, known_size] : size_of) {
+            if (known != loc)
+                continue;
+            if (known_size != size) {
+                fatal("mixed access sizes on location '", loc,
+                      "' are not supported");
+            }
+            return;
+        }
+        size_of.emplace_back(std::move(loc), size);
+    };
     for (const auto &thread : _threads) {
         for (const auto &instr : thread.instructions) {
             if (!instr.isMemoryOp())
                 continue;
-            std::vector<std::string> accessed{instr.address};
+            check_size(instr.address, instr.accessSize);
             if (!instr.srcAddress.empty())
-                accessed.push_back(instr.srcAddress);
-            for (const auto &va : accessed) {
-                std::string loc = locationOf(va);
-                auto [it, inserted] =
-                    size_of.emplace(loc, instr.accessSize);
-                if (!inserted && it->second != instr.accessSize) {
-                    fatal("mixed access sizes on location '", loc,
-                          "' are not supported");
-                }
-            }
+                check_size(instr.srcAddress, instr.accessSize);
         }
     }
+
+    _validated = true;
 }
 
 std::size_t

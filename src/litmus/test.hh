@@ -64,6 +64,9 @@ class LitmusTest
     /** Append a thread; returns its index. */
     std::size_t addThread(Thread thread);
 
+    /** Invalidate the memoized validate() verdict (done by mutators). */
+    void touch() { _validated = false; }
+
     /** Find a thread index by name; throws FatalError if absent. */
     std::size_t threadIndex(const std::string &name) const;
 
@@ -119,6 +122,15 @@ class LitmusTest
     std::map<std::string, std::string> aliasTo; ///< va -> canonical va
     std::map<std::string, std::uint64_t> initValues; ///< by location
     std::vector<Assertion> _assertions;
+
+    /**
+     * Memoized "validate() passed" verdict, cleared by every structural
+     * mutator. The checker validates the test once per Program it
+     * expands, and synthesis expands thousands of already-validated
+     * tests — re-walking every instruction's register discipline each
+     * time was pure overhead.
+     */
+    mutable bool _validated = false;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "checker.hh"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
 #include <sstream>
 
@@ -35,6 +36,28 @@ presolvePolicyFromString(const std::string &text)
         return PresolvePolicy::On;
     if (text == "only")
         return PresolvePolicy::Only;
+    return std::nullopt;
+}
+
+std::string
+toString(EnumCore core)
+{
+    switch (core) {
+    case EnumCore::Incremental:
+        return "incremental";
+    case EnumCore::Legacy:
+        return "legacy";
+    }
+    return "incremental";
+}
+
+std::optional<EnumCore>
+enumCoreFromString(const std::string &text)
+{
+    if (text == "incremental")
+        return EnumCore::Incremental;
+    if (text == "legacy")
+        return EnumCore::Legacy;
     return std::nullopt;
 }
 
@@ -140,6 +163,10 @@ CheckStats::publish(obs::MetricsRegistry &registry) const
     registry.add("checker.enum.rf.source_slots", enumSourceSlots);
     registry.add("checker.enum.co.locations", coLocations);
     registry.add("checker.enum.co.orders", coOrders);
+    registry.add("checker.layer.base_reuse", layerBaseReuse);
+    registry.add("checker.layer.rf_delta", layerRfDelta);
+    registry.add("checker.layer.rf_prefix_reject", layerRfPrefixReject);
+    registry.add("checker.layer.co_prefix_reject", layerCoPrefixReject);
 }
 
 bool
@@ -197,6 +224,7 @@ struct Valuation
     std::vector<std::uint64_t> value;
     std::vector<char> live;
     bool feasible = true;
+    std::vector<EventId> topo; ///< evaluation-order scratch
 };
 
 std::uint64_t
@@ -213,24 +241,27 @@ operandValue(const Program &program, const Valuation &vals,
 }
 
 /**
- * Compute event values and CAS-write liveness for one rf assignment.
- * Requires rf|dep to be acyclic (No-Thin-Air, checked by the caller).
+ * Compute event values and CAS-write liveness for one rf assignment
+ * into caller-owned scratch (the hot enumeration loops reuse the
+ * vectors across assignments). Requires rf|dep to be acyclic
+ * (No-Thin-Air, checked by the caller).
  */
-Valuation
-evaluate(const Program &program, const Relation &rf,
-         const std::vector<EventId> &sourceOf)
+void
+evaluateInto(const Program &program, const Relation &rf,
+             const std::vector<EventId> &sourceOf, Valuation &vals)
 {
     const auto &events = program.events();
-    Valuation vals;
     vals.value.assign(events.size(), 0);
     vals.live.assign(events.size(), 1);
+    vals.feasible = true;
 
     Relation order = rf | program.dep();
-    auto topo = order.topologicalOrder(EventSet::full(events.size()));
-    if (!topo)
+    if (!order.topologicalOrderInto(EventSet::full(events.size()),
+                                    vals.topo)) {
         panic("evaluate called with cyclic rf|dep");
+    }
 
-    for (EventId id : *topo) {
+    for (EventId id : vals.topo) {
         const Event &e = events[id];
         if (e.isInit) {
             vals.value[id] =
@@ -241,7 +272,7 @@ evaluate(const Program &program, const Relation &rf,
             EventId src = sourceOf[id];
             if (!vals.live[src]) {
                 vals.feasible = false; // reads from a dead CAS write
-                return vals;
+                return;
             }
             vals.value[id] = vals.value[src];
             continue;
@@ -283,6 +314,15 @@ evaluate(const Program &program, const Relation &rf,
             }
         }
     }
+}
+
+/** Convenience wrapper for the one-shot callers. */
+Valuation
+evaluate(const Program &program, const Relation &rf,
+         const std::vector<EventId> &sourceOf)
+{
+    Valuation vals;
+    evaluateInto(program, rf, sourceOf, vals);
     return vals;
 }
 
@@ -411,13 +451,16 @@ computeDerived(const Program &program, const Relation &rf,
     });
 
     // Observation order: morally strong reads-from, extended through
-    // chains of atomic RMWs (release-sequence treatment).
+    // chains of atomic RMWs (release-sequence treatment). The fixpoint
+    // can only ever add edges through atomic RMW reads, so programs
+    // without one (the common case) skip it outright, and only passes
+    // that added an edge are counted — checker.fixpoint.iterations
+    // measures real work, not one mandatory no-op scan per assignment.
     d.obs = d.msRf;
     d.fastPath = single_proxy;
-    bool changed = true;
+    bool changed = program.hasAtomicReads();
     while (changed) {
         changed = false;
-        d.fixpointIterations++;
         d.obs.forEach([&](EventId w, EventId r) {
             const Event &read = events[r];
             if (!read.isAtomic())
@@ -432,6 +475,8 @@ computeDerived(const Program &program, const Relation &rf,
                 }
             });
         });
+        if (changed)
+            d.fixpointIterations++;
     }
 
     // Synchronizes-with: release pattern to acquire pattern when the
@@ -453,9 +498,17 @@ computeDerived(const Program &program, const Relation &rf,
 
     // Base causality order: transitive closure of program order,
     // synchronizes-with (§6.2.3: program order is now included), and
-    // CTA execution-barrier rendezvous edges.
-    d.bcause =
-        (program.po() | d.sw | program.barrierSync()).transitiveClosure();
+    // CTA execution-barrier rendezvous edges. The rf-independent part
+    // ^(po | barrierSync) is the Program's precomputed base layer; the
+    // rf-dependent synchronizes-with edges are folded in as incremental
+    // closure inserts instead of re-closing the union from scratch.
+    d.bcause = program.mustCause();
+    d.sw.forEach([&](EventId a, EventId b) {
+        if (!d.bcause.contains(a, b)) {
+            d.bcause.insertClosure(a, b);
+            d.swDeltaEdges++;
+        }
+    });
 
     // Proxy-preserved base causality order (§6.2.4). When the static
     // analysis proved the test single-proxy, clause (1) orders every
@@ -646,6 +699,49 @@ struct EnumProfiler
 };
 
 /**
+ * The Fence-SC axiom over one fully specified candidate execution:
+ * some total order of the sc fences must agree with base causality and
+ * with communication routed through program order, for every morally
+ * strong fence pair. Equivalently: the forced edges between morally
+ * strong sc-fence pairs are acyclic. Trivially true with fewer than
+ * two sc fences. Shared between candidateConsistent() and the
+ * incremental core's survivor pass (Fence-SC is the only cross-
+ * location axiom, so it is the only one the per-location order
+ * classification cannot discharge).
+ */
+bool
+fenceScHolds(const Program &program, const DerivedRelations &derived,
+             const Relation &rf, const Relation &co, const Relation &fr)
+{
+    if (program.scFences().size() < 2)
+        return true;
+    const std::size_t n = program.size();
+    Relation eco_ms(n);
+    auto add_ms_edges = [&](const Relation &rel) {
+        rel.forEach([&](EventId a, EventId b) {
+            if (program.morallyStrong().contains(a, b))
+                eco_ms.insert(a, b);
+        });
+    };
+    add_ms_edges(rf);
+    add_ms_edges(co);
+    add_ms_edges(fr);
+    eco_ms = eco_ms.transitiveClosure();
+    Relation bad = derived.bcause |
+                   program.po().compose(eco_ms).compose(program.po());
+    Relation forced(n);
+    for (EventId f1 : program.scFences()) {
+        for (EventId f2 : program.scFences()) {
+            if (f1 != f2 && program.morallyStrong().contains(f1, f2) &&
+                bad.contains(f1, f2)) {
+                forced.insert(f1, f2);
+            }
+        }
+    }
+    return forced.acyclic();
+}
+
+/**
  * The per-candidate axiom core shared by the enumeration loop and
  * evaluateCandidate(): Causality part (b), SC-per-Location, Atomicity
  * and Fence-SC over one fully specified candidate execution. (No-Thin-
@@ -751,38 +847,8 @@ candidateConsistent(const Program &program,
         return Axiom::Atomicity;
 
     // ---- Axiom: Fence-SC -------------------------------------------
-    // Some total order of the sc fences must agree with base causality
-    // and with communication routed through program order, for every
-    // morally strong fence pair. Equivalently: the forced edges
-    // between morally strong sc-fence pairs are acyclic.
-    if (program.scFences().size() >= 2) {
-        Relation eco_ms(n);
-        auto add_ms_edges = [&](const Relation &rel) {
-            rel.forEach([&](EventId a, EventId b) {
-                if (program.morallyStrong().contains(a, b))
-                    eco_ms.insert(a, b);
-            });
-        };
-        add_ms_edges(rf);
-        add_ms_edges(co);
-        add_ms_edges(fr);
-        eco_ms = eco_ms.transitiveClosure();
-        Relation bad =
-            derived.bcause |
-            program.po().compose(eco_ms).compose(program.po());
-        Relation forced(n);
-        for (EventId f1 : program.scFences()) {
-            for (EventId f2 : program.scFences()) {
-                if (f1 != f2 &&
-                    program.morallyStrong().contains(f1, f2) &&
-                    bad.contains(f1, f2)) {
-                    forced.insert(f1, f2);
-                }
-            }
-        }
-        if (!forced.acyclic())
-            failed = true;
-    }
+    if (!fenceScHolds(program, derived, rf, co, fr))
+        failed = true;
     lap(3);
     if (failed)
         return Axiom::FenceSc;
@@ -814,6 +880,885 @@ extractOutcome(const Program &program,
     }
     return outcome;
 }
+
+/**
+ * One consistent execution rendered for diagnostics. Shared by the
+ * legacy candidate loop and the incremental core's survivor pass, so
+ * witness content cannot differ between cores.
+ */
+Witness
+buildWitness(const Program &program, const std::vector<char> &live,
+             const Relation &rf,
+             const std::vector<std::vector<EventId>> &orders,
+             const DerivedRelations &derived)
+{
+    const auto &events = program.events();
+    const std::size_t n = events.size();
+    Witness w;
+    for (const Event &e : events) {
+        if (!live[e.id])
+            continue;
+        w.events.push_back(e.toString());
+        w.labels[e.id] = e.toString();
+        w.threadOf[e.id] = e.isInit ? "init" : e.threadName;
+    }
+    // Reduced program order for the diagram.
+    program.po().forEach([&](EventId a, EventId b) {
+        if (!live[a] || !live[b])
+            return;
+        for (EventId c = 0; c < n; c++) {
+            if (c != a && c != b && live[c] &&
+                program.po().contains(a, c) &&
+                program.po().contains(c, b)) {
+                return;
+            }
+        }
+        w.poEdges.emplace_back(a, b);
+    });
+    program.barrierSync().forEach([&](EventId a, EventId b) {
+        if (a < b)
+            w.swEdges.emplace_back(a, b);
+    });
+    rf.forEach([&](EventId a, EventId b) {
+        w.rf.push_back(events[a].toString() + " -> " +
+                       events[b].toString());
+        w.rfEdges.emplace_back(a, b);
+    });
+    for (LocationId loc = 0;
+         loc < static_cast<LocationId>(program.locationCount()); loc++) {
+        std::ostringstream chain;
+        chain << program.locationName(loc) << ": init";
+        EventId prev = program.initWrite(loc);
+        for (EventId id : orders[static_cast<std::size_t>(loc)]) {
+            chain << " -> " << events[id].toString();
+            w.coEdges.emplace_back(prev, id);
+            prev = id;
+        }
+        w.co.push_back(chain.str());
+    }
+    derived.sw.forEach([&](EventId a, EventId b) {
+        w.sw.push_back(events[a].toString() + " -> " +
+                       events[b].toString());
+        w.swEdges.emplace_back(a, b);
+    });
+    derived.cause.forEach([&](EventId a, EventId b) {
+        w.cause.push_back(events[a].toString() + " -> " +
+                          events[b].toString());
+    });
+    return w;
+}
+
+/**
+ * Per-rf-assignment derived-relation accounting shared by both cores
+ * (identical call sites keep the two cores' counters bit-identical).
+ */
+void
+accountDerived(CheckStats &stats, const DerivedRelations &derived)
+{
+    if (derived.fastPath)
+        stats.fastPathHits++;
+    else
+        stats.fastPathMisses++;
+    stats.fixpointIterations += derived.fixpointIterations;
+    stats.layerBaseReuse++;
+    stats.layerRfDelta += derived.swDeltaEdges;
+    if (obs::enabled()) {
+        stats.bcauseEdges += derived.bcause.pairCount();
+        stats.ppbcEdges += derived.ppbc.pairCount();
+        stats.causeEdges += derived.cause.pairCount();
+    }
+}
+
+/** Saturating product — the combinatorial counters must not wrap. */
+std::uint64_t
+satMul(std::uint64_t a, std::uint64_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    constexpr std::uint64_t kMax =
+        std::numeric_limits<std::uint64_t>::max();
+    if (a > kMax / b)
+        return kMax;
+    return a * b;
+}
+
+/**
+ * The per-candidate coherence odometer over fully enumerated
+ * per-location order buckets: examine every combination, charge the
+ * profiler counters, collect outcomes and witnesses. Shared by the
+ * legacy core and by the incremental core's budget-exhaustion
+ * fallback — the budget cutoff is *defined* by this loop's candidate
+ * numbering (enumeration stops at maxExecutions + 1 with the final
+ * candidate uncharged), so near the limit the incremental core
+ * replays it exactly. Returns false when the budget was exceeded (the
+ * caller stops enumerating rf assignments).
+ */
+bool
+runCandidateOdometer(
+    const Program &program, const CheckOptions &opts,
+    CheckResult &result, EnumProfiler &profiler,
+    std::size_t depth_bucket, const std::vector<EventId> &source_of,
+    const Valuation &vals, const DerivedRelations &derived,
+    const Relation &rf,
+    const std::vector<std::vector<std::vector<EventId>>> &per_loc_orders)
+{
+    std::vector<std::size_t> co_index(program.locationCount(), 0);
+    bool co_done = false;
+    while (!co_done) {
+        result.stats.candidateExecutions++;
+        if (result.stats.candidateExecutions > opts.maxExecutions) {
+            // Out of budget: stop enumerating and report the partial
+            // result as inconclusive (allPassed() == false) instead of
+            // killing the whole batch run.
+            result.budgetExceeded = true;
+            return false;
+        }
+        result.stats.depthHistogram[depth_bucket]++;
+
+        // Opt-in sampled profiling: every Nth examined candidate gets
+        // wall-clock attribution; candidate numbering is per-check, so
+        // sampling is deterministic and invariant under --jobs N work
+        // distribution.
+        const bool sampled =
+            opts.profileEnum != 0 &&
+            (result.stats.candidateExecutions - 1) % opts.profileEnum ==
+                0;
+
+        std::vector<std::vector<EventId>> orders(
+            program.locationCount());
+        for (std::size_t loc = 0; loc < orders.size(); loc++) {
+            const auto &bucket = per_loc_orders[loc];
+            orders[loc] = bucket.empty() ? std::vector<EventId>{}
+                                         : bucket[co_index[loc]];
+        }
+        std::chrono::steady_clock::time_point co_start;
+        if (sampled)
+            co_start = std::chrono::steady_clock::now();
+        Relation co = coRelation(program, orders, vals.live);
+        Relation fr = frRelation(program, source_of, co);
+        if (sampled) {
+            profiler.samples++;
+            profiler.coBuildNs += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - co_start)
+                    .count());
+        }
+
+        // Causality (b), SC-per-Location, Atomicity, Fence-SC.
+        const Axiom verdict = candidateConsistent(
+            program, source_of, vals.live, derived, rf, co, fr,
+            sampled ? &profiler : nullptr);
+        switch (verdict) {
+        case Axiom::None:
+            break;
+        case Axiom::CausalityB:
+            result.stats.rejectCausalityB++;
+            break;
+        case Axiom::ScPerLocation:
+            result.stats.rejectScPerLocation++;
+            break;
+        case Axiom::Atomicity:
+            result.stats.rejectAtomicity++;
+            break;
+        case Axiom::FenceSc:
+            result.stats.rejectFenceSc++;
+            break;
+        }
+
+        if (verdict == Axiom::None) {
+            result.stats.consistentExecutions++;
+            litmus::Outcome outcome =
+                extractOutcome(program, orders, vals.value);
+            auto [it, inserted] = result.outcomes.insert(outcome);
+            if (inserted && opts.collectWitnesses) {
+                result.witnesses.emplace(
+                    outcome, buildWitness(program, vals.live, rf,
+                                          orders, derived));
+            }
+        }
+
+        // Advance the coherence odometer.
+        co_done = true;
+        for (std::size_t loc = 0; loc < co_index.size(); loc++) {
+            if (per_loc_orders[loc].empty())
+                continue;
+            co_index[loc]++;
+            if (co_index[loc] < per_loc_orders[loc].size()) {
+                co_done = false;
+                break;
+            }
+            co_index[loc] = 0;
+        }
+    }
+    return true;
+}
+
+/**
+ * The original nested-odometer enumeration, kept behind
+ * CheckOptions::enumCore as a differential oracle for the incremental
+ * core (and as the only core that can host sampled enumeration
+ * profiling).
+ */
+void
+enumerateLegacy(const Program &program, const CheckOptions &opts,
+                CheckResult &result, EnumProfiler &profiler,
+                std::size_t depth_bucket)
+{
+    const std::size_t n = program.size();
+    Valuation vals; // reused across assignments
+    for (RfEnumerator rfe(program); rfe.valid(); rfe.advance()) {
+        result.stats.rfAssignments++;
+        std::vector<EventId> source_of = rfe.sources();
+        Relation rf = rfRelation(program, source_of);
+
+        // ---- Axiom: No-Thin-Air --------------------------------------
+        if (!(rf | program.dep()).acyclic()) {
+            result.stats.rejectNoThinAir++;
+            continue;
+        }
+
+        evaluateInto(program, rf, source_of, vals);
+        if (!vals.feasible) {
+            result.stats.rejectValueInfeasible++;
+            continue;
+        }
+
+        DerivedRelations derived =
+            computeDerived(program, rf, vals.live, opts.staticFastPath);
+        accountDerived(result.stats, derived);
+
+        // ---- Axiom: Causality, part (a) -------------------------------
+        // A read cannot observe a write that it causally precedes.
+        bool ok = true;
+        for (EventId r : program.reads()) {
+            if (derived.cause.contains(r, source_of[r])) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok) {
+            result.stats.rejectCausalityA++;
+            continue;
+        }
+
+        // ---- Axiom: Coherence ------------------------------------------
+        // Enumerate only coherence orders that embed causality between
+        // overlapping live writes; if causality is cyclic on writes, no
+        // order exists and the candidate dies here.
+        std::vector<std::vector<std::vector<EventId>>> per_loc_orders(
+            program.locationCount());
+        bool some_loc_empty = false;
+        for (LocationId loc = 0;
+             loc < static_cast<LocationId>(program.locationCount());
+             loc++) {
+            EventSet live_writes(n);
+            for (EventId w : program.writesAt(loc)) {
+                if (vals.live[w])
+                    live_writes.insert(w);
+            }
+            Relation partial = derived.cause.restrict(live_writes);
+            auto &bucket =
+                per_loc_orders[static_cast<std::size_t>(loc)];
+            relation::forEachTotalOrder(
+                live_writes, partial,
+                [&bucket](const std::vector<EventId> &order) {
+                    bucket.push_back(order);
+                    return true;
+                });
+            if (bucket.empty() && live_writes.count() > 0)
+                some_loc_empty = true;
+            if (live_writes.count() > 0) {
+                result.stats.coLocations++;
+                result.stats.coOrders += bucket.size();
+            }
+        }
+        if (some_loc_empty) {
+            result.stats.rejectCoherenceUnembeddable++;
+            continue;
+        }
+
+        if (!runCandidateOdometer(program, opts, result, profiler,
+                                  depth_bucket, source_of, vals,
+                                  derived, rf, per_loc_orders)) {
+            break;
+        }
+    }
+}
+
+/**
+ * Classification of one complete per-location coherence order by the
+ * first per-location axiom that rejects it, in candidateConsistent()'s
+ * check order restricted to that location: Causality part (b),
+ * SC-per-Location, Atomicity. Given rf, those three axioms decompose
+ * exactly by location — Causality-(b) relates a read to same-location
+ * writes through co, the moral-strength cliques are same-location by
+ * construction, and Atomicity constrains an RMW through its location's
+ * co; only Fence-SC is cross-location. A candidate assembled from
+ * per-location orders therefore fails Causality-(b) iff some component
+ * order is CausalityB-class, fails SC-per-Location iff no component is
+ * CausalityB-class and some component's cliques fail, and so on —
+ * which turns the per-candidate rejection counters into products of
+ * per-location class counts.
+ */
+enum class OrderClass { Viable, CausalityB, ScPerLocation, Atomicity };
+
+/**
+ * The incremental enumeration core: the layered delta engine behind
+ * EnumCore::Incremental.
+ *
+ * rf layer — assignments are a DFS over the reads in *reverse* index
+ * order, which reproduces the legacy odometer's sequence exactly
+ * (read 0 is the odometer's fastest digit, so it must be the DFS's
+ * innermost level). A ^(dep | rf-prefix) closure is maintained with
+ * per-depth snapshots, seeded from the Program's precomputed dep
+ * closure; an rf edge that would close a cycle discharges the whole
+ * subtree combinatorially. This is exact: dep is present from depth 0,
+ * so a full assignment is cyclic iff some prefix edge closed a cycle
+ * at the moment it was added.
+ *
+ * co layer — per surviving assignment, each location's admissible
+ * coherence orders are enumerated once (identical bucket order to the
+ * legacy forEachTotalOrder) and classified by OrderClass, with
+ * Causality-(b) doom marked on order prefixes: a pushed write's new co
+ * edges are checkable immediately, and doom is monotone, so extensions
+ * inherit the class without re-checking. Candidate-level counters are
+ * rolled up as saturating products of per-location class counts;
+ * survivors are only materialized when Fence-SC is live or witnesses
+ * are wanted, and then in the legacy candidate order (location 0 is
+ * the fastest odometer digit) so witness selection — first candidate
+ * per outcome — matches the legacy core bit for bit. Near the
+ * execution budget the legacy candidate odometer is replayed verbatim
+ * so the cutoff point matches exactly.
+ */
+class IncrementalEnumerator
+{
+  public:
+    IncrementalEnumerator(const Program &program,
+                          const CheckOptions &opts, CheckResult &result,
+                          EnumProfiler &profiler,
+                          std::size_t depth_bucket)
+        : program(program), opts(opts), result(result),
+          profiler(profiler), depth_bucket(depth_bucket),
+          events(program.events()), n(program.size()),
+          reads(program.reads())
+    {
+        const std::size_t L = program.locationCount();
+        reads_at.resize(L);
+        atomic_reads_at.resize(L);
+        for (EventId r : reads) {
+            const auto loc = static_cast<std::size_t>(events[r].location);
+            reads_at[loc].push_back(r);
+            if (events[r].isAtomic())
+                atomic_reads_at[loc].push_back(r);
+        }
+        cliques_at.resize(L);
+        for (const auto &clique : program.msCliques()) {
+            std::vector<EventId> members;
+            clique.forEach([&](EventId id) { members.push_back(id); });
+            if (!members.empty()) {
+                cliques_at[static_cast<std::size_t>(
+                               events[members.front()].location)]
+                    .push_back(std::move(members));
+            }
+        }
+        // Subtree sizes for prefix-prune accounting: prefix_product[i]
+        // is the number of completions of a prefix whose unassigned
+        // reads are exactly reads[0..i) (assignment runs from the
+        // highest read index down).
+        prefix_product.assign(reads.size() + 1, 1);
+        for (std::size_t i = 0; i < reads.size(); i++) {
+            prefix_product[i + 1] =
+                satMul(prefix_product[i],
+                       program.readSources(reads[i]).size());
+        }
+        pos.assign(n, -1);
+        color.assign(n, 0);
+        source_of.assign(n, static_cast<EventId>(-1));
+    }
+
+    void
+    run()
+    {
+        closure.assign(reads.size() + 1, Relation(0));
+        closure[0] = program.depClosure();
+        if (!closure[0].irreflexive()) {
+            // The dependency order alone is cyclic: every assignment is
+            // a thin-air rejection (the legacy core rediscovers this
+            // once per assignment).
+            result.stats.rfAssignments += prefix_product[reads.size()];
+            result.stats.rejectNoThinAir +=
+                prefix_product[reads.size()];
+            result.stats.layerRfPrefixReject++;
+            return;
+        }
+        dfs(0);
+    }
+
+  private:
+    void
+    dfs(std::size_t depth)
+    {
+        if (depth == reads.size()) {
+            processAssignment();
+            return;
+        }
+        const std::size_t ri = reads.size() - 1 - depth;
+        const EventId r = reads[ri];
+        for (EventId src : program.readSources(r)) {
+            if (result.budgetExceeded)
+                return;
+            if (closure[depth].insertWouldCycle(src, r)) {
+                // ---- Axiom: No-Thin-Air (whole subtree) -----------
+                // Every completion of this prefix contains the cycle:
+                // charge them all without enumerating.
+                result.stats.rfAssignments += prefix_product[ri];
+                result.stats.rejectNoThinAir += prefix_product[ri];
+                result.stats.layerRfPrefixReject++;
+                continue;
+            }
+            closure[depth + 1] = closure[depth];
+            closure[depth + 1].insertClosure(src, r);
+            result.stats.layerRfDelta++;
+            source_of[r] = src;
+            dfs(depth + 1);
+            source_of[r] = static_cast<EventId>(-1);
+        }
+    }
+
+    void
+    processAssignment()
+    {
+        CheckStats &stats = result.stats;
+        stats.rfAssignments++;
+        Relation rf = rfRelation(program, source_of);
+        // No-Thin-Air holds by construction: the maintained closure
+        // stayed irreflexive along the whole prefix.
+        Valuation &vals = vals_scratch;
+        evaluateInto(program, rf, source_of, vals);
+        if (!vals.feasible) {
+            stats.rejectValueInfeasible++;
+            return;
+        }
+
+        DerivedRelations derived =
+            computeDerived(program, rf, vals.live, opts.staticFastPath);
+        accountDerived(stats, derived);
+
+        // ---- Axiom: Causality, part (a) ---------------------------
+        for (EventId r : reads) {
+            if (derived.cause.contains(r, source_of[r])) {
+                stats.rejectCausalityA++;
+                return;
+            }
+        }
+
+        // ---- Axiom: Coherence, + per-location classification ------
+        const std::size_t L = program.locationCount();
+        locs.assign(L, {});
+        bool some_loc_empty = false;
+        for (LocationId loc = 0; loc < static_cast<LocationId>(L);
+             loc++) {
+            EventSet live_writes(n);
+            for (EventId w : program.writesAt(loc)) {
+                if (vals.live[w])
+                    live_writes.insert(w);
+            }
+            LocOrders &lo = locs[static_cast<std::size_t>(loc)];
+            classifyLocation(loc, live_writes, vals, derived, lo);
+            if (lo.orders.empty() && live_writes.count() > 0)
+                some_loc_empty = true;
+            if (live_writes.count() > 0) {
+                stats.coLocations++;
+                stats.coOrders += lo.orders.size();
+            }
+        }
+        if (some_loc_empty) {
+            stats.rejectCoherenceUnembeddable++;
+            return;
+        }
+
+        // ---- Combinatorial roll-up of the candidate counters ------
+        // First-fail attribution survives the per-location product:
+        // a candidate passes Causality-(b) iff every component order
+        // does, and so on down the check order.
+        std::uint64_t p_full = 1, p_ncb = 1, p_nsc = 1, p_viable = 1;
+        for (const LocOrders &lo : locs) {
+            const auto full =
+                static_cast<std::uint64_t>(lo.orders.size());
+            p_full = satMul(p_full, full);
+            p_ncb = satMul(p_ncb, full - lo.cb);
+            p_nsc = satMul(p_nsc, full - lo.cb - lo.sc);
+            p_viable = satMul(p_viable, lo.viable.size());
+        }
+
+        // Near the execution budget the exact cutoff candidate matters
+        // (the legacy loop stops at maxExecutions + 1, final candidate
+        // uncharged): replay the legacy odometer for this assignment
+        // instead of chunk-charging past the limit.
+        if (p_full > opts.maxExecutions - stats.candidateExecutions) {
+            per_loc_orders_scratch.assign(L, {});
+            for (std::size_t loc = 0; loc < L; loc++)
+                per_loc_orders_scratch[loc] = locs[loc].orders;
+            runCandidateOdometer(program, opts, result, profiler,
+                                 depth_bucket, source_of, vals, derived,
+                                 rf, per_loc_orders_scratch);
+            return;
+        }
+
+        stats.candidateExecutions += p_full;
+        stats.depthHistogram[depth_bucket] += p_full;
+        stats.rejectCausalityB += p_full - p_ncb;
+        stats.rejectScPerLocation += p_ncb - p_nsc;
+        stats.rejectAtomicity += p_nsc - p_viable;
+        if (p_viable == 0)
+            return;
+
+        const bool fence_active = program.scFences().size() >= 2;
+        if (!fence_active) {
+            stats.consistentExecutions += p_viable;
+            emitOutcomeProduct(vals, derived, rf);
+            return;
+        }
+
+        // Fence-SC is the one cross-location axiom: evaluate it per
+        // survivor, in legacy candidate order (location 0 fastest).
+        std::vector<std::size_t> vi(L, 0);
+        while (true) {
+            orders_scratch.assign(L, {});
+            for (std::size_t loc = 0; loc < L; loc++) {
+                const LocOrders &lo = locs[loc];
+                orders_scratch[loc] = lo.orders[lo.viable[vi[loc]]];
+            }
+            Relation co = coRelation(program, orders_scratch, vals.live);
+            Relation fr = frRelation(program, source_of, co);
+            if (fenceScHolds(program, derived, rf, co, fr)) {
+                stats.consistentExecutions++;
+                litmus::Outcome outcome =
+                    extractOutcome(program, orders_scratch, vals.value);
+                auto [it, inserted] = result.outcomes.insert(outcome);
+                if (inserted && opts.collectWitnesses) {
+                    result.witnesses.emplace(
+                        outcome,
+                        buildWitness(program, vals.live, rf,
+                                     orders_scratch, derived));
+                }
+            } else {
+                stats.rejectFenceSc++;
+            }
+            bool done = true;
+            for (std::size_t loc = 0; loc < L; loc++) {
+                vi[loc]++;
+                if (vi[loc] < locs[loc].viable.size()) {
+                    done = false;
+                    break;
+                }
+                vi[loc] = 0;
+            }
+            if (done)
+                break;
+        }
+    }
+
+    /**
+     * Without Fence-SC every survivor is consistent and its outcome is
+     * its registers (fixed by rf) plus each location's final-write
+     * value. Visit one representative survivor per distinct
+     * final-value combination — the representative is the *first*
+     * survivor with that outcome in legacy candidate order (the
+     * odometer digits are independent, so the earliest combination is
+     * the per-location earliest viable order with that final value),
+     * which is exactly the candidate the legacy core would have
+     * witnessed.
+     */
+    void
+    emitOutcomeProduct(const Valuation &vals,
+                       const DerivedRelations &derived,
+                       const Relation &rf)
+    {
+        const std::size_t L = locs.size();
+        std::vector<std::size_t> fi(L, 0);
+        while (true) {
+            orders_scratch.assign(L, {});
+            for (std::size_t loc = 0; loc < L; loc++) {
+                const LocOrders &lo = locs[loc];
+                orders_scratch[loc] = lo.orders[lo.finals[fi[loc]]];
+            }
+            litmus::Outcome outcome =
+                extractOutcome(program, orders_scratch, vals.value);
+            auto [it, inserted] = result.outcomes.insert(outcome);
+            if (inserted && opts.collectWitnesses) {
+                result.witnesses.emplace(
+                    outcome, buildWitness(program, vals.live, rf,
+                                          orders_scratch, derived));
+            }
+            bool done = true;
+            for (std::size_t loc = 0; loc < L; loc++) {
+                fi[loc]++;
+                if (fi[loc] < locs[loc].finals.size()) {
+                    done = false;
+                    break;
+                }
+                fi[loc] = 0;
+            }
+            if (done)
+                break;
+        }
+    }
+
+    /** One location's enumerated coherence orders, classified. */
+    struct LocOrders
+    {
+        std::vector<std::vector<EventId>> orders; ///< bucket order
+        std::uint64_t cb = 0, sc = 0, atom = 0;   ///< class counts
+        std::vector<std::size_t> viable; ///< indices of viable orders
+        std::vector<std::size_t> finals; ///< first viable order per
+                                         ///< distinct final value
+    };
+
+    /**
+     * Total-order visitor: maintains coherence positions, marks
+     * Causality-(b) doom on prefixes (monotone — see push()), and
+     * classifies each complete order.
+     */
+    struct Classifier
+    {
+        IncrementalEnumerator &e;
+        LocationId loc;
+        const Valuation &vals;
+        const DerivedRelations &derived;
+        LocOrders &out;
+        int doomDepth = -1;
+
+        void
+        push(EventId w, const std::vector<EventId> &prefix)
+        {
+            e.pos[w] = static_cast<int>(prefix.size()) - 1;
+            if (doomDepth >= 0)
+                return;
+            // The new co edges of this push are (x, w) for every x
+            // already placed, plus the implicit (init, w):
+            // Causality-(b) fires when some read's source is such an x
+            // while w causally precedes the read. Extensions only add
+            // co edges, so doom is inherited by the whole subtree.
+            const EventId init = e.program.initWrite(loc);
+            for (const auto &[r, src] : e.cb_pairs) {
+                if (w == src || !derived.cause.contains(w, r))
+                    continue;
+                if (src == init || e.pos[src] >= 0) {
+                    doomDepth = static_cast<int>(prefix.size());
+                    e.result.stats.layerCoPrefixReject++;
+                    break;
+                }
+            }
+        }
+
+        void
+        pop(EventId w, const std::vector<EventId> &prefix)
+        {
+            if (doomDepth == static_cast<int>(prefix.size()))
+                doomDepth = -1;
+            e.pos[w] = -1;
+        }
+
+        bool
+        complete(const std::vector<EventId> &order)
+        {
+            OrderClass c = OrderClass::Viable;
+            if (doomDepth >= 0)
+                c = OrderClass::CausalityB;
+            else if (e.scFails(loc, vals))
+                c = OrderClass::ScPerLocation;
+            else if (e.atomFails(loc, order, vals))
+                c = OrderClass::Atomicity;
+            switch (c) {
+            case OrderClass::CausalityB:
+                out.cb++;
+                break;
+            case OrderClass::ScPerLocation:
+                out.sc++;
+                break;
+            case OrderClass::Atomicity:
+                out.atom++;
+                break;
+            case OrderClass::Viable:
+                out.viable.push_back(out.orders.size());
+                break;
+            }
+            out.orders.push_back(order);
+            return true;
+        }
+    };
+
+    void
+    classifyLocation(LocationId loc, const EventSet &live_writes,
+                     const Valuation &vals,
+                     const DerivedRelations &derived, LocOrders &out)
+    {
+        cb_pairs.clear();
+        for (EventId r : reads_at[static_cast<std::size_t>(loc)])
+            cb_pairs.emplace_back(r, source_of[r]);
+        Classifier visitor{*this, loc, vals, derived, out};
+        relation::forEachTotalOrderVisit(
+            live_writes, derived.cause.restrict(live_writes), visitor);
+        // One representative order per distinct final-write value, in
+        // first-occurrence order, for the no-fence outcome product.
+        out.finals.clear();
+        final_values.clear();
+        for (std::size_t idx : out.viable) {
+            const auto &order = out.orders[idx];
+            const std::uint64_t v =
+                order.empty() ? vals.value[program.initWrite(loc)]
+                              : vals.value[order.back()];
+            if (std::find(final_values.begin(), final_values.end(),
+                          v) == final_values.end()) {
+                final_values.push_back(v);
+                out.finals.push_back(idx);
+            }
+        }
+    }
+
+    /**
+     * co precedence under the current order positions: the init write
+     * precedes every order member; order members compare by position.
+     * pos doubles as the "is a placed live write" test (reads and
+     * unplaced events sit at -1).
+     */
+    bool
+    coBefore(LocationId loc, EventId x, EventId y) const
+    {
+        const EventId init = program.initWrite(loc);
+        if (x == y || y == init)
+            return false;
+        if (x == init)
+            return pos[y] >= 0;
+        return pos[x] >= 0 && pos[y] >= 0 && pos[x] < pos[y];
+    }
+
+    /** One comm = rf | co | fr | po edge within a live clique. */
+    bool
+    commEdge(LocationId loc, EventId x, EventId y) const
+    {
+        if (program.po().contains(x, y))
+            return true;
+        if (events[y].isRead() && source_of[y] == x)
+            return true;
+        if (events[x].isWrite() && coBefore(loc, x, y))
+            return true;
+        if (events[x].isRead() && coBefore(loc, source_of[x], y))
+            return true;
+        return false;
+    }
+
+    /** SC-per-Location for @p loc's cliques under the current order. */
+    bool
+    scFails(LocationId loc, const Valuation &vals)
+    {
+        for (const auto &members :
+             cliques_at[static_cast<std::size_t>(loc)]) {
+            live_members.clear();
+            for (EventId m : members) {
+                if (vals.live[m])
+                    live_members.push_back(m);
+            }
+            if (cliqueCyclic(loc, live_members))
+                return true;
+        }
+        return false;
+    }
+
+    /** Cycle detection over comm edges among clique members. */
+    bool
+    cliqueCyclic(LocationId loc, const std::vector<EventId> &members)
+    {
+        for (EventId m : members)
+            color[m] = 0;
+        for (EventId root : members) {
+            if (color[root] != 0)
+                continue;
+            color[root] = 1;
+            frames.clear();
+            frames.push_back({root, 0});
+            while (!frames.empty()) {
+                Frame &f = frames.back();
+                if (f.next >= members.size()) {
+                    color[f.node] = 2;
+                    frames.pop_back();
+                    continue;
+                }
+                const EventId y = members[f.next++];
+                if (y == f.node || !commEdge(loc, f.node, y))
+                    continue;
+                if (color[y] == 1)
+                    return true;
+                if (color[y] == 0) {
+                    color[y] = 1;
+                    frames.push_back({y, 0});
+                }
+            }
+        }
+        return false;
+    }
+
+    /** Atomicity for @p loc's RMWs under the current complete order. */
+    bool
+    atomFails(LocationId loc, const std::vector<EventId> &order,
+              const Valuation &vals) const
+    {
+        for (EventId r : atomic_reads_at[static_cast<std::size_t>(loc)]) {
+            const Event &read = events[r];
+            const EventId w = read.rmwPartner;
+            if (!vals.live[w])
+                continue;
+            const EventId src = source_of[r];
+            for (EventId w2 : order) {
+                if (w2 == src || w2 == w)
+                    continue;
+                if (coBefore(loc, src, w2) && coBefore(loc, w2, w) &&
+                    program.morallyStrong().contains(w2, w)) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    const Program &program;
+    const CheckOptions &opts;
+    CheckResult &result;
+    EnumProfiler &profiler;
+    const std::size_t depth_bucket;
+    const std::vector<Event> &events;
+    const std::size_t n;
+    const std::vector<EventId> &reads;
+
+    // Static per-program tables (built once per check).
+    std::vector<std::vector<EventId>> reads_at;
+    std::vector<std::vector<EventId>> atomic_reads_at;
+    std::vector<std::vector<std::vector<EventId>>> cliques_at;
+    std::vector<std::uint64_t> prefix_product;
+
+    // rf-layer state.
+    std::vector<Relation> closure; ///< per-depth ^(dep | rf-prefix)
+    std::vector<EventId> source_of;
+
+    // co-layer scratch, reused across locations and assignments.
+    std::vector<std::pair<EventId, EventId>> cb_pairs;
+    std::vector<int> pos;
+    std::vector<signed char> color;
+    struct Frame
+    {
+        EventId node;
+        std::size_t next;
+    };
+    std::vector<Frame> frames;
+    std::vector<EventId> live_members;
+    std::vector<std::uint64_t> final_values;
+    Valuation vals_scratch;
+    std::vector<LocOrders> locs;
+    std::vector<std::vector<EventId>> orders_scratch;
+    std::vector<std::vector<std::vector<EventId>>>
+        per_loc_orders_scratch;
+};
 
 } // namespace
 
@@ -949,9 +1894,7 @@ CheckResult
 Checker::check(const Program &program) const
 {
     obs::ScopedSession bind(opts.session);
-    const auto &events = program.events();
     const auto &test = program.test();
-    const std::size_t n = events.size();
 
     CheckResult result;
     result.testName = test.name();
@@ -1029,235 +1972,18 @@ Checker::check(const Program &program) const
 
     std::optional<obs::Span> enumerate_span;
     enumerate_span.emplace("check.enumerate");
-    for (RfEnumerator rfe(program); rfe.valid(); rfe.advance()) {
-        result.stats.rfAssignments++;
-        std::vector<EventId> source_of = rfe.sources();
-        Relation rf = rfRelation(program, source_of);
-
-        // ---- Axiom: No-Thin-Air --------------------------------------
-        if (!(rf | program.dep()).acyclic()) {
-            result.stats.rejectNoThinAir++;
-            continue;
-        }
-
-        Valuation vals = evaluate(program, rf, source_of);
-        if (!vals.feasible) {
-            result.stats.rejectValueInfeasible++;
-            continue;
-        }
-
-        DerivedRelations derived =
-            computeDerived(program, rf, vals.live, opts.staticFastPath);
-        if (derived.fastPath)
-            result.stats.fastPathHits++;
-        else
-            result.stats.fastPathMisses++;
-        result.stats.fixpointIterations += derived.fixpointIterations;
-        if (obs::enabled()) {
-            result.stats.bcauseEdges += derived.bcause.pairCount();
-            result.stats.ppbcEdges += derived.ppbc.pairCount();
-            result.stats.causeEdges += derived.cause.pairCount();
-        }
-
-        // ---- Axiom: Causality, part (a) -------------------------------
-        // A read cannot observe a write that it causally precedes.
-        bool ok = true;
-        for (EventId r : program.reads()) {
-            if (derived.cause.contains(r, source_of[r])) {
-                ok = false;
-                break;
-            }
-        }
-        if (!ok) {
-            result.stats.rejectCausalityA++;
-            continue;
-        }
-
-        // ---- Axiom: Coherence ------------------------------------------
-        // Enumerate only coherence orders that embed causality between
-        // overlapping live writes; if causality is cyclic on writes, no
-        // order exists and the candidate dies here.
-        std::vector<std::vector<std::vector<EventId>>> per_loc_orders(
-            program.locationCount());
-        bool some_loc_empty = false;
-        for (LocationId loc = 0;
-             loc < static_cast<LocationId>(program.locationCount());
-             loc++) {
-            EventSet live_writes(n);
-            for (EventId w : program.writesAt(loc)) {
-                if (vals.live[w])
-                    live_writes.insert(w);
-            }
-            Relation partial = derived.cause.restrict(live_writes);
-            auto &bucket =
-                per_loc_orders[static_cast<std::size_t>(loc)];
-            relation::forEachTotalOrder(
-                live_writes, partial,
-                [&bucket](const std::vector<EventId> &order) {
-                    bucket.push_back(order);
-                    return true;
-                });
-            if (bucket.empty() && live_writes.count() > 0)
-                some_loc_empty = true;
-            if (live_writes.count() > 0) {
-                result.stats.coLocations++;
-                result.stats.coOrders += bucket.size();
-            }
-        }
-        if (some_loc_empty) {
-            result.stats.rejectCoherenceUnembeddable++;
-            continue;
-        }
-
-        // Odometer over per-location coherence orders.
-        std::vector<std::size_t> co_index(program.locationCount(), 0);
-        bool co_done = false;
-        while (!co_done) {
-            result.stats.candidateExecutions++;
-            if (result.stats.candidateExecutions > opts.maxExecutions) {
-                // Out of budget: stop enumerating and report the
-                // partial result as inconclusive (allPassed() == false)
-                // instead of killing the whole batch run.
-                result.budgetExceeded = true;
-                break;
-            }
-            result.stats.depthHistogram[depth_bucket]++;
-
-            // Opt-in sampled profiling: every Nth examined candidate
-            // gets wall-clock attribution; candidate numbering is
-            // per-check, so sampling is deterministic and invariant
-            // under --jobs N work distribution.
-            const bool sampled =
-                opts.profileEnum != 0 &&
-                (result.stats.candidateExecutions - 1) %
-                        opts.profileEnum ==
-                    0;
-
-            std::vector<std::vector<EventId>> orders(
-                program.locationCount());
-            for (std::size_t loc = 0; loc < orders.size(); loc++) {
-                const auto &bucket = per_loc_orders[loc];
-                orders[loc] = bucket.empty() ? std::vector<EventId>{}
-                                             : bucket[co_index[loc]];
-            }
-            std::chrono::steady_clock::time_point co_start;
-            if (sampled)
-                co_start = std::chrono::steady_clock::now();
-            Relation co = coRelation(program, orders, vals.live);
-            Relation fr = frRelation(program, source_of, co);
-            if (sampled) {
-                profiler.samples++;
-                profiler.coBuildNs += static_cast<std::uint64_t>(
-                    std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        std::chrono::steady_clock::now() - co_start)
-                        .count());
-            }
-
-            // Causality (b), SC-per-Location, Atomicity, Fence-SC.
-            const Axiom verdict = candidateConsistent(
-                program, source_of, vals.live, derived, rf, co, fr,
-                sampled ? &profiler : nullptr);
-            switch (verdict) {
-            case Axiom::None:
-                break;
-            case Axiom::CausalityB:
-                result.stats.rejectCausalityB++;
-                break;
-            case Axiom::ScPerLocation:
-                result.stats.rejectScPerLocation++;
-                break;
-            case Axiom::Atomicity:
-                result.stats.rejectAtomicity++;
-                break;
-            case Axiom::FenceSc:
-                result.stats.rejectFenceSc++;
-                break;
-            }
-
-            if (verdict == Axiom::None) {
-                result.stats.consistentExecutions++;
-                litmus::Outcome outcome =
-                    extractOutcome(program, orders, vals.value);
-
-                auto [it, inserted] = result.outcomes.insert(outcome);
-                if (inserted && opts.collectWitnesses) {
-                    Witness w;
-                    for (const Event &e : events) {
-                        if (!vals.live[e.id])
-                            continue;
-                        w.events.push_back(e.toString());
-                        w.labels[e.id] = e.toString();
-                        w.threadOf[e.id] =
-                            e.isInit ? "init" : e.threadName;
-                    }
-                    // Reduced program order for the diagram.
-                    program.po().forEach([&](EventId a, EventId b) {
-                        if (!vals.live[a] || !vals.live[b])
-                            return;
-                        for (EventId c = 0; c < n; c++) {
-                            if (c != a && c != b && vals.live[c] &&
-                                program.po().contains(a, c) &&
-                                program.po().contains(c, b)) {
-                                return;
-                            }
-                        }
-                        w.poEdges.emplace_back(a, b);
-                    });
-                    program.barrierSync().forEach(
-                        [&](EventId a, EventId b) {
-                            if (a < b)
-                                w.swEdges.emplace_back(a, b);
-                        });
-                    rf.forEach([&](EventId a, EventId b) {
-                        w.rf.push_back(events[a].toString() + " -> " +
-                                       events[b].toString());
-                        w.rfEdges.emplace_back(a, b);
-                    });
-                    for (LocationId loc = 0;
-                         loc <
-                         static_cast<LocationId>(program.locationCount());
-                         loc++) {
-                        std::ostringstream chain;
-                        chain << program.locationName(loc) << ": init";
-                        EventId prev = program.initWrite(loc);
-                        for (EventId id :
-                             orders[static_cast<std::size_t>(loc)]) {
-                            chain << " -> " << events[id].toString();
-                            w.coEdges.emplace_back(prev, id);
-                            prev = id;
-                        }
-                        w.co.push_back(chain.str());
-                    }
-                    derived.sw.forEach([&](EventId a, EventId b) {
-                        w.sw.push_back(events[a].toString() + " -> " +
-                                       events[b].toString());
-                        w.swEdges.emplace_back(a, b);
-                    });
-                    derived.cause.forEach([&](EventId a, EventId b) {
-                        w.cause.push_back(events[a].toString() + " -> " +
-                                          events[b].toString());
-                    });
-                    result.witnesses.emplace(outcome, std::move(w));
-                }
-            }
-
-            // Advance the coherence odometer.
-            co_done = true;
-            for (std::size_t loc = 0; loc < co_index.size(); loc++) {
-                if (per_loc_orders[loc].empty())
-                    continue;
-                co_index[loc]++;
-                if (co_index[loc] < per_loc_orders[loc].size()) {
-                    co_done = false;
-                    break;
-                }
-                co_index[loc] = 0;
-            }
-        }
-        if (result.budgetExceeded)
-            break;
+    // Sampled profiling times individual candidate examinations, which
+    // the incremental core skips by design — profileEnum forces the
+    // legacy core so the sampler keeps meaning what it says.
+    const bool legacy_core =
+        opts.enumCore == EnumCore::Legacy || opts.profileEnum != 0;
+    if (legacy_core) {
+        enumerateLegacy(program, opts, result, profiler, depth_bucket);
+    } else {
+        IncrementalEnumerator incremental(program, opts, result,
+                                          profiler, depth_bucket);
+        incremental.run();
     }
-
     enumerate_span.reset();
 
     evaluateAssertions(test, result);

@@ -55,6 +55,36 @@ std::optional<PresolvePolicy>
 presolvePolicyFromString(const std::string &text);
 
 /**
+ * Which enumeration core drives the exhaustive check.
+ *
+ *  - Incremental (default): the layered delta core. Reads-from
+ *    assignments are a DFS that extends a maintained ^(dep | rf)
+ *    closure edge by edge, discharging whole thin-air-doomed subtrees
+ *    combinatorially; coherence orders are enumerated once per
+ *    location with Causality-(b) doom marked on prefixes; the
+ *    candidate-level axiom counters are rolled up as products of
+ *    per-location order classes instead of examining every candidate.
+ *  - Legacy: the original nested-odometer enumeration, kept for one
+ *    release as a differential oracle (--enum-core=legacy,
+ *    --enum-diff).
+ *
+ * Both cores produce identical CheckResults — outcomes, witnesses,
+ * assertion verdicts and every deterministic CheckStats counter — by
+ * construction; the incremental core just refuses to spend time
+ * proportional to the candidate count when per-location reasoning
+ * suffices. Sampled enumeration profiling (profileEnum != 0) always
+ * runs on the legacy core: the sampler times individual candidate
+ * examinations, which the incremental core skips by design.
+ */
+enum class EnumCore { Incremental, Legacy };
+
+/** "incremental" / "legacy" — the CLI and JSON-protocol spellings. */
+std::string toString(EnumCore core);
+
+/** Parse a CLI/JSON spelling; nullopt for anything unrecognized. */
+std::optional<EnumCore> enumCoreFromString(const std::string &text);
+
+/**
  * The pre-solver's verdict on one assertion, with provenance. Only
  * trust `passed` when `conclusive` is true — the pre-solver never
  * guesses, so an inconclusive verdict carries no information.
@@ -160,6 +190,13 @@ struct CheckOptions
     std::uint64_t profileEnum = 0;
 
     /**
+     * Enumeration core (see EnumCore). Identical verdicts, outcomes
+     * and statistics either way; Legacy is the differential oracle.
+     * profileEnum != 0 forces the legacy core regardless.
+     */
+    EnumCore enumCore = EnumCore::Incremental;
+
+    /**
      * Observability session to record into (bound for the duration of
      * check()). Null uses the calling thread's ambient session
      * (obs::ScopedSession binding, or none).
@@ -224,7 +261,13 @@ struct CheckStats
     std::uint64_t fastPathHits = 0;
     std::uint64_t fastPathMisses = 0;
 
-    /** Observation-order fixpoint iterations (DerivedRelations). */
+    /**
+     * Productive observation-order fixpoint iterations
+     * (DerivedRelations). Programs without atomic RMW reads skip the
+     * fixpoint outright and passes that add no edge are not counted,
+     * so on rf-delta-friendly corpora this stays strictly below
+     * rfAssignments — the layered engine's reuse at work.
+     */
     std::uint64_t fixpointIterations = 0;
 
     /**
@@ -279,6 +322,23 @@ struct CheckStats
     std::uint64_t enumSourceSlots = 0;
     std::uint64_t coLocations = 0;
     std::uint64_t coOrders = 0;
+
+    /**
+     * Layered-enumeration reuse counters (docs/observability.md).
+     * base_reuse counts derived-relation computations that started
+     * from the Program's precomputed rf-independent base closure
+     * instead of re-closing from scratch; rf_delta counts incremental
+     * closure edge insertions (rf edges along the enumeration prefix
+     * plus per-assignment synchronizes-with deltas); rf_prefix_reject
+     * and co_prefix_reject count whole enumeration subtrees discharged
+     * at a prefix (an rf prefix edge that closes a thin-air cycle; a
+     * coherence prefix whose Causality-(b) doom every extension
+     * inherits). The prefix counters stay zero on the legacy core.
+     */
+    std::uint64_t layerBaseReuse = 0;
+    std::uint64_t layerRfDelta = 0;
+    std::uint64_t layerRfPrefixReject = 0;
+    std::uint64_t layerCoPrefixReject = 0;
 
     /** Add every field to @p registry under the "checker." prefix. */
     void publish(obs::MetricsRegistry &registry) const;
@@ -343,8 +403,19 @@ struct DerivedRelations
     relation::Relation ppbc;   ///< proxy-preserved base causality (§6.2.4)
     relation::Relation cause;  ///< causality order (§6.2.5)
 
-    /** Iterations of the observation-order (release-chain) fixpoint. */
+    /**
+     * Productive iterations of the observation-order (release-chain)
+     * fixpoint; 0 when the program has no atomic RMW reads (the
+     * fixpoint is skipped outright — it could never add an edge).
+     */
     std::uint64_t fixpointIterations = 0;
+
+    /**
+     * Synchronizes-with edges folded into the precomputed base closure
+     * by incremental insertion (the rf-dependent delta of the bcause
+     * layer).
+     */
+    std::uint64_t swDeltaEdges = 0;
 
     /** True when the single-proxy fast path was taken. */
     bool fastPath = false;

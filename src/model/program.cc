@@ -1,6 +1,7 @@
 #include "program.hh"
 
 #include <algorithm>
+#include <bit>
 #include <functional>
 
 #include "relation/error.hh"
@@ -28,6 +29,21 @@ Program::Program(const litmus::LitmusTest &test, ProxyMode mode)
     buildMorallyStrong();
     buildCliques();
     buildReadSources();
+    buildBaseLayers();
+}
+
+void
+Program::buildBaseLayers()
+{
+    // The rf-independent base of the derived-relation stack, computed
+    // once per expansion so every rf assignment can reuse it: base
+    // causality without synchronizes-with, and the dependency closure
+    // the incremental enumerator extends edge by edge.
+    _mustCause = (_po | _barrierSync).transitiveClosure();
+    _depClosure = _dep.transitiveClosure();
+    _hasAtomicReads = std::any_of(
+        _events.begin(), _events.end(),
+        [](const Event &e) { return e.isRead() && e.isAtomic(); });
 }
 
 void
@@ -38,6 +54,11 @@ Program::buildEvents()
         locationIds[loc] = static_cast<LocationId>(locationNames.size());
         locationNames.push_back(loc);
     }
+
+    // Upper bound: one init write per location plus at most two events
+    // per instruction (cp.async expands to a read and a write).
+    _events.reserve(locationNames.size() +
+                    2 * _test->instructionCount());
     auto address_id = [&](const std::string &va) {
         auto it = addressIds.find(va);
         if (it != addressIds.end())
@@ -481,7 +502,16 @@ Program::buildCliques()
 {
     // Per location, find the maximal cliques of the morally strong graph
     // over that location's memory events (Bron-Kerbosch without
-    // pivoting; litmus-scale inputs keep this tiny).
+    // pivoting; litmus-scale inputs keep this tiny). Litmus-scale also
+    // means the event universe fits one machine word, where the
+    // candidate/excluded sets become plain bitmasks and the recursion
+    // allocates nothing — this runs once per Program, which synthesis
+    // constructs by the thousands.
+    const std::size_t n = _events.size();
+    if (n <= 64) {
+        buildCliquesBitset();
+        return;
+    }
     for (LocationId loc = 0;
          loc < static_cast<LocationId>(locationNames.size()); loc++) {
         std::vector<EventId> nodes;
@@ -529,6 +559,69 @@ Program::buildCliques()
                 }
             };
         bron_kerbosch({}, nodes, {});
+    }
+}
+
+void
+Program::buildCliquesBitset()
+{
+    const std::size_t n = _events.size();
+    // Symmetric adjacency masks of the morally strong graph. The
+    // general path tests adjacent(v, u) = _ms.contains(v, u) with v the
+    // pivot-loop node; mirror that orientation exactly.
+    std::uint64_t adj[64] = {};
+    for (std::size_t a = 0; a < n; a++) {
+        for (std::size_t b = 0; b < n; b++) {
+            if (_ms.contains(a, b))
+                adj[a] |= std::uint64_t{1} << b;
+        }
+    }
+    // Recursion depth is bounded by the clique size <= n <= 64.
+    struct Frame
+    {
+        std::uint64_t r, p, x, iter;
+    };
+    Frame stack[65];
+    for (LocationId loc = 0;
+         loc < static_cast<LocationId>(locationNames.size()); loc++) {
+        std::uint64_t nodes = 0;
+        for (const auto &e : _events) {
+            if (e.isMemory() && e.location == loc)
+                nodes |= std::uint64_t{1} << e.id;
+        }
+        int top = 0;
+        stack[0] = Frame{0, nodes, 0, nodes};
+        while (top >= 0) {
+            Frame &f = stack[top];
+            if (f.p == 0 && f.x == 0) {
+                if (std::popcount(f.r) >= 2) {
+                    relation::EventSet clique(n);
+                    std::uint64_t r = f.r;
+                    while (r) {
+                        clique.insert(static_cast<EventId>(
+                            std::countr_zero(r)));
+                        r &= r - 1;
+                    }
+                    cliques.push_back(std::move(clique));
+                }
+                top--;
+                continue;
+            }
+            if (f.iter == 0) {
+                top--;
+                continue;
+            }
+            const auto v =
+                static_cast<EventId>(std::countr_zero(f.iter));
+            const std::uint64_t vb = std::uint64_t{1} << v;
+            f.iter &= f.iter - 1;
+            Frame child{f.r | vb, (f.p & adj[v]) & ~vb, f.x & adj[v],
+                        0};
+            child.iter = child.p;
+            f.p &= ~vb;
+            f.x |= vb;
+            stack[++top] = child;
+        }
     }
 }
 

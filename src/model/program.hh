@@ -152,6 +152,28 @@ class Program
         return _overlapPairs;
     }
 
+    /**
+     * Base layer of the derived-relation stack: the rf-independent core
+     * of base causality, ^(po | barrierSync), computed once per
+     * expansion. The checker's layered computeDerived() copies this and
+     * folds the rf-dependent synchronizes-with edges in as incremental
+     * closure inserts instead of re-closing from scratch; the static
+     * pre-solver's must-side base-causality approximation is this same
+     * relation.
+     */
+    const relation::Relation &mustCause() const { return _mustCause; }
+
+    /**
+     * Transitive closure of dep(), the rf-independent part of the
+     * No-Thin-Air check. The incremental enumeration core seeds its
+     * per-prefix ^(dep | rf) closure from this and maintains it with
+     * insertClosure/insertWouldCycle as rf edges are chosen.
+     */
+    const relation::Relation &depClosure() const { return _depClosure; }
+
+    /** True when some read event is the read half of an atomic RMW. */
+    bool hasAtomicReads() const { return _hasAtomicReads; }
+
     /** Number of physical locations. */
     std::size_t locationCount() const { return locationNames.size(); }
 
@@ -174,7 +196,9 @@ class Program
     void buildBarrierSync();
     void buildMorallyStrong();
     void buildCliques();
+    void buildCliquesBitset();
     void buildReadSources();
+    void buildBaseLayers();
 
     bool sameProxy(const Event &a, const Event &b) const;
     bool morallyStrongPair(const Event &a, const Event &b) const;
@@ -195,6 +219,9 @@ class Program
     relation::Relation _dep{0};
     relation::Relation _ms{0};
     relation::Relation _barrierSync{0};
+    relation::Relation _mustCause{0};
+    relation::Relation _depClosure{0};
+    bool _hasAtomicReads = false;
     std::vector<relation::EventSet> cliques;
 
     std::vector<EventId> _reads;

@@ -58,6 +58,21 @@ struct DriverOptions
      */
     bool presolveDiff = false;
 
+    /**
+     * Enumeration core for checks (--enum-core=MODE): incremental (the
+     * layered delta engine, default) or legacy (the monolithic
+     * per-candidate loop, kept as a differential oracle).
+     */
+    model::EnumCore enumCore = model::EnumCore::Incremental;
+
+    /**
+     * Differential harness for the enumeration cores (--enum-diff):
+     * check every input (default: all built-ins) under both cores and
+     * require identical outcomes, verdicts, and shared counters; exit
+     * 0 only on zero divergences.
+     */
+    bool enumDiff = false;
+
     /** Print one witness execution per outcome. */
     bool showWitnesses = false;
 

@@ -6,21 +6,33 @@
 namespace mixedproxy::obs {
 
 void
-MetricsRegistry::add(const std::string &name, std::uint64_t delta)
+MetricsRegistry::add(std::string_view name, std::uint64_t delta)
 {
-    _counters[name] += delta;
+    // Transparent lower_bound: callers pass string literals and pay for
+    // a std::string only on a counter's first appearance.
+    auto it = _counters.lower_bound(name);
+    if (it == _counters.end() || it->first != name)
+        it = _counters.emplace_hint(it, std::string(name), 0);
+    it->second += delta;
 }
 
 void
-MetricsRegistry::set(const std::string &name, double value)
+MetricsRegistry::set(std::string_view name, double value)
 {
-    _gauges[name] = value;
+    auto it = _gauges.lower_bound(name);
+    if (it == _gauges.end() || it->first != name)
+        it = _gauges.emplace_hint(it, std::string(name), value);
+    else
+        it->second = value;
 }
 
 void
-MetricsRegistry::record(const std::string &name, double seconds)
+MetricsRegistry::record(std::string_view name, double seconds)
 {
-    TimerSeries &series = _timers[name];
+    auto it = _timers.lower_bound(name);
+    if (it == _timers.end() || it->first != name)
+        it = _timers.emplace_hint(it, std::string(name), TimerSeries{});
+    TimerSeries &series = it->second;
     if (series.count == 0) {
         series.min = seconds;
         series.max = seconds;
@@ -35,14 +47,14 @@ MetricsRegistry::record(const std::string &name, double seconds)
 }
 
 std::uint64_t
-MetricsRegistry::counter(const std::string &name) const
+MetricsRegistry::counter(std::string_view name) const
 {
     auto it = _counters.find(name);
     return it == _counters.end() ? 0 : it->second;
 }
 
 double
-MetricsRegistry::gauge(const std::string &name) const
+MetricsRegistry::gauge(std::string_view name) const
 {
     auto it = _gauges.find(name);
     return it == _gauges.end() ? 0.0 : it->second;
@@ -68,7 +80,7 @@ nearestRank(const std::vector<double> &sorted, double fraction)
 } // namespace
 
 TimerSummary
-MetricsRegistry::timer(const std::string &name) const
+MetricsRegistry::timer(std::string_view name) const
 {
     TimerSummary out;
     auto it = _timers.find(name);

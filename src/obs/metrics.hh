@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mixedproxy::obs {
@@ -44,33 +45,33 @@ class MetricsRegistry
 {
   public:
     /** Add @p delta to the counter @p name (created at 0). */
-    void add(const std::string &name, std::uint64_t delta = 1);
+    void add(std::string_view name, std::uint64_t delta = 1);
 
     /** Set the gauge @p name to @p value (last write wins). */
-    void set(const std::string &name, double value);
+    void set(std::string_view name, double value);
 
     /** Record one timer sample of @p seconds under @p name. */
-    void record(const std::string &name, double seconds);
+    void record(std::string_view name, double seconds);
 
     /** Current counter value; 0 when never written. */
-    std::uint64_t counter(const std::string &name) const;
+    std::uint64_t counter(std::string_view name) const;
 
     /** Current gauge value; 0.0 when never written. */
-    double gauge(const std::string &name) const;
+    double gauge(std::string_view name) const;
 
     /**
      * Summarize the timer @p name. Percentiles are nearest-rank over
      * the retained samples (the first kMaxSamplesPerTimer per timer;
      * count/total/min/max always cover every sample).
      */
-    TimerSummary timer(const std::string &name) const;
+    TimerSummary timer(std::string_view name) const;
 
-    const std::map<std::string, std::uint64_t> &counters() const
+    const std::map<std::string, std::uint64_t, std::less<>> &counters() const
     {
         return _counters;
     }
 
-    const std::map<std::string, double> &gauges() const
+    const std::map<std::string, double, std::less<>> &gauges() const
     {
         return _gauges;
     }
@@ -113,9 +114,9 @@ class MetricsRegistry
         std::vector<double> samples; ///< first kMaxSamplesPerTimer
     };
 
-    std::map<std::string, std::uint64_t> _counters;
-    std::map<std::string, double> _gauges;
-    std::map<std::string, TimerSeries> _timers;
+    std::map<std::string, std::uint64_t, std::less<>> _counters;
+    std::map<std::string, double, std::less<>> _gauges;
+    std::map<std::string, TimerSeries, std::less<>> _timers;
 };
 
 } // namespace mixedproxy::obs

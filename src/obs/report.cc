@@ -10,7 +10,7 @@
 namespace mixedproxy::obs {
 
 std::string
-jsonEscape(const std::string &text)
+jsonEscape(std::string_view text)
 {
     std::string out;
     out.reserve(text.size() + 2);

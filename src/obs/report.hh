@@ -15,6 +15,7 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -22,7 +23,7 @@
 namespace mixedproxy::obs {
 
 /** JSON-escape @p text (quotes, backslashes, control characters). */
-std::string jsonEscape(const std::string &text);
+std::string jsonEscape(std::string_view text);
 
 /**
  * Render @p tracer as Chrome trace_event JSON: an object with a

@@ -14,7 +14,7 @@
 #define MIXEDPROXY_OBS_TRACE_HH
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 #include <vector>
 
 namespace mixedproxy::obs {
@@ -22,7 +22,9 @@ namespace mixedproxy::obs {
 /** One completed span. */
 struct TraceEvent
 {
-    std::string name;
+    /// Phase name; must outlive the tracer (the Span contract already
+    /// requires string literals, so no copy is taken).
+    std::string_view name;
     double startUs = 0.0; ///< microseconds since session origin
     double durationUs = 0.0;
     int depth = 0; ///< nesting depth when the span opened (root = 0)

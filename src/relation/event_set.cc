@@ -14,7 +14,7 @@ EventSet::wordsFor(std::size_t universe_size)
 }
 
 EventSet::EventSet(std::size_t universe_size)
-    : _universeSize(universe_size), words(wordsFor(universe_size), 0)
+    : _universeSize(universe_size), words(wordsFor(universe_size))
 {}
 
 EventSet::EventSet(std::size_t universe_size,
@@ -29,22 +29,20 @@ EventSet
 EventSet::full(std::size_t universe_size)
 {
     EventSet s(universe_size);
-    for (auto &w : s.words)
-        w = ~std::uint64_t{0};
+    const std::size_t count = s.words.size();
+    for (std::size_t i = 0; i < count; i++)
+        s.words[i] = ~std::uint64_t{0};
     // Clear bits beyond the universe in the last word.
     std::size_t tail = universe_size % bitsPerWord;
-    if (tail != 0 && !s.words.empty())
-        s.words.back() &= (std::uint64_t{1} << tail) - 1;
+    if (tail != 0 && count != 0)
+        s.words[count - 1] &= (std::uint64_t{1} << tail) - 1;
     return s;
 }
 
 std::size_t
 EventSet::count() const
 {
-    std::size_t n = 0;
-    for (auto w : words)
-        n += static_cast<std::size_t>(std::popcount(w));
-    return n;
+    return kernel::popcount(words.data(), words.size());
 }
 
 void
@@ -164,25 +162,15 @@ EventSet::members() const
 void
 EventSet::forEach(const std::function<void(EventId)> &fn) const
 {
-    for (std::size_t wi = 0; wi < words.size(); wi++) {
-        std::uint64_t w = words[wi];
-        while (w != 0) {
-            int bit = std::countr_zero(w);
-            fn(wi * bitsPerWord + static_cast<std::size_t>(bit));
-            w &= w - 1;
-        }
-    }
+    // Delegates to the templated overload; kept for ABI-stable callers.
+    forEach<const std::function<void(EventId)> &>(fn);
 }
 
 EventSet
 EventSet::filter(const std::function<bool(EventId)> &pred) const
 {
-    EventSet r(_universeSize);
-    forEach([&](EventId id) {
-        if (pred(id))
-            r.insert(id);
-    });
-    return r;
+    // Delegates to the templated overload; kept for ABI-stable callers.
+    return filter<const std::function<bool(EventId)> &>(pred);
 }
 
 std::string

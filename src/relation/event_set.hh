@@ -17,6 +17,9 @@
 #include <string>
 #include <vector>
 
+#include "kernel.hh"
+#include "word_store.hh"
+
 namespace mixedproxy::relation {
 
 /** Identifier of an event within one candidate execution. */
@@ -44,8 +47,12 @@ class EventSet
     /** Number of members. */
     std::size_t count() const;
 
-    /** True if the set has no members. */
-    bool empty() const { return count() == 0; }
+    /** True if the set has no members (any-bit word scan). */
+    bool
+    empty() const
+    {
+        return !kernel::anyBit(words.data(), words.size());
+    }
 
     /** Add @p id to the set. */
     void insert(EventId id);
@@ -79,16 +86,41 @@ class EventSet
     std::vector<EventId> members() const;
 
     /** Invoke @p fn for each member in ascending order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        kernel::forEachSetBit(words.data(), words.size(),
+                              [&](std::size_t id) { fn(id); });
+    }
+
+    /** std::function wrapper for ABI-stable callers. */
     void forEach(const std::function<void(EventId)> &fn) const;
 
     /** Keep only members satisfying @p pred. */
+    template <typename Pred>
+    EventSet
+    filter(Pred &&pred) const
+    {
+        EventSet r(_universeSize);
+        forEach([&](EventId id) {
+            if (pred(id))
+                r.insert(id);
+        });
+        return r;
+    }
+
+    /** std::function wrapper for ABI-stable callers. */
     EventSet filter(const std::function<bool(EventId)> &pred) const;
+
+    /** Raw membership words (kernel.hh layout), for row masking. */
+    const std::uint64_t *wordData() const { return words.data(); }
 
     /** Render as "{0, 3, 5}" for diagnostics. */
     std::string toString() const;
 
   private:
-    static constexpr std::size_t bitsPerWord = 64;
+    static constexpr std::size_t bitsPerWord = kernel::kBitsPerWord;
 
     static std::size_t wordsFor(std::size_t universe_size);
 
@@ -96,7 +128,7 @@ class EventSet
     void checkId(EventId id) const;
 
     std::size_t _universeSize;
-    std::vector<std::uint64_t> words;
+    kernel::WordStore words;
 };
 
 } // namespace mixedproxy::relation

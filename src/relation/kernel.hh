@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Branch-free word-level kernels for the dense bit-matrix relation layer.
+ *
+ * Every hot relational operation (union, intersection, difference,
+ * composition, closure, delta maintenance) reduces to a handful of
+ * row-wise word operations; this header centralizes them so Relation,
+ * EventSet and the checker's incremental layers share one implementation.
+ * All functions are inline, operate on raw 64-bit word spans, allocate
+ * nothing, and avoid per-bit branching beyond set-bit iteration.
+ */
+
+#ifndef MIXEDPROXY_RELATION_KERNEL_HH
+#define MIXEDPROXY_RELATION_KERNEL_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace mixedproxy::relation::kernel {
+
+constexpr std::size_t kBitsPerWord = 64;
+
+/** Words needed to hold @p n bits. */
+inline std::size_t
+wordsFor(std::size_t n)
+{
+    return (n + kBitsPerWord - 1) / kBitsPerWord;
+}
+
+/** dst |= src, word-wise. */
+inline void
+orInto(std::uint64_t *dst, const std::uint64_t *src, std::size_t words)
+{
+    for (std::size_t i = 0; i < words; i++)
+        dst[i] |= src[i];
+}
+
+/** dst &= src, word-wise. */
+inline void
+andInto(std::uint64_t *dst, const std::uint64_t *src, std::size_t words)
+{
+    for (std::size_t i = 0; i < words; i++)
+        dst[i] &= src[i];
+}
+
+/** dst &= ~src, word-wise. */
+inline void
+andNotInto(std::uint64_t *dst, const std::uint64_t *src, std::size_t words)
+{
+    for (std::size_t i = 0; i < words; i++)
+        dst[i] &= ~src[i];
+}
+
+/** dst |= src; true if any bit of dst was newly set. */
+inline bool
+orIntoGrew(std::uint64_t *dst, const std::uint64_t *src, std::size_t words)
+{
+    std::uint64_t grew = 0;
+    for (std::size_t i = 0; i < words; i++) {
+        std::uint64_t add = src[i] & ~dst[i];
+        dst[i] |= add;
+        grew |= add;
+    }
+    return grew != 0;
+}
+
+/** True if any bit in the span is set. */
+inline bool
+anyBit(const std::uint64_t *p, std::size_t words)
+{
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < words; i++)
+        acc |= p[i];
+    return acc != 0;
+}
+
+/** True if a & b share any set bit. */
+inline bool
+intersects(const std::uint64_t *a, const std::uint64_t *b,
+           std::size_t words)
+{
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < words; i++)
+        acc |= a[i] & b[i];
+    return acc != 0;
+}
+
+/** True if bit @p i is set. */
+inline bool
+testBit(const std::uint64_t *p, std::size_t i)
+{
+    return (p[i / kBitsPerWord] >> (i % kBitsPerWord)) & 1;
+}
+
+/** Set bit @p i. */
+inline void
+setBit(std::uint64_t *p, std::size_t i)
+{
+    p[i / kBitsPerWord] |= std::uint64_t{1} << (i % kBitsPerWord);
+}
+
+/** Clear bit @p i. */
+inline void
+clearBit(std::uint64_t *p, std::size_t i)
+{
+    p[i / kBitsPerWord] &= ~(std::uint64_t{1} << (i % kBitsPerWord));
+}
+
+/** Number of set bits in the span. */
+inline std::size_t
+popcount(const std::uint64_t *p, std::size_t words)
+{
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < words; i++)
+        count += static_cast<std::size_t>(std::popcount(p[i]));
+    return count;
+}
+
+/** Invoke @p fn with the index of every set bit, ascending. */
+template <typename Fn>
+inline void
+forEachSetBit(const std::uint64_t *p, std::size_t words, Fn &&fn)
+{
+    for (std::size_t wi = 0; wi < words; wi++) {
+        std::uint64_t w = p[wi];
+        while (w != 0) {
+            int bit = std::countr_zero(w);
+            w &= w - 1;
+            fn(wi * kBitsPerWord + static_cast<std::size_t>(bit));
+        }
+    }
+}
+
+} // namespace mixedproxy::relation::kernel
+
+#endif // MIXEDPROXY_RELATION_KERNEL_HH

@@ -8,6 +8,14 @@
  * closure, plus the acyclicity/irreflexivity checks the model axioms are
  * phrased as. The representation is a dense adjacency bit-matrix, which is
  * exact and fast for litmus-scale universes (tens of events).
+ *
+ * Hot-path operations are built on the word-level kernels in kernel.hh
+ * and accept templated callables directly; the std::function overloads
+ * remain as thin delegating wrappers for ABI-stable callers. The delta
+ * operations (insertClosure, unionClosure, insertWouldCycle) let an
+ * already-closed relation be *extended* edge by edge without recomputing
+ * the closure from scratch — the substrate of the checker's incremental
+ * enumeration core.
  */
 
 #ifndef MIXEDPROXY_RELATION_RELATION_HH
@@ -22,6 +30,8 @@
 #include <vector>
 
 #include "event_set.hh"
+#include "kernel.hh"
+#include "word_store.hh"
 
 namespace mixedproxy::relation {
 
@@ -55,6 +65,21 @@ class Relation
      * @param n Universe size.
      * @param pred Returns true when (a, b) should be in the relation.
      */
+    template <typename Pred>
+    static Relation
+    fromPredicate(std::size_t n, Pred &&pred)
+    {
+        Relation r(n);
+        for (EventId a = 0; a < n; a++) {
+            for (EventId b = 0; b < n; b++) {
+                if (pred(a, b))
+                    r.insert(a, b);
+            }
+        }
+        return r;
+    }
+
+    /** std::function wrapper for ABI-stable callers. */
     static Relation fromPredicate(
         std::size_t n,
         const std::function<bool(EventId, EventId)> &pred);
@@ -65,8 +90,12 @@ class Relation
     /** Number of pairs in the relation. */
     std::size_t pairCount() const;
 
-    /** True if the relation has no pairs. */
-    bool empty() const { return pairCount() == 0; }
+    /** True if the relation has no pairs (any-bit word scan). */
+    bool
+    empty() const
+    {
+        return !kernel::anyBit(bits.data(), bits.size());
+    }
 
     /** Add the pair (a, b). */
     void insert(EventId a, EventId b);
@@ -105,6 +134,34 @@ class Relation
     /** Reflexive transitive closure (Alloy *r). */
     Relation reflexiveTransitiveClosure() const;
 
+    /**
+     * Delta closure maintenance: add the pair (a, b) to an already
+     * transitively closed relation and restore closure by broadcasting
+     * b's successor row into every predecessor of a. Precondition:
+     * *this is transitively closed (as by transitiveClosure()); the
+     * result is bit-identical to rebuilding the closure from scratch
+     * with (a, b) added.
+     */
+    void insertClosure(EventId a, EventId b);
+
+    /**
+     * Incremental acyclicity check: true when adding (a, b) to this
+     * transitively closed, currently acyclic relation would create a
+     * cycle (b already reaches a, or a == b).
+     */
+    bool
+    insertWouldCycle(EventId a, EventId b) const
+    {
+        return a == b || contains(b, a);
+    }
+
+    /**
+     * Extend an already transitively closed relation with every pair of
+     * @p delta, maintaining closure (repeated insertClosure, skipping
+     * pairs already present).
+     */
+    void unionClosure(const Relation &delta);
+
     /** Restrict both sides to @p s: s <: r :> s. */
     Relation restrict(const EventSet &s) const;
 
@@ -115,6 +172,19 @@ class Relation
     Relation restrictRange(const EventSet &s) const;
 
     /** Keep only pairs satisfying @p pred. */
+    template <typename Pred>
+    Relation
+    filter(Pred &&pred) const
+    {
+        Relation r(n);
+        forEach([&](EventId a, EventId b) {
+            if (pred(a, b))
+                r.insert(a, b);
+        });
+        return r;
+    }
+
+    /** std::function wrapper for ABI-stable callers. */
     Relation filter(
         const std::function<bool(EventId, EventId)> &pred) const;
 
@@ -152,6 +222,18 @@ class Relation
     std::vector<EventPair> pairs() const;
 
     /** Invoke @p fn for every pair in lexicographic order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        const std::size_t words = kernel::wordsFor(n);
+        for (EventId a = 0; a < n; a++) {
+            kernel::forEachSetBit(bits.data() + a * words, words,
+                                  [&](std::size_t b) { fn(a, b); });
+        }
+    }
+
+    /** std::function wrapper for ABI-stable callers. */
     void forEach(const std::function<void(EventId, EventId)> &fn) const;
 
     /**
@@ -169,6 +251,15 @@ class Relation
     std::optional<std::vector<EventId>>
     topologicalOrder(const EventSet &s) const;
 
+    /**
+     * Same, but written into caller-owned scratch (cleared first) so
+     * hot loops can reuse the vector's capacity across calls; returns
+     * false on a cycle. The checker's value evaluation calls this once
+     * per rf assignment.
+     */
+    bool topologicalOrderInto(const EventSet &s,
+                              std::vector<EventId> &out) const;
+
     /** Render as "{(0,1), (2,3)}" for diagnostics. */
     std::string toString() const;
 
@@ -181,8 +272,78 @@ class Relation
     const std::uint64_t *row(EventId a) const;
 
     std::size_t n;
-    std::vector<std::uint64_t> bits;
+    kernel::WordStore bits;
 };
+
+namespace detail {
+
+template <typename Visitor>
+bool
+totalOrderVisitRec(const std::vector<EventId> &ids, const Relation &closed,
+                   std::vector<bool> &placed, std::vector<EventId> &prefix,
+                   Visitor &visitor)
+{
+    if (prefix.size() == ids.size())
+        return visitor.complete(prefix);
+    for (std::size_t i = 0; i < ids.size(); i++) {
+        if (placed[i])
+            continue;
+        EventId candidate = ids[i];
+        // candidate may come next only if no unplaced id must precede it.
+        bool ok = true;
+        for (std::size_t j = 0; j < ids.size(); j++) {
+            if (j != i && !placed[j] &&
+                closed.contains(ids[j], candidate)) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok)
+            continue;
+        placed[i] = true;
+        prefix.push_back(candidate);
+        visitor.push(candidate, prefix);
+        bool keep_going =
+            totalOrderVisitRec(ids, closed, placed, prefix, visitor);
+        visitor.pop(candidate, prefix);
+        prefix.pop_back();
+        placed[i] = false;
+        if (!keep_going)
+            return false;
+    }
+    return true;
+}
+
+} // namespace detail
+
+/**
+ * Enumerate every strict total order of @p subset consistent with the
+ * partial constraint @p partial, driving a stateful visitor:
+ *
+ *   visitor.push(id, prefix)  — id was appended (prefix includes it);
+ *   visitor.pop(id, prefix)   — about to remove id (prefix still has it);
+ *   visitor.complete(order)   — a full order; return false to abort.
+ *
+ * The push/pop hooks let the caller maintain incremental per-prefix
+ * state (the checker re-checks per-location axioms as the coherence
+ * order is extended). Enumeration order is identical to
+ * forEachTotalOrder: at each step candidates are tried in ascending id
+ * order.
+ *
+ * @return false if visitor.complete ever returned false.
+ */
+template <typename Visitor>
+bool
+forEachTotalOrderVisit(const EventSet &subset, const Relation &partial,
+                       Visitor &&visitor)
+{
+    auto ids = subset.members();
+    std::vector<bool> placed(ids.size(), false);
+    std::vector<EventId> prefix;
+    prefix.reserve(ids.size());
+    return detail::totalOrderVisitRec(ids, partial.transitiveClosure(),
+                                      placed, prefix, visitor);
+}
 
 /**
  * Enumerate every strict total order of @p subset consistent with the

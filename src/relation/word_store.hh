@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Small-buffer word storage for the dense bit-matrix relation layer.
+ *
+ * Relations and event sets at litmus scale hold a handful of 64-bit
+ * words, yet the relational-algebra operators create and destroy them by
+ * the millions (every temporary in `a | b`, every closure snapshot in
+ * the incremental enumeration core). Backing them with std::vector makes
+ * each temporary a malloc/free round trip that costs more than the bit
+ * arithmetic it carries. WordStore keeps up to kInlineWords words inline
+ * (no allocation, copies are flat memcpys) and falls back to the heap
+ * only for universes too large for the inline buffer.
+ */
+
+#ifndef MIXEDPROXY_RELATION_WORD_STORE_HH
+#define MIXEDPROXY_RELATION_WORD_STORE_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mixedproxy::relation::kernel {
+
+/**
+ * A fixed-size, zero-initialized span of 64-bit words with a small-buffer
+ * optimization. The size is set at construction and never changes —
+ * exactly the lifecycle of a Relation's or EventSet's backing store.
+ */
+class WordStore
+{
+  public:
+    /** Spans of at most this many words live inline. */
+    static constexpr std::size_t kInlineWords = 32;
+
+    WordStore() = default;
+
+    explicit WordStore(std::size_t count) : count_(count)
+    {
+        if (count_ > kInlineWords)
+            heap_.assign(count_, 0);
+    }
+
+    std::size_t size() const { return count_; }
+
+    std::uint64_t *
+    data()
+    {
+        return count_ <= kInlineWords ? inline_ : heap_.data();
+    }
+
+    const std::uint64_t *
+    data() const
+    {
+        return count_ <= kInlineWords ? inline_ : heap_.data();
+    }
+
+    std::uint64_t &operator[](std::size_t i) { return data()[i]; }
+    std::uint64_t operator[](std::size_t i) const { return data()[i]; }
+
+    bool
+    operator==(const WordStore &other) const
+    {
+        return count_ == other.count_ &&
+               std::equal(data(), data() + count_, other.data());
+    }
+    bool operator!=(const WordStore &other) const = default;
+
+  private:
+    std::size_t count_ = 0;
+    std::uint64_t inline_[kInlineWords] = {};
+    std::vector<std::uint64_t> heap_;
+};
+
+} // namespace mixedproxy::relation::kernel
+
+#endif // MIXEDPROXY_RELATION_WORD_STORE_HH

@@ -1,7 +1,9 @@
 #include "generator.hh"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -108,6 +110,63 @@ const char *kAliasNames[2] = {"ax", "ay"};
 std::string
 canonicalKey(const Skeleton &program, std::size_t locations)
 {
+    // Stage B calls this once per enumerated skeleton, so for the
+    // sizes the synthesizer explores (locations <= 2, a handful of
+    // short threads) the relabeling search runs entirely in stack
+    // buffers; only the returned key touches the heap. The general
+    // path below handles oversized inputs.
+    constexpr std::size_t kThreads = 16;
+    constexpr std::size_t kKey = 32;
+    bool small = program.size() <= kThreads && locations <= 2;
+    for (const auto &thread : program)
+        small = small && thread.size() * 2 <= kKey;
+    if (small) {
+        std::size_t loc_perm[2] = {0, 1};
+        char best[kThreads * (kKey + 1)];
+        std::size_t best_len = 0;
+        bool have_best = false;
+        do {
+            // Relabel locations, then sort threads for thread symmetry.
+            char keys[kThreads][kKey];
+            std::size_t lens[kThreads];
+            std::size_t order[kThreads];
+            const std::size_t nt = program.size();
+            for (std::size_t t = 0; t < nt; t++) {
+                std::size_t len = 0;
+                for (const auto &[tmpl, loc] : program[t]) {
+                    keys[t][len++] = static_cast<char>('A' + tmpl);
+                    keys[t][len++] =
+                        static_cast<char>('0' + loc_perm[loc]);
+                }
+                lens[t] = len;
+                order[t] = t;
+            }
+            std::sort(order, order + nt,
+                      [&](std::size_t a, std::size_t b) {
+                          return std::lexicographical_compare(
+                              keys[a], keys[a] + lens[a], keys[b],
+                              keys[b] + lens[b]);
+                      });
+            char whole[kThreads * (kKey + 1)];
+            std::size_t len = 0;
+            for (std::size_t i = 0; i < nt; i++) {
+                const std::size_t t = order[i];
+                std::memcpy(whole + len, keys[t], lens[t]);
+                len += lens[t];
+                whole[len++] = '|';
+            }
+            if (!have_best ||
+                std::lexicographical_compare(whole, whole + len, best,
+                                             best + best_len)) {
+                std::memcpy(best, whole, len);
+                best_len = len;
+                have_best = true;
+            }
+        } while (
+            std::next_permutation(loc_perm, loc_perm + locations));
+        return std::string(best, best_len);
+    }
+
     std::string best;
     std::vector<std::size_t> loc_perm(locations);
     for (std::size_t i = 0; i < locations; i++)
@@ -135,10 +194,122 @@ canonicalKey(const Skeleton &program, std::size_t locations)
     return best;
 }
 
+/**
+ * A pre-decoded instruction prototype for one (template, location)
+ * pair. The PTX text of a materialized instruction is fixed up to the
+ * embedded store value or destination register, so Stage C decodes
+ * each pair once per run and materialization patches the one variable
+ * field — replacing the per-candidate ostringstream + decode() parse
+ * round-trip that dominated its profile.
+ */
+struct Proto
+{
+    enum class Patch { None, StoreValue, LoadReg };
+
+    litmus::Instruction instr;
+    Patch patch = Patch::None;
+    std::string before; ///< text up to the patched field
+    std::string after;  ///< text after the patched field
+};
+
+using ProtoTable = std::vector<std::array<Proto, 2>>;
+
+ProtoTable
+buildProtos(const std::vector<Template> &alpha)
+{
+    using K = Template::Kind;
+    ProtoTable table(alpha.size());
+    for (std::size_t ti = 0; ti < alpha.size(); ti++) {
+        for (std::size_t loc = 0; loc < 2; loc++) {
+            const std::string l = kLocNames[loc];
+            const std::string a = kAliasNames[loc];
+            Proto &p = table[ti][loc];
+            switch (alpha[ti].kind) {
+              case K::Store:
+                p.patch = Proto::Patch::StoreValue;
+                p.before = "st.global.u32 [" + l + "], ";
+                break;
+              case K::Load:
+                p.patch = Proto::Patch::LoadReg;
+                p.before = "ld.global.u32 ";
+                p.after = ", [" + l + "]";
+                break;
+              case K::ReleaseStore:
+                p.patch = Proto::Patch::StoreValue;
+                p.before = "st.release.gpu.u32 [" + l + "], ";
+                break;
+              case K::AcquireLoad:
+                p.patch = Proto::Patch::LoadReg;
+                p.before = "ld.acquire.gpu.u32 ";
+                p.after = ", [" + l + "]";
+                break;
+              case K::FenceAcqRel:
+                p.before = "fence.acq_rel.gpu";
+                break;
+              case K::FenceSc:
+                p.before = "fence.sc.gpu";
+                break;
+              case K::ConstLoad:
+                p.patch = Proto::Patch::LoadReg;
+                p.before = "ld.const.u32 ";
+                p.after = ", [" + a + "]";
+                break;
+              case K::AliasStore:
+                p.patch = Proto::Patch::StoreValue;
+                p.before = "st.global.u32 [" + a + "], ";
+                break;
+              case K::AliasLoad:
+                p.patch = Proto::Patch::LoadReg;
+                p.before = "ld.global.u32 ";
+                p.after = ", [" + a + "]";
+                break;
+              case K::ProxyFenceConstant:
+                p.before = "fence.proxy.constant";
+                break;
+              case K::ProxyFenceAlias:
+                p.before = "fence.proxy.alias";
+                break;
+              case K::AtomAdd:
+                p.patch = Proto::Patch::LoadReg;
+                p.before = "atom.add.u32 ";
+                p.after = ", [" + l + "], 1";
+                break;
+              case K::AsyncCopy:
+                // Copy from the other location into this one (self-copy
+                // is a no-op and needs two locations to be interesting).
+                p.before = "cp.async.ca.u32 [" + l + "], [" +
+                           kLocNames[(loc + 1) % 2] + "]";
+                break;
+              case K::AsyncWait:
+                p.before = "cp.async.wait_all";
+                break;
+              case K::Barrier:
+                p.before = "bar.sync 0";
+                break;
+            }
+            std::string sample;
+            switch (p.patch) {
+              case Proto::Patch::StoreValue:
+                sample = p.before + "0";
+                break;
+              case Proto::Patch::LoadReg:
+                sample = p.before + "r0" + p.after;
+                break;
+              case Proto::Patch::None:
+                sample = p.before;
+                break;
+            }
+            p.instr = litmus::decode(sample);
+        }
+    }
+    return table;
+}
+
 /** Materialize a skeleton as a LitmusTest. */
 litmus::LitmusTest
 materialize(const Skeleton &program, const std::vector<Template> &alpha,
-            std::size_t locations, std::size_t index, bool same_cta)
+            const ProtoTable &protos, std::size_t locations,
+            std::size_t index, bool same_cta)
 {
     using K = Template::Kind;
     // Declare aliases for every location that an alias template uses.
@@ -160,73 +331,36 @@ materialize(const Skeleton &program, const std::vector<Template> &alpha,
     std::uint64_t next_value = 1;
     for (std::size_t t = 0; t < program.size(); t++) {
         litmus::Thread thread;
-        thread.name = "t" + std::to_string(t);
+        // Append rather than operator+: GCC 12's -Wrestrict misfires on
+        // literal + std::string&& under heavy inlining (GCC PR105651).
+        thread.name = "t";
+        thread.name += std::to_string(t);
         // Barriers only rendezvous within a CTA, so the barrier
         // alphabet co-locates all threads.
         thread.cta = same_cta ? 0 : static_cast<int>(t);
         thread.gpu = 0;
         std::size_t next_reg = 0;
+        thread.instructions.reserve(program[t].size());
         for (const auto &[tmpl, loc] : program[t]) {
-            const char *l = kLocNames[loc];
-            const char *a = kAliasNames[loc];
-            std::ostringstream text;
-            switch (alpha[tmpl].kind) {
-              case K::Store:
-                text << "st.global.u32 [" << l << "], " << next_value++;
+            const Proto &p = protos[tmpl][loc];
+            litmus::Instruction instr = p.instr;
+            switch (p.patch) {
+              case Proto::Patch::StoreValue: {
+                const std::uint64_t v = next_value++;
+                instr.value = litmus::Operand::ofImm(v);
+                instr.text = p.before + std::to_string(v);
                 break;
-              case K::Load:
-                text << "ld.global.u32 r" << next_reg++ << ", [" << l
-                     << "]";
+              }
+              case Proto::Patch::LoadReg: {
+                std::string reg = "r" + std::to_string(next_reg++);
+                instr.text = p.before + reg + p.after;
+                instr.destReg = std::move(reg);
                 break;
-              case K::ReleaseStore:
-                text << "st.release.gpu.u32 [" << l << "], "
-                     << next_value++;
-                break;
-              case K::AcquireLoad:
-                text << "ld.acquire.gpu.u32 r" << next_reg++ << ", ["
-                     << l << "]";
-                break;
-              case K::FenceAcqRel:
-                text << "fence.acq_rel.gpu";
-                break;
-              case K::FenceSc:
-                text << "fence.sc.gpu";
-                break;
-              case K::ConstLoad:
-                text << "ld.const.u32 r" << next_reg++ << ", [" << a
-                     << "]";
-                break;
-              case K::AliasStore:
-                text << "st.global.u32 [" << a << "], " << next_value++;
-                break;
-              case K::AliasLoad:
-                text << "ld.global.u32 r" << next_reg++ << ", [" << a
-                     << "]";
-                break;
-              case K::ProxyFenceConstant:
-                text << "fence.proxy.constant";
-                break;
-              case K::ProxyFenceAlias:
-                text << "fence.proxy.alias";
-                break;
-              case K::AtomAdd:
-                text << "atom.add.u32 r" << next_reg++ << ", [" << l
-                     << "], 1";
-                break;
-              case K::AsyncCopy:
-                // Copy from the other location into this one (self-copy
-                // is a no-op and needs two locations to be interesting).
-                text << "cp.async.ca.u32 [" << l << "], ["
-                     << kLocNames[(loc + 1) % 2] << "]";
-                break;
-              case K::AsyncWait:
-                text << "cp.async.wait_all";
-                break;
-              case K::Barrier:
-                text << "bar.sync 0";
+              }
+              case Proto::Patch::None:
                 break;
             }
-            thread.instructions.push_back(litmus::decode(text.str()));
+            thread.instructions.push_back(std::move(instr));
         }
         test.addThread(std::move(thread));
     }
@@ -378,6 +512,7 @@ Synthesizer::run() const
     auto start = std::chrono::steady_clock::now();
     SynthReport report;
     const auto alpha = alphabet(opts);
+    const ProtoTable protos = buildProtos(alpha);
 
     // ---- Stage A: shard the skeleton space -----------------------------
     // Compositions of `instructions` into 1..maxThreads nonincreasing
@@ -502,7 +637,7 @@ Synthesizer::run() const
             Classified &c = classified[i];
             litmus::LitmusTest test;
             try {
-                test = materialize(unique_list[i], alpha,
+                test = materialize(unique_list[i], alpha, protos,
                                    opts.maxLocations, i + 1,
                                    opts.withBarriers);
             } catch (const FatalError &) {
@@ -514,7 +649,14 @@ Synthesizer::run() const
             obs::Span check_span("synth.check");
             c.entry.test = test;
             try {
-                auto r75 = checker75.check(test);
+                // One static expansion serves both the PTX 7.5 check
+                // and the pruning oracle below: the Program carries
+                // the precomputed base layers (dep closure, must base
+                // causality) the incremental enumeration core starts
+                // from, so expanding per consumer would redo exactly
+                // the work the layering is meant to share.
+                model::Program prog75(test, model::ProxyMode::Ptx75);
+                auto r75 = checker75.check(prog75);
                 if (r75.budgetExceeded) {
                     c.tooExpensive = true;
                     return;
@@ -530,11 +672,8 @@ Synthesizer::run() const
                 // pruning"), so two whole classes of Stage C checks
                 // are provably redundant for it.
                 bool single_proxy = false;
-                if (opts.presolve) {
-                    single_proxy =
-                        !model::Program(test, model::ProxyMode::Ptx75)
-                             .usesMixedProxies();
-                }
+                if (opts.presolve)
+                    single_proxy = !prog75.usesMixedProxies();
 
                 if (opts.classifyAgainstSc) {
                     auto sc = scOutcomes(test);

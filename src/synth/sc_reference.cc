@@ -1,5 +1,6 @@
 #include "sc_reference.hh"
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
@@ -10,13 +11,114 @@ namespace mixedproxy::synth {
 
 namespace {
 
+/**
+ * Pre-resolved instruction: the symbolic location and register names
+ * are interned to dense ids once, so the exponential interleaving walk
+ * below never touches a string. The synthesis loop calls scOutcomes
+ * once per candidate program, and the per-step state copy dominated
+ * its profile when the state held string-keyed maps.
+ */
+struct IndexedInstr
+{
+    const litmus::Instruction *instr = nullptr;
+    int locId = -1;    ///< location of `address` (memory ops; else -1)
+    int srcLocId = -1; ///< location of `srcAddress` (cp.async; else -1)
+    int destRegId = -1;
+    int valueRegId = -1;    ///< `value` operand when it names a register
+    int expectedRegId = -1; ///< `expected` operand likewise
+};
+
+struct IndexedTest
+{
+    std::vector<std::string> locNames; ///< locId -> location name
+    std::vector<std::uint64_t> initValues;
+    /** Per thread: regId -> register name. */
+    std::vector<std::vector<std::string>> regNames;
+    std::vector<std::vector<IndexedInstr>> instrs;
+    /** Offset of thread t's registers in the flat register arrays. */
+    std::vector<std::size_t> regBase;
+    std::size_t regTotal = 0;
+};
+
 struct ScState
 {
-    std::map<std::string, std::uint64_t> memory; ///< by location
+    std::vector<std::uint64_t> memory; ///< by locId
     std::vector<std::size_t> pc;
     std::vector<std::size_t> barriersPassed;
-    std::vector<std::map<std::string, std::uint64_t>> registers;
+    /** Flat register file, thread t's regId r at regBase[t] + r. */
+    std::vector<std::uint64_t> regValues;
+    std::vector<unsigned char> regWritten;
 };
+
+int
+regIdFor(std::vector<std::string> &names, const std::string &reg)
+{
+    for (std::size_t i = 0; i < names.size(); i++) {
+        if (names[i] == reg)
+            return static_cast<int>(i);
+    }
+    names.push_back(reg);
+    return static_cast<int>(names.size() - 1);
+}
+
+IndexedTest
+buildIndex(const litmus::LitmusTest &test)
+{
+    IndexedTest idx;
+    idx.locNames = test.locations();
+    idx.initValues.reserve(idx.locNames.size());
+    for (const auto &loc : idx.locNames)
+        idx.initValues.push_back(test.initOf(loc));
+
+    auto locIdOf = [&](const std::string &va) {
+        const std::string loc = test.locationOf(va);
+        for (std::size_t i = 0; i < idx.locNames.size(); i++) {
+            if (idx.locNames[i] == loc)
+                return static_cast<int>(i);
+        }
+        panic("SC reference: unknown location ", loc);
+    };
+
+    const auto &threads = test.threads();
+    idx.regNames.resize(threads.size());
+    idx.instrs.resize(threads.size());
+    for (std::size_t t = 0; t < threads.size(); t++) {
+        auto &names = idx.regNames[t];
+        for (const auto &instr : threads[t].instructions) {
+            IndexedInstr ii;
+            ii.instr = &instr;
+            switch (instr.opcode) {
+              case litmus::Opcode::Ld:
+              case litmus::Opcode::Tex:
+              case litmus::Opcode::Suld:
+              case litmus::Opcode::St:
+              case litmus::Opcode::Sust:
+              case litmus::Opcode::Atom:
+                ii.locId = locIdOf(instr.address);
+                break;
+              case litmus::Opcode::CpAsync:
+                ii.locId = locIdOf(instr.address);
+                ii.srcLocId = locIdOf(instr.srcAddress);
+                break;
+              default:
+                break;
+            }
+            if (!instr.destReg.empty())
+                ii.destRegId = regIdFor(names, instr.destReg);
+            if (instr.value.isReg())
+                ii.valueRegId = regIdFor(names, instr.value.reg);
+            if (instr.expected.isReg())
+                ii.expectedRegId = regIdFor(names, instr.expected.reg);
+            idx.instrs[t].push_back(ii);
+        }
+    }
+    idx.regBase.resize(threads.size());
+    for (std::size_t t = 0; t < threads.size(); t++) {
+        idx.regBase[t] = idx.regTotal;
+        idx.regTotal += idx.regNames[t].size();
+    }
+    return idx;
+}
 
 /** May thread @p t pass the barrier it is standing at? */
 bool
@@ -44,64 +146,121 @@ barrierReady(const litmus::LitmusTest &test, const ScState &state,
 }
 
 std::uint64_t
-operandValue(const ScState &state, std::size_t thread,
-             const litmus::Operand &op)
+regValue(const ScState &state, const IndexedTest &idx, std::size_t t,
+         int reg_id)
+{
+    const std::size_t slot = idx.regBase[t] + static_cast<std::size_t>(reg_id);
+    if (!state.regWritten[slot])
+        panic("SC reference: read of unwritten register");
+    return state.regValues[slot];
+}
+
+std::uint64_t
+operandValue(const ScState &state, const IndexedTest &idx, std::size_t t,
+             const litmus::Operand &op, int reg_id)
 {
     if (op.isImm())
         return op.imm;
     if (op.isReg())
-        return state.registers[thread].at(op.reg);
+        return regValue(state, idx, t, reg_id);
     panic("operand has no value");
 }
 
 void
-explore(const litmus::LitmusTest &test, ScState &state,
-        std::set<litmus::Outcome> &outcomes)
+writeReg(ScState &state, const IndexedTest &idx, std::size_t t, int reg_id,
+         std::uint64_t value)
+{
+    const std::size_t slot = idx.regBase[t] + static_cast<std::size_t>(reg_id);
+    state.regValues[slot] = value;
+    state.regWritten[slot] = 1;
+}
+
+void
+explore(const litmus::LitmusTest &test, const IndexedTest &idx,
+        ScState &state, std::set<litmus::Outcome> &outcomes)
 {
     bool any = false;
-    for (std::size_t t = 0; t < test.threads().size(); t++) {
-        const auto &instrs = test.threads()[t].instructions;
+    for (std::size_t t = 0; t < idx.instrs.size(); t++) {
+        const auto &instrs = idx.instrs[t];
         if (state.pc[t] >= instrs.size())
             continue;
-        if (instrs[state.pc[t]].opcode == litmus::Opcode::Barrier &&
+        if (instrs[state.pc[t]].instr->opcode == litmus::Opcode::Barrier &&
             !barrierReady(test, state, t)) {
             any = true; // someone else must move first
             continue;
         }
         any = true;
 
-        // Execute instrs[pc] on a copy of the state, recurse, restore.
-        ScState saved = state;
-        const auto &instr = instrs[state.pc[t]];
+        // Execute instrs[pc] in place, recurse, undo. Every opcode
+        // touches at most one memory cell and one register slot, so an
+        // undo record on the stack replaces copying the whole state.
+        const IndexedInstr &ii = instrs[state.pc[t]];
+        const auto &instr = *ii.instr;
+        std::ptrdiff_t mem_slot = -1, reg_slot = -1;
+        std::uint64_t saved_mem = 0, saved_reg = 0;
+        unsigned char saved_written = 0;
+        switch (instr.opcode) {
+          case litmus::Opcode::St:
+          case litmus::Opcode::Sust:
+          case litmus::Opcode::CpAsync:
+            mem_slot = static_cast<std::ptrdiff_t>(ii.locId);
+            break;
+          case litmus::Opcode::Atom:
+            mem_slot = static_cast<std::ptrdiff_t>(ii.locId);
+            [[fallthrough]];
+          case litmus::Opcode::Ld:
+          case litmus::Opcode::Tex:
+          case litmus::Opcode::Suld:
+            if (ii.destRegId >= 0) {
+                reg_slot = static_cast<std::ptrdiff_t>(
+                    idx.regBase[t] +
+                    static_cast<std::size_t>(ii.destRegId));
+            }
+            break;
+          default:
+            break;
+        }
+        if (mem_slot >= 0)
+            saved_mem = state.memory[static_cast<std::size_t>(mem_slot)];
+        if (reg_slot >= 0) {
+            saved_reg =
+                state.regValues[static_cast<std::size_t>(reg_slot)];
+            saved_written =
+                state.regWritten[static_cast<std::size_t>(reg_slot)];
+        }
         state.pc[t]++;
 
-        const std::string loc = test.locationOf(instr.address);
         switch (instr.opcode) {
           case litmus::Opcode::Ld:
           case litmus::Opcode::Tex:
           case litmus::Opcode::Suld:
-            state.registers[t][instr.destReg] = state.memory.at(loc);
+            writeReg(state, idx, t, ii.destRegId, state.memory[ii.locId]);
             break;
           case litmus::Opcode::St:
           case litmus::Opcode::Sust:
-            state.memory[loc] = operandValue(state, t, instr.value);
+            state.memory[ii.locId] = operandValue(state, idx, t,
+                                                  instr.value,
+                                                  ii.valueRegId);
             break;
           case litmus::Opcode::Atom: {
-            std::uint64_t old = state.memory.at(loc);
-            if (!instr.destReg.empty())
-                state.registers[t][instr.destReg] = old;
+            std::uint64_t old = state.memory[ii.locId];
+            if (ii.destRegId >= 0)
+                writeReg(state, idx, t, ii.destRegId, old);
             switch (instr.atomOp) {
               case litmus::AtomOp::Add:
-                state.memory[loc] =
-                    old + operandValue(state, t, instr.value);
+                state.memory[ii.locId] =
+                    old + operandValue(state, idx, t, instr.value,
+                                       ii.valueRegId);
                 break;
               case litmus::AtomOp::Exch:
-                state.memory[loc] = operandValue(state, t, instr.value);
+                state.memory[ii.locId] = operandValue(
+                    state, idx, t, instr.value, ii.valueRegId);
                 break;
               case litmus::AtomOp::Cas:
-                if (old == operandValue(state, t, instr.expected)) {
-                    state.memory[loc] =
-                        operandValue(state, t, instr.value);
+                if (old == operandValue(state, idx, t, instr.expected,
+                                        ii.expectedRegId)) {
+                    state.memory[ii.locId] = operandValue(
+                        state, idx, t, instr.value, ii.valueRegId);
                 }
                 break;
             }
@@ -109,8 +268,7 @@ explore(const litmus::LitmusTest &test, ScState &state,
           }
           case litmus::Opcode::CpAsync:
             // SC machine: the copy happens synchronously at issue.
-            state.memory[loc] =
-                state.memory.at(test.locationOf(instr.srcAddress));
+            state.memory[ii.locId] = state.memory[ii.srcLocId];
             break;
           case litmus::Opcode::Barrier:
             state.barriersPassed[t]++;
@@ -121,18 +279,35 @@ explore(const litmus::LitmusTest &test, ScState &state,
             break; // no-ops under SC
         }
 
-        explore(test, state, outcomes);
-        state = std::move(saved);
+        explore(test, idx, state, outcomes);
+
+        state.pc[t]--;
+        if (instr.opcode == litmus::Opcode::Barrier)
+            state.barriersPassed[t]--;
+        if (mem_slot >= 0)
+            state.memory[static_cast<std::size_t>(mem_slot)] = saved_mem;
+        if (reg_slot >= 0) {
+            state.regValues[static_cast<std::size_t>(reg_slot)] =
+                saved_reg;
+            state.regWritten[static_cast<std::size_t>(reg_slot)] =
+                saved_written;
+        }
     }
 
     if (!any) {
         litmus::Outcome outcome;
-        for (std::size_t t = 0; t < test.threads().size(); t++) {
+        for (std::size_t t = 0; t < idx.instrs.size(); t++) {
             const auto &name = test.threads()[t].name;
-            for (const auto &[reg, value] : state.registers[t])
-                outcome.registers[name + "." + reg] = value;
+            for (std::size_t r = 0; r < idx.regNames[t].size(); r++) {
+                const std::size_t slot = idx.regBase[t] + r;
+                if (state.regWritten[slot]) {
+                    outcome.registers[name + "." + idx.regNames[t][r]] =
+                        state.regValues[slot];
+                }
+            }
         }
-        outcome.memory = state.memory;
+        for (std::size_t l = 0; l < idx.locNames.size(); l++)
+            outcome.memory[idx.locNames[l]] = state.memory[l];
         outcomes.insert(outcome);
     }
 }
@@ -143,14 +318,15 @@ std::set<litmus::Outcome>
 scOutcomes(const litmus::LitmusTest &test)
 {
     test.validate();
+    const IndexedTest idx = buildIndex(test);
     ScState state;
-    for (const auto &loc : test.locations())
-        state.memory[loc] = test.initOf(loc);
-    state.pc.assign(test.threads().size(), 0);
-    state.barriersPassed.assign(test.threads().size(), 0);
-    state.registers.resize(test.threads().size());
+    state.memory = idx.initValues;
+    state.pc.assign(idx.instrs.size(), 0);
+    state.barriersPassed.assign(idx.instrs.size(), 0);
+    state.regValues.assign(idx.regTotal, 0);
+    state.regWritten.assign(idx.regTotal, 0);
     std::set<litmus::Outcome> outcomes;
-    explore(test, state, outcomes);
+    explore(test, idx, state, outcomes);
     return outcomes;
 }
 

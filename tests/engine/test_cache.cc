@@ -44,6 +44,10 @@ sampleVerdict(std::uint64_t seed)
     verdict.stats.fastPathHits = 1;
     verdict.stats.fixpointIterations = 7;
     verdict.stats.causeEdges = 12345678901234ull;
+    verdict.stats.layerBaseReuse = seed * 2;
+    verdict.stats.layerRfDelta = seed * 9;
+    verdict.stats.layerRfPrefixReject = 3;
+    verdict.stats.layerCoPrefixReject = 4;
     return verdict;
 }
 
@@ -104,11 +108,19 @@ TEST(Fingerprint, SeparatesEveryKnob)
     EXPECT_NE(base, VerdictCache::fingerprint(
                         key, model::ProxyMode::Ptx75, true, 1000,
                         model::PresolvePolicy::Only));
+    EXPECT_NE(base, VerdictCache::fingerprint(
+                        key, model::ProxyMode::Ptx75, true, 1000,
+                        model::PresolvePolicy::Off,
+                        model::EnumCore::Legacy));
     EXPECT_EQ(base, VerdictCache::fingerprint(
                         key, model::ProxyMode::Ptx75, true, 1000));
     EXPECT_EQ(base, VerdictCache::fingerprint(
                         key, model::ProxyMode::Ptx75, true, 1000,
                         model::PresolvePolicy::Off));
+    EXPECT_EQ(base, VerdictCache::fingerprint(
+                        key, model::ProxyMode::Ptx75, true, 1000,
+                        model::PresolvePolicy::Off,
+                        model::EnumCore::Incremental));
 }
 
 TEST(VerdictCache, MissComputesThenHits)
@@ -270,6 +282,13 @@ TEST(VerdictEntry, EncodeDecodeRoundTrips)
     EXPECT_EQ(decoded.stats.fixpointIterations,
               verdict.stats.fixpointIterations);
     EXPECT_EQ(decoded.stats.causeEdges, verdict.stats.causeEdges);
+    EXPECT_EQ(decoded.stats.layerBaseReuse,
+              verdict.stats.layerBaseReuse);
+    EXPECT_EQ(decoded.stats.layerRfDelta, verdict.stats.layerRfDelta);
+    EXPECT_EQ(decoded.stats.layerRfPrefixReject,
+              verdict.stats.layerRfPrefixReject);
+    EXPECT_EQ(decoded.stats.layerCoPrefixReject,
+              verdict.stats.layerCoPrefixReject);
 }
 
 TEST(VerdictEntry, EmbeddedKeyGuardsAgainstCollisions)

@@ -299,6 +299,44 @@ TEST(Service, ProfileEnumKnobPublishesSampledCounters)
               0u);
 }
 
+TEST(Service, EnumCoreKnobSelectsCoreAndRejectsUnknown)
+{
+    Engine engine;
+    // The two cores must answer identically (same passed verdict and
+    // outcome count); a bogus core name is a structured error, not a
+    // dead daemon.
+    std::istringstream in(
+        "{\"test\":\"fig9_message_passing\",\"id\":0}\n"
+        "{\"test\":\"fig9_message_passing\","
+        "\"enum_core\":\"legacy\",\"id\":1}\n"
+        "{\"test\":\"fig9_message_passing\","
+        "\"enum_core\":\"bogus\",\"id\":2}\n");
+    std::ostringstream out;
+    std::ostringstream err;
+    ServeOptions options;
+    options.jobs = 1;
+    ASSERT_EQ(serve(engine, options, in, out, err), 0);
+
+    std::istringstream lines(out.str());
+    std::string first, second, third;
+    std::getline(lines, first);
+    std::getline(lines, second);
+    std::getline(lines, third);
+    auto incremental = json::parse(first);
+    auto legacy = json::parse(second);
+    auto bogus = json::parse(third);
+    ASSERT_TRUE(incremental && legacy && bogus);
+    EXPECT_TRUE(incremental->boolOr("ok", false));
+    EXPECT_TRUE(legacy->boolOr("ok", false));
+    EXPECT_EQ(incremental->boolOr("passed", false),
+              legacy->boolOr("passed", true));
+    EXPECT_EQ(incremental->stringOr("report", "a"),
+              legacy->stringOr("report", "b"));
+    EXPECT_FALSE(bogus->boolOr("ok", true));
+    EXPECT_NE(bogus->stringOr("error", "").find("enum core"),
+              std::string::npos);
+}
+
 TEST(Service, ErrorRequestsCountIntoErrorsTotal)
 {
     Engine engine;

@@ -149,6 +149,52 @@ TEST(ParseArgs, ProfileEnumFlag)
     EXPECT_THROW(parseArgs({"--profile-enumx"}), FatalError);
 }
 
+TEST(ParseArgs, EnumCoreFlags)
+{
+    EXPECT_EQ(parseArgs({"x"}).enumCore, model::EnumCore::Incremental);
+    EXPECT_FALSE(parseArgs({"x"}).enumDiff);
+    EXPECT_EQ(parseArgs({"--enum-core=legacy", "x"}).enumCore,
+              model::EnumCore::Legacy);
+    EXPECT_EQ(parseArgs({"--enum-core", "incremental", "x"}).enumCore,
+              model::EnumCore::Incremental);
+    EXPECT_TRUE(parseArgs({"--enum-diff"}).enumDiff);
+    EXPECT_THROW(parseArgs({"--enum-core=bogus"}), FatalError);
+    EXPECT_THROW(parseArgs({"--enum-core"}), FatalError);
+    EXPECT_THROW(parseArgs({"--enum-diffx"}), FatalError);
+}
+
+TEST(Cli, EnumCoresProduceIdenticalReports)
+{
+    // The legacy core is a differential oracle: byte-identical stdout
+    // on the same input, whatever the outcome set looks like.
+    std::string incremental, legacy;
+    ASSERT_EQ(run({"fig9_message_passing"}, &incremental), 0);
+    ASSERT_EQ(
+        run({"--enum-core=legacy", "fig9_message_passing"}, &legacy),
+        0);
+    EXPECT_EQ(incremental, legacy);
+}
+
+TEST(Cli, EnumDiffReportsZeroDivergences)
+{
+    std::string out;
+    ASSERT_EQ(run({"--enum-diff", "fig9_message_passing",
+                   "fig8a_alias_fence"},
+                  &out),
+              0);
+    EXPECT_NE(out.find("0 divergences"), std::string::npos);
+    EXPECT_NE(out.find("ok    fig9_message_passing"),
+              std::string::npos);
+}
+
+TEST(Cli, HelpMentionsEnumCoreFlags)
+{
+    std::string out;
+    ASSERT_EQ(run({"--help"}, &out), 0);
+    EXPECT_NE(out.find("--enum-core"), std::string::npos);
+    EXPECT_NE(out.find("--enum-diff"), std::string::npos);
+}
+
 TEST(ParseArgs, MetricsOutAndLogJsonFlags)
 {
     auto opts = parseArgs({"--metrics-out", "m.prom", "x"});

@@ -86,10 +86,25 @@ TEST(DriverObs, StatsJsonHasDocumentedCheckerMetrics)
     const JsonValue &counters = doc->at("counters");
     for (const char *name :
          {"checker.rf_assignments", "checker.candidates",
-          "checker.consistent", "checker.fixpoint.iterations"}) {
+          "checker.consistent"}) {
         EXPECT_TRUE(counters.has(name)) << "missing counter " << name;
         EXPECT_GT(counters.at(name).number, 0.0) << name;
     }
+    // The layered derived-relation engine only counts *productive*
+    // observation-fixpoint passes: zero here (no atomic reads in
+    // fig9_message_passing), and always strictly below the number of
+    // rf assignments.
+    ASSERT_TRUE(counters.has("checker.fixpoint.iterations"));
+    EXPECT_LT(counters.at("checker.fixpoint.iterations").number,
+              counters.at("checker.rf_assignments").number);
+    // The layer counters account the incremental core's delta work.
+    for (const char *name :
+         {"checker.layer.base_reuse", "checker.layer.rf_delta",
+          "checker.layer.rf_prefix_reject",
+          "checker.layer.co_prefix_reject"}) {
+        EXPECT_TRUE(counters.has(name)) << "missing counter " << name;
+    }
+    EXPECT_GT(counters.at("checker.layer.base_reuse").number, 0.0);
     // Every rf assignment either hits or misses the single-proxy fast
     // path — the split must account for all of them.
     EXPECT_DOUBLE_EQ(counters.at("checker.fastpath.hits").number +
