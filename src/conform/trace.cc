@@ -1,0 +1,687 @@
+#include "trace.hh"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <string_view>
+
+namespace mixedproxy::conform {
+
+std::string
+toString(TraceOp op)
+{
+    switch (op) {
+    case TraceOp::Store:
+        return "st";
+    case TraceOp::Commit:
+        return "commit";
+    case TraceOp::Load:
+        return "ld";
+    case TraceOp::Rmw:
+        return "atom";
+    case TraceOp::Fence:
+        return "fence";
+    case TraceOp::FenceProxy:
+        return "fence_proxy";
+    case TraceOp::Barrier:
+        return "bar";
+    }
+    return "?";
+}
+
+namespace {
+
+void
+appendUint(std::string &line, std::uint64_t value)
+{
+    char digits[24];
+    auto [end, ec] =
+        std::to_chars(digits, digits + sizeof(digits), value);
+    line.append(digits, end);
+}
+
+void
+appendField(std::string &line, const char *key, std::uint64_t value)
+{
+    line += ",\"";
+    line += key;
+    line += "\":";
+    appendUint(line, value);
+}
+
+void
+appendField(std::string &line, const char *key, const std::string &value)
+{
+    line += ",\"";
+    line += key;
+    line += "\":\"";
+    line += value;
+    line += '"';
+}
+
+/** Start an event line: {"seq":N,"ev":"op". */
+void
+beginEvent(std::string &line, std::uint64_t seq, const char *op)
+{
+    line.clear();
+    line += "{\"seq\":";
+    appendUint(line, seq);
+    line += ",\"ev\":\"";
+    line += op;
+    line += '"';
+}
+
+void
+appendAccess(std::string &line, std::size_t thread, std::size_t location,
+             std::uint64_t value, litmus::Semantics sem,
+             litmus::Scope scope, litmus::ProxyKind proxy)
+{
+    appendField(line, "t", thread);
+    appendField(line, "loc", location);
+    appendField(line, "val", value);
+    // Weak/unscoped/generic are the reader's defaults; omitting them
+    // keeps weak-op lines (the common case in big traces) short.
+    if (sem != litmus::Semantics::Weak)
+        appendField(line, "sem", litmus::toString(sem));
+    if (scope != litmus::Scope::None)
+        appendField(line, "scope", litmus::toString(scope));
+    if (proxy != litmus::ProxyKind::Generic)
+        appendField(line, "proxy", litmus::toString(proxy));
+}
+
+std::optional<litmus::ProxyKind>
+proxyKindFromToken(std::string_view token)
+{
+    using litmus::ProxyKind;
+    if (token == "generic")
+        return ProxyKind::Generic;
+    if (token == "texture")
+        return ProxyKind::Texture;
+    if (token == "constant")
+        return ProxyKind::Constant;
+    if (token == "surface")
+        return ProxyKind::Surface;
+    if (token == "async")
+        return ProxyKind::Async;
+    return std::nullopt;
+}
+
+} // namespace
+
+void
+TraceWriter::header(const TraceHeader &hdr)
+{
+    std::string line;
+    line += "{\"schema\":\"";
+    line += kTraceSchema;
+    line += "\",\"test\":\"";
+    line += hdr.test;
+    line += "\",\"threads\":[";
+    for (std::size_t i = 0; i < hdr.threads.size(); i++) {
+        if (i)
+            line += ',';
+        line += "{\"name\":\"";
+        line += hdr.threads[i].name;
+        line += "\",\"cta\":";
+        appendUint(line, (std::uint64_t)hdr.threads[i].cta);
+        line += ",\"gpu\":";
+        appendUint(line, (std::uint64_t)hdr.threads[i].gpu);
+        line += '}';
+    }
+    line += "],\"locations\":[";
+    for (std::size_t i = 0; i < hdr.locations.size(); i++) {
+        if (i)
+            line += ',';
+        line += "{\"name\":\"";
+        line += hdr.locations[i].name;
+        line += "\",\"init\":";
+        appendUint(line, hdr.locations[i].init);
+        line += '}';
+    }
+    line += "]}\n";
+    *out << line;
+    // Init writes own uids [0, locations); real writes follow.
+    _nextUid = hdr.locations.size();
+}
+
+std::uint64_t
+TraceWriter::store(std::size_t thread, std::size_t location,
+                   std::uint64_t value, litmus::Semantics sem,
+                   litmus::Scope scope, litmus::ProxyKind proxy)
+{
+    const std::uint64_t uid = _nextUid++;
+    std::string line;
+    beginEvent(line, _seq++, "st");
+    appendAccess(line, thread, location, value, sem, scope, proxy);
+    appendField(line, "uid", uid);
+    line += "}\n";
+    *out << line;
+    return uid;
+}
+
+void
+TraceWriter::commit(std::uint64_t uid)
+{
+    std::string line;
+    beginEvent(line, _seq++, "commit");
+    appendField(line, "uid", uid);
+    line += "}\n";
+    *out << line;
+}
+
+void
+TraceWriter::load(std::size_t thread, std::size_t location,
+                  std::uint64_t value, std::uint64_t rf,
+                  litmus::Semantics sem, litmus::Scope scope,
+                  litmus::ProxyKind proxy, const std::string &destReg)
+{
+    std::string line;
+    beginEvent(line, _seq++, "ld");
+    appendAccess(line, thread, location, value, sem, scope, proxy);
+    appendField(line, "rf", rf);
+    if (!destReg.empty())
+        appendField(line, "rd", destReg);
+    line += "}\n";
+    *out << line;
+}
+
+std::uint64_t
+TraceWriter::rmw(std::size_t thread, std::size_t location,
+                 std::uint64_t value, std::uint64_t oldValue,
+                 std::uint64_t rf, litmus::Semantics sem,
+                 litmus::Scope scope, const std::string &destReg,
+                 bool commitNow)
+{
+    const std::uint64_t uid = _nextUid++;
+    std::string line;
+    beginEvent(line, _seq++, "atom");
+    appendAccess(line, thread, location, value, sem, scope,
+                 litmus::ProxyKind::Generic);
+    appendField(line, "old", oldValue);
+    appendField(line, "rf", rf);
+    appendField(line, "uid", uid);
+    if (!destReg.empty())
+        appendField(line, "rd", destReg);
+    line += "}\n";
+    *out << line;
+    if (commitNow)
+        commit(uid);
+    return uid;
+}
+
+void
+TraceWriter::fence(std::size_t thread, litmus::Semantics sem,
+                   litmus::Scope scope)
+{
+    std::string line;
+    beginEvent(line, _seq++, "fence");
+    appendField(line, "t", thread);
+    appendField(line, "sem", litmus::toString(sem));
+    appendField(line, "scope", litmus::toString(scope));
+    line += "}\n";
+    *out << line;
+}
+
+void
+TraceWriter::proxyFence(std::size_t thread, litmus::ProxyFenceKind kind,
+                        litmus::Scope scope)
+{
+    std::string line;
+    beginEvent(line, _seq++, "fence_proxy");
+    appendField(line, "t", thread);
+    appendField(line, "kind", litmus::toString(kind));
+    appendField(line, "scope", litmus::toString(scope));
+    line += "}\n";
+    *out << line;
+}
+
+void
+TraceWriter::barrier(std::size_t thread, unsigned id)
+{
+    std::string line;
+    beginEvent(line, _seq++, "bar");
+    appendField(line, "t", thread);
+    appendField(line, "bar", id);
+    line += "}\n";
+    *out << line;
+}
+
+void
+TraceWriter::finish(const litmus::Outcome &outcome)
+{
+    std::string line = "{\"ev\":\"finish\",\"registers\":{";
+    bool first = true;
+    for (const auto &[reg, value] : outcome.registers) {
+        if (!first)
+            line += ',';
+        first = false;
+        line += '"';
+        line += reg;
+        line += "\":";
+        appendUint(line, value);
+    }
+    line += "},\"memory\":{";
+    first = true;
+    for (const auto &[loc, value] : outcome.memory) {
+        if (!first)
+            line += ',';
+        first = false;
+        line += '"';
+        line += loc;
+        line += "\":";
+        appendUint(line, value);
+    }
+    line += "}}\n";
+    *out << line;
+}
+
+namespace {
+
+/**
+ * Single-pass cursor over one JSONL line. Methods return false on
+ * malformed input and leave an explanation in @p error.
+ */
+class Cursor
+{
+  public:
+    Cursor(std::string_view text, std::string &error)
+        : p(text.data()), end(text.data() + text.size()), error(error)
+    {
+    }
+
+    void
+    skipWs()
+    {
+        while (p != end &&
+               (*p == ' ' || *p == '\t' || *p == '\r' || *p == '\n'))
+            p++;
+    }
+
+    bool
+    atEnd()
+    {
+        skipWs();
+        return p == end;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        return p == end ? '\0' : *p;
+    }
+
+    bool
+    expect(char c)
+    {
+        skipWs();
+        if (p == end || *p != c) {
+            error = std::string("expected '") + c + "'";
+            return false;
+        }
+        p++;
+        return true;
+    }
+
+    /** Consume @p c if present; false (no error) otherwise. */
+    bool
+    accept(char c)
+    {
+        skipWs();
+        if (p == end || *p != c)
+            return false;
+        p++;
+        return true;
+    }
+
+    /** Parse "..." (no escapes: trace strings are identifiers). */
+    bool
+    string(std::string_view &sv)
+    {
+        if (!expect('"'))
+            return false;
+        const char *start = p;
+        while (p != end && *p != '"') {
+            if (*p == '\\') {
+                error = "escape sequences unsupported in trace strings";
+                return false;
+            }
+            p++;
+        }
+        if (p == end) {
+            error = "unterminated string";
+            return false;
+        }
+        sv = std::string_view(start, (std::size_t)(p - start));
+        p++;
+        return true;
+    }
+
+    bool
+    uint(std::uint64_t &value)
+    {
+        skipWs();
+        auto [next, ec] = std::from_chars(p, end, value);
+        if (ec != std::errc{}) {
+            error = "expected unsigned integer";
+            return false;
+        }
+        p = next;
+        return true;
+    }
+
+    /** Skip one value of any JSON type (for unknown fields). */
+    bool
+    skipValue()
+    {
+        skipWs();
+        if (p == end) {
+            error = "expected value";
+            return false;
+        }
+        switch (*p) {
+        case '"': {
+            std::string_view sv;
+            return string(sv);
+        }
+        case '[':
+        case '{': {
+            // Balanced-bracket skip; trace strings have no escapes.
+            int depth = 0;
+            bool inString = false;
+            for (; p != end; p++) {
+                if (inString) {
+                    if (*p == '"')
+                        inString = false;
+                    continue;
+                }
+                if (*p == '"')
+                    inString = true;
+                else if (*p == '[' || *p == '{')
+                    depth++;
+                else if (*p == ']' || *p == '}') {
+                    if (--depth == 0) {
+                        p++;
+                        return true;
+                    }
+                }
+            }
+            error = "unterminated array or object";
+            return false;
+        }
+        default: {
+            // Number / literal: consume until a delimiter.
+            while (p != end && *p != ',' && *p != '}' && *p != ']')
+                p++;
+            return true;
+        }
+        }
+    }
+
+  private:
+    const char *p;
+    const char *end;
+
+  public:
+    std::string &error;
+};
+
+/** Parse {"name":...,"k":v,...} object lists in the header. */
+bool
+parseHeaderList(Cursor &cur, bool threads, TraceHeader &hdr)
+{
+    if (!cur.expect('['))
+        return false;
+    if (cur.accept(']'))
+        return true;
+    do {
+        if (!cur.expect('{'))
+            return false;
+        TraceThread thread;
+        TraceLocation location;
+        if (!cur.accept('}')) {
+            do {
+                std::string_view key;
+                if (!cur.string(key) || !cur.expect(':'))
+                    return false;
+                std::uint64_t num = 0;
+                if (key == "name") {
+                    std::string_view sv;
+                    if (!cur.string(sv))
+                        return false;
+                    (threads ? thread.name : location.name) = sv;
+                } else if (key == "cta" && threads) {
+                    if (!cur.uint(num))
+                        return false;
+                    thread.cta = (int)num;
+                } else if (key == "gpu" && threads) {
+                    if (!cur.uint(num))
+                        return false;
+                    thread.gpu = (int)num;
+                } else if (key == "init" && !threads) {
+                    if (!cur.uint(location.init))
+                        return false;
+                } else if (!cur.skipValue()) {
+                    return false;
+                }
+            } while (cur.accept(','));
+            if (!cur.expect('}'))
+                return false;
+        }
+        if (threads)
+            hdr.threads.push_back(std::move(thread));
+        else
+            hdr.locations.push_back(std::move(location));
+    } while (cur.accept(','));
+    return cur.expect(']');
+}
+
+/** Parse {"key":uint,...} maps in the footer. */
+bool
+parseValueMap(Cursor &cur, std::map<std::string, std::uint64_t> &map)
+{
+    if (!cur.expect('{'))
+        return false;
+    if (cur.accept('}'))
+        return true;
+    do {
+        std::string_view key;
+        std::uint64_t value = 0;
+        if (!cur.string(key) || !cur.expect(':') || !cur.uint(value))
+            return false;
+        map.emplace(std::string(key), value);
+    } while (cur.accept(','));
+    return cur.expect('}');
+}
+
+std::optional<TraceOp>
+traceOpFromToken(std::string_view token)
+{
+    if (token == "st")
+        return TraceOp::Store;
+    if (token == "commit")
+        return TraceOp::Commit;
+    if (token == "ld")
+        return TraceOp::Load;
+    if (token == "atom")
+        return TraceOp::Rmw;
+    if (token == "fence")
+        return TraceOp::Fence;
+    if (token == "fence_proxy")
+        return TraceOp::FenceProxy;
+    if (token == "bar")
+        return TraceOp::Barrier;
+    return std::nullopt;
+}
+
+} // namespace
+
+TraceReader::Status
+TraceReader::next(TraceLine &line)
+{
+    // Skip blank lines; EOF is only reported when no content remains.
+    do {
+        _line++;
+        if (!std::getline(*in, buf))
+            return Status::Eof;
+    } while (buf.find_first_not_of(" \t\r") == std::string::npos);
+
+    line = TraceLine{};
+    _error.clear();
+    Cursor cur(buf, _error);
+    if (!cur.expect('{'))
+        return Status::Error;
+
+    // Accumulate fields; classify once the line is fully scanned.
+    bool sawSchema = false;
+    std::string_view ev;
+    TraceHeader &hdr = line.header;
+    TraceEvent &event = line.event;
+    if (!cur.accept('}')) {
+        do {
+            std::string_view key;
+            if (!cur.string(key) || !cur.expect(':'))
+                return Status::Error;
+            if (key == "schema") {
+                std::string_view sv;
+                if (!cur.string(sv))
+                    return Status::Error;
+                if (sv != kTraceSchema) {
+                    _error = "unsupported trace schema \"" +
+                             std::string(sv) + '"';
+                    return Status::Error;
+                }
+                sawSchema = true;
+            } else if (key == "test") {
+                std::string_view sv;
+                if (!cur.string(sv))
+                    return Status::Error;
+                hdr.test = sv;
+            } else if (key == "threads") {
+                if (!parseHeaderList(cur, true, hdr))
+                    return Status::Error;
+            } else if (key == "locations") {
+                if (!parseHeaderList(cur, false, hdr))
+                    return Status::Error;
+            } else if (key == "ev") {
+                if (!cur.string(ev))
+                    return Status::Error;
+            } else if (key == "registers") {
+                if (!parseValueMap(cur, line.footer.registers))
+                    return Status::Error;
+            } else if (key == "memory") {
+                if (!parseValueMap(cur, line.footer.memory))
+                    return Status::Error;
+            } else if (key == "seq") {
+                if (!cur.uint(event.seq))
+                    return Status::Error;
+            } else if (key == "t") {
+                std::uint64_t t = 0;
+                if (!cur.uint(t))
+                    return Status::Error;
+                event.thread = (std::size_t)t;
+            } else if (key == "loc") {
+                std::uint64_t loc = 0;
+                if (!cur.uint(loc))
+                    return Status::Error;
+                event.location = (std::size_t)loc;
+            } else if (key == "val") {
+                if (!cur.uint(event.value))
+                    return Status::Error;
+            } else if (key == "old") {
+                if (!cur.uint(event.oldValue))
+                    return Status::Error;
+            } else if (key == "uid") {
+                if (!cur.uint(event.uid))
+                    return Status::Error;
+            } else if (key == "rf") {
+                if (!cur.uint(event.rf))
+                    return Status::Error;
+            } else if (key == "bar") {
+                std::uint64_t id = 0;
+                if (!cur.uint(id))
+                    return Status::Error;
+                event.barrier = (unsigned)id;
+            } else if (key == "rd") {
+                std::string_view sv;
+                if (!cur.string(sv))
+                    return Status::Error;
+                event.destReg = sv;
+            } else if (key == "sem") {
+                std::string_view sv;
+                if (!cur.string(sv))
+                    return Status::Error;
+                auto sem = litmus::semanticsFromToken(std::string(sv));
+                if (!sem) {
+                    _error =
+                        "unknown semantics \"" + std::string(sv) + '"';
+                    return Status::Error;
+                }
+                event.sem = *sem;
+            } else if (key == "scope") {
+                std::string_view sv;
+                if (!cur.string(sv))
+                    return Status::Error;
+                auto scope = sv == "none"
+                                 ? std::optional(litmus::Scope::None)
+                                 : litmus::scopeFromToken(
+                                       std::string(sv));
+                if (!scope) {
+                    _error = "unknown scope \"" + std::string(sv) + '"';
+                    return Status::Error;
+                }
+                event.scope = *scope;
+            } else if (key == "proxy") {
+                std::string_view sv;
+                if (!cur.string(sv))
+                    return Status::Error;
+                auto proxy = proxyKindFromToken(sv);
+                if (!proxy) {
+                    _error = "unknown proxy \"" + std::string(sv) + '"';
+                    return Status::Error;
+                }
+                event.proxy = *proxy;
+            } else if (key == "kind") {
+                std::string_view sv;
+                if (!cur.string(sv))
+                    return Status::Error;
+                auto kind =
+                    litmus::proxyFenceKindFromToken(std::string(sv));
+                if (!kind) {
+                    _error = "unknown proxy fence kind \"" +
+                             std::string(sv) + '"';
+                    return Status::Error;
+                }
+                event.proxyFence = *kind;
+            } else if (!cur.skipValue()) {
+                return Status::Error;
+            }
+        } while (cur.accept(','));
+        if (!cur.expect('}'))
+            return Status::Error;
+    }
+    if (!cur.atEnd()) {
+        _error = "trailing content after line object";
+        return Status::Error;
+    }
+
+    if (sawSchema) {
+        line.kind = TraceLine::Kind::Header;
+        return Status::Ok;
+    }
+    if (ev == "finish") {
+        line.kind = TraceLine::Kind::Footer;
+        return Status::Ok;
+    }
+    auto op = traceOpFromToken(ev);
+    if (!op) {
+        _error = ev.empty() ? "event line missing \"ev\""
+                            : "unknown event \"" + std::string(ev) + '"';
+        return Status::Error;
+    }
+    line.kind = TraceLine::Kind::Event;
+    event.op = *op;
+    return Status::Ok;
+}
+
+} // namespace mixedproxy::conform

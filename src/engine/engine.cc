@@ -14,6 +14,8 @@ Verdict::passed() const
 {
     if (synth)
         return true;
+    if (conform)
+        return conform->conformant();
     // A lint-only verdict carries no check (empty testName): its
     // pass/fail bit is the analyzer's cleanliness.
     if (lint && check.testName.empty())
@@ -131,6 +133,18 @@ Engine::submit(const Request &request)
         return verdict;
     }
 
+    if (request.kind == RequestKind::Conform) {
+        conform::ConformOptions opts = request.conform;
+        if (!request.conform.path.empty()) {
+            verdict.conform =
+                conform::checkTraceFile(request.conform.path, opts);
+        } else {
+            std::istringstream in(request.conform.traceText);
+            verdict.conform = conform::checkTrace(in, opts);
+        }
+        return verdict;
+    }
+
     const bool lintOnly =
         request.kind == RequestKind::Lint || request.lint.lintOnly;
 
@@ -177,6 +191,16 @@ renderReport(const Request &request, const Verdict &verdict)
 {
     if (verdict.synth)
         return verdict.synth->summary();
+
+    if (verdict.conform) {
+        std::ostringstream os;
+        os << "=== conform "
+           << (request.conform.path.empty() ? "<inline>"
+                                            : request.conform.path)
+           << " ===\n"
+           << verdict.conform->summary();
+        return os.str();
+    }
 
     if (request.kind == RequestKind::Lint ||
         (request.lint.lintOnly && verdict.lint)) {

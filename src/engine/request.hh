@@ -29,6 +29,7 @@
 #include <string>
 
 #include "analysis/analyzer.hh"
+#include "conform/checker.hh"
 #include "litmus/test.hh"
 #include "microarch/simulator.hh"
 #include "model/checker.hh"
@@ -162,6 +163,37 @@ struct SynthBlock
     }
 };
 
+/**
+ * Trace-conformance options (RequestKind::Conform; the test is
+ * unused). The subject is a recorded `mixedproxy.trace.v1` stream —
+ * either a file path (CLI `--conform`, daemon "path") or inline JSONL
+ * text (daemon "trace"); exactly one must be set. Conformance verdicts
+ * are never cached: a trace is one concrete execution, not a
+ * canonicalizable program, and checking it is a single linear pass.
+ */
+struct ConformBlock
+{
+    /** Trace file to check ("" = use traceText). */
+    std::string path;
+
+    /** Inline trace text (used when path is empty). */
+    std::string traceText;
+
+    /** See conform::ConformOptions::window. */
+    std::size_t window = 1024;
+
+    /** See conform::ConformOptions::maxViolations. */
+    std::size_t maxViolations = 16;
+
+    operator conform::ConformOptions() const
+    {
+        conform::ConformOptions opts;
+        opts.window = window;
+        opts.maxViolations = maxViolations;
+        return opts;
+    }
+};
+
 /** Observability routing for one request. */
 struct ObsBlock
 {
@@ -173,7 +205,7 @@ struct ObsBlock
 };
 
 /** What kind of work a Request describes. */
-enum class RequestKind { Check, Lint, Synth };
+enum class RequestKind { Check, Lint, Synth, Conform };
 
 /** One unit of work for the engine — the hashable, servable value. */
 struct Request
@@ -187,6 +219,7 @@ struct Request
     LintBlock lint;
     SimBlock sim;
     SynthBlock synth;
+    ConformBlock conform;
     ObsBlock obs;
 
     static Request forCheck(litmus::LitmusTest subject)
@@ -214,6 +247,14 @@ struct Request
         request.synth.instructions = instructions;
         return request;
     }
+
+    static Request forConform(std::string tracePath)
+    {
+        Request request;
+        request.kind = RequestKind::Conform;
+        request.conform.path = std::move(tracePath);
+        return request;
+    }
 };
 
 /** The complete structured answer to one Request. */
@@ -234,6 +275,9 @@ struct Verdict
     /** Synthesis report (RequestKind::Synth). */
     std::optional<synth::SynthReport> synth;
 
+    /** Trace-conformance report (RequestKind::Conform). */
+    std::optional<conform::ConformReport> conform;
+
     /** True when the primary check was served from the verdict cache. */
     bool cacheHit = false;
 
@@ -243,7 +287,8 @@ struct Verdict
     /**
      * The request's pass/fail bit (the CLI's exit-code input): every
      * assertion passed for a check; no warning-or-above finding for a
-     * lint-only request; always true for synthesis.
+     * lint-only request; conformant for a trace-conformance request;
+     * always true for synthesis.
      */
     bool passed() const;
 };

@@ -349,6 +349,63 @@ handleRequestLine(Engine &engine, const std::string &line,
         response.object["ops"] = std::move(ops);
         return response.dump();
     }
+    if (cmd == "conform") {
+        // Trace-conformance op (docs/trace_conformance.md): the trace
+        // arrives as a file path or as inline JSONL text, so a client
+        // without a shared filesystem can still submit recordings.
+        try {
+            Request request;
+            request.kind = RequestKind::Conform;
+            if (const json::Value *path = doc->find("path")) {
+                if (!path->isString())
+                    fatal("'path' must be a string");
+                request.conform.path = path->string;
+            } else if (const json::Value *trace = doc->find("trace")) {
+                if (!trace->isString())
+                    fatal("'trace' must be a string");
+                request.conform.traceText = trace->string;
+            } else {
+                fatal("conform needs 'path' (trace file) or 'trace' "
+                      "(inline JSONL)");
+            }
+            request.conform.window = static_cast<std::size_t>(
+                doc->uintOr("window", request.conform.window));
+            request.conform.maxViolations = static_cast<std::size_t>(
+                doc->uintOr("max_violations",
+                            request.conform.maxViolations));
+
+            Verdict verdict = engine.submit(request);
+            const conform::ConformReport &report = *verdict.conform;
+            result.op = "conform";
+            result.ok = true;
+            json::Value response = json::Value::makeObject();
+            if (id)
+                response.object["id"] = *id;
+            response.object["ok"] = json::Value::makeBool(true);
+            response.object["conformant"] =
+                json::Value::makeBool(report.conformant());
+            response.object["test"] =
+                json::Value::makeString(report.test);
+            response.object["events"] =
+                json::Value::makeUint(report.stats.events);
+            response.object["violations"] = json::Value::makeUint(
+                report.stats.totalViolations());
+            json::Value byKind = json::Value::makeObject();
+            for (std::size_t k = 0; k < conform::kViolationKinds; k++) {
+                if (report.stats.byKind[k] == 0)
+                    continue;
+                byKind.object[conform::toString(
+                    static_cast<conform::ViolationKind>(k))] =
+                    json::Value::makeUint(report.stats.byKind[k]);
+            }
+            response.object["violations_by_kind"] = std::move(byKind);
+            response.object["report"] = json::Value::makeString(
+                renderReport(request, verdict));
+            return response.dump();
+        } catch (const FatalError &e) {
+            return failed(id, e.what());
+        }
+    }
     if (!cmd.empty())
         return failed(id, "unknown cmd '" + cmd + "'");
 

@@ -17,9 +17,9 @@ Cache::lookup(VirtualTag tag) const
 
 void
 Cache::fill(VirtualTag tag, std::uint64_t value, PhysicalTag location,
-            bool dirty)
+            bool dirty, std::uint64_t writerUid)
 {
-    lines[tag] = CacheLine{value, location, dirty};
+    lines[tag] = CacheLine{value, location, dirty, writerUid};
 }
 
 std::size_t
@@ -55,9 +55,10 @@ Cache::markClean(VirtualTag tag)
 
 void
 StoreQueue::push(VirtualTag tag, PhysicalTag location,
-                 std::uint64_t value)
+                 std::uint64_t value, std::uint64_t writerUid)
 {
-    entries.push_back(PendingStore{tag, location, value, next_sequence++});
+    entries.push_back(
+        PendingStore{tag, location, value, next_sequence++, writerUid});
 }
 
 std::vector<VirtualTag>

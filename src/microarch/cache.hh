@@ -38,6 +38,12 @@ struct CacheLine
 
     /** Dirty lines hold data newer than the L2 copy. */
     bool dirty = false;
+
+    /**
+     * Trace identity of the write whose value this line holds
+     * (mixedproxy.trace.v1 uid); 0 when the machine is not tracing.
+     */
+    std::uint64_t writerUid = 0;
 };
 
 /**
@@ -59,7 +65,7 @@ class Cache
 
     /** Insert or overwrite a line. */
     void fill(VirtualTag tag, std::uint64_t value, PhysicalTag location,
-              bool dirty);
+              bool dirty, std::uint64_t writerUid = 0);
 
     /** Drop every line; returns the number of lines dropped. */
     std::size_t invalidateAll();
@@ -87,6 +93,9 @@ struct PendingStore
     PhysicalTag location = -1;
     std::uint64_t value = 0;
     std::uint64_t sequence = 0; ///< enqueue order, for per-tag FIFO
+
+    /** Trace identity of the buffered write (0 when not tracing). */
+    std::uint64_t writerUid = 0;
 };
 
 /**
@@ -101,7 +110,8 @@ class StoreQueue
 {
   public:
     /** Append a store. */
-    void push(VirtualTag tag, PhysicalTag location, std::uint64_t value);
+    void push(VirtualTag tag, PhysicalTag location, std::uint64_t value,
+              std::uint64_t writerUid = 0);
 
     bool empty() const { return entries.empty(); }
     std::size_t size() const { return entries.size(); }

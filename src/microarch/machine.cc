@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "conform/trace.hh"
 #include "relation/error.hh"
 
 namespace mixedproxy::microarch {
@@ -78,6 +79,9 @@ Machine::Machine(const litmus::LitmusTest &test, CoherenceMode mode,
     for (const auto &loc : test.locations()) {
         locs[loc] = static_cast<PhysicalTag>(locNames.size());
         locNames.push_back(loc);
+        // Location i's initial value is the trace schema's implicit
+        // init write with uid i.
+        sysmemUid.push_back(sysmem.size());
         sysmem.push_back(test.initOf(loc));
     }
     auto intern_tag = [&](const std::string &va) {
@@ -128,8 +132,8 @@ Machine::Machine(const Machine &other)
     : testCopy(other.testCopy), test(&testCopy), _mode(other._mode),
       lat(other.lat), tags(other.tags), locs(other.locs),
       locNames(other.locNames), tagToLoc(other.tagToLoc),
-      sysmem(other.sysmem), l2(other.l2), gpuIndex(other.gpuIndex),
-      sms(other.sms), threads(other.threads),
+      sysmem(other.sysmem), sysmemUid(other.sysmemUid), l2(other.l2),
+      gpuIndex(other.gpuIndex), sms(other.sms), threads(other.threads),
       nextAsyncSequence(other.nextAsyncSequence),
       traceEnabled(other.traceEnabled), _trace(other._trace),
       _stats(other._stats)
@@ -149,6 +153,7 @@ Machine::operator=(const Machine &other)
     locNames = other.locNames;
     tagToLoc = other.tagToLoc;
     sysmem = other.sysmem;
+    sysmemUid = other.sysmemUid;
     l2 = other.l2;
     gpuIndex = other.gpuIndex;
     sms = other.sms;
@@ -156,8 +161,26 @@ Machine::operator=(const Machine &other)
     nextAsyncSequence = other.nextAsyncSequence;
     traceEnabled = other.traceEnabled;
     _trace = other._trace;
+    tracer = nullptr; // forks must not interleave into the stream
     _stats = other._stats;
     return *this;
+}
+
+void
+Machine::setTracer(conform::TraceWriter *writer)
+{
+    tracer = writer;
+    if (!tracer)
+        return;
+    conform::TraceHeader hdr;
+    hdr.test = test->name();
+    for (const auto &thread : test->threads())
+        hdr.threads.push_back(
+            conform::TraceThread{thread.name, thread.cta, thread.gpu});
+    for (const auto &name : locNames)
+        hdr.locations.push_back(
+            conform::TraceLocation{name, test->initOf(name)});
+    tracer->header(hdr);
 }
 
 VirtualTag
@@ -330,7 +353,8 @@ Machine::outcome() const
 }
 
 std::uint64_t
-Machine::readL2(std::size_t sm, PhysicalTag location)
+Machine::readL2(std::size_t sm, PhysicalTag location,
+                std::uint64_t *writer_out)
 {
     _stats.l2Reads++;
     _stats.totalLatency += lat.l2;
@@ -340,13 +364,16 @@ Machine::readL2(std::size_t sm, PhysicalTag location)
         line.value = sysmem[static_cast<std::size_t>(location)];
         line.present = true;
         line.dirty = false;
+        line.writerUid = sysmemUid[static_cast<std::size_t>(location)];
     }
+    if (writer_out)
+        *writer_out = line.writerUid;
     return line.value;
 }
 
 void
 Machine::writeL2(std::size_t sm, PhysicalTag location, VirtualTag tag,
-                 std::uint64_t value)
+                 std::uint64_t value, std::uint64_t writerUid)
 {
     (void)tag;
     _stats.l2Writes++;
@@ -355,17 +382,30 @@ Machine::writeL2(std::size_t sm, PhysicalTag location, VirtualTag tag,
     const std::size_t loc = static_cast<std::size_t>(location);
     if (_mode == CoherenceMode::FullyCoherent) {
         // Write-through with global invalidation: every observer is
-        // coherent.
+        // coherent. The write reaches sysmem now, so it commits now.
         sysmem[loc] = value;
-        l2[gpu][loc] = L2Line{value, true, false};
+        sysmemUid[loc] = writerUid;
+        l2[gpu][loc] = L2Line{value, true, false, writerUid};
         for (std::size_t g = 0; g < l2.size(); g++) {
             if (g != gpu)
                 l2[g][loc] = L2Line{};
         }
         coherentInvalidate(sm, location);
+        if (tracer)
+            tracer->commit(writerUid);
         return;
     }
-    l2[gpu][loc] = L2Line{value, true, true};
+    // A dirty line being overwritten will never reach sysmem itself:
+    // this overwrite is the moment it takes (and ends) its slot in the
+    // location's coherence order, so its commit is emitted here. The
+    // new write's commit is deferred until the line writes back (or is
+    // itself overwritten) — per-location commit order in the trace is
+    // then exactly the order writes reach, or are superseded on the
+    // way to, the global point of coherence.
+    L2Line &line = l2[gpu][loc];
+    if (tracer && line.present && line.dirty)
+        tracer->commit(line.writerUid);
+    line = L2Line{value, true, true, writerUid};
 }
 
 void
@@ -375,9 +415,12 @@ Machine::writebackLine(std::size_t gpu, PhysicalTag location)
     if (!line.dirty)
         return;
     sysmem[static_cast<std::size_t>(location)] = line.value;
+    sysmemUid[static_cast<std::size_t>(location)] = line.writerUid;
     line.dirty = false;
     _stats.l2Writes++;
     _stats.totalLatency += lat.drain;
+    if (tracer)
+        tracer->commit(line.writerUid);
 }
 
 void
@@ -400,7 +443,9 @@ Machine::invalidateCleanL2(std::size_t gpu)
 
 std::uint64_t
 Machine::atomicAtSysmem(std::size_t sm, PhysicalTag location,
-                        std::uint64_t new_value, bool do_write)
+                        std::uint64_t new_value, bool do_write,
+                        std::uint64_t writerUid,
+                        std::uint64_t *old_writer)
 {
     // System-scope RMWs serialize at the global point of coherence.
     // Publish any local newer value first, then operate on sysmem.
@@ -411,10 +456,15 @@ Machine::atomicAtSysmem(std::size_t sm, PhysicalTag location,
     _stats.l2Reads++;
     _stats.totalLatency += 2 * lat.l2;
     std::uint64_t old = sysmem[loc];
+    if (old_writer)
+        *old_writer = sysmemUid[loc];
     if (do_write) {
         _stats.l2Writes++;
         sysmem[loc] = new_value;
-        l2[gpu][loc] = L2Line{new_value, true, false};
+        sysmemUid[loc] = writerUid;
+        l2[gpu][loc] = L2Line{new_value, true, false, writerUid};
+        if (tracer)
+            tracer->commit(writerUid);
     }
     return old;
 }
@@ -445,7 +495,8 @@ Machine::applyStoreToL2(std::size_t sm, const PendingStore &store)
 {
     _stats.drains++;
     _stats.totalLatency += lat.drain;
-    writeL2(sm, store.location, store.tag, store.value);
+    writeL2(sm, store.location, store.tag, store.value,
+            store.writerUid);
     sms[sm].l1.markClean(store.tag);
 }
 
@@ -522,23 +573,30 @@ Machine::genericLoad(ThreadState &thread, const Instruction &instr)
                 invalidateCleanL2(gpuOf(thread.sm));
         }
         _stats.totalLatency += lat.l1Hit;
+        if (tracer) {
+            tracer->load(threadIndexOf(thread), loc, fwd->value,
+                         fwd->writerUid, instr.sem, instr.scope,
+                         instr.proxy, instr.destReg);
+        }
         return fwd->value;
     }
 
     std::uint64_t value = 0;
+    std::uint64_t rfUid = 0;
     if (strong) {
         // Strong loads read the point of coherence directly (the GPU's
         // L2; sys-scope acquires additionally refresh from sysmem via
         // the clean-line invalidation below).
-        value = readL2(thread.sm, loc);
+        value = readL2(thread.sm, loc, &rfUid);
     } else if (auto line = sm.l1.lookup(tag)) {
         _stats.l1Hits++;
         _stats.totalLatency += lat.l1Hit;
         value = line->value;
+        rfUid = line->writerUid;
     } else {
         _stats.l1Misses++;
-        value = readL2(thread.sm, loc);
-        sm.l1.fill(tag, value, loc, false);
+        value = readL2(thread.sm, loc, &rfUid);
+        sm.l1.fill(tag, value, loc, false, rfUid);
     }
     if (wide_acquire) {
         acquireInvalidate(thread.sm);
@@ -552,6 +610,11 @@ Machine::genericLoad(ThreadState &thread, const Instruction &instr)
         _stats.fenceInvalidations +=
             sms[thread.sm].constCache.invalidateAll();
     }
+    if (tracer) {
+        tracer->load(threadIndexOf(thread), loc, value, rfUid,
+                     instr.sem, instr.scope, instr.proxy,
+                     instr.destReg);
+    }
     return value;
 }
 
@@ -563,12 +626,17 @@ Machine::genericStore(ThreadState &thread, const Instruction &instr)
     PhysicalTag loc = locOf(instr.address);
     std::uint64_t value = operandValue(thread, instr.value);
     _stats.stores++;
+    std::uint64_t uid = 0;
+    if (tracer) {
+        uid = tracer->store(threadIndexOf(thread), loc, value,
+                            instr.sem, instr.scope, instr.proxy);
+    }
     if (_mode == CoherenceMode::FullyCoherent) {
         _stats.translations++;
         _stats.totalLatency += lat.translation;
         // Write-through with broadcast invalidation: always coherent.
-        sm.l1.fill(tag, value, loc, false);
-        writeL2(thread.sm, loc, tag, value);
+        sm.l1.fill(tag, value, loc, false, uid);
+        writeL2(thread.sm, loc, tag, value, uid);
         return;
     }
 
@@ -584,16 +652,16 @@ Machine::genericStore(ThreadState &thread, const Instruction &instr)
         }
         if (instr.scope == Scope::Sys)
             writebackAllDirty(gpuOf(thread.sm));
-        sm.l1.fill(tag, value, loc, false);
-        writeL2(thread.sm, loc, tag, value);
+        sm.l1.fill(tag, value, loc, false, uid);
+        writeL2(thread.sm, loc, tag, value, uid);
         return;
     }
 
     // Weak, relaxed, and cta-scope release stores buffer in the store
     // queue (the reordering window); same-VA order is preserved by the
     // queue's per-tag FIFO discipline.
-    sm.l1.fill(tag, value, loc, true);
-    sm.genericQueue.push(tag, loc, value);
+    sm.l1.fill(tag, value, loc, true, uid);
+    sm.genericQueue.push(tag, loc, value, uid);
     _stats.totalLatency += lat.l1Hit;
 }
 
@@ -616,9 +684,11 @@ Machine::atomic(ThreadState &thread, const Instruction &instr)
     // gpu/cta-scope RMWs serialize at the GPU's L2; sys-scope RMWs at
     // sysmem (they must be atomic across GPUs).
     const bool at_sysmem = instr.scope == Scope::Sys;
+    std::uint64_t oldUid = 0;
     std::uint64_t old =
-        at_sysmem ? atomicAtSysmem(thread.sm, loc, 0, false)
-                  : readL2(thread.sm, loc);
+        at_sysmem
+            ? atomicAtSysmem(thread.sm, loc, 0, false, 0, &oldUid)
+            : readL2(thread.sm, loc, &oldUid);
     std::uint64_t next = old;
     bool write = true;
     switch (instr.atomOp) {
@@ -636,13 +706,28 @@ Machine::atomic(ThreadState &thread, const Instruction &instr)
         }
         break;
     }
+    std::uint64_t uid = 0;
+    if (tracer) {
+        if (write) {
+            // L2-serialized RMWs commit when the line writes back;
+            // sysmem-serialized ones commit inside atomicAtSysmem.
+            uid = tracer->rmw(threadIndexOf(thread), loc, next, old,
+                              oldUid, instr.sem, instr.scope,
+                              instr.destReg, /*commitNow=*/false);
+        } else {
+            // A failed CAS writes nothing: it is a load of `old`.
+            tracer->load(threadIndexOf(thread), loc, old, oldUid,
+                         instr.sem, instr.scope, instr.proxy,
+                         instr.destReg);
+        }
+    }
     if (write) {
         if (at_sysmem) {
-            atomicAtSysmem(thread.sm, loc, next, true);
+            atomicAtSysmem(thread.sm, loc, next, true, uid);
         } else {
-            writeL2(thread.sm, loc, tag, next);
+            writeL2(thread.sm, loc, tag, next, uid);
         }
-        sms[thread.sm].l1.fill(tag, next, loc, false);
+        sms[thread.sm].l1.fill(tag, next, loc, false, uid);
     }
     if (!instr.destReg.empty())
         thread.registers[instr.destReg] = old;
@@ -677,15 +762,23 @@ Machine::proxyCacheLoad(ThreadState &thread, Cache &cache,
         _stats.translations++;
         _stats.totalLatency += lat.translation;
     }
+    std::uint64_t value = 0;
+    std::uint64_t rfUid = 0;
     if (auto line = cache.lookup(tag)) {
         hits++;
         _stats.totalLatency += hit_latency;
-        (void)thread;
-        return line->value;
+        value = line->value;
+        rfUid = line->writerUid;
+    } else {
+        misses++;
+        value = readL2(thread.sm, loc, &rfUid);
+        cache.fill(tag, value, loc, false, rfUid);
     }
-    misses++;
-    std::uint64_t value = readL2(thread.sm, loc);
-    cache.fill(tag, value, loc, false);
+    if (tracer) {
+        tracer->load(threadIndexOf(thread), loc, value, rfUid,
+                     instr.sem, instr.scope, instr.proxy,
+                     instr.destReg);
+    }
     return value;
 }
 
@@ -697,17 +790,22 @@ Machine::surfaceStore(ThreadState &thread, const Instruction &instr)
     PhysicalTag loc = locOf(instr.address);
     std::uint64_t value = operandValue(thread, instr.value);
     _stats.stores++;
+    std::uint64_t uid = 0;
+    if (tracer) {
+        uid = tracer->store(threadIndexOf(thread), loc, value,
+                            instr.sem, instr.scope, instr.proxy);
+    }
     if (_mode == CoherenceMode::FullyCoherent) {
         _stats.translations++;
         _stats.totalLatency += lat.translation;
-        sm.tex.fill(tag, value, loc, false);
-        writeL2(thread.sm, loc, tag, value);
+        sm.tex.fill(tag, value, loc, false, uid);
+        writeL2(thread.sm, loc, tag, value, uid);
         return;
     }
     // Surface stores land in the SM's texture cache (so same-CTA
     // surface loads observe them) and drain to L2 via the surface path.
-    sm.tex.fill(tag, value, loc, true);
-    sm.surfaceQueue.push(tag, loc, value);
+    sm.tex.fill(tag, value, loc, true, uid);
+    sm.surfaceQueue.push(tag, loc, value, uid);
     _stats.totalLatency += lat.texHit;
 }
 
@@ -715,6 +813,19 @@ void
 Machine::fence(ThreadState &thread, const Instruction &instr)
 {
     _stats.totalLatency += lat.fence;
+    // The fence line follows the commits its flushes force: those
+    // stores reach the coherence point before the fence completes.
+    struct EmitOnExit
+    {
+        Machine *m;
+        std::size_t t;
+        const Instruction *i;
+        ~EmitOnExit()
+        {
+            if (m->tracer)
+                m->tracer->fence(t, i->sem, i->scope);
+        }
+    } emit{this, threadIndexOf(thread), &instr};
     if (_mode == CoherenceMode::FenceReuse) {
         // §4.3: every generic fence — including the CTA-scoped variants
         // programmers expect to be very fast — also flushes and
@@ -811,6 +922,10 @@ Machine::proxyFence(ThreadState &thread, const Instruction &instr)
             break;
         }
     }
+    if (tracer) {
+        tracer->proxyFence(threadIndexOf(thread), instr.proxyFence,
+                           instr.scope);
+    }
 }
 
 void
@@ -824,13 +939,20 @@ Machine::issueAsyncCopy(ThreadState &thread, const Instruction &instr)
     copy.dstTag = tagOf(instr.address);
     copy.dstLoc = locOf(instr.address);
     copy.sequence = nextAsyncSequence++;
+    copy.thread = threadIndexOf(thread);
     _stats.totalLatency += lat.constHit;
     if (_mode == CoherenceMode::FullyCoherent) {
         // §4.2 machine: the engine is coherent and synchronous.
         _stats.translations += 2;
         _stats.totalLatency += 2 * lat.translation;
         std::uint64_t value = readL2(thread.sm, copy.srcLoc);
-        writeL2(thread.sm, copy.dstLoc, copy.dstTag, value);
+        std::uint64_t uid = 0;
+        if (tracer) {
+            uid = tracer->store(copy.thread, copy.dstLoc, value,
+                                Semantics::Weak, Scope::None,
+                                litmus::ProxyKind::Async);
+        }
+        writeL2(thread.sm, copy.dstLoc, copy.dstTag, value, uid);
         return;
     }
     sms[thread.sm].asyncQueue.push_back(copy);
@@ -851,7 +973,15 @@ Machine::performAsyncCopy(std::size_t sm, int sequence)
                   "] = " + std::to_string(value) + " (from [" +
                   locNames[static_cast<std::size_t>(it->srcLoc)] +
                   "])");
-        writeL2(sm, it->dstLoc, it->dstTag, value);
+        std::uint64_t uid = 0;
+        if (tracer) {
+            // The copy's write materializes when the engine performs
+            // it; its trace identity keeps the issuing thread.
+            uid = tracer->store(it->thread, it->dstLoc, value,
+                                Semantics::Weak, Scope::None,
+                                litmus::ProxyKind::Async);
+        }
+        writeL2(sm, it->dstLoc, it->dstTag, value, uid);
         _stats.drains++;
         _stats.totalLatency += lat.drain;
         queue.erase(it);
@@ -955,6 +1085,11 @@ Machine::stepThread(std::size_t index)
         // Rendezvous only (the scheduler gates the step): intra-SM
         // visibility is already provided by the shared L1 and store
         // queue; cross-proxy visibility still needs proxy fences.
+        if (tracer) {
+            tracer->barrier(
+                index,
+                static_cast<unsigned>(thread.barriersPassed));
+        }
         thread.barriersPassed++;
         _stats.totalLatency += lat.fence;
         return;

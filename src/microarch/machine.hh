@@ -23,6 +23,10 @@
 #include "litmus/test.hh"
 #include "microarch/cache.hh"
 
+namespace mixedproxy::conform {
+class TraceWriter;
+}
+
 namespace mixedproxy::microarch {
 
 /** Which microarchitecture variant to simulate (DESIGN.md E8/E9). */
@@ -144,6 +148,17 @@ class Machine
     /** The recorded trace: one line per action, in execution order. */
     const std::vector<std::string> &trace() const { return _trace; }
 
+    /**
+     * Attach a mixedproxy.trace.v1 writer and emit the trace header.
+     * Must be called before the first execute(); the writer must
+     * outlive the machine's run. Copies of a tracing machine do not
+     * inherit the tracer (exhaustive exploration forks machines, and a
+     * forked emission stream would interleave incompatible histories).
+     * The caller emits the footer (TraceWriter::finish) once the run
+     * completes.
+     */
+    void setTracer(conform::TraceWriter *writer);
+
   private:
     /** An in-flight asynchronous copy (extension, §3.1.4). */
     struct AsyncCopy
@@ -153,6 +168,7 @@ class Machine
         VirtualTag dstTag = -1;
         PhysicalTag dstLoc = -1;
         int sequence = -1;
+        std::size_t thread = 0; ///< issuing thread, for the trace
     };
 
     struct Sm
@@ -180,6 +196,9 @@ class Machine
         std::uint64_t value = 0;
         bool present = false;
         bool dirty = false;
+
+        /** Trace identity of the held value's write (0 if untraced). */
+        std::uint64_t writerUid = 0;
     };
 
     VirtualTag tagOf(const std::string &va) const;
@@ -195,14 +214,17 @@ class Machine
     void drainQueueTagFully(std::size_t sm, bool surface, VirtualTag tag);
     void applyStoreToL2(std::size_t sm, const PendingStore &store);
 
-    std::uint64_t readL2(std::size_t sm, PhysicalTag location);
+    std::uint64_t readL2(std::size_t sm, PhysicalTag location,
+                         std::uint64_t *writer_out = nullptr);
     void writeL2(std::size_t sm, PhysicalTag location, VirtualTag tag,
-                 std::uint64_t value);
+                 std::uint64_t value, std::uint64_t writerUid);
     void writebackLine(std::size_t gpu, PhysicalTag location);
     void writebackAllDirty(std::size_t gpu);
     void invalidateCleanL2(std::size_t gpu);
     std::uint64_t atomicAtSysmem(std::size_t sm, PhysicalTag location,
-                                 std::uint64_t new_value, bool do_write);
+                                 std::uint64_t new_value, bool do_write,
+                                 std::uint64_t writerUid = 0,
+                                 std::uint64_t *old_writer = nullptr);
     void coherentInvalidate(std::size_t writer_sm, PhysicalTag location);
 
     std::uint64_t genericLoad(ThreadState &thread,
@@ -247,6 +269,12 @@ class Machine
     /** System memory, by PhysicalTag: the global point of coherence. */
     std::vector<std::uint64_t> sysmem;
 
+    /**
+     * Trace identity of the write holding each sysmem value. Location
+     * i starts at uid i (the schema's implicit init write).
+     */
+    std::vector<std::uint64_t> sysmemUid;
+
     /** Per-GPU L2 caches over sysmem: l2[gpu][location]. */
     std::vector<std::vector<L2Line>> l2;
 
@@ -262,6 +290,18 @@ class Machine
 
     /** Append a line to the trace when tracing is on. */
     void traceLine(std::string line);
+
+    /**
+     * Attached interchange-trace writer (not owned; null when the run
+     * is untraced). Deliberately not copied — see setTracer().
+     */
+    conform::TraceWriter *tracer = nullptr;
+
+    /** Index of @p thread within threads (they live in the vector). */
+    std::size_t threadIndexOf(const ThreadState &thread) const
+    {
+        return static_cast<std::size_t>(&thread - threads.data());
+    }
 
     MachineStats _stats;
 };

@@ -3,10 +3,40 @@
 #include <random>
 #include <sstream>
 
+#include "conform/trace.hh"
 #include "obs/obs.hh"
 #include "relation/error.hh"
 
 namespace mixedproxy::microarch {
+
+namespace {
+
+/** The shared schedule loop: drive @p machine to completion. */
+void
+driveSchedule(Machine &machine, const litmus::LitmusTest &test,
+              std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    // A generous step bound; litmus programs finish in well under this.
+    std::size_t guard = 1000 * (test.instructionCount() + 1);
+    while (true) {
+        auto actions = machine.actions();
+        if (actions.empty()) {
+            if (machine.deadlocked()) {
+                panic("simulation of '", test.name(),
+                      "' deadlocked (mismatched barriers?)");
+            }
+            break;
+        }
+        if (guard-- == 0)
+            panic("simulation of '", test.name(), "' did not terminate");
+        std::uniform_int_distribution<std::size_t> pick(
+            0, actions.size() - 1);
+        machine.execute(actions[pick(rng)]);
+    }
+}
+
+} // namespace
 
 std::set<litmus::Outcome>
 SimResult::outcomes() const
@@ -67,28 +97,26 @@ Simulator::runOnce(const litmus::LitmusTest &test, std::uint64_t seed,
 {
     obs::Span span("sim.schedule");
     Machine machine(test, opts.mode, opts.latencies);
-    std::mt19937_64 rng(seed);
-    // A generous step bound; litmus programs finish in well under this.
-    std::size_t guard =
-        1000 * (test.instructionCount() + 1);
-    while (true) {
-        auto actions = machine.actions();
-        if (actions.empty()) {
-            if (machine.deadlocked()) {
-                panic("simulation of '", test.name(),
-                      "' deadlocked (mismatched barriers?)");
-            }
-            break;
-        }
-        if (guard-- == 0)
-            panic("simulation of '", test.name(), "' did not terminate");
-        std::uniform_int_distribution<std::size_t> pick(
-            0, actions.size() - 1);
-        machine.execute(actions[pick(rng)]);
-    }
+    driveSchedule(machine, test, seed);
     if (stats_out)
         *stats_out += machine.stats();
     return machine.outcome();
+}
+
+litmus::Outcome
+Simulator::runTraced(const litmus::LitmusTest &test, std::uint64_t seed,
+                     std::ostream &out, MachineStats *stats_out) const
+{
+    obs::Span span("sim.schedule");
+    Machine machine(test, opts.mode, opts.latencies);
+    conform::TraceWriter writer(out);
+    machine.setTracer(&writer);
+    driveSchedule(machine, test, seed);
+    if (stats_out)
+        *stats_out += machine.stats();
+    litmus::Outcome outcome = machine.outcome();
+    writer.finish(outcome);
+    return outcome;
 }
 
 SimResult

@@ -13,6 +13,7 @@
 #define MIXEDPROXY_MICROARCH_SIMULATOR_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <set>
 #include <string>
@@ -91,6 +92,14 @@ class Simulator
     litmus::Outcome runOnce(const litmus::LitmusTest &test,
                             std::uint64_t seed,
                             MachineStats *stats_out = nullptr) const;
+
+    /**
+     * Run a single schedule like runOnce, emitting the execution as a
+     * mixedproxy.trace.v1 stream (header, events, footer) onto @p out.
+     */
+    litmus::Outcome runTraced(const litmus::LitmusTest &test,
+                              std::uint64_t seed, std::ostream &out,
+                              MachineStats *stats_out = nullptr) const;
 
     const SimOptions &options() const { return opts; }
 

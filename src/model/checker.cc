@@ -882,6 +882,134 @@ extractOutcome(const Program &program,
 }
 
 /**
+ * Flat outcome accumulation for the enumeration hot path: consistent
+ * candidates are deduplicated as flat value vectors against a
+ * per-program slot schema instead of constructing a string-keyed
+ * litmus::Outcome (two std::map builds plus a set insert of map pairs)
+ * per candidate.
+ *
+ * The schema is fixed by the program alone: one register slot per
+ * distinct "thread.reg" destination key (sorted; on duplicate keys the
+ * last read in Program::reads() order supplies the value — the
+ * map-assignment semantics of extractOutcome) and one memory slot per
+ * location (sorted by name; the value comes from the candidate's
+ * coherence-final write). Every consistent candidate of one program
+ * fills exactly these slots, so lexicographic comparison of the flat
+ * vectors coincides with litmus::Outcome's map comparison: the
+ * materialized outcome set, and the first-candidate-per-outcome
+ * witness selection, are identical to per-candidate construction.
+ */
+class OutcomeAccumulator
+{
+  public:
+    explicit OutcomeAccumulator(const Program &program)
+        : program(program)
+    {
+        // The schema sorts and dedups without building any "thread.reg"
+        // string: slots order by (thread, reg) pair comparison over the
+        // events' own strings, which is exactly the concatenated-key
+        // order ('.' < [0-9A-Za-z_] and identifiers contain no '.');
+        // the keys themselves are only rendered in materialize().
+        const auto &events = program.events();
+        for (EventId r : program.reads()) {
+            if (!events[r].destReg.empty())
+                reg_events.push_back(r);
+        }
+        const auto key_less = [&](EventId a, EventId b) {
+            const Event &ea = events[a];
+            const Event &eb = events[b];
+            if (int c = ea.threadName.compare(eb.threadName))
+                return c < 0;
+            return ea.destReg < eb.destReg;
+        };
+        // Stable sort, then keep the *last* read per duplicate key —
+        // the map-assignment semantics of extractOutcome.
+        std::stable_sort(reg_events.begin(), reg_events.end(),
+                         key_less);
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < reg_events.size(); i++) {
+            if (i + 1 < reg_events.size() &&
+                !key_less(reg_events[i], reg_events[i + 1])) {
+                continue; // a later read shadows this slot
+            }
+            reg_events[kept++] = reg_events[i];
+        }
+        reg_events.resize(kept);
+
+        for (LocationId loc = 0;
+             loc < static_cast<LocationId>(program.locationCount());
+             loc++) {
+            mem_locs.push_back(loc);
+        }
+        std::sort(mem_locs.begin(), mem_locs.end(),
+                  [&](LocationId a, LocationId b) {
+                      return program.locationName(a) <
+                             program.locationName(b);
+                  });
+        scratch.resize(reg_events.size() + mem_locs.size());
+    }
+
+    /**
+     * Record the outcome of one consistent candidate; true when it is
+     * new (the caller then attaches its witness).
+     */
+    bool
+    insert(const std::vector<std::vector<EventId>> &orders,
+           const std::vector<std::uint64_t> &value)
+    {
+        std::size_t slot = 0;
+        for (EventId r : reg_events)
+            scratch[slot++] = value[r];
+        for (LocationId loc : mem_locs) {
+            const auto &order = orders[static_cast<std::size_t>(loc)];
+            const EventId final_write =
+                order.empty() ? program.initWrite(loc) : order.back();
+            scratch[slot++] = value[final_write];
+        }
+        return flat.insert(scratch).second;
+    }
+
+    /** Attach @p witness to the outcome insert() just admitted. */
+    void
+    attachWitness(Witness witness)
+    {
+        witnesses.emplace(scratch, std::move(witness));
+    }
+
+    /** Expand the flat sets into the string-keyed result fields. */
+    void
+    materialize(CheckResult &result)
+    {
+        const auto &events = program.events();
+        for (const auto &key : flat) {
+            litmus::Outcome outcome;
+            std::size_t slot = 0;
+            for (EventId r : reg_events) {
+                const Event &read = events[r];
+                outcome.registers[read.threadName + "." +
+                                  read.destReg] = key[slot++];
+            }
+            for (LocationId loc : mem_locs)
+                outcome.memory[program.locationName(loc)] = key[slot++];
+            auto wit = witnesses.find(key);
+            if (wit != witnesses.end()) {
+                result.witnesses.emplace(outcome,
+                                         std::move(wit->second));
+            }
+            result.outcomes.insert(std::move(outcome));
+        }
+    }
+
+  private:
+    const Program &program;
+    std::vector<EventId> reg_events;    ///< value source per register slot
+    std::vector<LocationId> mem_locs;   ///< location per memory slot
+    std::vector<std::uint64_t> scratch; ///< last packed candidate
+    std::set<std::vector<std::uint64_t>> flat;
+    std::map<std::vector<std::uint64_t>, Witness> witnesses;
+};
+
+/**
  * One consistent execution rendered for diagnostics. Shared by the
  * legacy candidate loop and the incremental core's survivor pass, so
  * witness content cannot differ between cores.
@@ -996,10 +1124,10 @@ satMul(std::uint64_t a, std::uint64_t b)
 bool
 runCandidateOdometer(
     const Program &program, const CheckOptions &opts,
-    CheckResult &result, EnumProfiler &profiler,
-    std::size_t depth_bucket, const std::vector<EventId> &source_of,
-    const Valuation &vals, const DerivedRelations &derived,
-    const Relation &rf,
+    CheckResult &result, OutcomeAccumulator &acc,
+    EnumProfiler &profiler, std::size_t depth_bucket,
+    const std::vector<EventId> &source_of, const Valuation &vals,
+    const DerivedRelations &derived, const Relation &rf,
     const std::vector<std::vector<std::vector<EventId>>> &per_loc_orders)
 {
     std::vector<std::size_t> co_index(program.locationCount(), 0);
@@ -1067,13 +1195,11 @@ runCandidateOdometer(
 
         if (verdict == Axiom::None) {
             result.stats.consistentExecutions++;
-            litmus::Outcome outcome =
-                extractOutcome(program, orders, vals.value);
-            auto [it, inserted] = result.outcomes.insert(outcome);
-            if (inserted && opts.collectWitnesses) {
-                result.witnesses.emplace(
-                    outcome, buildWitness(program, vals.live, rf,
-                                          orders, derived));
+            if (acc.insert(orders, vals.value) &&
+                opts.collectWitnesses) {
+                acc.attachWitness(
+                    buildWitness(program, vals.live, rf, orders,
+                                 derived));
             }
         }
 
@@ -1101,8 +1227,8 @@ runCandidateOdometer(
  */
 void
 enumerateLegacy(const Program &program, const CheckOptions &opts,
-                CheckResult &result, EnumProfiler &profiler,
-                std::size_t depth_bucket)
+                CheckResult &result, OutcomeAccumulator &acc,
+                EnumProfiler &profiler, std::size_t depth_bucket)
 {
     const std::size_t n = program.size();
     Valuation vals; // reused across assignments
@@ -1177,7 +1303,7 @@ enumerateLegacy(const Program &program, const CheckOptions &opts,
             continue;
         }
 
-        if (!runCandidateOdometer(program, opts, result, profiler,
+        if (!runCandidateOdometer(program, opts, result, acc, profiler,
                                   depth_bucket, source_of, vals,
                                   derived, rf, per_loc_orders)) {
             break;
@@ -1235,9 +1361,10 @@ class IncrementalEnumerator
   public:
     IncrementalEnumerator(const Program &program,
                           const CheckOptions &opts, CheckResult &result,
+                          OutcomeAccumulator &acc,
                           EnumProfiler &profiler,
                           std::size_t depth_bucket)
-        : program(program), opts(opts), result(result),
+        : program(program), opts(opts), result(result), acc(acc),
           profiler(profiler), depth_bucket(depth_bucket),
           events(program.events()), n(program.size()),
           reads(program.reads())
@@ -1399,7 +1526,7 @@ class IncrementalEnumerator
             per_loc_orders_scratch.assign(L, {});
             for (std::size_t loc = 0; loc < L; loc++)
                 per_loc_orders_scratch[loc] = locs[loc].orders;
-            runCandidateOdometer(program, opts, result, profiler,
+            runCandidateOdometer(program, opts, result, acc, profiler,
                                  depth_bucket, source_of, vals, derived,
                                  rf, per_loc_orders_scratch);
             return;
@@ -1433,12 +1560,9 @@ class IncrementalEnumerator
             Relation fr = frRelation(program, source_of, co);
             if (fenceScHolds(program, derived, rf, co, fr)) {
                 stats.consistentExecutions++;
-                litmus::Outcome outcome =
-                    extractOutcome(program, orders_scratch, vals.value);
-                auto [it, inserted] = result.outcomes.insert(outcome);
-                if (inserted && opts.collectWitnesses) {
-                    result.witnesses.emplace(
-                        outcome,
+                if (acc.insert(orders_scratch, vals.value) &&
+                    opts.collectWitnesses) {
+                    acc.attachWitness(
                         buildWitness(program, vals.live, rf,
                                      orders_scratch, derived));
                 }
@@ -1483,13 +1607,10 @@ class IncrementalEnumerator
                 const LocOrders &lo = locs[loc];
                 orders_scratch[loc] = lo.orders[lo.finals[fi[loc]]];
             }
-            litmus::Outcome outcome =
-                extractOutcome(program, orders_scratch, vals.value);
-            auto [it, inserted] = result.outcomes.insert(outcome);
-            if (inserted && opts.collectWitnesses) {
-                result.witnesses.emplace(
-                    outcome, buildWitness(program, vals.live, rf,
-                                          orders_scratch, derived));
+            if (acc.insert(orders_scratch, vals.value) &&
+                opts.collectWitnesses) {
+                acc.attachWitness(buildWitness(
+                    program, vals.live, rf, orders_scratch, derived));
             }
             bool done = true;
             for (std::size_t loc = 0; loc < L; loc++) {
@@ -1725,6 +1846,7 @@ class IncrementalEnumerator
     const Program &program;
     const CheckOptions &opts;
     CheckResult &result;
+    OutcomeAccumulator &acc;
     EnumProfiler &profiler;
     const std::size_t depth_bucket;
     const std::vector<Event> &events;
@@ -1969,6 +2091,7 @@ Checker::check(const Program &program) const
         program.reads().size(), CheckStats::kDepthBuckets - 1);
 
     EnumProfiler profiler;
+    OutcomeAccumulator acc(program);
 
     std::optional<obs::Span> enumerate_span;
     enumerate_span.emplace("check.enumerate");
@@ -1978,12 +2101,14 @@ Checker::check(const Program &program) const
     const bool legacy_core =
         opts.enumCore == EnumCore::Legacy || opts.profileEnum != 0;
     if (legacy_core) {
-        enumerateLegacy(program, opts, result, profiler, depth_bucket);
+        enumerateLegacy(program, opts, result, acc, profiler,
+                        depth_bucket);
     } else {
-        IncrementalEnumerator incremental(program, opts, result,
+        IncrementalEnumerator incremental(program, opts, result, acc,
                                           profiler, depth_bucket);
         incremental.run();
     }
+    acc.materialize(result);
     enumerate_span.reset();
 
     evaluateAssertions(test, result);

@@ -82,8 +82,25 @@ options:
                    verdicts, and shared statistics; prints a per-test
                    table and exits 0 only on zero divergences
   --jobs N         check batch inputs (--all, multiple inputs, --synth,
-                   --lint-only) on N worker threads; output and
-                   --stats-json are identical for any N (default 1)
+                   --lint-only, --conform) on N worker threads; output
+                   and --stats-json are identical for any N (default 1)
+
+trace conformance (docs/trace_conformance.md):
+  --conform FILE   check a recorded mixedproxy.trace.v1 execution
+                   trace with the streaming conformance checker
+                   instead of checking litmus programs; repeat the
+                   flag to check a batch (sharded over --jobs, output
+                   identical for any N). Exit 0 when every trace is
+                   conformant, 1 otherwise
+  --conform-window N
+                   live-window capacity per location (and SC fences)
+                   for --conform; smaller windows bound memory but let
+                   older evidence escape (default 1024)
+  --sim-trace-out FILE
+                   record one simulated schedule of the single input
+                   test as a mixedproxy.trace.v1 stream into FILE
+                   (honors --sim-mode) and skip checking; the file can
+                   be piped straight back into --conform
 
 service mode and verdict cache (docs/service.md):
   --serve          run as a daemon: read one JSON request per line on
@@ -233,6 +250,22 @@ parseArgs(const std::vector<std::string> &args)
             }
             if (opts.jobs < 1)
                 fatal("--jobs must be at least 1");
+        } else if (value_flag("--conform", &value)) {
+            opts.conformTraces.push_back(value);
+        } else if (value_flag("--conform-window", &value)) {
+            bool digits = !value.empty() &&
+                          value.find_first_not_of("0123456789") ==
+                              std::string::npos;
+            if (!digits)
+                fatal("bad --conform-window '", value, "'");
+            try {
+                opts.conformWindow = std::stoul(value);
+            } catch (const std::exception &) {
+                fatal("bad --conform-window '", value, "'");
+            }
+            if (opts.conformWindow < 1)
+                fatal("--conform-window must be at least 1");
+        } else if (value_flag("--sim-trace-out", &opts.simTraceOut)) {
         } else if (value_flag("--trace-out", &opts.traceOut)) {
         } else if (value_flag("--stats-json", &opts.statsJsonOut)) {
         } else if (value_flag("--metrics-out", &opts.metricsOut)) {
@@ -601,6 +634,52 @@ runParsed(const DriverOptions &opts, engine::Engine &eng,
             return engine::serveSocket(eng, sopts, err);
         return engine::serve(eng, sopts, std::cin, out, err);
     }
+    if (!opts.conformTraces.empty()) {
+        if (!opts.inputs.empty()) {
+            err << "nvlitmus: --conform takes trace files via the flag "
+                   "itself, not litmus inputs\n";
+            return 2;
+        }
+        // One engine request per trace; each renders into its own slot
+        // and the slots fold in index order, so the transcript is
+        // byte-identical for any --jobs value.
+        runtime::ParallelOptions par;
+        par.jobs = opts.jobs;
+        struct ConformSlot
+        {
+            bool conformant = false;
+            std::string text;
+            std::string error;
+        };
+        std::vector<ConformSlot> slots(opts.conformTraces.size());
+        runtime::parallelFor(
+            opts.conformTraces.size(), par,
+            [&](std::size_t i, obs::Session *) {
+                try {
+                    engine::Request request =
+                        engine::Request::forConform(
+                            opts.conformTraces[i]);
+                    request.conform.window = opts.conformWindow;
+                    engine::Verdict verdict = eng.submit(request);
+                    slots[i].conformant = verdict.passed();
+                    slots[i].text =
+                        engine::renderReport(request, verdict);
+                } catch (const FatalError &e) {
+                    slots[i].error = e.what();
+                }
+            });
+        bool all_conformant = true;
+        for (std::size_t i = 0; i < slots.size(); i++) {
+            if (!slots[i].error.empty()) {
+                err << "nvlitmus: " << opts.conformTraces[i] << ": "
+                    << slots[i].error << "\n";
+                return 2;
+            }
+            out << slots[i].text << "\n";
+            all_conformant &= slots[i].conformant;
+        }
+        return all_conformant ? 0 : 1;
+    }
     if (opts.synthInstructions != 0) {
         engine::Request request =
             engine::Request::forSynth(opts.synthInstructions);
@@ -654,6 +733,43 @@ runParsed(const DriverOptions &opts, engine::Engine &eng,
                 return 2;
             }
         }
+    }
+
+    if (!opts.simTraceOut.empty()) {
+        // Recording replaces checking: one schedule of one test, so
+        // the trace's provenance is unambiguous.
+        if (tests.size() != 1) {
+            err << "nvlitmus: --sim-trace-out needs exactly one input "
+                   "test\n";
+            return 2;
+        }
+        std::ofstream file(opts.simTraceOut);
+        if (!file) {
+            err << "nvlitmus: cannot write trace to '"
+                << opts.simTraceOut << "'\n";
+            return 2;
+        }
+        microarch::SimOptions sopts;
+        sopts.mode = opts.simMode;
+        litmus::Outcome outcome;
+        try {
+            outcome = microarch::Simulator(sopts).runTraced(
+                tests[0], sopts.seed, file);
+        } catch (const FatalError &e) {
+            err << "nvlitmus: " << tests[0].name() << ": " << e.what()
+                << "\n";
+            return 2;
+        }
+        file.flush();
+        if (!file) {
+            err << "nvlitmus: cannot write trace to '"
+                << opts.simTraceOut << "'\n";
+            return 2;
+        }
+        out << "wrote mixedproxy.trace.v1 for " << tests[0].name()
+            << " to " << opts.simTraceOut << " (outcome "
+            << outcome.toString() << ")\n";
+        return 0;
     }
 
     if (opts.presolveDiff)

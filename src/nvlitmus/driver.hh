@@ -84,6 +84,28 @@ struct DriverOptions
     std::size_t simIterations = 2000;
     microarch::CoherenceMode simMode = microarch::CoherenceMode::Proxy;
 
+    /**
+     * Trace-conformance mode (--conform FILE, repeatable,
+     * docs/trace_conformance.md): check each recorded
+     * mixedproxy.trace.v1 stream with the streaming conformance
+     * checker instead of checking litmus programs. Batches shard over
+     * --jobs with byte-identical output for any worker count; exit 0
+     * when every trace is conformant, 1 otherwise.
+     */
+    std::vector<std::string> conformTraces;
+
+    /** Live-window capacity for --conform (--conform-window N). */
+    std::size_t conformWindow = 1024;
+
+    /**
+     * Record one simulated schedule of the (single) input test as a
+     * mixedproxy.trace.v1 stream into this file (--sim-trace-out FILE;
+     * "" = off). Uses --sim-mode and the simulator's base seed; the
+     * recording replaces checking, so the file can be piped straight
+     * back into --conform.
+     */
+    std::string simTraceOut;
+
     /** Run the litmus-test synthesizer at this size (0 = off). */
     std::size_t synthInstructions = 0;
 

@@ -87,6 +87,9 @@ namespace {
 /** The "checker.enum." counters are lifted into enum_profile. */
 constexpr const char *kEnumPrefix = "checker.enum.";
 
+/** The per-axiom violation counters are lifted into "conform". */
+constexpr const char *kConformViolationPrefix = "conform.violations.";
+
 bool
 hasPrefix(const std::string &name, const std::string &prefix)
 {
@@ -137,8 +140,9 @@ statsJson(const MetricsRegistry &registry,
        << "\"\n  },\n  \"counters\": {";
     first = true;
     for (const auto &[name, value] : registry.counters()) {
-        if (hasPrefix(name, kEnumPrefix))
-            continue; // lifted into enum_profile below
+        if (hasPrefix(name, kEnumPrefix) ||
+            hasPrefix(name, kConformViolationPrefix))
+            continue; // lifted into enum_profile / conform below
         os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
            << "\": " << value;
         first = false;
@@ -164,7 +168,24 @@ statsJson(const MetricsRegistry &registry,
            << ", \"max_ms\": " << jsonNumber(t.max * 1e3) << "}";
         first = false;
     }
-    os << (first ? "" : "\n  ") << "},\n  \"enum_profile\": {\n";
+    // Per-axiom violation attribution for the streaming conformance
+    // checker (docs/trace_conformance.md): "conform.violations.X"
+    // counters keyed by axiom under conform.violations, mirroring how
+    // enum_profile lifts the rejection counters.
+    os << (first ? "" : "\n  ") << "},\n  \"conform\": {\n"
+       << "    \"violations\": {";
+    first = true;
+    for (const auto &[name, value] : registry.counters()) {
+        if (!hasPrefix(name, kConformViolationPrefix))
+            continue;
+        os << (first ? "\n" : ",\n") << "      \""
+           << jsonEscape(
+                  name.substr(std::string(kConformViolationPrefix)
+                                  .size()))
+           << "\": " << value;
+        first = false;
+    }
+    os << (first ? "" : "\n    ") << "}\n  },\n  \"enum_profile\": {\n";
     emitEnumSection(os, registry, "rejections", "reject", false);
     emitEnumSection(os, registry, "depth_histogram", "depth", false);
     // Branching spans two counter groups ("rf.*" and "co.*"); emit

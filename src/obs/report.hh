@@ -45,6 +45,7 @@ std::string chromeTraceJson(const Tracer &tracer);
  *   "timers": { "<name>": { "count": n, "total_ms": ..., "min_ms": ...,
  *               "mean_ms": ..., "p50_ms": ..., "p95_ms": ...,
  *               "max_ms": ... }, ... },
+ *   "conform": { "violations": { "<axiom>": <uint>, ... } },
  *   "enum_profile": { "rejections": {...}, "depth_histogram": {...},
  *                     "branching": {...}, "sampled": {...} }
  * }
@@ -55,7 +56,10 @@ std::string chromeTraceJson(const Tracer &tracer);
  * becomes enum_profile.rejections.X, "checker.enum.depth.X" becomes
  * enum_profile.depth_histogram.X, "checker.enum.rf.X" / "co.X" become
  * enum_profile.branching."rf.X" / "co.X", and
- * "checker.enum.sampled.X" becomes enum_profile.sampled.X.
+ * "checker.enum.sampled.X" becomes enum_profile.sampled.X. The
+ * "conform" section (ISSUE 10) lifts the streaming conformance
+ * checker's per-axiom violation counters the same way:
+ * "conform.violations.X" becomes conform.violations.X.
  *
  * Metric names are the stable identifiers from docs/observability.md.
  */

@@ -1,192 +1,12 @@
 #include "event_set.hh"
 
-#include <bit>
-#include <sstream>
-
-#include "error.hh"
-
 namespace mixedproxy::relation {
 
-std::size_t
-EventSet::wordsFor(std::size_t universe_size)
-{
-    return (universe_size + bitsPerWord - 1) / bitsPerWord;
-}
-
-EventSet::EventSet(std::size_t universe_size)
-    : _universeSize(universe_size), words(wordsFor(universe_size))
-{}
-
-EventSet::EventSet(std::size_t universe_size,
-                   std::initializer_list<EventId> members)
-    : EventSet(universe_size)
-{
-    for (EventId id : members)
-        insert(id);
-}
-
-EventSet
-EventSet::full(std::size_t universe_size)
-{
-    EventSet s(universe_size);
-    const std::size_t count = s.words.size();
-    for (std::size_t i = 0; i < count; i++)
-        s.words[i] = ~std::uint64_t{0};
-    // Clear bits beyond the universe in the last word.
-    std::size_t tail = universe_size % bitsPerWord;
-    if (tail != 0 && count != 0)
-        s.words[count - 1] &= (std::uint64_t{1} << tail) - 1;
-    return s;
-}
-
-std::size_t
-EventSet::count() const
-{
-    return kernel::popcount(words.data(), words.size());
-}
-
-void
-EventSet::checkId(EventId id) const
-{
-    if (id >= _universeSize)
-        panic("EventSet id ", id, " out of universe ", _universeSize);
-}
-
-void
-EventSet::checkUniverse(const EventSet &other, const char *op) const
-{
-    if (other._universeSize != _universeSize) {
-        panic("EventSet ", op, ": universe mismatch ", _universeSize,
-              " vs ", other._universeSize);
-    }
-}
-
-void
-EventSet::insert(EventId id)
-{
-    checkId(id);
-    words[id / bitsPerWord] |= std::uint64_t{1} << (id % bitsPerWord);
-}
-
-void
-EventSet::erase(EventId id)
-{
-    checkId(id);
-    words[id / bitsPerWord] &= ~(std::uint64_t{1} << (id % bitsPerWord));
-}
-
-bool
-EventSet::contains(EventId id) const
-{
-    if (id >= _universeSize)
-        return false;
-    return (words[id / bitsPerWord] >> (id % bitsPerWord)) & 1;
-}
-
-EventSet
-EventSet::operator|(const EventSet &other) const
-{
-    EventSet r(*this);
-    r |= other;
-    return r;
-}
-
-EventSet
-EventSet::operator&(const EventSet &other) const
-{
-    EventSet r(*this);
-    r &= other;
-    return r;
-}
-
-EventSet
-EventSet::operator-(const EventSet &other) const
-{
-    EventSet r(*this);
-    r -= other;
-    return r;
-}
-
-EventSet &
-EventSet::operator|=(const EventSet &other)
-{
-    checkUniverse(other, "union");
-    for (std::size_t i = 0; i < words.size(); i++)
-        words[i] |= other.words[i];
-    return *this;
-}
-
-EventSet &
-EventSet::operator&=(const EventSet &other)
-{
-    checkUniverse(other, "intersection");
-    for (std::size_t i = 0; i < words.size(); i++)
-        words[i] &= other.words[i];
-    return *this;
-}
-
-EventSet &
-EventSet::operator-=(const EventSet &other)
-{
-    checkUniverse(other, "difference");
-    for (std::size_t i = 0; i < words.size(); i++)
-        words[i] &= ~other.words[i];
-    return *this;
-}
-
-bool
-EventSet::operator==(const EventSet &other) const
-{
-    return _universeSize == other._universeSize && words == other.words;
-}
-
-bool
-EventSet::subsetOf(const EventSet &other) const
-{
-    checkUniverse(other, "subsetOf");
-    for (std::size_t i = 0; i < words.size(); i++) {
-        if (words[i] & ~other.words[i])
-            return false;
-    }
-    return true;
-}
-
-std::vector<EventId>
-EventSet::members() const
-{
-    std::vector<EventId> out;
-    forEach([&out](EventId id) { out.push_back(id); });
-    return out;
-}
-
-void
-EventSet::forEach(const std::function<void(EventId)> &fn) const
-{
-    // Delegates to the templated overload; kept for ABI-stable callers.
-    forEach<const std::function<void(EventId)> &>(fn);
-}
-
-EventSet
-EventSet::filter(const std::function<bool(EventId)> &pred) const
-{
-    // Delegates to the templated overload; kept for ABI-stable callers.
-    return filter<const std::function<bool(EventId)> &>(pred);
-}
-
-std::string
-EventSet::toString() const
-{
-    std::ostringstream os;
-    os << "{";
-    bool first = true;
-    forEach([&](EventId id) {
-        if (!first)
-            os << ", ";
-        first = false;
-        os << id;
-    });
-    os << "}";
-    return os.str();
-}
+// The set algebra lives in the header as BasicEventSet<Storage>; the
+// two shipped storage policies are instantiated once, here, so every
+// other translation unit links against these definitions instead of
+// re-instantiating the template.
+template class BasicEventSet<DenseSetStorage>;
+template class BasicEventSet<WindowedSetStorage>;
 
 } // namespace mixedproxy::relation

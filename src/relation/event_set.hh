@@ -1,10 +1,17 @@
 /**
  * @file
- * A dense set of event identifiers.
+ * A set of event identifiers, parameterized over a storage policy.
  *
- * Events in a candidate execution are numbered 0..size-1; an EventSet is a
- * bitset over that universe. This is the "set" half of the relational
+ * Events in a candidate execution are numbered 0..size-1; an EventSet is
+ * a bitset over that universe. This is the "set" half of the relational
  * algebra used to transliterate the Alloy-style memory model definitions.
+ *
+ * BasicEventSet is generic over the set-storage policies in storage.hh:
+ * the `EventSet` alias is the historical dense bitset (byte-identical
+ * behavior and layout), while `WindowedEventSet` is the O(live-window)
+ * sliding backend used by the streaming conformance checker. Dense-only
+ * operations (full()) are constrained to contiguous storages; windowed
+ * sets additionally expose admit()/retireBelow() to slide the window.
  */
 
 #ifndef MIXEDPROXY_RELATION_EVENT_SET_HH
@@ -14,10 +21,13 @@
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "error.hh"
 #include "kernel.hh"
+#include "storage.hh"
 #include "word_store.hh"
 
 namespace mixedproxy::relation {
@@ -26,83 +36,225 @@ namespace mixedproxy::relation {
 using EventId = std::size_t;
 
 /**
- * A subset of the event universe {0, ..., size()-1}, stored as a bitset.
+ * A subset of the event universe {0, ..., size()-1}, stored as a bitset
+ * whose geometry is owned by the @p Storage policy.
  */
-class EventSet
+template <class Storage>
+class BasicEventSet
 {
   public:
-    /** Construct the empty set over a universe of @p universe_size ids. */
-    explicit EventSet(std::size_t universe_size = 0);
+    using StorageType = Storage;
+
+    /**
+     * Construct the empty set. For dense storage @p size is the
+     * universe size; for windowed storage it is the live-window
+     * capacity (the universe starts empty and grows via admit()).
+     */
+    explicit BasicEventSet(std::size_t size = 0) : store(size) {}
 
     /** Construct from an explicit list of members. */
-    EventSet(std::size_t universe_size,
-             std::initializer_list<EventId> members);
+    BasicEventSet(std::size_t size, std::initializer_list<EventId> members)
+        : BasicEventSet(size)
+    {
+        for (EventId id : members)
+            insert(id);
+    }
 
     /** The full set over a universe of @p universe_size ids. */
-    static EventSet full(std::size_t universe_size);
+    static BasicEventSet
+    full(std::size_t universe_size)
+        requires(Storage::kContiguousFromZero)
+    {
+        BasicEventSet s(universe_size);
+        const std::size_t count = s.store.wordCount();
+        for (std::size_t i = 0; i < count; i++)
+            s.store.data()[i] = ~std::uint64_t{0};
+        // Clear bits beyond the universe in the last word.
+        std::size_t tail = universe_size % kernel::kBitsPerWord;
+        if (tail != 0 && count != 0) {
+            s.store.data()[count - 1] &=
+                (std::uint64_t{1} << tail) - 1;
+        }
+        return s;
+    }
 
     /** Number of ids in the universe (not the cardinality). */
-    std::size_t universeSize() const { return _universeSize; }
+    std::size_t universeSize() const { return store.universeSize(); }
+
+    /** First live id (0 for dense storage). */
+    std::size_t liveBegin() const { return store.bitBegin(); }
 
     /** Number of members. */
-    std::size_t count() const;
+    std::size_t
+    count() const
+    {
+        return kernel::popcount(store.data(), store.wordCount());
+    }
 
     /** True if the set has no members (any-bit word scan). */
     bool
     empty() const
     {
-        return !kernel::anyBit(words.data(), words.size());
+        return !kernel::anyBit(store.data(), store.wordCount());
+    }
+
+    /**
+     * Extend the universe so @p id is live (windowed storage only; ids
+     * must be admitted in ascending order).
+     */
+    void
+    admit(EventId id)
+        requires(!Storage::kContiguousFromZero)
+    {
+        store.admit(id);
+    }
+
+    /** Retire every id below @p id (windowed storage only). */
+    void
+    retireBelow(EventId id)
+        requires(!Storage::kContiguousFromZero)
+    {
+        store.retireBelow(id);
     }
 
     /** Add @p id to the set. */
-    void insert(EventId id);
+    void
+    insert(EventId id)
+    {
+        checkId(id);
+        kernel::setBit(store.data(), id - store.bitBase());
+    }
 
     /** Remove @p id from the set. */
-    void erase(EventId id);
+    void
+    erase(EventId id)
+    {
+        checkId(id);
+        kernel::clearBit(store.data(), id - store.bitBase());
+    }
 
     /** True if @p id is a member. */
-    bool contains(EventId id) const;
+    bool
+    contains(EventId id) const
+    {
+        if (id >= store.universeSize() || id < store.bitBegin())
+            return false;
+        return kernel::testBit(store.data(), id - store.bitBase());
+    }
 
     /** Set union. */
-    EventSet operator|(const EventSet &other) const;
+    BasicEventSet
+    operator|(const BasicEventSet &other) const
+    {
+        BasicEventSet r(*this);
+        r |= other;
+        return r;
+    }
 
     /** Set intersection. */
-    EventSet operator&(const EventSet &other) const;
+    BasicEventSet
+    operator&(const BasicEventSet &other) const
+    {
+        BasicEventSet r(*this);
+        r &= other;
+        return r;
+    }
 
     /** Set difference. */
-    EventSet operator-(const EventSet &other) const;
+    BasicEventSet
+    operator-(const BasicEventSet &other) const
+    {
+        BasicEventSet r(*this);
+        r -= other;
+        return r;
+    }
 
-    EventSet &operator|=(const EventSet &other);
-    EventSet &operator&=(const EventSet &other);
-    EventSet &operator-=(const EventSet &other);
+    BasicEventSet &
+    operator|=(const BasicEventSet &other)
+    {
+        checkUniverse(other, "union");
+        kernel::orInto(store.data(), other.store.data(),
+                       store.wordCount());
+        return *this;
+    }
 
-    bool operator==(const EventSet &other) const;
-    bool operator!=(const EventSet &other) const = default;
+    BasicEventSet &
+    operator&=(const BasicEventSet &other)
+    {
+        checkUniverse(other, "intersection");
+        kernel::andInto(store.data(), other.store.data(),
+                        store.wordCount());
+        return *this;
+    }
+
+    BasicEventSet &
+    operator-=(const BasicEventSet &other)
+    {
+        checkUniverse(other, "difference");
+        kernel::andNotInto(store.data(), other.store.data(),
+                           store.wordCount());
+        return *this;
+    }
+
+    bool
+    operator==(const BasicEventSet &other) const
+    {
+        return store == other.store;
+    }
+    bool operator!=(const BasicEventSet &other) const = default;
 
     /** True if this set is a subset of @p other. */
-    bool subsetOf(const EventSet &other) const;
+    bool
+    subsetOf(const BasicEventSet &other) const
+    {
+        checkUniverse(other, "subsetOf");
+        const std::size_t count = store.wordCount();
+        for (std::size_t i = 0; i < count; i++) {
+            if (store.data()[i] & ~other.store.data()[i])
+                return false;
+        }
+        return true;
+    }
 
     /** Members in ascending order. */
-    std::vector<EventId> members() const;
+    std::vector<EventId>
+    members() const
+    {
+        std::vector<EventId> out;
+        forEach([&out](EventId id) { out.push_back(id); });
+        return out;
+    }
 
     /** Invoke @p fn for each member in ascending order. */
     template <typename Fn>
     void
     forEach(Fn &&fn) const
     {
-        kernel::forEachSetBit(words.data(), words.size(),
-                              [&](std::size_t id) { fn(id); });
+        const std::size_t base = store.bitBase();
+        const std::size_t begin = store.bitBegin();
+        kernel::forEachSetBit(store.data(), store.wordCount(),
+                              [&](std::size_t local) {
+                                  const EventId id = local + base;
+                                  if (id >= begin)
+                                      fn(id);
+                              });
     }
 
     /** std::function wrapper for ABI-stable callers. */
-    void forEach(const std::function<void(EventId)> &fn) const;
+    void
+    forEach(const std::function<void(EventId)> &fn) const
+    {
+        // Delegates to the templated overload.
+        forEach<const std::function<void(EventId)> &>(fn);
+    }
 
     /** Keep only members satisfying @p pred. */
     template <typename Pred>
-    EventSet
+    BasicEventSet
     filter(Pred &&pred) const
+        requires(Storage::kContiguousFromZero)
     {
-        EventSet r(_universeSize);
+        BasicEventSet r(store.universeSize());
         forEach([&](EventId id) {
             if (pred(id))
                 r.insert(id);
@@ -111,25 +263,71 @@ class EventSet
     }
 
     /** std::function wrapper for ABI-stable callers. */
-    EventSet filter(const std::function<bool(EventId)> &pred) const;
+    BasicEventSet
+    filter(const std::function<bool(EventId)> &pred) const
+        requires(Storage::kContiguousFromZero)
+    {
+        // Delegates to the templated overload.
+        return filter<const std::function<bool(EventId)> &>(pred);
+    }
 
     /** Raw membership words (kernel.hh layout), for row masking. */
-    const std::uint64_t *wordData() const { return words.data(); }
+    const std::uint64_t *wordData() const { return store.data(); }
 
     /** Render as "{0, 3, 5}" for diagnostics. */
-    std::string toString() const;
+    std::string
+    toString() const
+    {
+        std::ostringstream os;
+        os << "{";
+        bool first = true;
+        forEach([&](EventId id) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << id;
+        });
+        os << "}";
+        return os.str();
+    }
 
   private:
-    static constexpr std::size_t bitsPerWord = kernel::kBitsPerWord;
+    void
+    checkId(EventId id) const
+    {
+        if (id >= store.universeSize() || id < store.bitBegin()) {
+            panic("EventSet id ", id, " out of universe ",
+                  store.universeSize());
+        }
+    }
 
-    static std::size_t wordsFor(std::size_t universe_size);
+    void
+    checkUniverse(const BasicEventSet &other, const char *op) const
+    {
+        if (other.store.universeSize() != store.universeSize()) {
+            panic("EventSet ", op, ": universe mismatch ",
+                  store.universeSize(), " vs ",
+                  other.store.universeSize());
+        }
+        if constexpr (!Storage::kContiguousFromZero) {
+            if (other.store.bitBegin() != store.bitBegin() ||
+                other.store.wordCount() != store.wordCount()) {
+                panic("EventSet ", op, ": window geometry mismatch");
+            }
+        }
+    }
 
-    void checkUniverse(const EventSet &other, const char *op) const;
-    void checkId(EventId id) const;
-
-    std::size_t _universeSize;
-    kernel::WordStore words;
+    Storage store;
 };
+
+/** The historical dense bitset over {0..n-1}. */
+using EventSet = BasicEventSet<DenseSetStorage>;
+
+/** Sliding-window bitset for streaming workloads (src/conform/). */
+using WindowedEventSet = BasicEventSet<WindowedSetStorage>;
+
+extern template class BasicEventSet<DenseSetStorage>;
+extern template class BasicEventSet<WindowedSetStorage>;
 
 } // namespace mixedproxy::relation
 

@@ -1,593 +1,13 @@
 #include "relation.hh"
 
-#include <algorithm>
-#include <bit>
-#include <sstream>
-
-#include "error.hh"
-
 namespace mixedproxy::relation {
 
-namespace {
-
-constexpr std::size_t bitsPerWord = kernel::kBitsPerWord;
-
-} // namespace
-
-std::size_t
-Relation::wordsPerRow() const
-{
-    return kernel::wordsFor(n);
-}
-
-std::uint64_t *
-Relation::row(EventId a)
-{
-    return bits.data() + a * wordsPerRow();
-}
-
-const std::uint64_t *
-Relation::row(EventId a) const
-{
-    return bits.data() + a * wordsPerRow();
-}
-
-Relation::Relation(std::size_t n)
-    : n(n), bits(n * kernel::wordsFor(n))
-{}
-
-Relation::Relation(std::size_t n, std::initializer_list<EventPair> pairs)
-    : Relation(n)
-{
-    for (const auto &[a, b] : pairs)
-        insert(a, b);
-}
-
-Relation
-Relation::identity(std::size_t n)
-{
-    Relation r(n);
-    for (EventId i = 0; i < n; i++)
-        r.insert(i, i);
-    return r;
-}
-
-Relation
-Relation::full(std::size_t n)
-{
-    return product(EventSet::full(n), EventSet::full(n));
-}
-
-Relation
-Relation::product(const EventSet &from, const EventSet &to)
-{
-    if (from.universeSize() != to.universeSize())
-        panic("Relation::product: universe mismatch");
-    Relation r(from.universeSize());
-    from.forEach([&](EventId a) {
-        to.forEach([&](EventId b) { r.insert(a, b); });
-    });
-    return r;
-}
-
-Relation
-Relation::fromPredicate(std::size_t n,
-                        const std::function<bool(EventId, EventId)> &pred)
-{
-    // Delegates to the templated overload; kept for ABI-stable callers.
-    return fromPredicate<const std::function<bool(EventId, EventId)> &>(
-        n, pred);
-}
-
-std::size_t
-Relation::pairCount() const
-{
-    return kernel::popcount(bits.data(), bits.size());
-}
-
-void
-Relation::checkId(EventId id) const
-{
-    if (id >= n)
-        panic("Relation id ", id, " out of universe ", n);
-}
-
-void
-Relation::checkUniverse(const Relation &other, const char *op) const
-{
-    if (other.n != n)
-        panic("Relation ", op, ": universe mismatch ", n, " vs ", other.n);
-}
-
-void
-Relation::insert(EventId a, EventId b)
-{
-    checkId(a);
-    checkId(b);
-    kernel::setBit(row(a), b);
-}
-
-void
-Relation::erase(EventId a, EventId b)
-{
-    checkId(a);
-    checkId(b);
-    kernel::clearBit(row(a), b);
-}
-
-bool
-Relation::contains(EventId a, EventId b) const
-{
-    if (a >= n || b >= n)
-        return false;
-    return kernel::testBit(row(a), b);
-}
-
-Relation
-Relation::operator|(const Relation &other) const
-{
-    Relation r(*this);
-    r |= other;
-    return r;
-}
-
-Relation
-Relation::operator&(const Relation &other) const
-{
-    Relation r(*this);
-    r &= other;
-    return r;
-}
-
-Relation
-Relation::operator-(const Relation &other) const
-{
-    Relation r(*this);
-    r -= other;
-    return r;
-}
-
-Relation &
-Relation::operator|=(const Relation &other)
-{
-    checkUniverse(other, "union");
-    kernel::orInto(bits.data(), other.bits.data(), bits.size());
-    return *this;
-}
-
-Relation &
-Relation::operator&=(const Relation &other)
-{
-    checkUniverse(other, "intersection");
-    kernel::andInto(bits.data(), other.bits.data(), bits.size());
-    return *this;
-}
-
-Relation &
-Relation::operator-=(const Relation &other)
-{
-    checkUniverse(other, "difference");
-    kernel::andNotInto(bits.data(), other.bits.data(), bits.size());
-    return *this;
-}
-
-bool
-Relation::operator==(const Relation &other) const
-{
-    return n == other.n && bits == other.bits;
-}
-
-Relation
-Relation::compose(const Relation &other) const
-{
-    checkUniverse(other, "compose");
-    Relation r(n);
-    const std::size_t words = wordsPerRow();
-    for (EventId a = 0; a < n; a++) {
-        std::uint64_t *out = r.row(a);
-        // Row-broadcast join: OR the successor row of every mid into
-        // a's output row.
-        kernel::forEachSetBit(row(a), words, [&](std::size_t mid) {
-            kernel::orInto(out, other.row(mid), words);
-        });
-    }
-    return r;
-}
-
-Relation
-Relation::inverse() const
-{
-    Relation r(n);
-    forEach([&r](EventId a, EventId b) { r.insert(b, a); });
-    return r;
-}
-
-Relation
-Relation::transitiveClosure() const
-{
-    // Delta-frontier propagation (semi-naive evaluation): each vertex
-    // carries the bits newly added to its successor row since it was
-    // last propagated; a delta is pushed word-wise into the rows of the
-    // vertex's direct predecessors, and only vertices whose rows grew
-    // re-enter the worklist. Equivalent to (and bit-identical with)
-    // Floyd-Warshall, but sparse relations converge in a few sweeps of
-    // row-wise ORs instead of a fixed O(n^3/64) schedule.
-    Relation r(*this);
-    if (n == 0)
-        return r;
-    const std::size_t words = wordsPerRow();
-
-    if (words == 1) {
-        // Single-word rows (n <= 64): in-place bitset Floyd-Warshall.
-        // O(n^2) word ORs with no allocation or worklist bookkeeping —
-        // far below the semi-naive path's constant factor at litmus
-        // scale. The closure is unique, so both paths agree bit for
-        // bit.
-        std::uint64_t *rows = r.bits.data();
-        for (EventId k = 0; k < n; k++) {
-            const std::uint64_t krow = rows[k];
-            for (EventId i = 0; i < n; i++) {
-                if ((rows[i] >> k) & 1)
-                    rows[i] |= krow;
-            }
-        }
-        return r;
-    }
-
-    // Transposed original adjacency: preds.row(x) = direct predecessors
-    // of x. Paths decompose over original edges, so pushing deltas along
-    // original predecessors alone reaches the full closure.
-    Relation preds = inverse();
-
-    kernel::WordStore pending(r.bits); // unpropagated deltas
-    std::vector<char> queued(n, 0);
-    std::vector<EventId> worklist;
-    worklist.reserve(n);
-    for (EventId x = 0; x < n; x++) {
-        if (kernel::anyBit(pending.data() + x * words, words)) {
-            queued[x] = 1;
-            worklist.push_back(x);
-        }
-    }
-
-    kernel::WordStore delta(words);
-    while (!worklist.empty()) {
-        EventId x = worklist.back();
-        worklist.pop_back();
-        queued[x] = 0;
-        std::uint64_t *pend = pending.data() + x * words;
-        std::copy(pend, pend + words, delta.data());
-        std::fill(pend, pend + words, 0);
-        kernel::forEachSetBit(
-            preds.row(x), words, [&](std::size_t p) {
-                // row(p) |= delta; newly set bits become p's own delta.
-                std::uint64_t *prow = r.row(p);
-                std::uint64_t *ppend = pending.data() + p * words;
-                std::uint64_t grew = 0;
-                for (std::size_t wi = 0; wi < words; wi++) {
-                    std::uint64_t add = delta[wi] & ~prow[wi];
-                    prow[wi] |= add;
-                    ppend[wi] |= add;
-                    grew |= add;
-                }
-                if (grew != 0 && !queued[p]) {
-                    queued[p] = 1;
-                    worklist.push_back(p);
-                }
-            });
-    }
-    return r;
-}
-
-Relation
-Relation::reflexiveTransitiveClosure() const
-{
-    return transitiveClosure() | identity(n);
-}
-
-void
-Relation::insertClosure(EventId a, EventId b)
-{
-    checkId(a);
-    checkId(b);
-    const std::size_t words = wordsPerRow();
-    // reach(b) = {b} ∪ succ(b); every vertex reaching a (and a itself)
-    // gains it. One row-broadcast sweep restores closure exactly.
-    kernel::WordStore breach(words);
-    std::copy(row(b), row(b) + words, breach.data());
-    kernel::setBit(breach.data(), b);
-    for (EventId x = 0; x < n; x++) {
-        if (x == a || contains(x, a))
-            kernel::orInto(row(x), breach.data(), words);
-    }
-}
-
-void
-Relation::unionClosure(const Relation &delta)
-{
-    checkUniverse(delta, "unionClosure");
-    delta.forEach([&](EventId a, EventId b) {
-        if (!contains(a, b))
-            insertClosure(a, b);
-    });
-}
-
-Relation
-Relation::restrict(const EventSet &s) const
-{
-    return restrictDomain(s).restrictRange(s);
-}
-
-Relation
-Relation::restrictDomain(const EventSet &s) const
-{
-    if (s.universeSize() != n)
-        panic("Relation::restrictDomain: universe mismatch");
-    Relation r(n);
-    s.forEach([&](EventId a) {
-        const std::uint64_t *src = row(a);
-        std::uint64_t *dst = r.row(a);
-        std::copy(src, src + wordsPerRow(), dst);
-    });
-    return r;
-}
-
-Relation
-Relation::restrictRange(const EventSet &s) const
-{
-    if (s.universeSize() != n)
-        panic("Relation::restrictRange: universe mismatch");
-    // Mask every row with s's membership words.
-    Relation r(*this);
-    const std::size_t words = wordsPerRow();
-    const std::uint64_t *mask = s.wordData();
-    for (EventId a = 0; a < n; a++)
-        kernel::andInto(r.row(a), mask, words);
-    return r;
-}
-
-Relation
-Relation::filter(const std::function<bool(EventId, EventId)> &pred) const
-{
-    // Delegates to the templated overload; kept for ABI-stable callers.
-    return filter<const std::function<bool(EventId, EventId)> &>(pred);
-}
-
-EventSet
-Relation::domain() const
-{
-    EventSet s(n);
-    const std::size_t words = wordsPerRow();
-    for (EventId a = 0; a < n; a++) {
-        if (kernel::anyBit(row(a), words))
-            s.insert(a);
-    }
-    return s;
-}
-
-EventSet
-Relation::range() const
-{
-    EventSet s(n);
-    const std::size_t words = wordsPerRow();
-    kernel::WordStore acc(words);
-    for (EventId a = 0; a < n; a++)
-        kernel::orInto(acc.data(), row(a), words);
-    kernel::forEachSetBit(acc.data(), words,
-                          [&](std::size_t b) { s.insert(b); });
-    return s;
-}
-
-EventSet
-Relation::successors(EventId a) const
-{
-    checkId(a);
-    EventSet s(n);
-    kernel::forEachSetBit(row(a), wordsPerRow(),
-                          [&](std::size_t b) { s.insert(b); });
-    return s;
-}
-
-EventSet
-Relation::predecessors(EventId b) const
-{
-    checkId(b);
-    EventSet s(n);
-    for (EventId a = 0; a < n; a++) {
-        if (contains(a, b))
-            s.insert(a);
-    }
-    return s;
-}
-
-bool
-Relation::irreflexive() const
-{
-    for (EventId i = 0; i < n; i++) {
-        if (contains(i, i))
-            return false;
-    }
-    return true;
-}
-
-bool
-Relation::acyclic() const
-{
-    return transitiveClosure().irreflexive();
-}
-
-bool
-Relation::transitive() const
-{
-    return compose(*this).subsetOf(*this);
-}
-
-bool
-Relation::subsetOf(const Relation &other) const
-{
-    checkUniverse(other, "subsetOf");
-    for (std::size_t i = 0; i < bits.size(); i++) {
-        if (bits[i] & ~other.bits[i])
-            return false;
-    }
-    return true;
-}
-
-bool
-Relation::totalOn(const EventSet &s) const
-{
-    if (s.universeSize() != n)
-        panic("Relation::totalOn: universe mismatch");
-    auto ids = s.members();
-    for (std::size_t i = 0; i < ids.size(); i++) {
-        for (std::size_t j = i + 1; j < ids.size(); j++) {
-            if (!contains(ids[i], ids[j]) && !contains(ids[j], ids[i]))
-                return false;
-        }
-    }
-    return true;
-}
-
-std::vector<EventPair>
-Relation::pairs() const
-{
-    std::vector<EventPair> out;
-    forEach([&out](EventId a, EventId b) { out.emplace_back(a, b); });
-    return out;
-}
-
-void
-Relation::forEach(const std::function<void(EventId, EventId)> &fn) const
-{
-    // Delegates to the templated overload; kept for ABI-stable callers.
-    forEach<const std::function<void(EventId, EventId)> &>(fn);
-}
-
-std::optional<std::vector<EventId>>
-Relation::findPath(EventId a, EventId b) const
-{
-    checkId(a);
-    checkId(b);
-    // BFS, recording parents.
-    std::vector<EventId> parent(n, n);
-    std::vector<EventId> queue;
-    std::vector<bool> seen(n, false);
-    queue.push_back(a);
-    seen[a] = true;
-    for (std::size_t head = 0; head < queue.size(); head++) {
-        EventId cur = queue[head];
-        for (EventId next = 0; next < n; next++) {
-            if (!contains(cur, next) || seen[next])
-                continue;
-            parent[next] = cur;
-            if (next == b) {
-                std::vector<EventId> path;
-                for (EventId v = parent[b]; v != a && v != n;
-                     v = parent[v]) {
-                    path.push_back(v);
-                }
-                std::reverse(path.begin(), path.end());
-                return path;
-            }
-            seen[next] = true;
-            queue.push_back(next);
-        }
-    }
-    return std::nullopt;
-}
-
-std::optional<std::vector<EventId>>
-Relation::topologicalOrder(const EventSet &s) const
-{
-    std::vector<EventId> out;
-    if (!topologicalOrderInto(s, out))
-        return std::nullopt;
-    return out;
-}
-
-bool
-Relation::topologicalOrderInto(const EventSet &s,
-                               std::vector<EventId> &out) const
-{
-    if (s.universeSize() != n)
-        panic("Relation::topologicalOrder: universe mismatch");
-    out.clear();
-    if (wordsPerRow() == 1 && n != 0) {
-        // Single-word universe: Kahn's algorithm on row masks with a
-        // stack-local ready stack — same LIFO visit order as the
-        // general path below, zero scratch allocation. The checker
-        // calls this once per rf assignment, where the general path's
-        // restrict() copy and members() vector dominated its profile.
-        const std::uint64_t mask = s.wordData()[0];
-        const std::uint64_t *rows = bits.data();
-        std::uint8_t indeg[64] = {};
-        for (std::uint64_t m = mask; m != 0; m &= m - 1) {
-            const auto a =
-                static_cast<std::size_t>(std::countr_zero(m));
-            for (std::uint64_t row = rows[a] & mask; row != 0;
-                 row &= row - 1) {
-                indeg[std::countr_zero(row)]++;
-            }
-        }
-        EventId ready[64];
-        std::size_t top = 0;
-        for (std::uint64_t m = mask; m != 0; m &= m - 1) {
-            const auto a = static_cast<EventId>(std::countr_zero(m));
-            if (indeg[a] == 0)
-                ready[top++] = a;
-        }
-        const auto count =
-            static_cast<std::size_t>(std::popcount(mask));
-        out.reserve(count);
-        while (top != 0) {
-            const EventId cur = ready[--top];
-            out.push_back(cur);
-            for (std::uint64_t row = rows[cur] & mask; row != 0;
-                 row &= row - 1) {
-                const auto next =
-                    static_cast<EventId>(std::countr_zero(row));
-                if (--indeg[next] == 0)
-                    ready[top++] = next;
-            }
-        }
-        return out.size() == count;
-    }
-    auto ids = s.members();
-    std::vector<std::size_t> indegree(n, 0);
-    Relation sub = restrict(s);
-    sub.forEach([&](EventId, EventId b) { indegree[b]++; });
-    std::vector<EventId> ready;
-    for (EventId id : ids) {
-        if (indegree[id] == 0)
-            ready.push_back(id);
-    }
-    while (!ready.empty()) {
-        EventId cur = ready.back();
-        ready.pop_back();
-        out.push_back(cur);
-        sub.successors(cur).forEach([&](EventId next) {
-            if (--indegree[next] == 0)
-                ready.push_back(next);
-        });
-    }
-    return out.size() == ids.size();
-}
-
-std::string
-Relation::toString() const
-{
-    std::ostringstream os;
-    os << "{";
-    bool first = true;
-    forEach([&](EventId a, EventId b) {
-        if (!first)
-            os << ", ";
-        first = false;
-        os << "(" << a << "," << b << ")";
-    });
-    os << "}";
-    return os.str();
-}
+// The relational algebra lives in the header as BasicRelation<Storage>;
+// the two shipped storage policies are instantiated once, here, so
+// every other translation unit links against these definitions instead
+// of re-instantiating the template.
+template class BasicRelation<DenseStorage>;
+template class BasicRelation<WindowedStorage>;
 
 namespace {
 

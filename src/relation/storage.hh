@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Storage policies for the relation substrate (ISSUE 10).
+ *
+ * BasicRelation and BasicEventSet are parameterized over a storage
+ * policy that owns the backing words and describes the *geometry* of
+ * the represented universe:
+ *
+ *  - DenseStorage / DenseSetStorage: the historical dense bit-matrix /
+ *    bitset over {0..n-1}, backed by kernel::WordStore (32-word
+ *    small-buffer inlining). Every litmus-scale caller — checker,
+ *    pre-solver, synthesizer — uses these via the `Relation` /
+ *    `EventSet` aliases, with behavior and layout identical to the
+ *    pre-policy classes.
+ *
+ *  - WindowedStorage / WindowedSetStorage: a sliding-window backend
+ *    for streaming workloads (src/conform/): ids are admitted in
+ *    ascending order, only ids in [rowBegin, rowEnd) are live, and
+ *    memory is O(window) — a band of `capacity` rows, each
+ *    `wordsFor(capacity)+1` words wide, regardless of how many ids the
+ *    trace ultimately carries. retireBelow() slides the window;
+ *    compaction shifts rows and column words in word granularity,
+ *    amortized over the slide distance.
+ *
+ * Matrix-storage concept (used by BasicRelation and the lifted
+ * kernel.hh delta ops):
+ *
+ *   universeSize()   logical universe n (ids are < n)
+ *   rowBegin/rowEnd  the live id range [begin, end)
+ *   wordsPerRow()    words backing one row
+ *   colBitBase()     global bit index of each row's bit 0 (64-aligned)
+ *   row(a)           words of live row a
+ *   data/wordCount   the contiguous live span (bulk same-geometry ops)
+ *   kContiguousFromZero  true when rows cover 0..n-1 with colBitBase 0
+ *                    (enables the single-word fast paths and the
+ *                    dense-only operations)
+ *
+ * Windowed semantics: pairs with a retired endpoint are dropped
+ * logically; column bits of retired ids may linger in live rows until
+ * the next compaction, so windowed pairCount()/empty() are upper
+ * bounds and forEach filters retired columns. All live-id queries
+ * (contains, insertWouldCycle, insertClosure) are exact.
+ */
+
+#ifndef MIXEDPROXY_RELATION_STORAGE_HH
+#define MIXEDPROXY_RELATION_STORAGE_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "error.hh"
+#include "kernel.hh"
+#include "word_store.hh"
+
+namespace mixedproxy::relation {
+
+/** The historical dense matrix: n rows of wordsFor(n) words. */
+class DenseStorage
+{
+  public:
+    static constexpr bool kContiguousFromZero = true;
+
+    DenseStorage() = default;
+
+    explicit DenseStorage(std::size_t n)
+        : n(n), words(n * kernel::wordsFor(n))
+    {}
+
+    std::size_t universeSize() const { return n; }
+    std::size_t rowBegin() const { return 0; }
+    std::size_t rowEnd() const { return n; }
+    std::size_t wordsPerRow() const { return kernel::wordsFor(n); }
+    std::size_t colBitBase() const { return 0; }
+
+    std::uint64_t *row(std::size_t a)
+    {
+        return words.data() + a * wordsPerRow();
+    }
+    const std::uint64_t *row(std::size_t a) const
+    {
+        return words.data() + a * wordsPerRow();
+    }
+
+    std::uint64_t *data() { return words.data(); }
+    const std::uint64_t *data() const { return words.data(); }
+    std::size_t wordCount() const { return words.size(); }
+
+    bool operator==(const DenseStorage &other) const
+    {
+        return n == other.n && words == other.words;
+    }
+    bool operator!=(const DenseStorage &other) const = default;
+
+  private:
+    std::size_t n = 0;
+    kernel::WordStore words;
+};
+
+/**
+ * Sliding-window banded matrix: at most `capacity` live rows, each a
+ * band of wordsFor(capacity)+1 words anchored at colBitBase(). Ids are
+ * admitted in ascending order; retireBelow() slides the window.
+ */
+class WindowedStorage
+{
+  public:
+    static constexpr bool kContiguousFromZero = false;
+
+    WindowedStorage() = default;
+
+    /** An empty universe with room for @p capacity live ids. */
+    explicit WindowedStorage(std::size_t capacity)
+        : _capacity(capacity),
+          _wordsPerRow(kernel::wordsFor(capacity) + 1),
+          _words(_capacity * _wordsPerRow, 0)
+    {}
+
+    std::size_t universeSize() const { return _universe; }
+    std::size_t rowBegin() const { return _base; }
+    std::size_t rowEnd() const { return _universe; }
+    std::size_t wordsPerRow() const { return _wordsPerRow; }
+    std::size_t colBitBase() const
+    {
+        return _baseWord * kernel::kBitsPerWord;
+    }
+
+    /** Live-window capacity in ids. */
+    std::size_t capacity() const { return _capacity; }
+
+    /** Number of live (non-retired) ids. */
+    std::size_t liveCount() const { return _universe - _base; }
+
+    std::uint64_t *row(std::size_t a)
+    {
+        return _words.data() + (a - _physBase) * _wordsPerRow;
+    }
+    const std::uint64_t *row(std::size_t a) const
+    {
+        return _words.data() + (a - _physBase) * _wordsPerRow;
+    }
+
+    std::uint64_t *data() { return row(_base); }
+    const std::uint64_t *data() const { return row(_base); }
+    std::size_t wordCount() const { return liveCount() * _wordsPerRow; }
+
+    /**
+     * Extend the universe so @p id is live. Ids must be admitted in
+     * ascending order; admitting beyond the capacity of the current
+     * window (retire first!) is fatal.
+     */
+    void admit(std::size_t id)
+    {
+        if (id < _universe)
+            return;
+        if (id + 1 - _physBase > _capacity)
+            compact();
+        if (id + 1 - _physBase > _capacity) {
+            panic("WindowedStorage: live window ", id + 1 - _base,
+                  " exceeds capacity ", _capacity,
+                  " (retire events first)");
+        }
+        _universe = id + 1;
+    }
+
+    /** Retire every id below @p id (slides the live window). */
+    void retireBelow(std::size_t id)
+    {
+        if (id <= _base)
+            return;
+        _base = std::min(id, _universe);
+    }
+
+    bool operator==(const WindowedStorage &other) const
+    {
+        if (_universe != other._universe || _base != other._base)
+            return false;
+        for (std::size_t a = _base; a < _universe; a++) {
+            // Compare live columns only; stale retired bits and the
+            // column anchor may differ between equal relations.
+            for (std::size_t b = _base; b < _universe; b++) {
+                const bool mine = kernel::testBit(
+                    row(a), b - colBitBase());
+                const bool theirs = kernel::testBit(
+                    other.row(a), b - other.colBitBase());
+                if (mine != theirs)
+                    return false;
+            }
+        }
+        return true;
+    }
+    bool operator!=(const WindowedStorage &other) const = default;
+
+  private:
+    /** Re-anchor the band at the current base (rows and columns). */
+    void compact()
+    {
+        const std::size_t newBaseWord =
+            _base / kernel::kBitsPerWord;
+        const std::size_t wordShift = newBaseWord - _baseWord;
+        const std::size_t live = liveCount();
+        for (std::size_t i = 0; i < live; i++) {
+            std::uint64_t *dst =
+                _words.data() + i * _wordsPerRow;
+            const std::uint64_t *src =
+                _words.data() +
+                (_base - _physBase + i) * _wordsPerRow + wordShift;
+            // Rows move toward the front and columns shift left, so a
+            // forward copy never reads clobbered words.
+            std::copy(src, src + (_wordsPerRow - wordShift), dst);
+            std::fill(dst + (_wordsPerRow - wordShift),
+                      dst + _wordsPerRow, 0);
+        }
+        std::fill(_words.begin() +
+                      static_cast<std::ptrdiff_t>(live * _wordsPerRow),
+                  _words.end(), 0);
+        _physBase = _base;
+        _baseWord = newBaseWord;
+    }
+
+    std::size_t _capacity = 0;
+    std::size_t _wordsPerRow = 0;
+    std::size_t _universe = 0;  ///< ids are < _universe
+    std::size_t _base = 0;      ///< first live id
+    std::size_t _physBase = 0;  ///< id of physical row 0
+    std::size_t _baseWord = 0;  ///< column word anchor
+    std::vector<std::uint64_t> _words;
+};
+
+/** The historical dense bitset over {0..n-1}. */
+class DenseSetStorage
+{
+  public:
+    static constexpr bool kContiguousFromZero = true;
+
+    DenseSetStorage() = default;
+
+    explicit DenseSetStorage(std::size_t n)
+        : n(n), words(kernel::wordsFor(n))
+    {}
+
+    std::size_t universeSize() const { return n; }
+    std::size_t bitBegin() const { return 0; }
+    std::size_t bitBase() const { return 0; }
+
+    std::uint64_t *data() { return words.data(); }
+    const std::uint64_t *data() const { return words.data(); }
+    std::size_t wordCount() const { return words.size(); }
+
+    bool operator==(const DenseSetStorage &other) const
+    {
+        return n == other.n && words == other.words;
+    }
+    bool operator!=(const DenseSetStorage &other) const = default;
+
+  private:
+    std::size_t n = 0;
+    kernel::WordStore words;
+};
+
+/** Sliding-window bitset: at most `capacity` live ids. */
+class WindowedSetStorage
+{
+  public:
+    static constexpr bool kContiguousFromZero = false;
+
+    WindowedSetStorage() = default;
+
+    explicit WindowedSetStorage(std::size_t capacity)
+        : _capacity(capacity),
+          _words(kernel::wordsFor(capacity) + 1, 0)
+    {}
+
+    std::size_t universeSize() const { return _universe; }
+    std::size_t bitBegin() const { return _base; }
+    std::size_t bitBase() const
+    {
+        return _baseWord * kernel::kBitsPerWord;
+    }
+
+    std::uint64_t *data() { return _words.data(); }
+    const std::uint64_t *data() const { return _words.data(); }
+    std::size_t wordCount() const { return _words.size(); }
+
+    std::size_t capacity() const { return _capacity; }
+
+    void admit(std::size_t id)
+    {
+        if (id < _universe)
+            return;
+        if (id + 1 - bitBase() > _words.size() * kernel::kBitsPerWord)
+            compact();
+        if (id + 1 - _base > _capacity + kernel::kBitsPerWord) {
+            panic("WindowedSetStorage: live window ", id + 1 - _base,
+                  " exceeds capacity ", _capacity);
+        }
+        _universe = id + 1;
+    }
+
+    /** Retire (and clear) every id below @p id. */
+    void retireBelow(std::size_t id)
+    {
+        if (id <= _base)
+            return;
+        _base = std::min(id, _universe);
+        // Clear the dropped words and the sub-word residue so count()
+        // and empty() stay exact for sets (one row: this is cheap).
+        const std::size_t baseWordNow = _base / kernel::kBitsPerWord;
+        for (std::size_t w = 0; w < baseWordNow - _baseWord &&
+                                w < _words.size();
+             w++) {
+            _words[w] = 0;
+        }
+        const std::size_t residue = _base % kernel::kBitsPerWord;
+        const std::size_t residueWord = baseWordNow - _baseWord;
+        if (residue != 0 && residueWord < _words.size()) {
+            _words[residueWord] &=
+                ~((std::uint64_t{1} << residue) - 1);
+        }
+    }
+
+    bool operator==(const WindowedSetStorage &other) const
+    {
+        if (_universe != other._universe || _base != other._base)
+            return false;
+        for (std::size_t b = _base; b < _universe; b++) {
+            if (kernel::testBit(data(), b - bitBase()) !=
+                kernel::testBit(other.data(), b - other.bitBase()))
+                return false;
+        }
+        return true;
+    }
+    bool operator!=(const WindowedSetStorage &other) const = default;
+
+  private:
+    void compact()
+    {
+        const std::size_t newBaseWord =
+            _base / kernel::kBitsPerWord;
+        const std::size_t shift = newBaseWord - _baseWord;
+        if (shift == 0)
+            return;
+        std::copy(_words.begin() + static_cast<std::ptrdiff_t>(shift),
+                  _words.end(), _words.begin());
+        std::fill(_words.end() - static_cast<std::ptrdiff_t>(shift),
+                  _words.end(), 0);
+        _baseWord = newBaseWord;
+    }
+
+    std::size_t _capacity = 0;
+    std::size_t _universe = 0;
+    std::size_t _base = 0;
+    std::size_t _baseWord = 0;
+    std::vector<std::uint64_t> _words;
+};
+
+} // namespace mixedproxy::relation
+
+#endif // MIXEDPROXY_RELATION_STORAGE_HH

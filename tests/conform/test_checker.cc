@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Tests for the streaming conformance checker: conformant traces pass,
+ * and each violation class is detected online and attributed to the
+ * right axiom.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "conform/checker.hh"
+#include "conform/trace.hh"
+
+namespace {
+
+using namespace mixedproxy;
+using conform::checkTrace;
+using conform::ConformOptions;
+using conform::ConformReport;
+using conform::TraceHeader;
+using conform::TraceLocation;
+using conform::TraceThread;
+using conform::TraceWriter;
+using conform::ViolationKind;
+using litmus::ProxyKind;
+using litmus::Scope;
+using litmus::Semantics;
+
+/** Two threads on one GPU, two zero-initialized locations x and y. */
+TraceHeader
+mpHeader()
+{
+    TraceHeader hdr;
+    hdr.test = "mp";
+    hdr.threads = {TraceThread{"t0", 0, 0}, TraceThread{"t1", 1, 0}};
+    hdr.locations = {TraceLocation{"x", 0}, TraceLocation{"y", 0}};
+    return hdr;
+}
+
+std::uint64_t
+kindCount(const ConformReport &report, ViolationKind kind)
+{
+    return report.stats.byKind[(std::size_t)kind];
+}
+
+TEST(StreamChecker, ConformantMessagePassingTrace)
+{
+    std::stringstream ss;
+    TraceWriter w(ss);
+    w.header(mpHeader());
+    // t0: st.relaxed x=1; st.release y=1. t1: ld.acquire y=1; ld x=1.
+    const auto wx = w.store(0, 0, 1, Semantics::Relaxed, Scope::Gpu,
+                            ProxyKind::Generic);
+    w.commit(wx);
+    const auto wy = w.store(0, 1, 1, Semantics::Release, Scope::Gpu,
+                            ProxyKind::Generic);
+    w.commit(wy);
+    w.load(1, 1, 1, wy, Semantics::Acquire, Scope::Gpu,
+           ProxyKind::Generic, "r0");
+    w.load(1, 0, 1, wx, Semantics::Weak, Scope::None,
+           ProxyKind::Generic, "r1");
+    litmus::Outcome outcome;
+    outcome.registers["t1.r0"] = 1;
+    outcome.registers["t1.r1"] = 1;
+    outcome.memory["x"] = 1;
+    outcome.memory["y"] = 1;
+    w.finish(outcome);
+
+    const ConformReport report = checkTrace(ss);
+    EXPECT_TRUE(report.conformant()) << report.summary();
+    EXPECT_EQ(report.test, "mp");
+    EXPECT_TRUE(report.sawFooter);
+    ASSERT_TRUE(report.outcome.has_value());
+    EXPECT_EQ(*report.outcome, outcome);
+    EXPECT_EQ(report.stats.loads, 2u);
+    EXPECT_EQ(report.stats.stores, 2u);
+    EXPECT_EQ(report.stats.commits, 2u);
+}
+
+TEST(StreamChecker, DetectsRfValueMismatch)
+{
+    std::stringstream ss;
+    TraceWriter w(ss);
+    w.header(mpHeader());
+    const auto wx = w.store(0, 0, 1, Semantics::Relaxed, Scope::Gpu,
+                            ProxyKind::Generic);
+    w.commit(wx);
+    // The load claims to read wx but reports value 2.
+    w.load(1, 0, 2, wx, Semantics::Weak, Scope::None,
+           ProxyKind::Generic, "r0");
+    litmus::Outcome outcome;
+    outcome.registers["t1.r0"] = 2;
+    outcome.memory["x"] = 1;
+    outcome.memory["y"] = 0;
+    w.finish(outcome);
+
+    const ConformReport report = checkTrace(ss);
+    EXPECT_FALSE(report.conformant());
+    EXPECT_EQ(kindCount(report, ViolationKind::RfValue), 1u);
+}
+
+TEST(StreamChecker, DetectsCoherenceViolation)
+{
+    // t1 acquires t0's release of x (so the release happens-before
+    // everything t1 does after), then overwrites x — but the trace
+    // commits t1's write first: commit order contradicts causality.
+    std::stringstream ss;
+    TraceWriter w(ss);
+    w.header(mpHeader());
+    const auto w1 = w.store(0, 0, 1, Semantics::Release, Scope::Gpu,
+                            ProxyKind::Generic);
+    w.load(1, 0, 1, w1, Semantics::Acquire, Scope::Gpu,
+           ProxyKind::Generic, "r0");
+    const auto w2 = w.store(1, 0, 2, Semantics::Relaxed, Scope::Gpu,
+                            ProxyKind::Generic);
+    w.commit(w2);
+    w.commit(w1); // w1 causally precedes w2 yet commits after it
+    litmus::Outcome outcome;
+    outcome.registers["t1.r0"] = 1;
+    outcome.memory["x"] = 1;
+    outcome.memory["y"] = 0;
+    w.finish(outcome);
+
+    const ConformReport report = checkTrace(ss);
+    EXPECT_FALSE(report.conformant());
+    EXPECT_EQ(kindCount(report, ViolationKind::Coherence), 1u)
+        << report.summary();
+}
+
+TEST(StreamChecker, DetectsCausalityStaleRead)
+{
+    // Message passing gone wrong: t1 acquires the flag but still reads
+    // the initial value of the data location.
+    std::stringstream ss;
+    TraceWriter w(ss);
+    w.header(mpHeader());
+    const auto wx = w.store(0, 0, 1, Semantics::Relaxed, Scope::Gpu,
+                            ProxyKind::Generic);
+    w.commit(wx);
+    const auto wy = w.store(0, 1, 1, Semantics::Release, Scope::Gpu,
+                            ProxyKind::Generic);
+    w.commit(wy);
+    w.load(1, 1, 1, wy, Semantics::Acquire, Scope::Gpu,
+           ProxyKind::Generic, "r0");
+    w.load(1, 0, 0, 0, Semantics::Weak, Scope::None,
+           ProxyKind::Generic, "r1"); // rf = init write of x (uid 0)
+    litmus::Outcome outcome;
+    outcome.registers["t1.r0"] = 1;
+    outcome.registers["t1.r1"] = 0;
+    outcome.memory["x"] = 1;
+    outcome.memory["y"] = 1;
+    w.finish(outcome);
+
+    const ConformReport report = checkTrace(ss);
+    EXPECT_FALSE(report.conformant());
+    EXPECT_EQ(kindCount(report, ViolationKind::Causality), 1u)
+        << report.summary();
+}
+
+TEST(StreamChecker, DetectsFenceScCycle)
+{
+    // Store buffering with SC fences: both threads read the initial
+    // values even though both writes committed before either read —
+    // the forced SC-fence order is cyclic.
+    std::stringstream ss;
+    TraceWriter w(ss);
+    w.header(mpHeader());
+    const auto wx = w.store(0, 0, 1, Semantics::Relaxed, Scope::Sys,
+                            ProxyKind::Generic);
+    w.commit(wx);
+    w.fence(0, Semantics::Sc, Scope::Sys);
+    const auto wy = w.store(1, 1, 1, Semantics::Relaxed, Scope::Sys,
+                            ProxyKind::Generic);
+    w.commit(wy);
+    w.fence(1, Semantics::Sc, Scope::Sys);
+    w.load(0, 1, 0, 1, Semantics::Relaxed, Scope::Sys,
+           ProxyKind::Generic, "r0"); // t0 reads y = init
+    w.load(1, 0, 0, 0, Semantics::Relaxed, Scope::Sys,
+           ProxyKind::Generic, "r0"); // t1 reads x = init
+    litmus::Outcome outcome;
+    outcome.registers["t0.r0"] = 0;
+    outcome.registers["t1.r0"] = 0;
+    outcome.memory["x"] = 1;
+    outcome.memory["y"] = 1;
+    w.finish(outcome);
+
+    const ConformReport report = checkTrace(ss);
+    EXPECT_FALSE(report.conformant());
+    EXPECT_EQ(kindCount(report, ViolationKind::FenceSc), 1u)
+        << report.summary();
+}
+
+TEST(StreamChecker, StoreBufferingWithoutFencesIsConformant)
+{
+    // The same store-buffering outcome without fences is allowed.
+    std::stringstream ss;
+    TraceWriter w(ss);
+    w.header(mpHeader());
+    const auto wx = w.store(0, 0, 1, Semantics::Relaxed, Scope::Sys,
+                            ProxyKind::Generic);
+    w.commit(wx);
+    const auto wy = w.store(1, 1, 1, Semantics::Relaxed, Scope::Sys,
+                            ProxyKind::Generic);
+    w.commit(wy);
+    w.load(0, 1, 0, 1, Semantics::Relaxed, Scope::Sys,
+           ProxyKind::Generic, "r0");
+    w.load(1, 0, 0, 0, Semantics::Relaxed, Scope::Sys,
+           ProxyKind::Generic, "r0");
+    litmus::Outcome outcome;
+    outcome.registers["t0.r0"] = 0;
+    outcome.registers["t1.r0"] = 0;
+    outcome.memory["x"] = 1;
+    outcome.memory["y"] = 1;
+    w.finish(outcome);
+
+    const ConformReport report = checkTrace(ss);
+    EXPECT_TRUE(report.conformant()) << report.summary();
+}
+
+TEST(StreamChecker, DetectsAtomicityViolation)
+{
+    // An RMW reads the init value of x although a morally-strong store
+    // commits between its read and its write.
+    std::stringstream ss;
+    TraceWriter w(ss);
+    w.header(mpHeader());
+    const auto wx = w.store(0, 0, 1, Semantics::Relaxed, Scope::Gpu,
+                            ProxyKind::Generic);
+    w.commit(wx);
+    w.rmw(1, 0, 5, 0, 0, Semantics::AcqRel, Scope::Gpu, "r0");
+    litmus::Outcome outcome;
+    outcome.registers["t1.r0"] = 0;
+    outcome.memory["x"] = 5;
+    outcome.memory["y"] = 0;
+    w.finish(outcome);
+
+    const ConformReport report = checkTrace(ss);
+    EXPECT_FALSE(report.conformant());
+    EXPECT_EQ(kindCount(report, ViolationKind::Atomicity), 1u)
+        << report.summary();
+}
+
+TEST(StreamChecker, DetectsMalformedTraces)
+{
+    {
+        // rf names a uid that never existed.
+        std::stringstream ss;
+        TraceWriter w(ss);
+        w.header(mpHeader());
+        w.load(0, 0, 0, 999, Semantics::Weak, Scope::None,
+               ProxyKind::Generic, "r0");
+        litmus::Outcome outcome;
+        outcome.registers["t0.r0"] = 0;
+        outcome.memory["x"] = 0;
+        outcome.memory["y"] = 0;
+        w.finish(outcome);
+        const ConformReport report = checkTrace(ss);
+        EXPECT_GE(kindCount(report, ViolationKind::Malformed), 1u);
+    }
+    {
+        // Footer memory disagrees with the last committed write.
+        std::stringstream ss;
+        TraceWriter w(ss);
+        w.header(mpHeader());
+        const auto wx = w.store(0, 0, 1, Semantics::Relaxed, Scope::Gpu,
+                                ProxyKind::Generic);
+        w.commit(wx);
+        litmus::Outcome outcome;
+        outcome.memory["x"] = 42;
+        outcome.memory["y"] = 0;
+        w.finish(outcome);
+        const ConformReport report = checkTrace(ss);
+        EXPECT_GE(kindCount(report, ViolationKind::Malformed), 1u);
+    }
+    {
+        // Dropped footer.
+        std::stringstream ss;
+        TraceWriter w(ss);
+        w.header(mpHeader());
+        const ConformReport report = checkTrace(ss);
+        EXPECT_GE(kindCount(report, ViolationKind::Malformed), 1u);
+    }
+    {
+        // A write committing twice.
+        std::stringstream ss;
+        TraceWriter w(ss);
+        w.header(mpHeader());
+        const auto wx = w.store(0, 0, 1, Semantics::Relaxed, Scope::Gpu,
+                                ProxyKind::Generic);
+        w.commit(wx);
+        w.commit(wx);
+        litmus::Outcome outcome;
+        outcome.memory["x"] = 1;
+        outcome.memory["y"] = 0;
+        w.finish(outcome);
+        const ConformReport report = checkTrace(ss);
+        EXPECT_GE(kindCount(report, ViolationKind::Malformed), 1u);
+    }
+}
+
+TEST(StreamChecker, BarrierSynchronizationCreatesOrder)
+{
+    // Both threads in the same CTA: t0 writes x, both pass a barrier,
+    // t1 reads the initial value of x anyway — barrier-induced
+    // causality convicts.
+    TraceHeader hdr;
+    hdr.test = "bar";
+    hdr.threads = {TraceThread{"t0", 0, 0}, TraceThread{"t1", 0, 0}};
+    hdr.locations = {TraceLocation{"x", 0}};
+    std::stringstream ss;
+    TraceWriter w(ss);
+    w.header(hdr);
+    const auto wx = w.store(0, 0, 1, Semantics::Relaxed, Scope::Cta,
+                            ProxyKind::Generic);
+    w.commit(wx);
+    w.barrier(0, 0);
+    w.barrier(1, 0);
+    w.load(1, 0, 0, 0, Semantics::Weak, Scope::None,
+           ProxyKind::Generic, "r0"); // rf = init, but wx hb-before
+    litmus::Outcome outcome;
+    outcome.registers["t1.r0"] = 0;
+    outcome.memory["x"] = 1;
+    w.finish(outcome);
+
+    const ConformReport report = checkTrace(ss);
+    EXPECT_FALSE(report.conformant());
+    EXPECT_EQ(kindCount(report, ViolationKind::Causality), 1u)
+        << report.summary();
+}
+
+TEST(StreamChecker, WindowedRetirementBoundsMemory)
+{
+    // Many more writes than the window admits: the checker retires
+    // eagerly, stays conformant, and reads of retired writes count as
+    // unknown instead of convicting.
+    ConformOptions opts;
+    opts.window = 8;
+    TraceHeader hdr;
+    hdr.test = "wide";
+    hdr.threads = {TraceThread{"t0", 0, 0}};
+    hdr.locations = {TraceLocation{"x", 0}};
+    std::stringstream ss;
+    TraceWriter w(ss);
+    w.header(hdr);
+    std::uint64_t firstUid = 0;
+    std::uint64_t lastValue = 0;
+    for (std::uint64_t i = 0; i < 100; i++) {
+        const auto uid =
+            w.store(0, 0, i + 1, Semantics::Relaxed, Scope::Gpu,
+                    ProxyKind::Generic);
+        if (i == 0)
+            firstUid = uid;
+        w.commit(uid);
+        lastValue = i + 1;
+    }
+    // This rf left the window long ago: unknowable, not a violation.
+    w.load(0, 0, 1, firstUid, Semantics::Weak, Scope::None,
+           ProxyKind::Generic, "r0");
+    litmus::Outcome outcome;
+    outcome.registers["t0.r0"] = 1;
+    outcome.memory["x"] = lastValue;
+    w.finish(outcome);
+
+    const ConformReport report = checkTrace(ss, opts);
+    EXPECT_TRUE(report.conformant()) << report.summary();
+    EXPECT_EQ(report.stats.rfUnknown, 1u);
+    EXPECT_GT(report.stats.retiredWrites, 0u);
+    // Live writes never exceeded the window plus the in-flight store.
+    EXPECT_LE(report.stats.peakWindow, opts.window + 2);
+}
+
+TEST(StreamChecker, SummaryNamesTestAndVerdict)
+{
+    std::stringstream ss;
+    TraceWriter w(ss);
+    w.header(mpHeader());
+    litmus::Outcome outcome;
+    outcome.memory["x"] = 0;
+    outcome.memory["y"] = 0;
+    w.finish(outcome);
+    const ConformReport report = checkTrace(ss);
+    const std::string summary = report.summary();
+    EXPECT_NE(summary.find("trace mp"), std::string::npos);
+    EXPECT_NE(summary.find("CONFORMANT"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit and differential tests for the windowed (banded sliding-window)
+ * relation and event-set backends.
+ *
+ * The dense backend is the oracle: a WindowedRelation fed the same
+ * closure-maintaining inserts as a dense Relation must answer
+ * contains() identically for every pair that is still inside the live
+ * window, across admissions, retirements, and the internal compactions
+ * they trigger.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "relation/error.hh"
+#include "relation/event_set.hh"
+#include "relation/relation.hh"
+
+namespace {
+
+using mixedproxy::PanicError;
+using mixedproxy::relation::EventId;
+using mixedproxy::relation::Relation;
+using mixedproxy::relation::WindowedEventSet;
+using mixedproxy::relation::WindowedRelation;
+
+TEST(WindowedRelation, AdmitInsertContains)
+{
+    WindowedRelation r(8);
+    EXPECT_EQ(r.liveCount(), 0u);
+    r.admit(0);
+    r.admit(1);
+    r.admit(2);
+    EXPECT_EQ(r.liveCount(), 3u);
+    r.insert(0, 1);
+    r.insert(1, 2);
+    EXPECT_TRUE(r.contains(0, 1));
+    EXPECT_TRUE(r.contains(1, 2));
+    EXPECT_FALSE(r.contains(0, 2));
+    EXPECT_FALSE(r.contains(1, 0));
+    EXPECT_EQ(r.pairCount(), 2u);
+}
+
+TEST(WindowedRelation, InsertClosureMaintainsTransitivity)
+{
+    WindowedRelation r(8);
+    for (EventId id = 0; id < 4; id++)
+        r.admit(id);
+    r.insertClosure(0, 1);
+    r.insertClosure(1, 2);
+    r.insertClosure(2, 3);
+    EXPECT_TRUE(r.contains(0, 2));
+    EXPECT_TRUE(r.contains(0, 3));
+    EXPECT_TRUE(r.contains(1, 3));
+    EXPECT_FALSE(r.contains(3, 0));
+}
+
+TEST(WindowedRelation, InsertWouldCycleOnClosedChain)
+{
+    WindowedRelation r(8);
+    for (EventId id = 0; id < 3; id++)
+        r.admit(id);
+    r.insertClosure(0, 1);
+    r.insertClosure(1, 2);
+    EXPECT_TRUE(r.insertWouldCycle(2, 0));
+    EXPECT_TRUE(r.insertWouldCycle(1, 1));
+    EXPECT_FALSE(r.insertWouldCycle(0, 2));
+}
+
+TEST(WindowedRelation, RetireBelowDropsOldRows)
+{
+    WindowedRelation r(4);
+    for (EventId id = 0; id < 4; id++)
+        r.admit(id);
+    r.insertClosure(0, 1);
+    r.insertClosure(1, 2);
+    r.insertClosure(2, 3);
+    r.retireBelow(2);
+    EXPECT_EQ(r.liveCount(), 2u);
+    EXPECT_TRUE(r.contains(2, 3));
+    // The window slides on: ids 4 and 5 now fit.
+    r.admit(4);
+    r.admit(5);
+    r.insertClosure(3, 4);
+    r.insertClosure(4, 5);
+    EXPECT_TRUE(r.contains(2, 5));
+    EXPECT_TRUE(r.contains(3, 5));
+}
+
+TEST(WindowedRelation, AdmitBeyondCapacityPanics)
+{
+    WindowedRelation r(4);
+    for (EventId id = 0; id < 4; id++)
+        r.admit(id);
+    EXPECT_THROW(r.admit(4), PanicError);
+    // After retiring, the same admit succeeds.
+    r.retireBelow(2);
+    r.admit(4);
+    EXPECT_EQ(r.liveCount(), 3u);
+}
+
+TEST(WindowedRelation, ClosureMatchesDenseUnderSlidingWindow)
+{
+    // Random banded DAG: edges only span a short distance, admitted in
+    // ascending order, window slid periodically. Every live pair must
+    // agree with the dense closure over the whole universe.
+    constexpr std::size_t kUniverse = 300;
+    constexpr std::size_t kWindow = 48;
+    constexpr std::size_t kBand = 20;
+
+    std::mt19937_64 rng(2022);
+    Relation dense(kUniverse);
+    WindowedRelation windowed(kWindow);
+    EventId floor = 0;
+
+    for (EventId b = 0; b < kUniverse; b++) {
+        if (b + 1 - floor > kWindow - 8) {
+            floor = b + 1 - (kWindow - 8);
+            windowed.retireBelow(floor);
+        }
+        windowed.admit(b);
+        for (EventId a = (b > kBand ? b - kBand : 0); a < b; a++) {
+            if (a < floor || rng() % 4 != 0)
+                continue;
+            if (!dense.contains(a, b)) {
+                dense.insertClosure(a, b);
+                windowed.insertClosure(a, b);
+            }
+        }
+        // Compare every live pair against the oracle.
+        for (EventId x = floor; x <= b; x++) {
+            for (EventId y = floor; y <= b; y++) {
+                ASSERT_EQ(windowed.contains(x, y), dense.contains(x, y))
+                    << "pair (" << x << ", " << y << ") at admit " << b;
+            }
+        }
+    }
+    EXPECT_LE(windowed.liveCount(), kWindow);
+}
+
+TEST(WindowedEventSet, AdmitInsertRetire)
+{
+    WindowedEventSet s(8);
+    s.admit(0);
+    s.admit(1);
+    s.admit(2);
+    s.insert(0);
+    s.insert(2);
+    EXPECT_TRUE(s.contains(0));
+    EXPECT_FALSE(s.contains(1));
+    EXPECT_TRUE(s.contains(2));
+    EXPECT_EQ(s.count(), 2u);
+    s.retireBelow(1);
+    EXPECT_FALSE(s.contains(0)); // retired ids read as absent
+    EXPECT_TRUE(s.contains(2));
+    s.erase(2);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(WindowedEventSet, MembershipSurvivesLongSlide)
+{
+    // Slide the window across many compactions; membership of live ids
+    // must match a reference vector throughout.
+    constexpr std::size_t kWindow = 64;
+    constexpr std::size_t kUniverse = 2000;
+
+    std::mt19937_64 rng(7);
+    WindowedEventSet s(kWindow);
+    std::vector<bool> oracle(kUniverse, false);
+    EventId floor = 0;
+
+    for (EventId id = 0; id < kUniverse; id++) {
+        if (id + 1 - floor > kWindow / 2) {
+            floor = id + 1 - kWindow / 2;
+            s.retireBelow(floor);
+        }
+        s.admit(id);
+        if (rng() % 3 == 0) {
+            s.insert(id);
+            oracle[id] = true;
+        }
+        for (EventId x = floor; x <= id; x++) {
+            ASSERT_EQ(s.contains(x), oracle[x])
+                << "id " << x << " at admit " << id;
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * tracegen: deterministic seeded generator of `mixedproxy.trace.v1`
+ * execution traces from the built-in litmus corpus, with optional
+ * single-fault injection (conform/fault.hh) for exercising the
+ * streaming conformance checker's violation reporting. Used by the
+ * randomized differential suite and the CI conformance job; the same
+ * (test, seed, mode, fault, fault-seed) tuple always produces the same
+ * bytes.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "conform/fault.hh"
+#include "litmus/registry.hh"
+#include "microarch/simulator.hh"
+#include "relation/error.hh"
+
+namespace {
+
+constexpr const char *kUsage =
+    R"(tracegen - deterministic mixedproxy.trace.v1 trace generator
+
+usage: tracegen --test NAME [options]
+
+options:
+  --test NAME      built-in litmus test to simulate (see --list)
+  --seed N         schedule seed (default 1)
+  --mode MODE      machine coherence mode: proxy (default), coherent,
+                   or fence-reuse
+  --fault KIND     inject one seeded fault into the recorded trace:
+                   drop (delete a committed store's st line),
+                   reorder (swap two commits' write identities), or
+                   corrupt (flip a load's observed value)
+  --fault-seed N   seed choosing among the viable fault sites
+                   (default 1)
+  -o FILE          write the trace to FILE (default: stdout)
+  --list           list the built-in litmus tests and exit
+  --help, -h       show this text
+
+exit status: 0 trace written, 2 bad usage or unknown test,
+             3 the trace offers no viable site for --fault
+)";
+
+bool
+parseUint(const std::string &value, std::uint64_t *out)
+{
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    try {
+        *out = std::stoull(value);
+    } catch (const std::exception &) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mixedproxy;
+
+    std::string testName;
+    std::string outPath;
+    std::uint64_t seed = 1;
+    std::uint64_t faultSeed = 1;
+    std::optional<conform::FaultKind> fault;
+    microarch::CoherenceMode mode = microarch::CoherenceMode::Proxy;
+
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < args.size(); i++) {
+        const std::string &arg = args[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (++i >= args.size()) {
+                std::cerr << "tracegen: " << flag
+                          << " requires a value\n";
+                std::exit(2);
+            }
+            return args[i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            std::cout << kUsage;
+            return 0;
+        } else if (arg == "--list") {
+            for (const auto &name : litmus::testNames())
+                std::cout << name << "\n";
+            return 0;
+        } else if (arg == "--test") {
+            testName = value("--test");
+        } else if (arg == "-o" || arg == "--out") {
+            outPath = value(arg.c_str());
+        } else if (arg == "--seed") {
+            if (!parseUint(value("--seed"), &seed)) {
+                std::cerr << "tracegen: bad --seed '" << args[i]
+                          << "'\n";
+                return 2;
+            }
+        } else if (arg == "--fault-seed") {
+            if (!parseUint(value("--fault-seed"), &faultSeed)) {
+                std::cerr << "tracegen: bad --fault-seed '" << args[i]
+                          << "'\n";
+                return 2;
+            }
+        } else if (arg == "--fault") {
+            const std::string kind = value("--fault");
+            fault = conform::faultKindFromString(kind);
+            if (!fault) {
+                std::cerr << "tracegen: unknown fault '" << kind
+                          << "' (want drop|reorder|corrupt)\n";
+                return 2;
+            }
+        } else if (arg == "--mode") {
+            const std::string name = value("--mode");
+            if (name == "proxy") {
+                mode = microarch::CoherenceMode::Proxy;
+            } else if (name == "coherent") {
+                mode = microarch::CoherenceMode::FullyCoherent;
+            } else if (name == "fence-reuse") {
+                mode = microarch::CoherenceMode::FenceReuse;
+            } else {
+                std::cerr << "tracegen: unknown mode '" << name
+                          << "'\n";
+                return 2;
+            }
+        } else {
+            std::cerr << "tracegen: unknown option '" << arg << "'\n"
+                      << kUsage;
+            return 2;
+        }
+    }
+
+    if (testName.empty()) {
+        std::cerr << "tracegen: --test is required\n" << kUsage;
+        return 2;
+    }
+    if (!litmus::hasTest(testName)) {
+        std::cerr << "tracegen: unknown built-in test '" << testName
+                  << "' (see --list)\n";
+        return 2;
+    }
+
+    std::ostringstream trace;
+    try {
+        microarch::SimOptions opts;
+        opts.mode = mode;
+        microarch::Simulator(opts).runTraced(
+            litmus::testByName(testName), seed, trace);
+    } catch (const FatalError &e) {
+        std::cerr << "tracegen: " << testName << ": " << e.what()
+                  << "\n";
+        return 2;
+    }
+
+    std::string text = trace.str();
+    if (fault) {
+        std::optional<std::string> faulted =
+            conform::injectFault(text, *fault, faultSeed);
+        if (!faulted) {
+            std::cerr << "tracegen: " << testName << " seed " << seed
+                      << " offers no viable site for fault '"
+                      << conform::toString(*fault) << "'\n";
+            return 3;
+        }
+        text = std::move(*faulted);
+    }
+
+    if (outPath.empty()) {
+        std::cout << text;
+        return 0;
+    }
+    std::ofstream file(outPath);
+    if (file)
+        file << text;
+    file.flush();
+    if (!file) {
+        std::cerr << "tracegen: cannot write '" << outPath << "'\n";
+        return 2;
+    }
+    return 0;
+}
